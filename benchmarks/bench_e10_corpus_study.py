@@ -1,0 +1,53 @@
+"""E10: the Section 4.4 practicality study ("98% of 225 web XSDs are
+3-suffix") on the synthetic corpus.
+
+Regenerates the per-k histogram over a 225-schema corpus with the
+published mix, asserts the headline fraction, and times the detector.
+"""
+
+import random
+
+from repro.corpus import format_study, generate_corpus, run_study
+from repro.translation.ksuffix import detect_k_suffix
+
+from benchmarks.conftest import report
+
+SEED = 20150531
+
+
+def bench_report_study(benchmark):
+    def run():
+        rng = random.Random(SEED)
+        corpus = generate_corpus(rng, size=225)
+        return corpus, run_study(corpus, max_k=6)
+
+    corpus, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = format_study(result).splitlines()
+    lines.append("")
+    lines.append("per generator kind:")
+    for kind, histogram in sorted(result.per_kind.items()):
+        rendered = ", ".join(
+            f"k={'none' if k is None else k}: {count}"
+            for k, count in sorted(
+                histogram.items(),
+                key=lambda item: (item[0] is None, item[0] or 0),
+            )
+        )
+        lines.append(f"  {kind:<12} {rendered}")
+    report("E10", "the 98% 3-suffix study (synthetic corpus)", lines)
+
+    assert result.total == 225
+    assert result.fraction_within_3 >= 0.97  # the paper reports > 98%
+
+
+def bench_detector_on_corpus_schema(benchmark):
+    rng = random.Random(SEED)
+    corpus = generate_corpus(rng, size=10)
+    __, schema = corpus[0]
+    benchmark(detect_k_suffix, schema)
+
+
+def bench_corpus_generation(benchmark):
+    rng = random.Random(SEED)
+    corpus = benchmark(lambda: generate_corpus(random.Random(SEED), size=30))
+    assert len(corpus) == 30

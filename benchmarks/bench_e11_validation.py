@@ -1,0 +1,109 @@
+"""E11: validation throughput of the tool (Section 3 / [19]).
+
+Regenerates a throughput table: elements validated per second for the
+three validators (BonXai priority matching, DFA-based single-pass, typed
+XSD validation) on generated documents of growing size, plus the
+rule-highlighting overhead.
+"""
+
+import random
+import time
+
+from repro.bonxai.compile import compile_schema
+from repro.paperdata import figure3_xsd, figure5_schema
+from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+from repro.xsd.generator import DocumentGenerator
+from repro.xsd.validator import validate_xsd
+
+from benchmarks.conftest import report
+
+
+def build_corpus(sizes=(200, 1000, 4000)):
+    """Valid running-example documents of (roughly) the target sizes."""
+    from repro.xmlmodel.tree import XMLDocument, element
+
+    def section(depth, fanout):
+        node = element("section", attributes={"title": f"s{depth}"})
+        node.append_text("prose ")
+        for index in range(fanout):
+            if depth > 0 and index == 0:
+                node.append(section(depth - 1, fanout))
+            else:
+                markup = element("bold" if index % 2 else "italic",
+                                 f"text {index}")
+                node.append(markup)
+        return node
+
+    documents = {}
+    for target in sizes:
+        sections = max(1, target // 8)
+        content = element("content")
+        for __ in range(sections):
+            content.append(section(1, 5))
+        doc = XMLDocument(
+            element("document", element("template"),
+                    element("userstyles"), content)
+        )
+        documents[target] = doc
+    return documents
+
+
+def bench_report_throughput(benchmark):
+    def run():
+        documents = build_corpus()
+        compiled = compile_schema(figure5_schema())
+        xsd = figure3_xsd()
+        dfa_based = xsd_to_dfa_based(xsd)
+        rows = [f"{'elements':>9} | {'BonXai el/s':>11} | "
+                f"{'DFA-based el/s':>14} | {'typed XSD el/s':>14}"]
+        for target, doc in sorted(documents.items()):
+            size = doc.size()
+            bonxai_rate = _rate(lambda: compiled.bxsd.match(doc), size)
+            flat_rate = _rate(lambda: dfa_based.validate(doc), size)
+            typed_rate = _rate(lambda: validate_xsd(xsd, doc), size)
+            rows.append(
+                f"{size:>9} | {bonxai_rate:>11.0f} | {flat_rate:>14.0f} | "
+                f"{typed_rate:>14.0f}"
+            )
+        rows.append("expected shape: roughly size-independent rates "
+                    "(all three validators are single-pass)")
+        return rows
+
+    report("E11", "validation throughput",
+           benchmark.pedantic(run, rounds=1, iterations=1))
+
+
+def _rate(function, size, repeats=3):
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return size / best
+
+
+def bench_bonxai_validation(benchmark):
+    doc = build_corpus(sizes=(1000,))[1000]
+    compiled = compile_schema(figure5_schema())
+    report_obj = benchmark(lambda: compiled.bxsd.match(doc))
+    assert report_obj.valid
+
+
+def bench_dfa_based_validation(benchmark):
+    doc = build_corpus(sizes=(1000,))[1000]
+    schema = xsd_to_dfa_based(figure3_xsd())
+    assert benchmark(lambda: schema.validate(doc)) == []
+
+
+def bench_typed_xsd_validation(benchmark):
+    doc = build_corpus(sizes=(1000,))[1000]
+    xsd = figure3_xsd()
+    assert benchmark(lambda: validate_xsd(xsd, doc)).valid
+
+
+def bench_highlighting(benchmark):
+    doc = build_corpus(sizes=(200,))[200]
+    compiled = compile_schema(figure5_schema())
+    match = compiled.validate(doc)
+    lines = benchmark(lambda: match.highlighted(doc, compiled.source))
+    assert len(lines) == doc.size()

@@ -1,0 +1,85 @@
+"""E1: the running example (Figures 1-5) — parse, validate, convert.
+
+Regenerates the Section 2 artifacts and times the end-user operations of
+the tool [19] on them: parsing the BonXai schema, validating the Figure 1
+document against all four schemas, and converting Figure 5 to an XSD.
+"""
+
+from repro.bonxai.compile import compile_schema
+from repro.bonxai.parser import parse_bonxai
+from repro.paperdata import (
+    FIGURE1_XML,
+    FIGURE5_BONXAI,
+    figure1_document,
+    figure2_dtd,
+    figure3_xsd,
+    figure5_schema,
+)
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+from repro.xmlmodel.parser import parse_document
+from repro.xsd.equivalence import dfa_xsd_equivalent
+from repro.xsd.validator import validate_xsd
+
+from benchmarks.conftest import report
+
+
+def bench_report_equivalences(benchmark):
+    def compute():
+        fig5 = compile_schema(figure5_schema())
+        xsd = figure3_xsd()
+        doc = figure1_document()
+        return fig5, xsd, doc
+
+    fig5, xsd, doc = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        f"Figure 1 document: {doc.size()} elements, height {doc.height()}",
+        f"Figure 2 DTD accepts Figure 1:    "
+        f"{not figure2_dtd().validate(doc)}",
+        f"Figure 3 XSD accepts Figure 1:    "
+        f"{validate_xsd(xsd, doc).valid}",
+        f"Figure 5 BonXai accepts Figure 1: "
+        f"{fig5.validate(doc).valid}",
+        f"Figure 5 == Figure 3 (document languages): "
+        f"{dfa_xsd_equivalent(bxsd_to_dfa_based(fig5.bxsd), xsd_to_dfa_based(xsd))}",
+        f"Figure 5 schema size (BXSD measure): {fig5.bxsd.size}",
+        f"Figure 3 schema size (XSD measure):  {xsd.size}",
+    ]
+    report("E1", "running example (Figures 1-5)", rows)
+
+
+def bench_parse_bonxai(benchmark):
+    benchmark(parse_bonxai, FIGURE5_BONXAI)
+
+
+def bench_parse_document(benchmark):
+    benchmark(parse_document, FIGURE1_XML)
+
+
+def bench_validate_bonxai(benchmark):
+    compiled = compile_schema(figure5_schema())
+    doc = figure1_document()
+    result = benchmark(lambda: compiled.validate(doc))
+    assert result.valid
+
+
+def bench_validate_xsd(benchmark):
+    xsd = figure3_xsd()
+    doc = figure1_document()
+    result = benchmark(lambda: validate_xsd(xsd, doc))
+    assert result.valid
+
+
+def bench_validate_dtd(benchmark):
+    dtd = figure2_dtd()
+    doc = figure1_document()
+    assert benchmark(lambda: dtd.validate(doc)) == []
+
+
+def bench_convert_fig5_to_xsd(benchmark):
+    compiled = compile_schema(figure5_schema())
+    xsd = benchmark(
+        lambda: dfa_based_to_xsd(bxsd_to_dfa_based(compiled.bxsd))
+    )
+    assert xsd.types

@@ -1,0 +1,54 @@
+"""E3: Algorithm 1 (XSD -> DFA-based XSD) is linear (Lemma 4).
+
+Regenerates a size/time series over growing XSDs: output states track the
+number of types exactly, and translation time grows linearly with schema
+size.
+"""
+
+import time
+
+from repro.families import dtd_like_bxsd
+from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+from repro.translation.ksuffix import ksuffix_bxsd_to_dfa_based
+from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+
+from benchmarks.conftest import report
+
+WIDTHS = (4, 8, 16, 32, 64)
+
+
+def xsd_of_width(width):
+    return dfa_based_to_xsd(ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(width)))
+
+
+def bench_report_linearity(benchmark):
+    def sweep():
+        rows = [f"{'|types|':>8} | {'XSD size':>8} | {'states out':>10} | "
+                f"{'time (ms)':>9}"]
+        for width in WIDTHS:
+            xsd = xsd_of_width(width)
+            started = time.perf_counter()
+            schema = xsd_to_dfa_based(xsd)
+            elapsed = 1000 * (time.perf_counter() - started)
+            rows.append(
+                f"{len(xsd.types):>8} | {xsd.size:>8} | "
+                f"{len(schema.states):>10} | {elapsed:>9.3f}"
+            )
+        rows.append("expected shape: states = types + 1, time linear "
+                    "(Lemma 4)")
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("E3", "Algorithm 1 is linear", rows)
+
+
+def bench_algorithm1_small(benchmark):
+    xsd = xsd_of_width(8)
+    schema = benchmark(xsd_to_dfa_based, xsd)
+    assert len(schema.states) == len(xsd.types) + 1
+
+
+def bench_algorithm1_large(benchmark):
+    xsd = xsd_of_width(64)
+    schema = benchmark(xsd_to_dfa_based, xsd)
+    assert len(schema.states) == len(xsd.types) + 1

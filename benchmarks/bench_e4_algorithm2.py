@@ -1,0 +1,80 @@
+"""E4: Algorithm 2 (DFA-based XSD -> BXSD), Lemma 5.
+
+Regenerates two series:
+
+* the number of generated rules is exactly the number of useful states
+  (linear, the Lemma 5 guarantee), measured over growing DTD-like schemas;
+* the expression-size ablation: with and without the algebraic simplifier
+  (the paper notes expression growth is the expensive part).
+"""
+
+from repro.families import dtd_like_bxsd, theorem8_xsd
+from repro.translation.dfa_to_bxsd import dfa_based_to_bxsd
+from repro.translation.ksuffix import ksuffix_bxsd_to_dfa_based
+
+from benchmarks.conftest import report
+
+
+def bench_report_rule_counts(benchmark):
+    def sweep():
+        rows = [f"{'states':>7} | {'rules':>6} | {'BXSD size':>9}"]
+        for width in (4, 8, 16, 32):
+            # children_per_rule=1 keeps the ancestor automaton sparse; the
+            # sweep measures rule COUNTS, not expression blow-up (that is
+            # E7's job -- dense cyclic automata explode in elimination).
+            schema = ksuffix_bxsd_to_dfa_based(
+                dtd_like_bxsd(width, children_per_rule=1)
+            )
+            bxsd = dfa_based_to_bxsd(schema)
+            useful = len(schema.trimmed().states) - 1
+            rows.append(
+                f"{useful:>7} | {len(bxsd.rules):>6} | {bxsd.size:>9}"
+            )
+            assert len(bxsd.rules) == useful
+        rows.append("expected shape: rules = useful states (Lemma 5)")
+        return rows
+
+    report("E4", "Algorithm 2 rule counts are linear",
+           benchmark.pedantic(sweep, rounds=1, iterations=1))
+
+
+def bench_report_simplifier_ablation(benchmark):
+    def sweep():
+        from repro.families import layered_ksuffix_bxsd, theorem8_xsd
+        from repro.translation.ksuffix import ksuffix_bxsd_to_dfa_based
+
+        rows = [f"{'input':>15} | {'raw size':>9} | {'simplified':>10} | "
+                f"{'ratio':>6}"]
+        cases = [
+            ("theorem8 n=2", theorem8_xsd(2)),
+            ("theorem8 n=3", theorem8_xsd(3)),
+            ("layered k=2 w=5",
+             ksuffix_bxsd_to_dfa_based(layered_ksuffix_bxsd(5, k=2))),
+        ]
+        for label, schema in cases:
+            rough = dfa_based_to_bxsd(schema, simplify=False)
+            neat = dfa_based_to_bxsd(schema, simplify=True)
+            ratio = rough.size / max(neat.size, 1)
+            rows.append(
+                f"{label:>15} | {rough.size:>9} | {neat.size:>10} | "
+                f"{ratio:>6.2f}"
+            )
+        rows.append("finding: the smart-constructor normalization already "
+                    "captures most of the benefit; the extra algebraic "
+                    "pass helps only on union-heavy product automata")
+        return rows
+
+    report("E4b", "state-elimination simplifier ablation",
+           benchmark.pedantic(sweep, rounds=1, iterations=1))
+
+
+def bench_algorithm2_dtd_like(benchmark):
+    schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(12, children_per_rule=1))
+    bxsd = benchmark(dfa_based_to_bxsd, schema)
+    assert bxsd.rules
+
+
+def bench_algorithm2_no_simplify(benchmark):
+    schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(12, children_per_rule=1))
+    bxsd = benchmark(lambda: dfa_based_to_bxsd(schema, simplify=False))
+    assert bxsd.rules

@@ -1,0 +1,49 @@
+"""E5: Algorithm 3 (BXSD -> DFA-based XSD), Lemma 6.
+
+Regenerates the product-size series: the reachable-only optimization (the
+paper's remark after Lemma 6) versus the full product, and the state
+growth on benign (k-suffix) versus adversarial (Theorem 9) inputs.
+"""
+
+from repro.families import dtd_like_bxsd, layered_ksuffix_bxsd, theorem9_bxsd
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+
+from benchmarks.conftest import report
+
+
+def bench_report_product_sizes(benchmark):
+    def sweep():
+        rows = [f"{'input':>22} | {'rules':>5} | {'pruned':>6} | "
+                f"{'full':>6}"]
+        cases = [
+            ("dtd-like w=6", dtd_like_bxsd(6)),
+            ("dtd-like w=10", dtd_like_bxsd(10)),
+            ("layered k=2 w=6", layered_ksuffix_bxsd(6, k=2)),
+            ("theorem9 n=3", theorem9_bxsd(3)),
+            ("theorem9 n=4", theorem9_bxsd(4)),
+        ]
+        for label, bxsd in cases:
+            pruned = bxsd_to_dfa_based(bxsd, full_product=False)
+            full = bxsd_to_dfa_based(bxsd, full_product=True)
+            rows.append(
+                f"{label:>22} | {len(bxsd.rules):>5} | "
+                f"{len(pruned.states):>6} | {len(full.states):>6}"
+            )
+        rows.append("expected shape: pruned <= full; Theorem 9 rows grow "
+                    "exponentially in n (Lemma 6 worst case)")
+        return rows
+
+    report("E5", "Algorithm 3 product construction",
+           benchmark.pedantic(sweep, rounds=1, iterations=1))
+
+
+def bench_algorithm3_benign(benchmark):
+    bxsd = dtd_like_bxsd(8)
+    schema = benchmark(bxsd_to_dfa_based, bxsd)
+    assert schema.states
+
+
+def bench_algorithm3_adversarial(benchmark):
+    bxsd = theorem9_bxsd(4)
+    schema = benchmark(bxsd_to_dfa_based, bxsd)
+    assert len(schema.states) > 100

@@ -1,0 +1,49 @@
+"""E6: Algorithm 4 (DFA-based XSD -> XSD) is linear (Lemma 7).
+
+Regenerates the size/time series: the number of produced types equals the
+number of useful states, content models are re-typed without reshaping,
+and time is linear.
+"""
+
+import time
+
+from repro.families import dtd_like_bxsd
+from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+from repro.translation.ksuffix import ksuffix_bxsd_to_dfa_based
+
+from benchmarks.conftest import report
+
+
+def bench_report_linearity(benchmark):
+    def sweep():
+        rows = [f"{'states':>7} | {'types out':>9} | {'XSD size':>8} | "
+                f"{'time (ms)':>9}"]
+        for width in (4, 8, 16, 32, 64):
+            schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(width))
+            started = time.perf_counter()
+            xsd = dfa_based_to_xsd(schema)
+            elapsed = 1000 * (time.perf_counter() - started)
+            useful = len(schema.trimmed().states) - 1
+            rows.append(
+                f"{useful:>7} | {len(xsd.types):>9} | {xsd.size:>8} | "
+                f"{elapsed:>9.3f}"
+            )
+            assert len(xsd.types) == useful
+        rows.append("expected shape: types = useful states, time linear "
+                    "(Lemma 7)")
+        return rows
+
+    report("E6", "Algorithm 4 is linear",
+           benchmark.pedantic(sweep, rounds=1, iterations=1))
+
+
+def bench_algorithm4_small(benchmark):
+    schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(8))
+    xsd = benchmark(dfa_based_to_xsd, schema)
+    assert xsd.types
+
+
+def bench_algorithm4_large(benchmark):
+    schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(48))
+    xsd = benchmark(dfa_based_to_xsd, schema)
+    assert xsd.types

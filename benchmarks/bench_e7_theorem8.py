@@ -1,0 +1,55 @@
+"""E7: Theorem 8 — the XSD -> BonXai exponential blow-up family.
+
+Regenerates the lower-bound series: the Ehrenfeucht-Zeiger-based XSDs
+``X_n`` have size O(n^2) but their BXSD translations grow exponentially;
+the measured growth factor per step must stay clearly above constant.
+"""
+
+from repro.families import theorem8_xsd
+from repro.translation.dfa_to_bxsd import dfa_based_to_bxsd
+
+from benchmarks.conftest import report
+
+SERIES = (2, 3, 4, 5)
+
+
+def bench_report_blowup(benchmark):
+    def sweep():
+        rows = [f"{'n':>3} | {'XSD size':>8} | {'BXSD size':>9} | "
+                f"{'out/in':>7} | {'growth':>7}"]
+        previous = None
+        for n in SERIES:
+            schema = theorem8_xsd(n)
+            bxsd = dfa_based_to_bxsd(schema)
+            growth = "" if previous is None else f"x{bxsd.size / previous:.2f}"
+            rows.append(
+                f"{n:>3} | {schema.total_size:>8} | {bxsd.size:>9} | "
+                f"{bxsd.size / schema.total_size:>7.1f} | {growth:>7}"
+            )
+            previous = bxsd.size
+        rows.append("expected shape: input O(n^2), output 2^Omega(n) -- "
+                    "growth factor stays >= ~3x per step (Theorem 8)")
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("E7", "Theorem 8 blow-up (XSD -> BonXai)", rows)
+
+    # Assert the shape: the output/input ratio strictly increases.
+    ratios = []
+    for n in SERIES[:3]:
+        schema = theorem8_xsd(n)
+        bxsd = dfa_based_to_bxsd(schema)
+        ratios.append(bxsd.size / schema.total_size)
+    assert ratios[0] < ratios[1] < ratios[2]
+
+
+def bench_translate_n3(benchmark):
+    schema = theorem8_xsd(3)
+    bxsd = benchmark(dfa_based_to_bxsd, schema)
+    assert bxsd.size > schema.total_size
+
+
+def bench_translate_n4(benchmark):
+    schema = theorem8_xsd(4)
+    bxsd = benchmark(dfa_based_to_bxsd, schema)
+    assert bxsd.size > 4 * schema.total_size

@@ -1,0 +1,54 @@
+"""E8: Theorem 9 — the BonXai -> XSD exponential blow-up family.
+
+Regenerates the lower-bound series: the BXSDs ``B_n`` have size O(n) but
+every equivalent XSD needs at least 2^n types; the measured number of
+product states must roughly triple per step (the construction tracks the
+largest doubled index plus a subset of once-seen larger indices).
+"""
+
+from repro.families import theorem9_bxsd
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+
+from benchmarks.conftest import report
+
+SERIES = (2, 3, 4, 5, 6)
+
+
+def bench_report_blowup(benchmark):
+    def sweep():
+        rows = [f"{'n':>3} | {'BXSD size':>9} | {'XSD types':>9} | "
+                f"{'2^n':>6} | {'growth':>7}"]
+        previous = None
+        for n in SERIES:
+            bxsd = theorem9_bxsd(n)
+            schema = bxsd_to_dfa_based(bxsd)
+            types = len(schema.states) - 1
+            growth = "" if previous is None else f"x{types / previous:.2f}"
+            rows.append(
+                f"{n:>3} | {bxsd.size:>9} | {types:>9} | {2**n:>6} | "
+                f"{growth:>7}"
+            )
+            previous = types
+        rows.append("expected shape: input O(n), types >= 2^n "
+                    "(Theorem 9; measured growth ~3x per step)")
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("E8", "Theorem 9 blow-up (BonXai -> XSD)", rows)
+
+    # Assert the exponential shape: types exceed 2^n for each n measured.
+    for n in SERIES[:4]:
+        types = len(bxsd_to_dfa_based(theorem9_bxsd(n)).states) - 1
+        assert types >= 2 ** n
+
+
+def bench_translate_n4(benchmark):
+    bxsd = theorem9_bxsd(4)
+    schema = benchmark(bxsd_to_dfa_based, bxsd)
+    assert len(schema.states) - 1 >= 16
+
+
+def bench_translate_n5(benchmark):
+    bxsd = theorem9_bxsd(5)
+    schema = benchmark(bxsd_to_dfa_based, bxsd)
+    assert len(schema.states) - 1 >= 32

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment writes the table it regenerates to
+``benchmarks/results/<exp>.txt`` and echoes it to stdout (visible with
+``pytest benchmarks/ --benchmark-only -s``).  EXPERIMENTS.md records the
+paper-vs-measured comparison for each experiment id.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(experiment_id, title, lines):
+    """Persist and echo one experiment's regenerated table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = f"== {experiment_id}: {title} ==\n" + "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
+    print()
+    print(text, end="")
+    return text
+
+
+@pytest.fixture
+def record_table():
+    """Fixture alias for :func:`report` (keeps bench signatures tidy)."""
+    return report

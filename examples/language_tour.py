@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""A guided tour of every BonXai language feature in one schema.
+
+Covers: namespaces, the global block, element groups, attribute groups,
+mixed content, interleaving (``&``), counters (``{n,m}``), descendant and
+child axes, priorities (general rule + exception), attribute rules with
+built-in simple types, native simple types (the Section 5 extension),
+and all three integrity-constraint kinds.  For each feature the script
+shows a conforming and a violating snippet side by side.
+"""
+
+from repro.bonxai import compile_schema, parse_bonxai
+from repro.xmlmodel import parse_document
+
+SCHEMA = """\
+target namespace urn:conference
+namespace xs = http://www.w3.org/2001/XMLSchema
+
+global { conference }
+
+types {
+  # Native simple types (the extension the paper's Conclusions call for).
+  simple-type track  = enumeration { research | industry | demo }
+  simple-type ccode  = pattern { [A-Z][A-Z][0-9][0-9] }
+  simple-type rating = restriction xs:integer { min 1 max 5 }
+}
+
+groups {
+  group inline = { element em | element code }
+  attribute-group ids = { attribute id, attribute legacy-id? }
+}
+
+grammar {
+  # Structure: a conference holds 1..3 days, each day 1..10 talks.
+  conference  = { attribute code, (element day){1,3} }
+  day         = { attribute date, (element talk){1,10} }
+
+  # xs:all-style interleaving: abstract and speaker in any order.
+  talk        = { attribute-group ids, attribute track,
+                  element abstract & element speaker }
+  speaker     = mixed { }
+
+  # Mixed content with groups.
+  abstract    = mixed { (group inline)* }
+  (em|code)   = mixed { }
+
+  # Priorities: the later rule overrides the general 'talk' rule above
+  # on every talk (both patterns match), additionally allowing up to
+  # three review children -- write general rules first, refinements last.
+  day//talk   = { attribute-group ids, attribute track,
+                  element abstract & element speaker &
+                  (element review){0,3} }
+  review      = mixed { attribute score, attribute of }
+
+  # Attribute rules assign (built-in and native) simple types.
+  @date       = { type xs:date }
+  @score      = { type rating }
+  @track      = { type track }
+  @code       = { type ccode }
+  @id         = { type xs:NCName }
+}
+
+constraints {
+  key talkKey conference/day/talk (@id)
+  unique conference/day (@date)
+  keyref reviewRef day/talk/review (@of) refers talkKey
+}
+"""
+
+GOOD = """\
+<conference code="PD15">
+  <day date="2015-05-31">
+    <talk id="t1" track="research">
+      <speaker>W. Martens</speaker>
+      <abstract>Patterns <em>beat</em> types; see <code>bonxai</code>.</abstract>
+      <review score="5" of="t1">strong accept</review>
+    </talk>
+    <talk id="t2" track="demo" legacy-id="old-7">
+      <abstract>A live tool demo.</abstract>
+      <speaker>M. Niewerth</speaker>
+    </talk>
+  </day>
+</conference>
+"""
+
+BAD_SNIPPETS = [
+    ("counter violation: zero talks on a day",
+     GOOD.replace('<talk id="t1" track="research">', "<skip/>")
+         .replace("</talk>", "", 1)
+         .replace('<speaker>W. Martens</speaker>', "")
+         .replace('<abstract>Patterns <em>beat</em> types; '
+                  'see <code>bonxai</code>.</abstract>', "")
+         .replace('<review score="5" of="t1">strong accept</review>', "")),
+    ("native enumeration: unknown track",
+     GOOD.replace('track="demo"', 'track="poster"')),
+    ("native pattern: bad conference code",
+     GOOD.replace('code="PD15"', 'code="pods"')),
+    ("native restriction: rating out of range",
+     GOOD.replace('score="5"', 'score="11"')),
+    ("built-in type: malformed date",
+     GOOD.replace('date="2015-05-31"', 'date="May 31"')),
+    ("key: duplicate talk id",
+     GOOD.replace('id="t2"', 'id="t1"')),
+    ("keyref: review of unknown talk",
+     GOOD.replace('of="t1"', 'of="t9"')),
+    ("interleave: missing speaker",
+     GOOD.replace("<speaker>M. Niewerth</speaker>", "")),
+]
+
+
+def main():
+    compiled = compile_schema(parse_bonxai(SCHEMA))
+    report = compiled.validate(parse_document(GOOD))
+    print("conforming document:", "VALID" if report.valid
+          else report.violations)
+    print()
+    print("feature violations (each must be caught):")
+    for label, text in BAD_SNIPPETS:
+        bad_report = compiled.validate(parse_document(text))
+        verdict = "caught" if not bad_report.valid else "MISSED!"
+        first = bad_report.violations[0] if bad_report.violations else ""
+        print(f"  [{verdict}] {label}")
+        if first:
+            print(f"            {first[:90]}")
+
+
+if __name__ == "__main__":
+    main()

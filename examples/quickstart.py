@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: author a BonXai schema, validate XML, convert to XML Schema.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    compile_schema,
+    dfa_based_to_xsd,
+    bxsd_to_dfa_based,
+    parse_bonxai,
+    parse_document,
+    write_xsd,
+)
+
+SCHEMA = """\
+target namespace http://example.org/notes
+namespace xs = http://www.w3.org/2001/XMLSchema
+
+global { notebook }
+
+groups {
+  group inline = { element em | element code }
+}
+
+grammar {
+  # A notebook holds notes; a note has a title and paragraphs.
+  notebook      = { (element note)* }
+  note          = { attribute created, element title, (element para)+ }
+  title         = mixed { }
+  para          = mixed { (group inline)* }
+  (em|code)     = mixed { }
+
+  # Notes may be nested one level inside a para; nested notes are
+  # simpler: no creation date required (priorities: last rule wins).
+  para          = mixed { (group inline | element note)* }
+  para//note    = { element title, (element para)+ }
+
+  @created      = { type xs:date }
+}
+
+constraints {
+  key noteKey notebook/note (@created)
+}
+"""
+
+DOCUMENT = """\
+<notebook>
+  <note created="2015-05-31">
+    <title>PODS reading list</title>
+    <para>Read the <em>BonXai</em> paper and skim <code>bonxai-spec</code>.
+      <note><title>Follow-up</title><para>Try the tool.</para></note>
+    </para>
+  </note>
+  <note created="2015-06-01">
+    <title>Ideas</title>
+    <para>Patterns instead of types.</para>
+  </note>
+</notebook>
+"""
+
+
+def main():
+    schema = compile_schema(parse_bonxai(SCHEMA))
+    document = parse_document(DOCUMENT)
+
+    report = schema.validate(document)
+    print("== validation ==")
+    print("valid:", report.valid)
+    for violation in report.violations:
+        print("  -", violation)
+
+    print()
+    print("== matched rules (per element) ==")
+    for line in report.highlighted(document, schema.source):
+        print(" ", line)
+
+    print()
+    print("== the equivalent XML Schema (Algorithms 3 + 4) ==")
+    xsd = dfa_based_to_xsd(bxsd_to_dfa_based(schema.bxsd))
+    print(write_xsd(xsd, target_namespace="http://example.org/notes"))
+
+    # A document that violates the schema: nested notes must not carry a
+    # creation date, and paragraphs outside notes are not allowed.
+    bad = parse_document(
+        "<notebook><note created='2015-06-02'><title>x</title>"
+        "<para><note created='oops'><title>y</title><para>z</para></note>"
+        "</para></note></notebook>"
+    )
+    bad_report = schema.validate(bad)
+    print("== a non-conforming document ==")
+    print("valid:", bad_report.valid)
+    for violation in bad_report.violations:
+        print("  -", violation)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin setup.py shim.
+
+Kept so ``pip install -e .`` works in environments whose setuptools lacks
+PEP 660 editable-wheel support (all metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

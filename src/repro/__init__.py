@@ -1,0 +1,128 @@
+"""BonXai — combining the simplicity of DTD with the expressiveness of
+XML Schema (reproduction of Martens, Neven, Niewerth & Schwentick,
+PODS 2015).
+
+Quickstart::
+
+    from repro import parse_bonxai, compile_schema, parse_document
+
+    schema = compile_schema(parse_bonxai(BONXAI_TEXT))
+    report = schema.validate(parse_document(XML_TEXT))
+    assert report.valid
+
+Package map:
+
+* :mod:`repro.bonxai`      — the language: formal core (BXSD), parser,
+  compiler, printer, validator, linter
+* :mod:`repro.xsd`         — formal XSDs, DFA-based XSDs, ``.xsd`` I/O,
+  validation, minimization, equivalence
+* :mod:`repro.translation` — Algorithms 1-4, k-suffix fragment, DTDs
+* :mod:`repro.regex`       — deterministic regular expressions engine
+* :mod:`repro.automata`    — NFA/DFA substrate
+* :mod:`repro.xmlmodel`    — XML trees, parser, writer, DTDs
+* :mod:`repro.families`    — Theorem 8/9 worst-case families
+* :mod:`repro.corpus`      — the synthetic web-XSD study (Section 4.4)
+* :mod:`repro.paperdata`   — Figures 1-5 of the paper
+"""
+
+from repro.bonxai import (
+    BXSD,
+    BonXaiSchema,
+    Rule,
+    bxsd_to_schema,
+    compile_schema,
+    lint_bxsd,
+    parse_bonxai,
+    print_schema,
+)
+from repro.errors import (
+    EDCViolation,
+    NotDeterministicError,
+    NotKSuffixError,
+    ParseError,
+    RegexError,
+    ReproError,
+    SchemaError,
+    TranslationError,
+    ValidationError,
+)
+from repro.translation import (
+    bxsd_to_dfa_based,
+    bxsd_to_xsd,
+    detect_k_suffix,
+    dfa_based_to_bxsd,
+    dfa_based_to_xsd,
+    dtd_to_bxsd,
+    dtd_to_xsd,
+    xsd_to_bxsd,
+    xsd_to_dfa_based,
+)
+from repro.xmlmodel import (
+    XMLDocument,
+    XMLElement,
+    element,
+    parse_document,
+    parse_dtd,
+    write_document,
+)
+from repro.xsd import (
+    XSD,
+    ContentModel,
+    DFABasedXSD,
+    TypedName,
+    dfa_xsd_equivalent,
+    generate_document,
+    minimize_xsd,
+    read_xsd,
+    validate_xsd,
+    write_xsd,
+    xsd_equivalent,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BXSD",
+    "BonXaiSchema",
+    "ContentModel",
+    "DFABasedXSD",
+    "EDCViolation",
+    "NotDeterministicError",
+    "NotKSuffixError",
+    "ParseError",
+    "RegexError",
+    "ReproError",
+    "Rule",
+    "SchemaError",
+    "TranslationError",
+    "TypedName",
+    "ValidationError",
+    "XMLDocument",
+    "XMLElement",
+    "XSD",
+    "bxsd_to_dfa_based",
+    "bxsd_to_schema",
+    "bxsd_to_xsd",
+    "compile_schema",
+    "detect_k_suffix",
+    "dfa_based_to_bxsd",
+    "dfa_based_to_xsd",
+    "dfa_xsd_equivalent",
+    "dtd_to_bxsd",
+    "dtd_to_xsd",
+    "element",
+    "generate_document",
+    "lint_bxsd",
+    "minimize_xsd",
+    "parse_bonxai",
+    "parse_document",
+    "parse_dtd",
+    "print_schema",
+    "read_xsd",
+    "validate_xsd",
+    "write_document",
+    "write_xsd",
+    "xsd_equivalent",
+    "xsd_to_bxsd",
+    "xsd_to_dfa_based",
+]

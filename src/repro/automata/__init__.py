@@ -1,0 +1,45 @@
+"""Finite-automata substrate (NFA/DFA, determinization, minimization,
+products, state elimination, and Boolean language operations)."""
+
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimal_complete_dfa_for_regex, minimize
+from repro.automata.nfa import NFA
+from repro.automata.operations import (
+    canonical_dfa,
+    complement,
+    counterexample,
+    difference,
+    equivalent,
+    intersection,
+    is_empty,
+    is_subset,
+    isomorphic,
+    some_word,
+    union_dfa,
+)
+from repro.automata.product import pair_product, product_dfa
+from repro.automata.state_elimination import dfa_to_regex, nfa_to_regex
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "canonical_dfa",
+    "complement",
+    "counterexample",
+    "determinize",
+    "dfa_to_regex",
+    "difference",
+    "equivalent",
+    "intersection",
+    "is_empty",
+    "is_subset",
+    "isomorphic",
+    "minimal_complete_dfa_for_regex",
+    "minimize",
+    "nfa_to_regex",
+    "pair_product",
+    "product_dfa",
+    "some_word",
+    "union_dfa",
+]

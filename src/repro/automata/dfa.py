@@ -1,0 +1,173 @@
+"""Deterministic finite automata.
+
+DFAs here are *partial* by default: a missing transition means the word is
+rejected (equivalently, leads to an implicit sink).  :meth:`DFA.completed`
+materializes the sink when a complete automaton is needed (Algorithm 3 uses
+minimal *complete* DFAs).  States can be arbitrary hashable objects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+
+class DFA:
+    """A (possibly partial) deterministic finite automaton.
+
+    Attributes:
+        states: frozenset of states.
+        alphabet: frozenset of symbols.
+        transitions: mapping ``(state, symbol) -> state``.
+        initial: the initial state.
+        accepting: frozenset of accepting states.
+    """
+
+    __slots__ = ("states", "alphabet", "transitions", "initial", "accepting")
+
+    def __init__(self, states, alphabet, transitions, initial, accepting):
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        self.transitions = dict(transitions)
+        self.initial = initial
+        self.accepting = frozenset(accepting)
+        self._check()
+
+    def _check(self):
+        if self.initial not in self.states:
+            raise SchemaError("initial state must be a state")
+        if not self.accepting <= self.states:
+            raise SchemaError("accepting states must be states")
+        for (source, symbol), target in self.transitions.items():
+            if source not in self.states:
+                raise SchemaError(f"transition from unknown state {source!r}")
+            if symbol not in self.alphabet:
+                raise SchemaError(f"transition on unknown symbol {symbol!r}")
+            if target not in self.states:
+                raise SchemaError(f"transition to unknown state {target!r}")
+
+    def __len__(self):
+        """The paper's size measure: the number of states."""
+        return len(self.states)
+
+    def successor(self, state, symbol):
+        """The unique successor, or ``None`` when undefined (partial DFA)."""
+        return self.transitions.get((state, symbol))
+
+    def run(self, word):
+        """The state reached after ``word``, or ``None`` if the run dies."""
+        current = self.initial
+        for symbol in word:
+            current = self.transitions.get((current, symbol))
+            if current is None:
+                return None
+        return current
+
+    def accepts(self, word):
+        """Return True iff the DFA accepts ``word``."""
+        state = self.run(word)
+        return state is not None and state in self.accepting
+
+    def is_complete(self):
+        """True iff every (state, symbol) pair has a transition."""
+        return all(
+            (state, symbol) in self.transitions
+            for state in self.states
+            for symbol in self.alphabet
+        )
+
+    def completed(self, sink="__sink__"):
+        """Return a complete DFA, adding a non-accepting sink if needed."""
+        if self.is_complete():
+            return self
+        while sink in self.states:
+            sink = sink + "_"
+        states = set(self.states)
+        states.add(sink)
+        transitions = dict(self.transitions)
+        for state in states:
+            for symbol in self.alphabet:
+                transitions.setdefault((state, symbol), sink)
+        return DFA(
+            states=states,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=self.initial,
+            accepting=self.accepting,
+        )
+
+    def reachable_states(self):
+        """States reachable from the initial state."""
+        seen = {self.initial}
+        worklist = [self.initial]
+        while worklist:
+            state = worklist.pop()
+            for symbol in self.alphabet:
+                target = self.transitions.get((state, symbol))
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    worklist.append(target)
+        return frozenset(seen)
+
+    def trimmed(self):
+        """Restrict to reachable states (keeps completeness only if it holds
+        trivially; use :meth:`completed` afterwards when needed)."""
+        keep = self.reachable_states()
+        transitions = {
+            key: target
+            for key, target in self.transitions.items()
+            if key[0] in keep and target in keep
+        }
+        return DFA(
+            states=keep,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=self.initial,
+            accepting=self.accepting & keep,
+        )
+
+    def to_nfa(self):
+        """View this DFA as an NFA."""
+        from repro.automata.nfa import NFA
+
+        transitions = {
+            key: frozenset((target,))
+            for key, target in self.transitions.items()
+        }
+        return NFA(
+            states=self.states,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=frozenset((self.initial,)),
+            accepting=self.accepting,
+        )
+
+    def renumbered(self):
+        """An isomorphic DFA over ``0..n-1`` (stable BFS numbering)."""
+        mapping = {self.initial: 0}
+        order = [self.initial]
+        index = 0
+        while index < len(order):
+            state = order[index]
+            index += 1
+            for symbol in sorted(self.alphabet):
+                target = self.transitions.get((state, symbol))
+                if target is not None and target not in mapping:
+                    mapping[target] = len(mapping)
+                    order.append(target)
+        for state in sorted(self.states - set(mapping), key=repr):
+            mapping[state] = len(mapping)
+        transitions = {
+            (mapping[source], symbol): mapping[target]
+            for (source, symbol), target in self.transitions.items()
+        }
+        return DFA(
+            states=frozenset(mapping.values()),
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=0,
+            accepting=frozenset(mapping[s] for s in self.accepting),
+        )
+
+    def accepts_nothing(self):
+        """True iff the accepted language is empty."""
+        return not (self.reachable_states() & self.accepting)

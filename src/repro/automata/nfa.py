@@ -1,0 +1,166 @@
+"""Nondeterministic finite automata.
+
+The paper denotes an NFA as ``A = (Q, EName, delta, q0, F)``; we allow a
+*set* of initial states (convenient for constructions) — a singleton set
+recovers the paper's definition.  States can be arbitrary hashable objects.
+There are no epsilon transitions: all our constructions (Glushkov,
+derivatives) avoid them, which keeps determinization simple.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+
+class NFA:
+    """An epsilon-free NFA with a set of initial states.
+
+    Attributes:
+        states: frozenset of states.
+        alphabet: frozenset of symbols.
+        transitions: mapping ``(state, symbol) -> frozenset(states)``;
+            missing keys mean no transition.
+        initial: frozenset of initial states.
+        accepting: frozenset of accepting states.
+    """
+
+    __slots__ = ("states", "alphabet", "transitions", "initial", "accepting")
+
+    def __init__(self, states, alphabet, transitions, initial, accepting):
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        self.transitions = {
+            key: frozenset(value) for key, value in transitions.items()
+        }
+        self.initial = frozenset(initial)
+        self.accepting = frozenset(accepting)
+        self._check()
+
+    def _check(self):
+        if not self.initial <= self.states:
+            raise SchemaError("initial states must be states")
+        if not self.accepting <= self.states:
+            raise SchemaError("accepting states must be states")
+        for (source, symbol), targets in self.transitions.items():
+            if source not in self.states:
+                raise SchemaError(f"transition from unknown state {source!r}")
+            if symbol not in self.alphabet:
+                raise SchemaError(f"transition on unknown symbol {symbol!r}")
+            if not targets <= self.states:
+                raise SchemaError(f"transition to unknown state from {source!r}")
+
+    def __len__(self):
+        """The paper's size measure: the number of states."""
+        return len(self.states)
+
+    def successors(self, state, symbol):
+        """States reachable from ``state`` on ``symbol``."""
+        return self.transitions.get((state, symbol), frozenset())
+
+    def step(self, current, symbol):
+        """Advance a *set* of states by one symbol."""
+        out = set()
+        for state in current:
+            out |= self.successors(state, symbol)
+        return frozenset(out)
+
+    def run(self, word):
+        """The set of states reachable after reading ``word`` (``A(w)``)."""
+        current = self.initial
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return current
+        return current
+
+    def accepts(self, word):
+        """Return True iff the NFA accepts ``word``."""
+        return bool(self.run(word) & self.accepting)
+
+    def reachable_states(self):
+        """States reachable from the initial set."""
+        seen = set(self.initial)
+        worklist = list(self.initial)
+        while worklist:
+            state = worklist.pop()
+            for symbol in self.alphabet:
+                for target in self.successors(state, symbol):
+                    if target not in seen:
+                        seen.add(target)
+                        worklist.append(target)
+        return frozenset(seen)
+
+    def trim(self):
+        """Restrict to states that are reachable and co-reachable."""
+        reachable = self.reachable_states()
+        # Co-reachable: backwards BFS from accepting states.
+        predecessors = {}
+        for (source, symbol), targets in self.transitions.items():
+            for target in targets:
+                predecessors.setdefault(target, set()).add(source)
+        co_reachable = set(self.accepting & reachable)
+        worklist = list(co_reachable)
+        while worklist:
+            state = worklist.pop()
+            for source in predecessors.get(state, ()):
+                if source in reachable and source not in co_reachable:
+                    co_reachable.add(source)
+                    worklist.append(source)
+        keep = reachable & co_reachable
+        transitions = {
+            (source, symbol): targets & keep
+            for (source, symbol), targets in self.transitions.items()
+            if source in keep and targets & keep
+        }
+        return NFA(
+            states=keep,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=self.initial & keep,
+            accepting=self.accepting & keep,
+        )
+
+    def reverse(self):
+        """The reversal NFA (accepts the mirror language)."""
+        transitions = {}
+        for (source, symbol), targets in self.transitions.items():
+            for target in targets:
+                transitions.setdefault((target, symbol), set()).add(source)
+        return NFA(
+            states=self.states,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=self.accepting,
+            accepting=self.initial,
+        )
+
+    def renumbered(self):
+        """An isomorphic NFA over ``0..n-1`` (stable BFS numbering)."""
+        mapping = {}
+        order = []
+        worklist = sorted(self.initial, key=repr)
+        for state in worklist:
+            mapping[state] = len(mapping)
+            order.append(state)
+        index = 0
+        while index < len(order):
+            state = order[index]
+            index += 1
+            for symbol in sorted(self.alphabet):
+                for target in sorted(self.successors(state, symbol), key=repr):
+                    if target not in mapping:
+                        mapping[target] = len(mapping)
+                        order.append(target)
+        for state in sorted(self.states - set(mapping), key=repr):
+            mapping[state] = len(mapping)
+        transitions = {
+            (mapping[source], symbol): frozenset(mapping[t] for t in targets)
+            for (source, symbol), targets in self.transitions.items()
+        }
+        return NFA(
+            states=frozenset(mapping.values()),
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=frozenset(mapping[s] for s in self.initial),
+            accepting=frozenset(mapping[s] for s in self.accepting),
+        )

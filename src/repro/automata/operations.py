@@ -1,0 +1,145 @@
+"""Language-level operations and decision procedures on automata.
+
+These operate on *ancestor languages* only — the paper is explicit (Section
+4.1) that content models must never be combined with Boolean operations,
+because deterministic expressions are not closed under them.  Ancestor
+languages have no determinism obligation, so the full Boolean toolkit is
+available here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize
+from repro.automata.product import pair_product
+
+
+def _as_dfa(automaton):
+    if isinstance(automaton, DFA):
+        return automaton
+    return determinize(automaton)
+
+
+def intersection(left, right):
+    """DFA for ``L(left) ∩ L(right)``."""
+    return pair_product(_as_dfa(left), _as_dfa(right), lambda a, b: a and b)
+
+
+def union_dfa(left, right):
+    """DFA for ``L(left) ∪ L(right)``."""
+    return pair_product(_as_dfa(left), _as_dfa(right), lambda a, b: a or b)
+
+
+def difference(left, right):
+    """DFA for ``L(left) \\ L(right)``."""
+    return pair_product(_as_dfa(left), _as_dfa(right), lambda a, b: a and not b)
+
+
+def complement(automaton, alphabet=None):
+    """DFA for the complement of the language over ``alphabet``."""
+    dfa = _as_dfa(automaton)
+    if alphabet is not None:
+        dfa = DFA(
+            dfa.states,
+            frozenset(alphabet) | dfa.alphabet,
+            dfa.transitions,
+            dfa.initial,
+            dfa.accepting,
+        )
+    dfa = dfa.completed()
+    return DFA(
+        dfa.states,
+        dfa.alphabet,
+        dfa.transitions,
+        dfa.initial,
+        dfa.states - dfa.accepting,
+    )
+
+
+def is_empty(automaton):
+    """True iff the automaton accepts no word."""
+    dfa = _as_dfa(automaton)
+    return dfa.accepts_nothing()
+
+
+def some_word(automaton):
+    """A shortest accepted word, or ``None`` if the language is empty."""
+    dfa = _as_dfa(automaton)
+    parents = {dfa.initial: None}
+    queue = deque([dfa.initial])
+    while queue:
+        state = queue.popleft()
+        if state in dfa.accepting:
+            word = []
+            current = state
+            while parents[current] is not None:
+                previous, symbol = parents[current]
+                word.append(symbol)
+                current = previous
+            word.reverse()
+            return word
+        for symbol in sorted(dfa.alphabet):
+            target = dfa.transitions.get((state, symbol))
+            if target is not None and target not in parents:
+                parents[target] = (state, symbol)
+                queue.append(target)
+    return None
+
+
+def is_subset(left, right):
+    """True iff ``L(left) ⊆ L(right)``."""
+    return is_empty(difference(left, right))
+
+
+def equivalent(left, right):
+    """True iff the two automata accept the same language."""
+    return is_subset(left, right) and is_subset(right, left)
+
+
+def counterexample(left, right):
+    """A word in the symmetric difference, or ``None`` when equivalent."""
+    in_left_only = some_word(difference(left, right))
+    if in_left_only is not None:
+        return in_left_only
+    return some_word(difference(right, left))
+
+
+def canonical_dfa(automaton):
+    """The canonical minimal complete DFA (unique up to renumbering)."""
+    return minimize(_as_dfa(automaton))
+
+
+def isomorphic(left, right):
+    """True iff two DFAs are isomorphic (same structure after renumbering).
+
+    Both inputs should already be minimal and complete; the check walks both
+    in lockstep from the initial states.
+    """
+    left = left.renumbered()
+    right = right.renumbered()
+    if len(left) != len(right) or left.alphabet != right.alphabet:
+        return False
+    mapping = {left.initial: right.initial}
+    queue = deque([left.initial])
+    while queue:
+        state = queue.popleft()
+        image = mapping[state]
+        if (state in left.accepting) != (image in right.accepting):
+            return False
+        for symbol in left.alphabet:
+            left_target = left.transitions.get((state, symbol))
+            right_target = right.transitions.get((image, symbol))
+            if (left_target is None) != (right_target is None):
+                return False
+            if left_target is None:
+                continue
+            known = mapping.get(left_target)
+            if known is None:
+                mapping[left_target] = right_target
+                queue.append(left_target)
+            elif known != right_target:
+                return False
+    return len(mapping) == len(left.states)

@@ -1,0 +1,51 @@
+"""BonXai: the paper's schema language — formal core (BXSD) and the
+practical surface language (parser, compiler, printer, validator, linter)."""
+
+from repro.bonxai.ancestor import (
+    AncestorPattern,
+    compile_ancestor,
+    pattern_from_regex,
+)
+from repro.bonxai.bxsd import BXSD, MatchReport, Rule
+from repro.bonxai.child import ChildPattern
+from repro.bonxai.compile import CompiledSchema, compile_schema
+from repro.bonxai.decompile import bxsd_to_schema
+from repro.bonxai.lint import Diagnostic, lint_bxsd
+from repro.bonxai.parser import parse_bonxai
+from repro.bonxai.printer import print_child_pattern, print_schema
+from repro.bonxai.simpletypes import check_value, is_known_type
+from repro.bonxai.syntax import BonXaiSchema, Constraint, GrammarRule
+from repro.bonxai.usertypes import (
+    SimpleTypeDef,
+    check_typed_value,
+    parse_char_pattern,
+)
+from repro.bonxai.validator import BonXaiReport, validate_bonxai
+
+__all__ = [
+    "AncestorPattern",
+    "BXSD",
+    "BonXaiReport",
+    "BonXaiSchema",
+    "ChildPattern",
+    "CompiledSchema",
+    "Constraint",
+    "Diagnostic",
+    "GrammarRule",
+    "MatchReport",
+    "Rule",
+    "SimpleTypeDef",
+    "bxsd_to_schema",
+    "check_typed_value",
+    "check_value",
+    "compile_ancestor",
+    "compile_schema",
+    "is_known_type",
+    "lint_bxsd",
+    "parse_bonxai",
+    "parse_char_pattern",
+    "pattern_from_regex",
+    "print_child_pattern",
+    "print_schema",
+    "validate_bonxai",
+]

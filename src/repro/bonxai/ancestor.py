@@ -1,0 +1,429 @@
+"""Ancestor patterns: the left-hand sides of BonXai rules (Section 3.1).
+
+Ancestor patterns are regular expressions over element names written in an
+XPath-flavoured syntax: ``/`` (child step), ``//`` (descendant step),
+``|`` (union), ``*``, ``+``, ``?``, round brackets, and attribute names
+(``@name``) which may only appear at the *end* of a pattern.  A pattern
+that does not start with ``/`` or ``//`` implicitly starts with ``//``
+(so a bare element name matches all elements of that name, as in DTDs).
+
+:func:`compile_ancestor` turns a pattern into a
+(:class:`~repro.regex.ast.Regex` over EName, attribute-name list) pair:
+the regex matches ancestor-strings of elements; the attribute list is
+non-empty exactly for attribute rules like ``(@name|@color) = {...}``.
+
+:func:`pattern_from_regex` renders a formal regex back into pattern syntax
+(used when presenting translated schemas to users).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError, SchemaError
+from repro.regex.ast import (
+    Concat,
+    EPSILON,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+    universal,
+)
+
+
+class AncestorPattern:
+    """A parsed ancestor pattern.
+
+    Attributes:
+        text: the original pattern text (normalized whitespace).
+        attribute_names: tuple of attribute names when this is an
+            attribute rule (pattern ends in ``@name`` or a union of them);
+            empty for element rules.
+        element_names: element names mentioned by the pattern.
+    """
+
+    __slots__ = ("text", "_ast", "_leading", "attribute_names",
+                 "element_names")
+
+    def __init__(self, text):
+        self.text = " ".join(text.split())
+        tokens = _tokenize(self.text)
+        parser = _PatternParser(tokens, self.text)
+        ast, attributes = parser.parse()
+        self._ast = ast
+        self._leading = parser.leading_axis
+        self.attribute_names = tuple(attributes)
+        names = set()
+        _collect_names(ast, names)
+        self.element_names = frozenset(names)
+
+    @property
+    def is_attribute_pattern(self):
+        return bool(self.attribute_names)
+
+    def to_regex(self, ename):
+        """The anchored regular expression over the alphabet ``ename``.
+
+        The ``//`` steps expand to ``EName*`` over this alphabet, so the
+        regex is materialized at schema compile time (when the full
+        element-name set is known).
+        """
+        body = _compile(self._ast, ename)
+        if self._leading == "descendant":
+            return concat(universal(ename), body)
+        return body
+
+    def __repr__(self):
+        return f"AncestorPattern({self.text!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, AncestorPattern) and self.text == other.text
+
+    def __hash__(self):
+        return hash(self.text)
+
+
+def compile_ancestor(text, ename):
+    """One-shot: parse a pattern and compile it over ``ename``.
+
+    Returns:
+        ``(regex, attribute_names)``.
+    """
+    pattern = AncestorPattern(text)
+    return pattern.to_regex(ename), pattern.attribute_names
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+def _tokenize(text):
+    tokens = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if text.startswith("//", index):
+            tokens.append(("//", "//"))
+            index += 2
+            continue
+        if char in "/|()*+?":
+            tokens.append((char, char))
+            index += 1
+            continue
+        if char == "@":
+            end = index + 1
+            while end < len(text) and (text[end].isalnum()
+                                       or text[end] in "_.-:"):
+                end += 1
+            if end == index + 1:
+                raise ParseError(f"bare '@' in ancestor pattern {text!r}")
+            tokens.append(("attr", text[index + 1 : end]))
+            index = end
+            continue
+        if char.isalnum() or char in "_:":
+            end = index
+            while end < len(text) and (text[end].isalnum()
+                                       or text[end] in "_.-:"):
+                end += 1
+            tokens.append(("name", text[index:end]))
+            index = end
+            continue
+        raise ParseError(
+            f"unexpected character {char!r} in ancestor pattern {text!r}"
+        )
+    tokens.append(("eof", ""))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class _PatternParser:
+    """Recursive-descent parser for the pattern grammar.
+
+    body     := [axis] unit (axis unit)* [attr-part]   (attr-part may be
+                juxtaposed, as in ``(/a/a)*(@c|@d)``)
+    unit     := atom ('*' | '+' | '?')*
+    atom     := name | '(' body ('|' body)* ')'
+    attr-part:= '@'name | '(' '@'name ('|' '@'name)* ')'
+
+    The *leading axis* of the whole pattern decides anchoredness: an
+    explicit leading ``/`` anchors at the root; ``//`` (or no axis at all)
+    prepends ``EName*``.  Leading axes of group branches act as
+    continuations (``//`` inserts ``EName*``, ``/`` inserts nothing).
+    """
+
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.pos = 0
+        self.text = text
+        self.leading_axis = None
+
+    def peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self):
+        token = self.tokens[self.pos]
+        if token[0] != "eof":
+            self.pos += 1
+        return token
+
+    def parse(self):
+        # Anchoredness: look for the first axis-or-content token, skipping
+        # group-opening brackets (cf. the (/a/a)*(@c|@d) example).
+        probe = 0
+        while self.tokens[probe][0] == "(":
+            probe += 1
+        self.leading_axis = (
+            "child" if self.tokens[probe][0] == "/" else "descendant"
+        )
+        # A top-level leading axis token is consumed here; anchoredness is
+        # applied by AncestorPattern.to_regex.
+        if self.peek()[0] in ("/", "//"):
+            self.next()
+
+        ast, attributes = self._parse_body()
+        if self.peek()[0] != "eof":
+            raise ParseError(
+                f"trailing content in ancestor pattern {self.text!r} "
+                f"(attributes must come last)"
+            )
+        if ast is None and not attributes:
+            raise ParseError(f"empty ancestor pattern {self.text!r}")
+        return (ast if ast is not None else ("eps",)), attributes
+
+    # -- body ------------------------------------------------------------
+    def _parse_body(self):
+        parts = []
+        attributes = []
+        separator = None
+        if self.peek()[0] in ("/", "//"):
+            separator = self.next()[0]
+        while True:
+            kind = self.peek()[0]
+            if kind == "attr":
+                attributes = [self.next()[1]]
+                break
+            if kind == "(" and self._group_is_attributes():
+                attributes = self._parse_attribute_group()
+                break
+            if kind in ("name", "("):
+                parts.append((separator, self._parse_unit()))
+            else:
+                if separator is not None:
+                    raise ParseError(
+                        f"dangling '{separator}' in pattern {self.text!r}"
+                    )
+                break
+            # After a unit: another axis step, a juxtaposed attribute
+            # part, or the end of this body.
+            if self.peek()[0] in ("/", "//"):
+                separator = self.next()[0]
+                continue
+            if self.peek()[0] == "attr":
+                attributes = [self.next()[1]]
+            elif self.peek()[0] == "(" and self._group_is_attributes():
+                attributes = self._parse_attribute_group()
+            break
+        ast = ("seq", parts) if parts else None
+        return ast, attributes
+
+    def _group_is_attributes(self):
+        return self.peek(1)[0] == "attr"
+
+    def _parse_attribute_group(self):
+        self.next()  # '('
+        names = []
+        while True:
+            token = self.next()
+            if token[0] != "attr":
+                raise ParseError(
+                    f"attribute groups may only contain attribute names: "
+                    f"{self.text!r}"
+                )
+            names.append(token[1])
+            token = self.next()
+            if token[0] == ")":
+                return names
+            if token[0] != "|":
+                raise ParseError(
+                    f"expected '|' or ')' in attribute group: {self.text!r}"
+                )
+
+    # -- units -------------------------------------------------------------
+    def _parse_unit(self):
+        atom = self._parse_atom()
+        while True:
+            kind = self.peek()[0]
+            if kind == "*":
+                self.next()
+                atom = ("star", atom)
+            elif kind == "+":
+                self.next()
+                atom = ("plus", atom)
+            elif kind == "?":
+                self.next()
+                atom = ("opt", atom)
+            else:
+                return atom
+
+    def _parse_atom(self):
+        token = self.next()
+        if token[0] == "name":
+            return ("name", token[1])
+        if token[0] == "(":
+            branches = []
+            while True:
+                body, attrs = self._parse_body()
+                if attrs:
+                    raise ParseError(
+                        f"attributes may not appear inside element groups: "
+                        f"{self.text!r}"
+                    )
+                if body is None:
+                    raise ParseError(f"empty group in pattern {self.text!r}")
+                branches.append(body)
+                next_token = self.next()
+                if next_token[0] == ")":
+                    break
+                if next_token[0] != "|":
+                    raise ParseError(
+                        f"expected '|' or ')' in pattern {self.text!r}"
+                    )
+            if len(branches) == 1:
+                return branches[0]
+            return ("alt", branches)
+        raise ParseError(
+            f"unexpected token {token[1]!r} in ancestor pattern {self.text!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Compilation to regular expressions
+# ---------------------------------------------------------------------------
+
+def _compile(node, ename):
+    tag = node[0]
+    if tag == "eps":
+        return EPSILON
+    if tag == "name":
+        return sym(node[1])
+    if tag == "seq":
+        out = None
+        for separator, unit in node[1]:
+            compiled = _compile(unit, ename)
+            if out is None:
+                # A leading '//' inside a group branch is a continuation
+                # and inserts EName*; a leading '/' (or none) does not.
+                if separator == "//":
+                    out = concat(universal(ename), compiled)
+                else:
+                    out = compiled
+            elif separator == "//":
+                out = concat(out, universal(ename), compiled)
+            else:
+                out = concat(out, compiled)
+        return out
+    if tag == "alt":
+        return union(*(_compile(branch, ename) for branch in node[1]))
+    if tag == "star":
+        return star(_compile(node[1], ename))
+    if tag == "plus":
+        return plus(_compile(node[1], ename))
+    if tag == "opt":
+        return optional(_compile(node[1], ename))
+    raise SchemaError(f"unknown pattern node {tag!r}")
+
+
+def _collect_names(node, out):
+    tag = node[0]
+    if tag == "name":
+        out.add(node[1])
+    elif tag == "seq":
+        for __, unit in node[1]:
+            _collect_names(unit, out)
+    elif tag == "alt":
+        for branch in node[1]:
+            _collect_names(branch, out)
+    elif tag in ("star", "plus", "opt"):
+        _collect_names(node[1], out)
+
+
+# ---------------------------------------------------------------------------
+# Rendering formal regexes back into pattern syntax
+# ---------------------------------------------------------------------------
+
+def pattern_from_regex(regex, ename):
+    """Render a formal ancestor regex as BonXai pattern text.
+
+    Occurrences of the universal sub-expression ``EName*`` become ``//``
+    steps; other structure is rendered with explicit operators.  The
+    output round-trips: compiling the rendered pattern over the same
+    alphabet denotes the same language.
+    """
+    universe = universal(ename)
+
+    def render(node):
+        if node == universe:
+            return "//"
+        if isinstance(node, Symbol):
+            return node.name
+        if isinstance(node, Concat):
+            parts = []
+            pending_descendant = False
+            for child in node.children:
+                if child == universe:
+                    pending_descendant = True
+                    continue
+                rendered = render(child)
+                if parts:
+                    parts.append("//" if pending_descendant else "/")
+                elif pending_descendant:
+                    parts.append("//")
+                parts.append(rendered)
+                pending_descendant = False
+            if pending_descendant:
+                raise SchemaError(
+                    "a trailing EName* has no pattern rendering"
+                )
+            return "".join(parts)
+        if isinstance(node, Union):
+            inner = "|".join(render(child) for child in node.children)
+            return f"({inner})"
+        if isinstance(node, Star):
+            return f"({render(node.child)})*"
+        if isinstance(node, Plus):
+            return f"({render(node.child)})+"
+        if isinstance(node, Optional):
+            return f"({render(node.child)})?"
+        from repro.regex.printer import to_string
+
+        raise SchemaError(
+            f"cannot render {to_string(node)} as an ancestor pattern"
+        )
+
+    if isinstance(regex, Concat) and regex.children[0] == universe:
+        rest = concat(*regex.children[1:])
+        rendered = render(rest)
+        if rendered.startswith("//"):
+            return rendered
+        return "//" + rendered
+    if regex == universe:
+        # Matches every node: the pattern '//' alone is not legal syntax,
+        # but a union of all names below a descendant step is.
+        return "(" + "|".join(sorted(ename)) + ")"
+    rendered = render(regex)
+    if rendered.startswith("//"):
+        return rendered
+    return "/" + rendered

@@ -1,0 +1,272 @@
+"""Child patterns: the right-hand sides of BonXai rules (Section 3.1).
+
+A child pattern is written ``{ ... }`` (optionally prefixed ``mixed``) and
+combines element references, attribute uses, group references and simple
+type references with the operators ``,`` (concatenation), ``|`` (union),
+``&`` (interleaving), ``*``, ``+``, ``?`` and ``{n,m}``::
+
+    mixed { attribute title, (element section | group markup)* }
+    { attribute-group fontattr }
+    { element font? & element color? }
+    { type xs:string }                 (attribute rules / text content)
+
+Attribute uses must be extractable: they may appear only as top-level
+concatenation factors (or via attribute groups), matching how XSD separates
+attributes from the content particle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.regex.ast import (
+    EPSILON,
+    concat,
+    counter,
+    interleave,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+from repro.xsd.content import AttributeUse, ContentModel
+
+
+class ChildPattern:
+    """A parsed child pattern (structured form, before group inlining).
+
+    Attributes:
+        mixed: whether the ``mixed`` keyword was present.
+        body: the pattern AST (tuples, see the ``CP*`` constructors), or
+            ``None`` for an empty pattern ``{ }``.
+        type_name: set instead of ``body`` for ``{ type xs:string }``.
+    """
+
+    __slots__ = ("mixed", "body", "type_name")
+
+    def __init__(self, body=None, mixed=False, type_name=None):
+        if body is not None and type_name is not None:
+            raise SchemaError(
+                "a child pattern is either structural or a type reference"
+            )
+        self.mixed = bool(mixed)
+        self.body = body
+        self.type_name = type_name
+
+    @property
+    def is_type_reference(self):
+        return self.type_name is not None
+
+    def compile(self, groups=None, attribute_groups=None,
+                attribute_types=None):
+        """Lower to a :class:`~repro.xsd.content.ContentModel`.
+
+        Args:
+            groups: dict group name -> :class:`ChildPattern` body AST.
+            attribute_groups: dict name -> list of ``(attr_name, required)``.
+            attribute_types: dict attr name -> simple type name, used to
+                annotate extracted attribute uses.
+
+        Raises:
+            SchemaError: on undefined references or attribute uses in
+                non-extractable positions.
+        """
+        groups = groups or {}
+        attribute_groups = attribute_groups or {}
+        attribute_types = attribute_types or {}
+        if self.is_type_reference:
+            return ContentModel(EPSILON, mixed=True)
+        if self.body is None:
+            return ContentModel(EPSILON, mixed=self.mixed)
+        factors = (
+            list(self.body[1]) if self.body[0] == "seq" else [self.body]
+        )
+        attributes = []
+        content_factors = []
+        for factor in factors:
+            extracted = _extract_attributes(factor, attribute_groups)
+            if extracted is None:
+                content_factors.append(factor)
+            else:
+                attributes.extend(extracted)
+        regex = concat(
+            *(
+                _compile(factor, groups, attribute_groups)
+                for factor in content_factors
+            )
+        )
+        uses = tuple(
+            AttributeUse(
+                name,
+                required=required,
+                type_name=attribute_types.get(name),
+            )
+            for name, required in attributes
+        )
+        return ContentModel(regex, mixed=self.mixed, attributes=uses)
+
+    def element_names(self, groups=None):
+        """Element names referenced (after group inlining)."""
+        groups = groups or {}
+        names = set()
+        if self.body is not None:
+            _collect_elements(self.body, groups, names, set())
+        return names
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ChildPattern)
+            and self.mixed == other.mixed
+            and self.body == other.body
+            and self.type_name == other.type_name
+        )
+
+    def __hash__(self):
+        return hash((self.mixed, _freeze(self.body), self.type_name))
+
+    def __repr__(self):
+        if self.is_type_reference:
+            return f"ChildPattern(type {self.type_name})"
+        return f"ChildPattern(mixed={self.mixed}, body={self.body!r})"
+
+
+def _freeze(node):
+    if isinstance(node, list):
+        return tuple(_freeze(item) for item in node)
+    if isinstance(node, tuple):
+        return tuple(_freeze(item) for item in node)
+    return node
+
+
+# -- AST constructors (tuples keep the parser light) -------------------------
+
+def CPElement(name):
+    return ("element", name)
+
+
+def CPAttribute(name, required=True):
+    return ("attribute", name, required)
+
+
+def CPGroup(name):
+    return ("group", name)
+
+
+def CPAttributeGroup(name):
+    return ("attribute-group", name)
+
+
+def CPSeq(*children):
+    return ("seq", list(children))
+
+
+def CPChoice(*children):
+    return ("choice", list(children))
+
+
+def CPInterleave(*children):
+    return ("interleave", list(children))
+
+
+def CPStar(child):
+    return ("star", child)
+
+
+def CPPlus(child):
+    return ("plus", child)
+
+
+def CPOpt(child):
+    return ("opt", child)
+
+
+def CPCounter(child, low, high):
+    return ("counter", child, low, high)
+
+
+# -- attribute extraction ------------------------------------------------------
+
+def _extract_attributes(factor, attribute_groups):
+    """Attribute uses if this factor is an attribute position, else None."""
+    tag = factor[0]
+    if tag == "attribute":
+        return [(factor[1], factor[2])]
+    if tag == "attribute-group":
+        definition = attribute_groups.get(factor[1])
+        if definition is None:
+            raise SchemaError(f"attribute-group {factor[1]!r} is undefined")
+        return list(definition)
+    if tag == "opt":
+        inner = _extract_attributes(factor[1], attribute_groups)
+        if inner is not None:
+            return [(name, False) for name, __ in inner]
+        return None
+    return None
+
+
+def _compile(node, groups, attribute_groups, seen=None):
+    tag = node[0]
+    if tag == "element":
+        return sym(node[1])
+    if tag == "group":
+        definition = groups.get(node[1])
+        if definition is None:
+            raise SchemaError(f"group {node[1]!r} is undefined")
+        if seen is None:
+            seen = set()
+        if node[1] in seen:
+            raise SchemaError(f"group {node[1]!r} is recursively defined")
+        return _compile(definition, groups, attribute_groups,
+                        seen | {node[1]})
+    if tag == "seq":
+        return concat(*(
+            _compile(child, groups, attribute_groups, seen)
+            for child in node[1]
+        ))
+    if tag == "choice":
+        return union(*(
+            _compile(child, groups, attribute_groups, seen)
+            for child in node[1]
+        ))
+    if tag == "interleave":
+        return interleave(*(
+            _compile(child, groups, attribute_groups, seen)
+            for child in node[1]
+        ))
+    if tag == "star":
+        return star(_compile(node[1], groups, attribute_groups, seen))
+    if tag == "plus":
+        return plus(_compile(node[1], groups, attribute_groups, seen))
+    if tag == "opt":
+        return optional(_compile(node[1], groups, attribute_groups, seen))
+    if tag == "counter":
+        return counter(
+            _compile(node[1], groups, attribute_groups, seen),
+            node[2],
+            node[3],
+        )
+    if tag in ("attribute", "attribute-group"):
+        raise SchemaError(
+            "attribute uses must be top-level concatenation factors "
+            "(so they can be separated from the content model, as in XSD)"
+        )
+    raise SchemaError(f"unknown child-pattern node {tag!r}")
+
+
+def _collect_elements(node, groups, out, seen):
+    tag = node[0]
+    if tag == "element":
+        out.add(node[1])
+    elif tag == "group":
+        if node[1] in seen:
+            return
+        definition = groups.get(node[1])
+        if definition is not None:
+            _collect_elements(definition, groups, out, seen | {node[1]})
+    elif tag in ("seq", "choice", "interleave"):
+        for child in node[1]:
+            _collect_elements(child, groups, out, seen)
+    elif tag in ("star", "plus", "opt"):
+        _collect_elements(node[1], groups, out, seen)
+    elif tag == "counter":
+        _collect_elements(node[1], groups, out, seen)

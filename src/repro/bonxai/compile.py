@@ -1,0 +1,147 @@
+"""Lowering concrete BonXai schemas to the formal core (BXSD).
+
+The lowering performs what the paper treats as cosmetics (Section 4.1):
+group and attribute-group inlining, separation of attribute uses from
+content models, materialization of ``//`` as ``EName*`` over the schema's
+element-name set, and resolution of attribute simple-type rules
+(``@size = { type xs:integer }``) onto the attribute uses they govern.
+
+A type rule governs an attribute use of an element rule when the two
+ancestor languages can overlap (decided by automata intersection); later
+rules win, mirroring the priority semantics.
+"""
+
+from __future__ import annotations
+
+from repro.automata.operations import intersection, is_empty
+from repro.bonxai.bxsd import BXSD, Rule
+from repro.errors import SchemaError
+from repro.regex.derivatives import to_dfa
+from repro.regex.ast import concat, sym, union
+
+
+class CompiledSchema:
+    """The result of lowering a concrete schema.
+
+    Attributes:
+        source: the original :class:`~repro.bonxai.syntax.BonXaiSchema`.
+        bxsd: the formal :class:`~repro.bonxai.bxsd.BXSD` core.
+        rule_indices: for each BXSD rule, the index of the originating
+            grammar rule in ``source.rules`` (attribute rules are skipped,
+            so the lists differ).
+        constraints: list of ``(constraint, selector_regex)`` pairs.
+    """
+
+    __slots__ = ("source", "bxsd", "rule_indices", "constraints")
+
+    def __init__(self, source, bxsd, rule_indices, constraints):
+        self.source = source
+        self.bxsd = bxsd
+        self.rule_indices = rule_indices
+        self.constraints = constraints
+
+    def validate(self, document):
+        """Full validation; see :mod:`repro.bonxai.validator`."""
+        from repro.bonxai.validator import validate_bonxai
+
+        return validate_bonxai(self, document)
+
+
+def compile_schema(schema):
+    """Lower ``schema`` to a :class:`CompiledSchema`.
+
+    Raises:
+        SchemaError: on undefined references, ill-placed attributes, or
+            non-deterministic content models (UPA).
+    """
+    ename = schema.element_names()
+    if not ename:
+        raise SchemaError("the schema mentions no element names")
+
+    attribute_rules = []
+    for rule in schema.rules:
+        if not rule.is_attribute_rule:
+            continue
+        if not rule.child.is_type_reference:
+            raise SchemaError(
+                f"attribute rule {rule.ancestor.text!r} must assign a "
+                f"simple type ({{ type ... }})"
+            )
+        attribute_rules.append(rule)
+
+    bxsd_rules = []
+    rule_indices = []
+    for index, rule in enumerate(schema.rules):
+        if rule.is_attribute_rule:
+            continue
+        pattern_regex = rule.ancestor.to_regex(ename)
+        attribute_types = _attribute_types_for(
+            rule, schema, attribute_rules, ename
+        )
+        model = rule.child.compile(
+            groups=schema.groups,
+            attribute_groups=schema.attribute_groups,
+            attribute_types=attribute_types,
+        )
+        bxsd_rules.append(Rule(pattern_regex, model))
+        rule_indices.append(index)
+
+    bxsd = BXSD(ename=ename, start=schema.global_names, rules=bxsd_rules)
+
+    compiled_constraints = [
+        (constraint, constraint.selector.to_regex(ename))
+        for constraint in schema.constraints
+    ]
+    return CompiledSchema(schema, bxsd, rule_indices, compiled_constraints)
+
+
+def _attribute_types_for(rule, schema, attribute_rules, ename):
+    """Resolve simple types for the attribute uses of one element rule.
+
+    For each attribute name used by the rule, the *last* attribute rule
+    whose name set contains it and whose context can overlap with this
+    rule's context assigns the type.  Context overlap of the patterns
+    ``p`` (element rule) and ``q`` (attribute rule) means
+    ``L(p) ∩ L(q) != ∅`` — the same non-disjointness notion the paper's
+    priority discussion uses (Section 3.2).
+    """
+    wanted = _attribute_names_of(rule, schema)
+    if not wanted:
+        return {}
+    element_regex = rule.ancestor.to_regex(ename)
+    element_dfa = None
+    resolved = {}
+    for attribute_rule in reversed(attribute_rules):
+        names = set(attribute_rule.ancestor.attribute_names) & wanted
+        names -= set(resolved)
+        if not names:
+            continue
+        if element_dfa is None:
+            element_dfa = to_dfa(element_regex, alphabet=ename)
+        context_regex = attribute_rule.ancestor.to_regex(ename)
+        context_dfa = to_dfa(context_regex, alphabet=ename)
+        if is_empty(intersection(element_dfa, context_dfa)):
+            continue
+        for name in names:
+            resolved[name] = attribute_rule.child.type_name
+    return resolved
+
+
+def _attribute_names_of(rule, schema):
+    """The attribute names used by a rule's child pattern (after groups)."""
+    names = set()
+    body = rule.child.body
+    if body is None:
+        return names
+    factors = body[1] if body[0] == "seq" else [body]
+    for factor in factors:
+        inner = factor
+        if inner[0] == "opt":
+            inner = inner[1]
+        if inner[0] == "attribute":
+            names.add(inner[1])
+        elif inner[0] == "attribute-group":
+            definition = schema.attribute_groups.get(inner[1], ())
+            for name, __ in definition:
+                names.add(name)
+    return names

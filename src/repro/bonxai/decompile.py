@@ -1,0 +1,139 @@
+"""Lifting formal BXSDs back to concrete BonXai schemas.
+
+This is the presentation half of the XSD -> BonXai direction: Algorithm 2
+produces a formal BXSD; :func:`bxsd_to_schema` renders its rules in the
+surface syntax (ancestor patterns with ``//`` steps, ``element`` keywords,
+``mixed`` markers, attribute uses, and ``@name = {type ...}`` rules for
+attribute simple types).
+"""
+
+from __future__ import annotations
+
+from repro.bonxai.ancestor import AncestorPattern, pattern_from_regex
+from repro.bonxai.child import (
+    ChildPattern,
+    CPChoice,
+    CPCounter,
+    CPElement,
+    CPInterleave,
+    CPOpt,
+    CPPlus,
+    CPSeq,
+    CPStar,
+)
+from repro.bonxai.syntax import BonXaiSchema, GrammarRule
+from repro.errors import SchemaError
+from repro.regex.ast import (
+    Concat,
+    Counter,
+    EmptySet,
+    Epsilon,
+    Interleave,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+)
+
+
+def bxsd_to_schema(bxsd, target_namespace=None):
+    """Render a formal :class:`~repro.bonxai.bxsd.BXSD` as a concrete schema.
+
+    Attribute simple types found on the rules' attribute uses become
+    trailing ``@name = {type ...}`` rules — one global rule per attribute
+    name when unambiguous, context-qualified rules otherwise.
+    """
+    rules = []
+    attribute_types = {}
+    contextual_types = []
+    for rule in bxsd.rules:
+        pattern_text = pattern_from_regex(rule.pattern, bxsd.ename)
+        child = _content_to_child(rule.content)
+        rules.append(GrammarRule(AncestorPattern(pattern_text), child))
+        for use in rule.content.attributes:
+            if use.type_name is None:
+                continue
+            known = attribute_types.get(use.name)
+            if known is None:
+                attribute_types[use.name] = use.type_name
+            elif known != use.type_name:
+                contextual_types.append((pattern_text, use))
+
+    for name, type_name in sorted(attribute_types.items()):
+        rules.append(
+            GrammarRule(
+                AncestorPattern(f"@{name}"),
+                ChildPattern(type_name=type_name),
+            )
+        )
+    for pattern_text, use in contextual_types:
+        rules.append(
+            GrammarRule(
+                AncestorPattern(f"{pattern_text}(@{use.name})"),
+                ChildPattern(type_name=use.type_name),
+            )
+        )
+
+    return BonXaiSchema(
+        global_names=sorted(bxsd.start),
+        rules=rules,
+        target_namespace=target_namespace,
+    )
+
+
+def _content_to_child(model):
+    """A :class:`ChildPattern` rendering of a :class:`ContentModel`."""
+    body = _regex_to_body(model.regex)
+    factors = []
+    for use in model.attributes:
+        factor = ("attribute", use.name, True)
+        if not use.required:
+            factor = ("opt", ("attribute", use.name, True))
+        factors.append(factor)
+    if body is not None:
+        factors.append(body)
+    if not factors:
+        combined = None
+    elif len(factors) == 1:
+        combined = factors[0]
+    else:
+        combined = CPSeq(*factors)
+    return ChildPattern(body=combined, mixed=model.mixed)
+
+
+def _regex_to_body(regex):
+    if isinstance(regex, Epsilon):
+        return None
+    if isinstance(regex, EmptySet):
+        raise SchemaError("the empty content language has no rendering")
+    if isinstance(regex, Symbol):
+        return CPElement(regex.name)
+    if isinstance(regex, Concat):
+        return CPSeq(*(_require(_regex_to_body(c)) for c in regex.children))
+    if isinstance(regex, Union):
+        return CPChoice(*(_require(_regex_to_body(c)) for c in regex.children))
+    if isinstance(regex, Interleave):
+        return CPInterleave(
+            *(_require(_regex_to_body(c)) for c in regex.children)
+        )
+    if isinstance(regex, Star):
+        return CPStar(_require(_regex_to_body(regex.child)))
+    if isinstance(regex, Plus):
+        return CPPlus(_require(_regex_to_body(regex.child)))
+    if isinstance(regex, Optional):
+        return CPOpt(_require(_regex_to_body(regex.child)))
+    if isinstance(regex, Counter):
+        return CPCounter(
+            _require(_regex_to_body(regex.child)), regex.low, regex.high
+        )
+    raise SchemaError(f"unknown regex node {regex!r}")
+
+
+def _require(body):
+    if body is None:
+        raise SchemaError(
+            "epsilon may only appear as a whole content model "
+            "(normalize the expression first)"
+        )
+    return body

@@ -1,0 +1,144 @@
+"""Schema diagnostics ("debugging of existing XSDs" — Section 5).
+
+The linter inspects a compiled BonXai schema and reports:
+
+* ``error``   — UPA violations in content models (these would be rejected
+  by an XML Schema processor);
+* ``warning`` — *shadowed* rules: a rule whose left-hand language is fully
+  covered by later rules never becomes relevant for any node;
+* ``info``    — rule pairs with overlapping left-hand languages, i.e.
+  places where the priority semantics actually decides something (the
+  Section 3.2 discussion) — useful to audit intent;
+* ``warning`` — element names used in content models but never given a
+  rule (their content is unconstrained).
+"""
+
+from __future__ import annotations
+
+from repro.automata.operations import difference, intersection, is_empty, union_dfa
+from repro.regex.derivatives import to_dfa
+from repro.regex.determinism import ambiguity_witness
+
+
+class Diagnostic:
+    """One linter finding.
+
+    Attributes:
+        level: ``"error"``, ``"warning"``, or ``"info"``.
+        message: human-readable description.
+        rule_index: index of the concerned rule (when applicable).
+    """
+
+    __slots__ = ("level", "message", "rule_index")
+
+    def __init__(self, level, message, rule_index=None):
+        self.level = level
+        self.message = message
+        self.rule_index = rule_index
+
+    def __repr__(self):
+        where = "" if self.rule_index is None else f" [rule {self.rule_index}]"
+        return f"{self.level}{where}: {self.message}"
+
+
+def lint_bxsd(bxsd, check_overlaps=True):
+    """Diagnose a formal BXSD; returns a list of :class:`Diagnostic`.
+
+    Args:
+        bxsd: the schema to inspect.
+        check_overlaps: also report overlapping/shadowed rules (requires
+            automata constructions; disable for very large schemas).
+    """
+    diagnostics = []
+
+    for index, rule in enumerate(bxsd.rules):
+        witness = ambiguity_witness(rule.content.regex)
+        if witness is not None:
+            # Tell the user whether the violation is fixable: is the
+            # *language* one-unambiguous (BKW [4])?  If so a deterministic
+            # rewrite exists; otherwise the content model is inherently
+            # outside XML Schema.
+            from repro.regex.bkw import is_one_unambiguous_language
+
+            if is_one_unambiguous_language(rule.content.regex,
+                                           alphabet=bxsd.ename):
+                hint = "a deterministic rewrite of the expression exists"
+            else:
+                hint = (
+                    "no deterministic expression denotes this language "
+                    "(not expressible in XML Schema)"
+                )
+            diagnostics.append(
+                Diagnostic(
+                    "error",
+                    f"content model violates UPA: {witness} ({hint})",
+                    rule_index=index,
+                )
+            )
+
+    if check_overlaps:
+        diagnostics.extend(_overlap_diagnostics(bxsd))
+
+    constrained = set()
+    used = set(bxsd.start)
+    for rule in bxsd.rules:
+        constrained |= rule.pattern.symbols()
+        used |= rule.content.element_names()
+    unconstrained = sorted(used - _names_with_rules(bxsd))
+    for name in unconstrained:
+        diagnostics.append(
+            Diagnostic(
+                "warning",
+                f"element {name!r} is used but no rule can match it; its "
+                f"content is unconstrained",
+            )
+        )
+    return diagnostics
+
+
+def _names_with_rules(bxsd):
+    """Element names that can end a word of some rule's pattern language."""
+    names = set()
+    for rule in bxsd.rules:
+        dfa = to_dfa(rule.pattern, alphabet=bxsd.ename)
+        # A name can end an accepted word iff some transition on it enters
+        # an accepting state from a reachable state.
+        reachable = dfa.reachable_states()
+        for (state, symbol), target in dfa.transitions.items():
+            if state in reachable and target in dfa.accepting:
+                names.add(symbol)
+    return names
+
+
+def _overlap_diagnostics(bxsd):
+    diagnostics = []
+    dfas = [
+        to_dfa(rule.pattern, alphabet=bxsd.ename) for rule in bxsd.rules
+    ]
+    # Shadowing: L(r_i) ⊆ ∪_{j>i} L(r_j)  =>  rule i is never relevant.
+    for index in range(len(bxsd.rules) - 1):
+        later = None
+        for j in range(index + 1, len(bxsd.rules)):
+            later = dfas[j] if later is None else union_dfa(later, dfas[j])
+        if later is not None and is_empty(difference(dfas[index], later)):
+            diagnostics.append(
+                Diagnostic(
+                    "warning",
+                    "rule is shadowed by later rules and never relevant",
+                    rule_index=index,
+                )
+            )
+            continue
+        # Overlap info (priorities actually decide something here).
+        for j in range(index + 1, len(bxsd.rules)):
+            if not is_empty(intersection(dfas[index], dfas[j])):
+                diagnostics.append(
+                    Diagnostic(
+                        "info",
+                        f"left-hand language overlaps rule {j}; the later "
+                        f"rule wins on shared contexts",
+                        rule_index=index,
+                    )
+                )
+                break
+    return diagnostics

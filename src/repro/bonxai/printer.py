@@ -1,0 +1,138 @@
+"""Pretty-printing concrete BonXai schemas (Figure 4/5 layout)."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+
+def print_schema(schema):
+    """Render a :class:`~repro.bonxai.syntax.BonXaiSchema` as source text."""
+    lines = []
+    if schema.target_namespace:
+        lines.append(f"target namespace {schema.target_namespace}")
+    for prefix, uri in schema.namespaces.items():
+        if prefix:
+            lines.append(f"namespace {prefix} = {uri}")
+        else:
+            lines.append(f"default namespace {uri}")
+    if lines:
+        lines.append("")
+
+    lines.append("global { " + ", ".join(schema.global_names) + " }")
+    lines.append("")
+
+    if getattr(schema, "simple_types", None):
+        lines.append("types {")
+        for name, definition in schema.simple_types.items():
+            lines.append("  " + _print_simple_type(definition))
+        lines.append("}")
+        lines.append("")
+
+    if schema.groups or schema.attribute_groups:
+        lines.append("groups {")
+        for name, body in schema.groups.items():
+            lines.append(f"  group {name} = {{ {print_child_body(body)} }}")
+        for name, uses in schema.attribute_groups.items():
+            rendered = ", ".join(
+                f"attribute {attr}" + ("" if required else "?")
+                for attr, required in uses
+            )
+            lines.append(f"  attribute-group {name} = {{ {rendered} }}")
+        lines.append("}")
+        lines.append("")
+
+    lines.append("grammar {")
+    width = max(
+        (
+            len(rule.ancestor.text)
+            for rule in schema.rules
+            if len(rule.ancestor.text) <= 48
+        ),
+        default=0,
+    )
+    for rule in schema.rules:
+        lines.append(
+            f"  {rule.ancestor.text.ljust(width)} = "
+            f"{print_child_pattern(rule.child)}"
+        )
+    lines.append("}")
+
+    if schema.constraints:
+        lines.append("")
+        lines.append("constraints {")
+        for constraint in schema.constraints:
+            fields = ", ".join(f"@{field}" for field in constraint.fields)
+            parts = [constraint.kind]
+            if constraint.name:
+                parts.append(constraint.name)
+            parts.append(constraint.selector.text)
+            parts.append(f"({fields})")
+            if constraint.refers:
+                parts.append(f"refers {constraint.refers}")
+            lines.append("  " + " ".join(parts))
+        lines.append("}")
+
+    return "\n".join(lines) + "\n"
+
+
+def print_child_pattern(pattern):
+    """Render a :class:`~repro.bonxai.child.ChildPattern` (with braces)."""
+    prefix = "mixed " if pattern.mixed else ""
+    if pattern.is_type_reference:
+        return f"{prefix}{{ type {pattern.type_name} }}"
+    if pattern.body is None:
+        return f"{prefix}{{ }}"
+    return f"{prefix}{{ {print_child_body(pattern.body)} }}"
+
+
+# Binding strength for parenthesization, loosest first.
+_PRECEDENCE = {"seq": 0, "choice": 1, "interleave": 2}
+_POSTFIX = {"star": "*", "plus": "+", "opt": "?"}
+
+
+def print_child_body(node, parent_level=-1):
+    """Render a child-pattern body AST."""
+    tag = node[0]
+    if tag == "element":
+        return f"element {node[1]}"
+    if tag == "attribute":
+        suffix = "" if node[2] else "?"
+        return f"attribute {node[1]}{suffix}"
+    if tag == "group":
+        return f"group {node[1]}"
+    if tag == "attribute-group":
+        return f"attribute-group {node[1]}"
+    if tag in ("seq", "choice", "interleave"):
+        separator = {"seq": ", ", "choice": " | ", "interleave": " & "}[tag]
+        level = _PRECEDENCE[tag]
+        rendered = separator.join(
+            print_child_body(child, level) for child in node[1]
+        )
+        if level < parent_level or (parent_level >= 0 and level <= parent_level):
+            return f"({rendered})"
+        return rendered
+    if tag in _POSTFIX:
+        inner = print_child_body(node[1], parent_level=99)
+        return f"{inner}{_POSTFIX[tag]}"
+    if tag == "counter":
+        inner = print_child_body(node[1], parent_level=99)
+        high = "*" if node[3] is None else str(node[3])
+        return f"{inner}{{{node[2]},{high}}}"
+    raise SchemaError(f"unknown child-pattern node {tag!r}")
+
+
+def _print_simple_type(definition):
+    """Render one native simple-type definition."""
+    if definition.kind == "enumeration":
+        body = " | ".join(definition.values)
+        return f"simple-type {definition.name} = enumeration {{ {body} }}"
+    if definition.kind == "pattern":
+        return (f"simple-type {definition.name} = pattern "
+                f"{{ {definition.pattern_text} }}")
+    facets = " ".join(
+        f"{key} {int(value) if float(value).is_integer() else value}"
+        for key, value in definition.facets.items()
+    )
+    body = f" {facets}" if facets else ""
+    return (f"simple-type {definition.name} = restriction "
+            f"{definition.base} {{{body} }}")

@@ -1,0 +1,85 @@
+"""Minimal simple-type value checking for attribute rules.
+
+The paper notes BonXai "cannot yet specify simple types natively" and
+imports them from XML Schema; rules like ``@size = { type xs:integer }``
+assign an imported simple type to attributes.  We implement value checks
+for the common built-ins so the validator can enforce these assignments.
+Unknown type names are accepted permissively (as the paper's tool does for
+imported types it cannot resolve).
+"""
+
+from __future__ import annotations
+
+import re as _re
+
+_DATE_RE = _re.compile(r"^-?\d{4,}-\d{2}-\d{2}(Z|[+-]\d{2}:\d{2})?$")
+_TIME_RE = _re.compile(r"^\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$")
+_NCNAME_RE = _re.compile(r"^[A-Za-z_][\w.-]*$")
+
+
+def _is_integer(value):
+    try:
+        int(value.strip())
+    except ValueError:
+        return False
+    return True
+
+
+def _is_decimal(value):
+    try:
+        float(value.strip())
+    except ValueError:
+        return False
+    return "e" not in value.lower() and "inf" not in value.lower()
+
+
+def _is_boolean(value):
+    return value.strip() in ("true", "false", "0", "1")
+
+
+_CHECKS = {
+    "string": lambda value: True,
+    "anySimpleType": lambda value: True,
+    "anyType": lambda value: True,
+    "token": lambda value: value == " ".join(value.split()),
+    "integer": _is_integer,
+    "int": _is_integer,
+    "long": _is_integer,
+    "short": _is_integer,
+    "byte": _is_integer,
+    "positiveInteger": lambda value: _is_integer(value) and int(value) > 0,
+    "nonNegativeInteger": lambda value: _is_integer(value) and int(value) >= 0,
+    "negativeInteger": lambda value: _is_integer(value) and int(value) < 0,
+    "decimal": _is_decimal,
+    "double": _is_decimal,
+    "float": _is_decimal,
+    "boolean": _is_boolean,
+    "date": lambda value: bool(_DATE_RE.match(value.strip())),
+    "time": lambda value: bool(_TIME_RE.match(value.strip())),
+    "NCName": lambda value: bool(_NCNAME_RE.match(value.strip())),
+    "ID": lambda value: bool(_NCNAME_RE.match(value.strip())),
+    "IDREF": lambda value: bool(_NCNAME_RE.match(value.strip())),
+    "anyURI": lambda value: True,
+}
+
+
+def local_type_name(type_name):
+    """Strip the namespace prefix: ``xs:integer`` -> ``integer``."""
+    return type_name.split(":", 1)[-1] if ":" in type_name else type_name
+
+
+def is_known_type(type_name):
+    """True iff we have a value check for this simple type."""
+    return local_type_name(type_name) in _CHECKS
+
+
+def check_value(type_name, value):
+    """True iff ``value`` is a valid lexical form of the simple type.
+
+    Unknown types accept every value (permissive, like imported types whose
+    definitions are unavailable).
+    """
+    checker = _CHECKS.get(local_type_name(type_name))
+    if checker is None:
+        return True
+    return checker(value)

@@ -1,0 +1,325 @@
+"""Native simple types — the extension the paper's Conclusions call for.
+
+    "At the moment, BonXai cannot yet specify simple types natively. [...]
+    Adding native support for simple types would probably be one of the
+    most desirable extensions of the current language."  (Section 5)
+
+This module adds a ``types`` block to the language::
+
+    types {
+      simple-type issueNo = restriction xs:integer { min 1 max 9999 }
+      simple-type status  = enumeration { draft | review | final }
+      simple-type sku     = pattern { [A-Z][A-Z][A-Z]-[0-9]+ }
+      simple-type label   = restriction xs:string { length 3 }
+    }
+
+Attribute rules may then reference user types by name::
+
+    @issue = { type issueNo }
+
+Pattern facets are matched by the library's own derivative engine over
+single characters (the same machinery that validates content models —
+no dependency on :mod:`re`); character classes ``[x-y]`` expand to unions.
+"""
+
+from __future__ import annotations
+
+from repro.bonxai.simpletypes import check_value as check_builtin
+from repro.errors import ParseError, SchemaError
+from repro.regex.ast import (
+    EPSILON,
+    concat,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+from repro.regex.derivatives import DerivativeMatcher
+
+
+class SimpleTypeDef:
+    """One user-defined simple type.
+
+    Attributes:
+        name: the type's name (referenced by ``{ type name }``).
+        kind: ``"restriction"``, ``"enumeration"``, or ``"pattern"``.
+        base: the built-in base type (restriction kind only).
+        facets: dict of facet name -> value (restriction kind).
+        values: tuple of allowed literals (enumeration kind).
+        pattern_text: source text of the pattern (pattern kind).
+    """
+
+    __slots__ = ("name", "kind", "base", "facets", "values",
+                 "pattern_text", "_matcher")
+
+    def __init__(self, name, kind, base=None, facets=None, values=(),
+                 pattern_text=None):
+        if kind not in ("restriction", "enumeration", "pattern"):
+            raise SchemaError(f"unknown simple-type kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.base = base
+        self.facets = dict(facets or {})
+        self.values = tuple(values)
+        self.pattern_text = pattern_text
+        self._matcher = None
+        if kind == "pattern":
+            self._matcher = DerivativeMatcher(
+                parse_char_pattern(pattern_text)
+            )
+        if kind == "restriction":
+            unknown = set(self.facets) - {
+                "min", "max", "length", "minLength", "maxLength",
+            }
+            if unknown:
+                raise SchemaError(
+                    f"simple type {name!r}: unknown facet(s) "
+                    f"{sorted(unknown)}"
+                )
+
+    def check(self, value):
+        """True iff ``value`` is a valid lexical form of this type."""
+        if self.kind == "enumeration":
+            return value in self.values
+        if self.kind == "pattern":
+            return self._matcher.matches(list(value))
+        # restriction
+        if self.base is not None and not check_builtin(self.base, value):
+            return False
+        if "length" in self.facets and len(value) != self.facets["length"]:
+            return False
+        if ("minLength" in self.facets
+                and len(value) < self.facets["minLength"]):
+            return False
+        if ("maxLength" in self.facets
+                and len(value) > self.facets["maxLength"]):
+            return False
+        if "min" in self.facets or "max" in self.facets:
+            try:
+                number = float(value)
+            except ValueError:
+                return False
+            if "min" in self.facets and number < self.facets["min"]:
+                return False
+            if "max" in self.facets and number > self.facets["max"]:
+                return False
+        return True
+
+    def __repr__(self):
+        return f"SimpleTypeDef({self.name} {self.kind})"
+
+
+def check_typed_value(type_name, value, user_types=None):
+    """Value check resolving user types first, then the built-ins."""
+    if user_types:
+        definition = user_types.get(type_name)
+        if definition is not None:
+            return definition.check(value)
+    return check_builtin(type_name, value)
+
+
+# ---------------------------------------------------------------------------
+# Character-level patterns (matched by the derivative engine)
+# ---------------------------------------------------------------------------
+
+def parse_char_pattern(text):
+    """Parse a character pattern into a regex over single characters.
+
+    Supported syntax: literal characters, ``( )`` groups, ``|``, ``*``,
+    ``+``, ``?``, character classes ``[a-z0-9_]``, ``.`` (any printable
+    ASCII), and ``\\`` escapes for the metacharacters.
+    """
+    parser = _CharPatternParser(text)
+    result = parser.parse_union()
+    if parser.pos != len(parser.text):
+        raise ParseError(
+            f"trailing content in pattern {text!r} at offset {parser.pos}"
+        )
+    return result
+
+
+_ANY_CHARS = [chr(code) for code in range(32, 127)]
+
+
+class _CharPatternParser:
+    _META = set("()[]|*+?.\\")
+
+    def __init__(self, text):
+        self.text = text.strip()
+        self.pos = 0
+
+    def peek(self):
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return ""
+
+    def parse_union(self):
+        parts = [self.parse_concat()]
+        while self.peek() == "|":
+            self.pos += 1
+            parts.append(self.parse_concat())
+        return union(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_concat(self):
+        parts = []
+        while self.peek() and self.peek() not in ("|", ")"):
+            parts.append(self.parse_postfix())
+        if not parts:
+            return EPSILON
+        return concat(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_postfix(self):
+        node = self.parse_atom()
+        while True:
+            char = self.peek()
+            if char == "*":
+                self.pos += 1
+                node = star(node)
+            elif char == "+":
+                self.pos += 1
+                node = plus(node)
+            elif char == "?":
+                self.pos += 1
+                node = optional(node)
+            else:
+                return node
+
+    def parse_atom(self):
+        char = self.peek()
+        if not char:
+            raise ParseError(f"unexpected end of pattern {self.text!r}")
+        if char == "(":
+            self.pos += 1
+            inner = self.parse_union()
+            if self.peek() != ")":
+                raise ParseError(f"missing ')' in pattern {self.text!r}")
+            self.pos += 1
+            return inner
+        if char == "[":
+            return self.parse_class()
+        if char == ".":
+            self.pos += 1
+            return union(*(sym(c) for c in _ANY_CHARS))
+        if char == "\\":
+            self.pos += 2
+            if self.pos > len(self.text):
+                raise ParseError(f"dangling escape in {self.text!r}")
+            return sym(self.text[self.pos - 1])
+        if char in self._META:
+            raise ParseError(
+                f"unexpected {char!r} in pattern {self.text!r}"
+            )
+        self.pos += 1
+        return sym(char)
+
+    def parse_class(self):
+        self.pos += 1  # '['
+        chars = set()
+        while True:
+            char = self.peek()
+            if not char:
+                raise ParseError(f"unterminated class in {self.text!r}")
+            if char == "]":
+                self.pos += 1
+                break
+            if char == "\\":
+                self.pos += 1
+                char = self.peek()
+                if not char:
+                    raise ParseError(f"dangling escape in {self.text!r}")
+            if (
+                self.pos + 2 < len(self.text)
+                and self.text[self.pos + 1] == "-"
+                and self.text[self.pos + 2] != "]"
+            ):
+                low, high = char, self.text[self.pos + 2]
+                if ord(low) > ord(high):
+                    raise ParseError(
+                        f"reversed range {low}-{high} in {self.text!r}"
+                    )
+                for code in range(ord(low), ord(high) + 1):
+                    chars.add(chr(code))
+                self.pos += 3
+            else:
+                chars.add(char)
+                self.pos += 1
+        if not chars:
+            raise ParseError(f"empty class in pattern {self.text!r}")
+        return union(*(sym(c) for c in sorted(chars)))
+
+
+# ---------------------------------------------------------------------------
+# Parsing the types block
+# ---------------------------------------------------------------------------
+
+def parse_types_block(body):
+    """Parse the body of a ``types { ... }`` block.
+
+    Returns:
+        dict name -> :class:`SimpleTypeDef`.
+    """
+    import re as _re
+
+    definitions = {}
+    pos = 0
+    header = _re.compile(
+        r"simple-type\s+([\w.-]+)\s*=\s*"
+        r"(restriction\s+([\w.:-]+)|enumeration|pattern)\s*\{",
+    )
+    while True:
+        remaining = body[pos:].strip()
+        if not remaining:
+            return definitions
+        match = header.search(body, pos)
+        if match is None:
+            raise ParseError(f"malformed simple-type near {remaining[:40]!r}")
+        leading = body[pos : match.start()].strip()
+        if leading:
+            raise ParseError(f"unexpected types-block content {leading[:40]!r}")
+        name = match.group(1)
+        if name in definitions:
+            raise ParseError(f"simple type {name!r} defined twice")
+        end = body.find("}", match.end())
+        if end < 0:
+            raise ParseError(f"unterminated simple-type {name!r}")
+        inner = body[match.end() : end].strip()
+        kind_text = match.group(2)
+        if kind_text.startswith("restriction"):
+            definitions[name] = _parse_restriction(
+                name, match.group(3), inner
+            )
+        elif kind_text == "enumeration":
+            values = [v.strip() for v in inner.split("|")]
+            if not all(values):
+                raise ParseError(f"empty literal in enumeration {name!r}")
+            definitions[name] = SimpleTypeDef(
+                name, "enumeration", values=values
+            )
+        else:
+            definitions[name] = SimpleTypeDef(
+                name, "pattern", pattern_text=inner
+            )
+        pos = end + 1
+
+
+def _parse_restriction(name, base, inner):
+    import re as _re
+
+    facets = {}
+    for facet_match in _re.finditer(r"([\w]+)\s+(-?[\d.]+)", inner):
+        key, value = facet_match.group(1), facet_match.group(2)
+        if key in ("length", "minLength", "maxLength"):
+            facets[key] = int(value)
+        elif key in ("min", "max"):
+            facets[key] = float(value)
+        else:
+            raise ParseError(
+                f"unknown facet {key!r} in simple type {name!r}"
+            )
+    leftover = _re.sub(r"([\w]+)\s+(-?[\d.]+)", "", inner).strip()
+    if leftover:
+        raise ParseError(
+            f"unexpected facet text {leftover[:30]!r} in type {name!r}"
+        )
+    return SimpleTypeDef(name, "restriction", base=base, facets=facets)

@@ -1,0 +1,23 @@
+"""Synthetic web-XSD corpus and the Section 4.4 k-locality study."""
+
+from repro.corpus.generator import (
+    DEFAULT_MIX,
+    generate_corpus,
+    make_context_aware,
+    make_deep_context,
+    make_dtd_like,
+    random_deterministic_regex,
+)
+from repro.corpus.study import StudyResult, format_study, run_study
+
+__all__ = [
+    "DEFAULT_MIX",
+    "StudyResult",
+    "format_study",
+    "generate_corpus",
+    "make_context_aware",
+    "make_deep_context",
+    "make_dtd_like",
+    "random_deterministic_regex",
+    "run_study",
+]

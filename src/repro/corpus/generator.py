@@ -1,0 +1,187 @@
+"""Synthetic "web XSD" corpus generator.
+
+The paper's Section 4.4 cites a study of 225 XSDs harvested from the web
+[Martens et al. 2006]: in more than 98% of them, the content model of an
+element depends only on the labels of the element itself, its parent and
+its grandparent (i.e. they are 3-suffix).  The real corpus is not
+available; this generator produces schemas with the same *mix*:
+
+* ``dtd_like``    — 1-suffix (structurally a DTD); the study found the
+  overwhelming majority of real XSDs to be of this kind;
+* ``parent``      — 2-suffix (one level of context);
+* ``grandparent`` — 3-suffix;
+* ``deep``        — context deeper than 3, or unbounded (the <2% tail).
+
+Every schema is emitted as a DFA-based XSD (the representation the study's
+property is defined on) built from randomly generated *deterministic*
+content models: each element name occurs at most once per expression, which
+makes the Glushkov automaton deterministic by construction.
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import EPSILON, concat, optional, plus, star, sym, union
+from repro.translation.ksuffix import ksuffix_bxsd_to_dfa_based
+from repro.bonxai.bxsd import BXSD, Rule
+from repro.xsd.content import AttributeUse, ContentModel
+from repro.regex.ast import universal
+
+DEFAULT_MIX = (
+    ("dtd_like", 0.85),
+    ("parent", 0.10),
+    ("grandparent", 0.035),
+    ("deep", 0.015),
+)
+"""Corpus mix calibrated to the published study: ~98.5% within 3-suffix."""
+
+
+def random_deterministic_regex(rng, names, depth=2):
+    """A random deterministic regex in which each name occurs at most once.
+
+    Args:
+        rng: a ``random.Random``-like source.
+        names: the candidate child names (each used at most once).
+        depth: maximum operator nesting.
+    """
+    pool = list(names)
+    rng.shuffle(pool)
+
+    def build(available, level):
+        if not available:
+            return EPSILON
+        if len(available) == 1 or level <= 0:
+            leaf = sym(available[0])
+            return _decorate(rng, leaf)
+        cut = 1 + rng.randrange(len(available) - 1) if len(available) > 1 else 1
+        left = build(available[:cut], level - 1)
+        right = build(available[cut:], level - 1)
+        roll = rng.random()
+        if roll < 0.5:
+            node = concat(left, right)
+        else:
+            node = union(left, right)
+        return _decorate(rng, node, weaker=True)
+
+    return build(pool, depth)
+
+
+def _decorate(rng, node, weaker=False):
+    roll = rng.random()
+    limit = 0.35 if not weaker else 0.2
+    if roll < limit / 3:
+        return star(node)
+    if roll < 2 * limit / 3:
+        return optional(node)
+    if roll < limit:
+        return plus(node)
+    return node
+
+
+def make_dtd_like(rng, width=6, attributes=True):
+    """A 1-suffix schema: one rule per element name (a DTD in disguise)."""
+    names = [f"e{i}" for i in range(width)]
+    ename = frozenset(names)
+    universe = universal(ename)
+    rules = []
+    for index, name in enumerate(names):
+        children = [
+            names[(index + 1 + j) % width]
+            for j in range(rng.randrange(0, min(4, width)))
+        ]
+        regex = random_deterministic_regex(rng, children)
+        uses = ()
+        if attributes and rng.random() < 0.5:
+            uses = (AttributeUse(f"attr{rng.randrange(3)}",
+                                 required=rng.random() < 0.5),)
+        rules.append(
+            Rule(concat(universe, sym(name)),
+                 ContentModel(regex, attributes=uses))
+        )
+    return BXSD(ename=ename, start=frozenset(names[:1]), rules=rules)
+
+
+def make_context_aware(rng, k, width=6, context_rules=3):
+    """A k-suffix schema: DTD-like base plus ``context_rules`` exceptions
+    whose left-hand sides are suffix words of length ``k``."""
+    base = make_dtd_like(rng, width=width)
+    names = sorted(base.ename)
+    universe = universal(base.ename)
+    rules = list(base.rules)
+    for __ in range(context_rules):
+        word = [names[rng.randrange(len(names))] for _ in range(k)]
+        children = [
+            name for name in names if rng.random() < 0.4
+        ][: max(1, width // 2)]
+        if not children:
+            children = [names[0]]
+        regex = random_deterministic_regex(rng, children)
+        pattern = concat(universe, *(sym(name) for name in word))
+        rules.append(Rule(pattern, ContentModel(regex)))
+    return BXSD(ename=base.ename, start=base.start, rules=rules)
+
+
+def make_deep_context(rng, width=4, period=2):
+    """A schema that is not k-suffix for any k (modular-depth context).
+
+    The content of an element depends on its depth modulo ``period`` —
+    no bounded suffix window reveals the phase, so the pair graph cycles.
+    """
+    from repro.xsd.dfa_based import DFABasedXSD
+
+    names = [f"e{i}" for i in range(width)]
+    ename = frozenset(names)
+    states = {"q0"} | {f"phase{p}" for p in range(period)}
+    transitions = {}
+    assign = {}
+    for p in range(period):
+        allowed = names if p % 2 == 0 else names[: max(1, width // 2)]
+        assign[f"phase{p}"] = ContentModel(
+            star(union(*(sym(n) for n in allowed)))
+        )
+        for name in names:
+            transitions[(f"phase{p}", name)] = f"phase{(p + 1) % period}"
+    for name in names:
+        transitions[("q0", name)] = "phase0"
+    return DFABasedXSD(
+        states=states,
+        alphabet=ename,
+        transitions=transitions,
+        initial="q0",
+        start=frozenset(names[:1]),
+        assign=assign,
+    )
+
+
+def generate_corpus(rng, size=225, mix=DEFAULT_MIX, width=6):
+    """Generate a corpus of ``size`` schemas following ``mix``.
+
+    Returns:
+        A list of ``(kind, schema)`` pairs, where ``schema`` is a
+        :class:`~repro.xsd.dfa_based.DFABasedXSD`.
+    """
+    kinds = []
+    for kind, fraction in mix:
+        kinds.extend([kind] * round(fraction * size))
+    while len(kinds) < size:
+        kinds.append(mix[0][0])
+    del kinds[size:]
+    rng.shuffle(kinds)
+
+    corpus = []
+    for kind in kinds:
+        if kind == "dtd_like":
+            schema = ksuffix_bxsd_to_dfa_based(make_dtd_like(rng, width))
+        elif kind == "parent":
+            schema = ksuffix_bxsd_to_dfa_based(
+                make_context_aware(rng, 2, width)
+            )
+        elif kind == "grandparent":
+            schema = ksuffix_bxsd_to_dfa_based(
+                make_context_aware(rng, 3, width)
+            )
+        elif kind == "deep":
+            schema = make_deep_context(rng, width=max(3, width - 2))
+        else:
+            raise ValueError(f"unknown corpus kind {kind!r}")
+        corpus.append((kind, schema))
+    return corpus

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the BonXai reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause.  More
+specific subclasses distinguish the layer that failed (parsing, schema
+well-formedness, validation, translation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ParseError(ReproError):
+    """A textual input (regex, XML, DTD, BonXai, XSD) could not be parsed.
+
+    Attributes:
+        message: human-readable description of the problem.
+        line: 1-based line of the offending token, when known.
+        column: 1-based column of the offending token, when known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class RegexError(ReproError):
+    """A regular expression is structurally invalid for the requested use."""
+
+
+class NotDeterministicError(RegexError):
+    """A content model violates the Unique Particle Attribution rule.
+
+    Raised when a regular expression that must be deterministic
+    (one-unambiguous, [Brüggemann-Klein & Wood 1998]) is not.
+    """
+
+    def __init__(self, message, witness=None):
+        self.witness = witness
+        if witness is not None:
+            message = f"{message} (witness: {witness})"
+        super().__init__(message)
+
+
+class SchemaError(ReproError):
+    """A schema object violates a well-formedness constraint."""
+
+
+class EDCViolation(SchemaError):
+    """An XSD violates the Element Declarations Consistent constraint.
+
+    The same element name occurs with two different types in one content
+    model (or among the typed start elements).
+    """
+
+
+class ValidationError(ReproError):
+    """An XML document does not conform to a schema.
+
+    Validators normally *return* structured reports instead of raising;
+    this exception is used by ``assert_valid``-style conveniences.
+    """
+
+    def __init__(self, message, violations=()):
+        self.violations = list(violations)
+        super().__init__(message)
+
+
+class TranslationError(ReproError):
+    """A schema could not be translated (e.g. unsupported feature)."""
+
+
+class NotKSuffixError(TranslationError):
+    """A schema is not k-suffix for the requested (or any) k."""

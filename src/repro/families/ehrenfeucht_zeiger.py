@@ -1,0 +1,143 @@
+"""The Theorem 8 family: XSDs whose smallest equivalent BXSD is exponential.
+
+The construction extends Ehrenfeucht & Zeiger's language ``Z_n`` over the
+alphabet ``Sigma_n = {a_ij | i, j in 1..n}``: a word is in ``Z_n`` iff the
+*target* of each symbol equals the *source* of the next.  ``Z_n`` has a
+DFA with ``O(n^2)`` states but no regular expression smaller than
+``2^(n-1)``.
+
+The paper's DFA-based XSD ``X_n = (A_n, S_n, lambda_n)``:
+
+* states ``q_1..q_n`` (inside ``Z_n``, remembering the last target) and
+  ``q'_1..q'_n`` (an error with *error index* ``l`` occurred);
+* ``delta(q_i, a_jl) = q_l`` if ``i = j`` else ``q'_i`` — wait, the paper
+  records the error index of the *violated* target: reading ``a_jl`` in
+  state ``q_i`` with ``i != j`` moves to ``q'_i`` (the paper's choice; the
+  error index is the target of the last correct symbol);
+* error states absorb: ``delta(q'_i, a_jl) = q'_i``;
+* ``lambda(q_i) = (eps + Sigma)`` and
+  ``lambda(q'_l) = (eps + Sigma + a_ll a_ll)`` — only below an error with
+  index ``l`` may binary branching ``a_ll a_ll`` occur.
+
+Every document is a path with at most one binary branch, whose branch
+symbol reveals the error index — which forces any equivalent BXSD to
+carry expensive expressions.
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import EPSILON, alternation, concat, optional, sym, union
+from repro.xsd.content import ContentModel
+from repro.xsd.dfa_based import DFABasedXSD
+
+
+def sigma_n(n):
+    """The alphabet ``Sigma_n = {a_ij}`` as a sorted list of names."""
+    return [f"a{i}_{j}" for i in range(1, n + 1) for j in range(1, n + 1)]
+
+
+def symbol_name(i, j):
+    """The name of ``a_ij``."""
+    return f"a{i}_{j}"
+
+
+def split_symbol(name):
+    """The ``(source, target)`` indices of a symbol name."""
+    body = name[1:]
+    source, target = body.split("_")
+    return int(source), int(target)
+
+
+def zn_contains(word):
+    """Membership in ``Z_n``: adjacent symbols must chain target=source."""
+    for left, right in zip(word, word[1:]):
+        if split_symbol(left)[1] != split_symbol(right)[0]:
+            return False
+    return True
+
+
+def zn_dfa(n):
+    """The ``O(n)``-state DFA for ``Z_n`` (plus error states by index).
+
+    Returns a :class:`repro.automata.dfa.DFA` accepting exactly ``Z_n``
+    (all chained words, including the empty word).
+    """
+    from repro.automata.dfa import DFA
+
+    alphabet = frozenset(sigma_n(n))
+    states = {"start"} | {f"q{i}" for i in range(1, n + 1)} | {"dead"}
+    transitions = {}
+    for name in alphabet:
+        source, target = split_symbol(name)
+        transitions[("start", name)] = f"q{target}"
+        transitions[("dead", name)] = "dead"
+        for i in range(1, n + 1):
+            transitions[(f"q{i}", name)] = (
+                f"q{target}" if i == source else "dead"
+            )
+    return DFA(
+        states=states,
+        alphabet=alphabet,
+        transitions=transitions,
+        initial="start",
+        accepting=frozenset(states) - {"dead"},
+    )
+
+
+def theorem8_xsd(n):
+    """The DFA-based XSD ``X_n`` of Theorem 8 (size ``O(n^2)``).
+
+    Returns:
+        A :class:`~repro.xsd.dfa_based.DFABasedXSD` over ``Sigma_n``.
+    """
+    alphabet = sigma_n(n)
+    sigma = frozenset(alphabet)
+    initial = "q0"
+    states = {initial}
+    transitions = {}
+    assign = {}
+
+    plain = [f"q{i}" for i in range(1, n + 1)]
+    error = [f"e{i}" for i in range(1, n + 1)]
+    states.update(plain)
+    states.update(error)
+
+    any_one = alternation(alphabet)
+    for i in range(1, n + 1):
+        assign[f"q{i}"] = ContentModel(optional(any_one))
+        # lambda(e_i) = eps + Sigma + a_ii a_ii, written deterministically:
+        # the two competing occurrences of a_ii are factored into
+        # a_ii (a_ii)?.
+        others = alternation(
+            [name for name in alphabet if name != symbol_name(i, i)]
+        )
+        loop = symbol_name(i, i)
+        branching = concat(sym(loop), optional(sym(loop)))
+        assign[f"e{i}"] = ContentModel(optional(union(others, branching)))
+
+    for name in alphabet:
+        source, target = split_symbol(name)
+        transitions[(initial, name)] = f"q{target}"
+        for i in range(1, n + 1):
+            if i == source:
+                transitions[(f"q{i}", name)] = f"q{target}"
+            else:
+                # An error occurred; the error index is the violated
+                # target i (the last correct symbol pointed at i).
+                transitions[(f"q{i}", name)] = f"e{i}"
+            transitions[(f"e{i}", name)] = f"e{i}"
+
+    return DFABasedXSD(
+        states=states,
+        alphabet=sigma,
+        transitions=transitions,
+        initial=initial,
+        start=sigma,
+        assign=assign,
+    )
+
+
+def theorem8_size(n):
+    """The input size measure reported for ``X_n`` (states + alphabet)."""
+    schema = theorem8_xsd(n)
+    return schema.total_size

@@ -1,0 +1,96 @@
+"""Parameterized k-suffix schema families (the "practical" fragment).
+
+These generators produce schemas whose content models depend on the last
+``k`` labels only — the shape the study of Section 4.4 found in >98% of
+real XSDs.  They drive the E9 benchmarks (polynomial translations and the
+crossover against the generic algorithms).
+"""
+
+from __future__ import annotations
+
+from repro.bonxai.bxsd import BXSD, Rule
+from repro.regex.ast import concat, star, sym, union, universal
+from repro.xsd.content import ContentModel
+
+
+def layered_ksuffix_bxsd(width, k, fanout=2):
+    """A k-suffix BXSD with ``width`` element names per layer.
+
+    Element names are ``n0..n(width-1)``; the rule for suffix
+    ``w = n_i1 / ... / n_ik`` allows as children the ``fanout`` names
+    following ``i_k`` cyclically — so the content depends on the whole
+    suffix, making the schema *exactly* k-suffix (no shorter suffix
+    determines it, because the rule body mixes in a parity of the suffix
+    indices).
+    """
+    names = [f"n{i}" for i in range(width)]
+    ename = frozenset(names)
+    universe = universal(ename)
+
+    rules = []
+    # Base rules: any element may have any children (lowest priority).
+    # One rule per name keeps every left-hand side a Definition-11 suffix
+    # language (a union of names is not).
+    anything = ContentModel(star(union(*(sym(n) for n in names))))
+    for name in names:
+        rules.append(Rule(concat(universe, sym(name)), anything))
+    # One rule per suffix word of length k, on a sparse diagonal (to keep
+    # rule counts linear in width rather than width**k).
+    for start_index in range(width):
+        word = [names[(start_index + offset) % width] for offset in range(k)]
+        shift = (start_index + sum(range(k))) % width
+        allowed = [names[(shift + j) % width] for j in range(fanout)]
+        pattern = concat(universe, *(sym(name) for name in word))
+        content = star(union(*(sym(name) for name in allowed)))
+        rules.append(Rule(pattern, ContentModel(content)))
+    return BXSD(ename=ename, start=frozenset(names[:1]), rules=rules)
+
+
+def dtd_like_bxsd(width, children_per_rule=3):
+    """A 1-suffix (DTD-equivalent) BXSD: one rule per element name."""
+    names = [f"n{i}" for i in range(width)]
+    ename = frozenset(names)
+    universe = universal(ename)
+    rules = []
+    for index, name in enumerate(names):
+        allowed = [
+            names[(index + j + 1) % width] for j in range(children_per_rule)
+        ]
+        rules.append(
+            Rule(
+                concat(universe, sym(name)),
+                ContentModel(star(union(*(sym(n) for n in allowed)))),
+            )
+        )
+    return BXSD(ename=ename, start=frozenset(names[:1]), rules=rules)
+
+
+def chain_xsd(depth, alphabet_size=3):
+    """A depth-bounded XSD whose DFA is a chain (k-suffix only at k=depth).
+
+    Used to probe detection: the minimal k grows with the chain length.
+    """
+    from repro.xsd.dfa_based import DFABasedXSD
+    from repro.regex.ast import EPSILON, optional
+
+    names = [f"c{i}" for i in range(alphabet_size)]
+    ename = frozenset(names)
+    states = {"q0"} | {f"s{i}" for i in range(depth + 1)}
+    transitions = {}
+    assign = {}
+    first = names[0]
+    for i in range(depth + 1):
+        if i < depth:
+            assign[f"s{i}"] = ContentModel(optional(sym(first)))
+            transitions[(f"s{i}", first)] = f"s{i + 1}"
+        else:
+            assign[f"s{i}"] = ContentModel(EPSILON)
+    transitions[("q0", first)] = "s0"
+    return DFABasedXSD(
+        states=states,
+        alphabet=ename,
+        transitions=transitions,
+        initial="q0",
+        start=frozenset({first}),
+        assign=assign,
+    )

@@ -1,0 +1,82 @@
+"""The Theorem 9 family: BXSDs whose smallest equivalent XSD is exponential.
+
+``B_n`` is defined over ``EName_n = {a, a_1..a_n, b_1..b_n}`` with start
+elements ``{a_1..a_n}`` and rules (in priority order)::
+
+    //a                  -> eps
+    //(b_1 + ... + b_n)  -> eps
+    //(a_1 + ... + a_n)  -> (a + a_1 + ... + a_n)
+    //a_1 //a_1 //a      -> b_1
+    ...
+    //a_n //a_n //a      -> b_n
+
+Documents are unary trees; an ``a`` node whose ancestor path contains some
+``a_j`` twice gets a ``b_j`` child for the *largest* such ``j`` (priority),
+otherwise it is a leaf.  Any equivalent XSD must track, in its types, the
+largest doubled index and the set of once-seen larger indices — ``2^n``
+types.
+"""
+
+from __future__ import annotations
+
+from repro.bonxai.bxsd import BXSD, Rule
+from repro.regex.ast import alternation, concat, sym, union, universal
+from repro.xsd.content import ContentModel
+from repro.regex.ast import EPSILON
+
+
+def theorem9_ename(n):
+    """``EName_n = {a} ∪ {a_i} ∪ {b_i}``."""
+    names = ["a"]
+    names += [f"a{i}" for i in range(1, n + 1)]
+    names += [f"b{i}" for i in range(1, n + 1)]
+    return names
+
+
+def theorem9_bxsd(n):
+    """The BXSD ``B_n`` of Theorem 9 (size ``O(n)`` rules)."""
+    ename = frozenset(theorem9_ename(n))
+    a_names = [f"a{i}" for i in range(1, n + 1)]
+    b_names = [f"b{i}" for i in range(1, n + 1)]
+    universe = universal(ename)
+
+    rules = [
+        # //a -> eps
+        Rule(concat(universe, sym("a")), ContentModel(EPSILON)),
+        # //(b_1 + ... + b_n) -> eps
+        Rule(concat(universe, alternation(b_names)), ContentModel(EPSILON)),
+        # //(a_1 + ... + a_n) -> (a + a_1 + ... + a_n)
+        Rule(
+            concat(universe, alternation(a_names)),
+            ContentModel(alternation(["a"] + a_names)),
+        ),
+    ]
+    for i in range(1, n + 1):
+        # //a_i //a_i //a -> b_i
+        pattern = concat(
+            universe, sym(f"a{i}"),
+            universe, sym(f"a{i}"),
+            universe, sym("a"),
+        )
+        rules.append(Rule(pattern, ContentModel(sym(f"b{i}"))))
+
+    return BXSD(ename=ename, start=frozenset(a_names), rules=rules)
+
+
+def expected_child_of_a(ancestor_path):
+    """Reference semantics: the ``b_j`` child an ``a``-node must have.
+
+    Returns the element name ``b_j`` for the largest ``j`` whose ``a_j``
+    occurs at least twice on the path, or ``None`` when the ``a`` node
+    must be a leaf.
+    """
+    best = None
+    counts = {}
+    for name in ancestor_path:
+        counts[name] = counts.get(name, 0) + 1
+    for name, count in counts.items():
+        if name.startswith("a") and name != "a" and count >= 2:
+            index = int(name[1:])
+            if best is None or index > best:
+                best = index
+    return None if best is None else f"b{best}"

@@ -1,0 +1,31 @@
+"""The paper's running example (Figures 1-5) as reusable data."""
+
+from repro.paperdata.figures import (
+    FIGURE1_XML,
+    FIGURE2_DTD,
+    FIGURE3_XSD,
+    FIGURE4_BONXAI,
+    FIGURE4_DTD_EXACT,
+    FIGURE5_BONXAI,
+    TARGET_NAMESPACE,
+    figure1_document,
+    figure2_dtd,
+    figure3_xsd,
+    figure4_schema,
+    figure5_schema,
+)
+
+__all__ = [
+    "FIGURE1_XML",
+    "FIGURE2_DTD",
+    "FIGURE3_XSD",
+    "FIGURE4_BONXAI",
+    "FIGURE4_DTD_EXACT",
+    "FIGURE5_BONXAI",
+    "TARGET_NAMESPACE",
+    "figure1_document",
+    "figure2_dtd",
+    "figure3_xsd",
+    "figure4_schema",
+    "figure5_schema",
+]

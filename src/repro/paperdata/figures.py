@@ -1,0 +1,329 @@
+"""The paper's running example (Section 2, Figures 1-5), as data.
+
+* Figure 1 — the example document (the figure in the paper is a tree
+  drawing; :data:`FIGURE1_XML` is a faithful serialization consistent with
+  every schema in the section).
+* Figure 2 — the DTD, verbatim.
+* Figure 3 — the XSD.  The paper prints only a fragment (types
+  ``TtemplateSection`` and ``Tsection`` plus the ``document`` skeleton,
+  with ``[...]`` elisions); :data:`FIGURE3_XSD` completes it, following
+  the type inventory named in Example 2.3 (``TtemplateStyle``,
+  ``TnamedStyle``, ``TstyleRef``) and the content models dictated by the
+  equivalent BonXai schema of Figure 5.
+* Figure 4 — the BonXai schema "equivalent to the DTD", verbatim.  Note
+  the paper's own Figure 4 deviates from Figure 2 in two details (the DTD
+  declares ``color`` and ``titlefont`` EMPTY and most attributes
+  #IMPLIED, while Figure 4 gives ``color`` mixed markup content and
+  required attributes); :data:`FIGURE4_DTD_EXACT` is the corrected
+  variant that is *exactly* document-equivalent to the DTD, which the E1
+  equivalence test uses.
+* Figure 5 — the BonXai schema equivalent to the (full) XSD, verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.bonxai.parser import parse_bonxai
+from repro.xmlmodel.dtd import parse_dtd
+from repro.xmlmodel.parser import parse_document
+from repro.xsd.reader import read_xsd
+
+TARGET_NAMESPACE = "http://mydomain.org/namespace"
+
+FIGURE1_XML = """<?xml version="1.0" encoding="UTF-8"?>
+<document>
+  <template>
+    <section>
+      <titlefont name="SomeFont"/>
+      <style>
+        <font name="Times" size="12"/>
+        <color color="red"/>
+      </style>
+      <section>
+        <titlefont size="42"/>
+        <section/>
+      </section>
+    </section>
+  </template>
+  <userstyles>
+    <style name="userdefined1">
+      <font name="MyFancyFont" size="23"/>
+    </style>
+  </userstyles>
+  <content>
+    <section title="Introduction">Some introductory text with
+      <bold>bold words</bold> and <italic>emphasis</italic> in it.
+      <section title="Motivation">Motivating text in a
+        <style name="userdefined1">user-defined style</style>.
+      </section>
+    </section>
+    <section title="Conclusions">Closing <font name="Times" size="11">small
+      print</font> and a splash of <color color="blue"/>.
+    </section>
+  </content>
+</document>
+"""
+
+FIGURE2_DTD = """
+<!ELEMENT document   (template, userstyles, content)>
+<!ELEMENT template   (section)>
+<!ELEMENT userstyles (style*)>
+<!ELEMENT content    (section*)>
+<!ENTITY % markup    "bold|italic|font|style|color">
+<!ELEMENT section    (#PCDATA|titlefont|section|%markup;)*>
+<!ATTLIST section    title CDATA #IMPLIED>
+<!ELEMENT bold       (#PCDATA|%markup;)*>
+<!ELEMENT italic     (#PCDATA|%markup;)*>
+<!ELEMENT font       (#PCDATA|%markup;)*>
+<!ATTLIST font       name CDATA #IMPLIED
+                     size CDATA #IMPLIED>
+<!ELEMENT style      (#PCDATA|%markup;)*>
+<!ATTLIST style      name CDATA #IMPLIED>
+<!ELEMENT titlefont  EMPTY>
+<!ATTLIST titlefont  name CDATA #IMPLIED
+                     size CDATA #IMPLIED>
+<!ELEMENT color      EMPTY>
+<!ATTLIST color      color CDATA #REQUIRED>
+"""
+
+FIGURE4_BONXAI = """\
+target namespace http://mydomain.org/namespace
+namespace xs = http://www.w3.org/2001/XMLSchema
+
+global { document }
+
+groups {
+  group markup = { element bold | element italic |
+                   element font | element style | element color }
+}
+
+grammar {
+  document   = { element template, element userstyles, element content }
+  template   = { element section }
+  userstyles = { (element style)* }
+  content    = { (element section)* }
+  section    = mixed { attribute title, (element section |
+                       element titlefont | group markup)* }
+  bold       = mixed { (group markup)* }
+  italic     = mixed { (group markup)* }
+  font       = mixed { attribute name, attribute size, (group markup)* }
+  style      = mixed { attribute name, (group markup)* }
+  titlefont  = { attribute name, attribute size }
+  color      = mixed { attribute color, (group markup)* }
+  @name      = { type xs:string }
+  @color     = { type xs:string }
+  @title     = { type xs:string }
+  @size      = { type xs:integer }
+}
+"""
+
+# Figure 4 with the details adjusted to be *exactly* equivalent to the
+# Figure 2 DTD: attributes declared #IMPLIED become optional, the REQUIRED
+# color attribute stays required, and the EMPTY elements get empty content.
+FIGURE4_DTD_EXACT = """\
+target namespace http://mydomain.org/namespace
+namespace xs = http://www.w3.org/2001/XMLSchema
+
+global { document }
+
+groups {
+  group markup = { element bold | element italic |
+                   element font | element style | element color }
+}
+
+grammar {
+  document   = { element template, element userstyles, element content }
+  template   = { element section }
+  userstyles = { (element style)* }
+  content    = { (element section)* }
+  section    = mixed { attribute title?, (element section |
+                       element titlefont | group markup)* }
+  bold       = mixed { (group markup)* }
+  italic     = mixed { (group markup)* }
+  font       = mixed { attribute name?, attribute size?, (group markup)* }
+  style      = mixed { attribute name?, (group markup)* }
+  titlefont  = { attribute name?, attribute size? }
+  color      = { attribute color }
+  @name      = { type xs:string }
+  @color     = { type xs:string }
+  @title     = { type xs:string }
+  @size      = { type xs:integer }
+}
+"""
+
+FIGURE5_BONXAI = """\
+target namespace http://mydomain.org/namespace
+namespace xs = http://www.w3.org/2001/XMLSchema
+
+global { document }
+
+groups {
+  attribute-group fontattr = { attribute name?, attribute size? }
+  group markup = { ( element bold | element italic | element font |
+                     element style | element color )* }
+}
+
+grammar {
+  document   = { element template, element userstyles, element content }
+  content    = { (element section)* }
+  template   = { (element section)? }
+  userstyles = { (element style)* }
+  content//section = mixed { attribute title, (element section | group markup)* }
+  content//style   = mixed { attribute name, group markup }
+  content//font    = mixed { attribute-group fontattr, group markup }
+  content//color   = mixed { attribute color, group markup }
+  (bold|italic)    = mixed { group markup }
+  template//section = { element titlefont?, element style?, element section? }
+  template//style   = { element font? & element color? }
+  userstyles/style  = { attribute name, element font? & element color? }
+  (userstyles|template)//color            = { attribute color }
+  (userstyles|template)//(font|titlefont) = { attribute-group fontattr }
+  (@name|@color|@title) = { type xs:string }
+  @size                 = { type xs:integer }
+}
+"""
+
+FIGURE3_XSD = """<?xml version="1.0" encoding="UTF-8" standalone="no"?>
+<xs:schema xmlns="http://mydomain.org/namespace"
+    xmlns:xs="http://www.w3.org/2001/XMLSchema"
+    elementFormDefault="qualified"
+    targetNamespace="http://mydomain.org/namespace">
+
+  <xs:element name="document">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="template">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="section" minOccurs="0"
+                  type="TtemplateSection"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="userstyles">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="style" minOccurs="0"
+                  maxOccurs="unbounded" type="TnamedStyle"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="content">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="section" minOccurs="0"
+                  maxOccurs="unbounded" type="Tsection"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+
+  <xs:complexType name="TtemplateSection">
+    <xs:sequence>
+      <xs:element name="titlefont" type="TtemplateFont" minOccurs="0"/>
+      <xs:element name="style" type="TtemplateStyle" minOccurs="0"/>
+      <xs:element name="section" type="TtemplateSection" minOccurs="0"/>
+    </xs:sequence>
+  </xs:complexType>
+
+  <xs:complexType name="Tsection" mixed="true">
+    <xs:choice minOccurs="0" maxOccurs="unbounded">
+      <xs:group ref="markup"/>
+      <xs:element name="section" type="Tsection"/>
+    </xs:choice>
+    <xs:attribute name="title" type="xs:string" use="required"/>
+  </xs:complexType>
+
+  <xs:complexType name="TtemplateFont">
+    <xs:attributeGroup ref="fontattr"/>
+  </xs:complexType>
+
+  <xs:complexType name="TtemplateStyle">
+    <xs:all>
+      <xs:element name="font" type="TtemplateFont" minOccurs="0"/>
+      <xs:element name="color" type="TplainColor" minOccurs="0"/>
+    </xs:all>
+  </xs:complexType>
+
+  <xs:complexType name="TplainColor">
+    <xs:attribute name="color" type="xs:string" use="required"/>
+  </xs:complexType>
+
+  <xs:complexType name="TnamedStyle">
+    <xs:all>
+      <xs:element name="font" type="TtemplateFont" minOccurs="0"/>
+      <xs:element name="color" type="TplainColor" minOccurs="0"/>
+    </xs:all>
+    <xs:attribute name="name" type="xs:string" use="required"/>
+  </xs:complexType>
+
+  <xs:complexType name="Tbold" mixed="true">
+    <xs:group ref="markup"/>
+  </xs:complexType>
+
+  <xs:complexType name="Titalic" mixed="true">
+    <xs:group ref="markup"/>
+  </xs:complexType>
+
+  <xs:complexType name="TcontentFont" mixed="true">
+    <xs:group ref="markup"/>
+    <xs:attributeGroup ref="fontattr"/>
+  </xs:complexType>
+
+  <xs:complexType name="TstyleRef" mixed="true">
+    <xs:group ref="markup"/>
+    <xs:attribute name="name" type="xs:string" use="required"/>
+  </xs:complexType>
+
+  <xs:complexType name="TcontentColor" mixed="true">
+    <xs:group ref="markup"/>
+    <xs:attribute name="color" type="xs:string" use="required"/>
+  </xs:complexType>
+
+  <xs:group name="markup">
+    <xs:choice minOccurs="0" maxOccurs="unbounded">
+      <xs:element name="bold" type="Tbold"/>
+      <xs:element name="italic" type="Titalic"/>
+      <xs:element name="font" type="TcontentFont"/>
+      <xs:element name="style" type="TstyleRef"/>
+      <xs:element name="color" type="TcontentColor"/>
+    </xs:choice>
+  </xs:group>
+
+  <xs:attributeGroup name="fontattr">
+    <xs:attribute name="name" type="xs:string"/>
+    <xs:attribute name="size" type="xs:integer"/>
+  </xs:attributeGroup>
+</xs:schema>
+"""
+
+
+def figure1_document():
+    """The Figure 1 example document, parsed."""
+    return parse_document(FIGURE1_XML)
+
+
+def figure2_dtd():
+    """The Figure 2 DTD, parsed (root element ``document``)."""
+    return parse_dtd(FIGURE2_DTD, root="document")
+
+
+def figure3_xsd():
+    """The (completed) Figure 3 XSD as a formal model."""
+    return read_xsd(FIGURE3_XSD)
+
+
+def figure4_schema(dtd_exact=False):
+    """The Figure 4 BonXai schema, parsed.
+
+    Args:
+        dtd_exact: use the corrected variant that is exactly equivalent to
+            the Figure 2 DTD (see the module docstring).
+    """
+    return parse_bonxai(FIGURE4_DTD_EXACT if dtd_exact else FIGURE4_BONXAI)
+
+
+def figure5_schema():
+    """The Figure 5 BonXai schema, parsed."""
+    return parse_bonxai(FIGURE5_BONXAI)

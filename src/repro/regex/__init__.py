@@ -1,0 +1,105 @@
+"""Regular-expression engine over element names.
+
+Public surface:
+
+* AST node classes and smart constructors (:mod:`repro.regex.ast`)
+* :func:`parse_regex` / :func:`to_string`
+* :func:`matches` and :class:`DerivativeMatcher` (derivative-based matching)
+* :func:`glushkov_nfa` and :func:`positions`
+* :func:`is_deterministic` / :func:`check_deterministic` (UPA)
+* :func:`simplify`
+* sampling helpers (:func:`sample_word`, :func:`shortest_word`)
+"""
+
+from repro.regex.bkw import is_one_unambiguous_language
+from repro.regex.ast import (
+    Concat,
+    Counter,
+    EMPTY,
+    EPSILON,
+    EmptySet,
+    Epsilon,
+    Interleave,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    UNBOUNDED,
+    Union,
+    alternation,
+    concat,
+    contains_counter,
+    contains_interleave,
+    counter,
+    expand_counters,
+    interleave,
+    is_empty_language,
+    nullable,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+    universal,
+)
+from repro.regex.derivatives import DerivativeMatcher, derivative, matches, to_dfa
+from repro.regex.determinism import (
+    ambiguity_witness,
+    check_deterministic,
+    is_deterministic,
+)
+from repro.regex.generator import min_word_length, sample_word, shortest_word
+from repro.regex.glushkov import glushkov_nfa, positions
+from repro.regex.parser import parse_regex
+from repro.regex.printer import to_python_re, to_string
+from repro.regex.simplify import simplify
+
+__all__ = [
+    "Concat",
+    "Counter",
+    "DerivativeMatcher",
+    "EMPTY",
+    "EPSILON",
+    "EmptySet",
+    "Epsilon",
+    "Interleave",
+    "Optional",
+    "Plus",
+    "Regex",
+    "Star",
+    "Symbol",
+    "UNBOUNDED",
+    "Union",
+    "alternation",
+    "ambiguity_witness",
+    "check_deterministic",
+    "concat",
+    "contains_counter",
+    "contains_interleave",
+    "counter",
+    "derivative",
+    "expand_counters",
+    "glushkov_nfa",
+    "interleave",
+    "is_deterministic",
+    "is_empty_language",
+    "is_one_unambiguous_language",
+    "matches",
+    "min_word_length",
+    "nullable",
+    "optional",
+    "parse_regex",
+    "plus",
+    "positions",
+    "sample_word",
+    "shortest_word",
+    "simplify",
+    "star",
+    "sym",
+    "to_dfa",
+    "to_python_re",
+    "to_string",
+    "union",
+    "universal",
+]

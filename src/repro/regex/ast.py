@@ -1,0 +1,545 @@
+"""Abstract syntax trees for regular expressions over element names.
+
+The grammar follows Section 4.1 of the paper::
+
+    r ::= eps | empty | a | r r | r + r | (r)? | (r)+ | (r)*
+
+extended with the two operators of the practical language (Section 3.1):
+counting ``r{n,m}`` and interleaving ``r & s`` (the ``xs:all`` analogue).
+
+Nodes are immutable and hashable; structural equality is value equality.
+The *size* of an expression is its number of alphabet-symbol occurrences,
+exactly as the paper defines it (``aaa`` and ``a(b+c)?`` both have size 3).
+
+Construction helpers (:func:`concat`, :func:`union`, ...) perform the cheap
+local normalizations that keep machine-generated expressions readable
+(dropping ``eps`` in concatenations, collapsing nested unions, and so on)
+without changing the denoted language.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegexError
+
+UNBOUNDED = None
+"""Sentinel for an unbounded counter upper limit, as in ``a{2,*}``."""
+
+
+class Regex:
+    """Base class of all regular expression nodes.
+
+    Subclasses are value objects: two nodes compare equal iff they are
+    structurally identical.  All combinator operators are overloaded so
+    expressions can be written naturally in code::
+
+        r = (sym("a") + sym("b")) | sym("c").star()
+    """
+
+    __slots__ = ()
+
+    # -- combinators -----------------------------------------------------
+    def __add__(self, other):
+        """Concatenation: ``r + s`` denotes ``r s``."""
+        return concat(self, other)
+
+    def __or__(self, other):
+        """Union: ``r | s`` denotes ``r + s`` in the paper's notation."""
+        return union(self, other)
+
+    def __and__(self, other):
+        """Interleaving (shuffle): ``r & s``."""
+        return interleave(self, other)
+
+    def star(self):
+        """Kleene closure ``r*``."""
+        return star(self)
+
+    def plus(self):
+        """One-or-more ``r+``."""
+        return plus(self)
+
+    def opt(self):
+        """Zero-or-one ``r?``."""
+        return optional(self)
+
+    def times(self, low, high=UNBOUNDED):
+        """Counting ``r{low,high}``; ``high=None`` means unbounded."""
+        return counter(self, low, high)
+
+    # -- metadata --------------------------------------------------------
+    @property
+    def size(self):
+        """Number of alphabet symbol occurrences (the paper's size measure)."""
+        raise NotImplementedError
+
+    def symbols(self):
+        """The set of alphabet symbols occurring in the expression."""
+        out = set()
+        _collect_symbols(self, out)
+        return out
+
+    def __repr__(self):
+        from repro.regex.printer import to_string
+
+        return f"{type(self).__name__}({to_string(self)!r})"
+
+    def __str__(self):
+        from repro.regex.printer import to_string
+
+        return to_string(self)
+
+
+class EmptySet(Regex):
+    """The empty language (the paper's ``∅``)."""
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    @property
+    def size(self):
+        return 0
+
+    def __eq__(self, other):
+        return isinstance(other, EmptySet)
+
+    def __hash__(self):
+        return hash(EmptySet)
+
+
+class Epsilon(Regex):
+    """The language containing only the empty string (the paper's ``ε``)."""
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    @property
+    def size(self):
+        return 0
+
+    def __eq__(self, other):
+        return isinstance(other, Epsilon)
+
+    def __hash__(self):
+        return hash(Epsilon)
+
+
+class Symbol(Regex):
+    """A single alphabet symbol (an element name)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        if not name:
+            raise RegexError("symbol name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Regex nodes are immutable")
+
+    @property
+    def size(self):
+        return 1
+
+    def __eq__(self, other):
+        return isinstance(other, Symbol) and self.name == other.name
+
+    def __hash__(self):
+        return hash((Symbol, self.name))
+
+
+class _Nary(Regex):
+    """Shared implementation of n-ary nodes (Concat, Union, Interleave)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children):
+        children = tuple(children)
+        if len(children) < 2:
+            raise RegexError(
+                f"{type(self).__name__} requires at least two children; "
+                f"use the construction helpers for normalization"
+            )
+        object.__setattr__(self, "children", children)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Regex nodes are immutable")
+
+    @property
+    def size(self):
+        return sum(child.size for child in self.children)
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self):
+        return hash((type(self), self.children))
+
+
+class Concat(_Nary):
+    """Concatenation of two or more expressions."""
+
+    __slots__ = ()
+
+
+class Union(_Nary):
+    """Union (disjunction) of two or more expressions."""
+
+    __slots__ = ()
+
+
+class Interleave(_Nary):
+    """Interleaving (shuffle) of two or more expressions (``&`` / xs:all)."""
+
+    __slots__ = ()
+
+
+class _Unary(Regex):
+    """Shared implementation of unary nodes (Star, Plus, Optional)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child):
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Regex nodes are immutable")
+
+    @property
+    def size(self):
+        return self.child.size
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.child == other.child
+
+    def __hash__(self):
+        return hash((type(self), self.child))
+
+
+class Star(_Unary):
+    """Kleene closure ``r*``."""
+
+    __slots__ = ()
+
+
+class Plus(_Unary):
+    """One-or-more ``r+``."""
+
+    __slots__ = ()
+
+
+class Optional(_Unary):
+    """Zero-or-one ``r?``."""
+
+    __slots__ = ()
+
+
+class Counter(Regex):
+    """Counting ``r{low,high}``; ``high is UNBOUNDED`` means no upper limit."""
+
+    __slots__ = ("child", "low", "high")
+
+    def __init__(self, child, low, high):
+        if low < 0:
+            raise RegexError(f"counter lower bound must be >= 0, got {low}")
+        if high is not UNBOUNDED and high < low:
+            raise RegexError(f"counter upper bound {high} below lower bound {low}")
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Regex nodes are immutable")
+
+    @property
+    def size(self):
+        return self.child.size
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Counter)
+            and self.child == other.child
+            and self.low == other.low
+            and self.high == other.high
+        )
+
+    def __hash__(self):
+        return hash((Counter, self.child, self.low, self.high))
+
+
+EMPTY = EmptySet()
+EPSILON = Epsilon()
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers (lightweight normalization)
+# ---------------------------------------------------------------------------
+
+def sym(name):
+    """Build a :class:`Symbol` node."""
+    return Symbol(name)
+
+
+def concat(*parts):
+    """Concatenate expressions, flattening nested concatenations.
+
+    ``eps`` factors are dropped and any ``empty`` factor collapses the whole
+    concatenation to ``empty``.  With no (remaining) parts the result is
+    ``eps``.
+    """
+    flat = []
+    for part in parts:
+        if isinstance(part, EmptySet):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(flat)
+
+
+def union(*parts):
+    """Union of expressions, flattening nested unions and dropping ``empty``.
+
+    Duplicate alternatives are removed (keeping first occurrence).  With no
+    remaining parts the result is ``empty``.
+    """
+    flat = []
+    seen = set()
+    for part in parts:
+        if isinstance(part, EmptySet):
+            continue
+        if isinstance(part, Union):
+            candidates = part.children
+        else:
+            candidates = (part,)
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                flat.append(candidate)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Union(flat)
+
+
+def interleave(*parts):
+    """Interleaving of expressions, flattening nested interleavings."""
+    flat = []
+    for part in parts:
+        if isinstance(part, EmptySet):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Interleave):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Interleave(flat)
+
+
+def star(child):
+    """Kleene star with local normalization (``∅* = ε* = ε``, ``r** = r*``)."""
+    if isinstance(child, (EmptySet, Epsilon)):
+        return EPSILON
+    if isinstance(child, Star):
+        return child
+    if isinstance(child, (Plus, Optional)):
+        return Star(child.child)
+    return Star(child)
+
+
+def plus(child):
+    """One-or-more with local normalization."""
+    if isinstance(child, EmptySet):
+        return EMPTY
+    if isinstance(child, Epsilon):
+        return EPSILON
+    if isinstance(child, (Star, Optional)):
+        return star(child.child)
+    if isinstance(child, Plus):
+        return child
+    return Plus(child)
+
+
+def optional(child):
+    """Zero-or-one with local normalization."""
+    if isinstance(child, (EmptySet, Epsilon)):
+        return EPSILON
+    if isinstance(child, (Star, Optional)):
+        return child
+    if isinstance(child, Plus):
+        return Star(child.child)
+    return Optional(child)
+
+
+def counter(child, low, high=UNBOUNDED):
+    """Counting with local normalization of trivial bounds."""
+    if low == 0 and high == 0:
+        return EPSILON
+    if low == 1 and high == 1:
+        return child
+    if low == 0 and high is UNBOUNDED:
+        return star(child)
+    if low == 1 and high is UNBOUNDED:
+        return plus(child)
+    if low == 0 and high == 1:
+        return optional(child)
+    if isinstance(child, EmptySet):
+        return EMPTY if low > 0 else EPSILON
+    if isinstance(child, Epsilon):
+        return EPSILON
+    return Counter(child, low, high)
+
+
+def alternation(names):
+    """Union of single symbols, the paper's set abbreviation ``(a1+...+an)``."""
+    return union(*(Symbol(name) for name in names))
+
+
+def universal(alphabet):
+    """``EName*``: the universal language over the given alphabet."""
+    return star(alternation(sorted(alphabet)))
+
+
+def _collect_symbols(node, out):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Symbol):
+            out.add(current.name)
+        elif isinstance(current, _Nary):
+            stack.extend(current.children)
+        elif isinstance(current, _Unary):
+            stack.append(current.child)
+        elif isinstance(current, Counter):
+            stack.append(current.child)
+
+
+# ---------------------------------------------------------------------------
+# Structural predicates shared across the engine
+# ---------------------------------------------------------------------------
+
+def nullable(node):
+    """Return True iff the expression's language contains the empty string."""
+    if isinstance(node, (Epsilon, Star, Optional)):
+        return True
+    if isinstance(node, (EmptySet, Symbol)):
+        return False
+    if isinstance(node, (Concat, Interleave)):
+        return all(nullable(child) for child in node.children)
+    if isinstance(node, Union):
+        return any(nullable(child) for child in node.children)
+    if isinstance(node, Plus):
+        return nullable(node.child)
+    if isinstance(node, Counter):
+        return node.low == 0 or nullable(node.child)
+    raise RegexError(f"unknown regex node {node!r}")
+
+
+def is_empty_language(node):
+    """Return True iff the expression denotes the empty language."""
+    if isinstance(node, EmptySet):
+        return True
+    if isinstance(node, (Epsilon, Symbol)):
+        return False
+    if isinstance(node, (Concat, Interleave)):
+        return any(is_empty_language(child) for child in node.children)
+    if isinstance(node, Union):
+        return all(is_empty_language(child) for child in node.children)
+    if isinstance(node, (Star, Optional)):
+        return False  # both are nullable, hence contain epsilon
+    if isinstance(node, Plus):
+        return is_empty_language(node.child)
+    if isinstance(node, Counter):
+        return node.low > 0 and is_empty_language(node.child)
+    raise RegexError(f"unknown regex node {node!r}")
+
+
+def contains_interleave(node):
+    """Return True iff an ``&`` operator occurs anywhere in the expression."""
+    if isinstance(node, Interleave):
+        return True
+    if isinstance(node, _Nary):
+        return any(contains_interleave(child) for child in node.children)
+    if isinstance(node, (_Unary, Counter)):
+        return contains_interleave(node.child)
+    return False
+
+
+def contains_counter(node):
+    """Return True iff a counting operator occurs anywhere in the expression."""
+    if isinstance(node, Counter):
+        return True
+    if isinstance(node, _Nary):
+        return any(contains_counter(child) for child in node.children)
+    if isinstance(node, _Unary):
+        return contains_counter(node.child)
+    return False
+
+
+def expand_counters(node, limit=256):
+    """Rewrite counters into concatenations of copies (bounded unrolling).
+
+    ``r{n,m}`` becomes ``r^n (r?)^(m-n)`` and ``r{n,*}`` becomes ``r^n r*``.
+    The expansion is used when an automaton is required; matching uses the
+    derivative engine which handles counters natively.
+
+    Raises:
+        RegexError: if the unrolled form would exceed ``limit`` copies.
+    """
+    if isinstance(node, (EmptySet, Epsilon, Symbol)):
+        return node
+    if isinstance(node, Concat):
+        return concat(*(expand_counters(child, limit) for child in node.children))
+    if isinstance(node, Union):
+        return union(*(expand_counters(child, limit) for child in node.children))
+    if isinstance(node, Interleave):
+        return interleave(*(expand_counters(child, limit) for child in node.children))
+    if isinstance(node, Star):
+        return star(expand_counters(node.child, limit))
+    if isinstance(node, Plus):
+        return plus(expand_counters(node.child, limit))
+    if isinstance(node, Optional):
+        return optional(expand_counters(node.child, limit))
+    if isinstance(node, Counter):
+        child = expand_counters(node.child, limit)
+        copies = node.low if node.high is UNBOUNDED else node.high
+        if copies > limit:
+            raise RegexError(
+                f"counter expansion of {{{node.low},{node.high}}} exceeds "
+                f"limit {limit}"
+            )
+        parts = [child] * node.low
+        if node.high is UNBOUNDED:
+            parts.append(star(child))
+        else:
+            # Nested optionals -- r r (r (r)?)? for r{2,4} -- so that the
+            # unrolled form is deterministic exactly when the counted form
+            # is (a flat r r r? r? would create spurious UPA conflicts).
+            tail = EPSILON
+            for __ in range(node.high - node.low):
+                tail = optional(concat(child, tail))
+            parts.append(tail)
+        return concat(*parts)
+    raise RegexError(f"unknown regex node {node!r}")

@@ -1,0 +1,251 @@
+"""The Brüggemann-Klein & Wood decision procedure [4].
+
+:func:`check_deterministic` decides whether an *expression* is
+deterministic.  This module answers the deeper question the paper's UPA
+discussion leans on: is the *language* one-unambiguous at all — i.e. does
+any equivalent deterministic expression exist?  (Deterministic expressions
+denote a strict subclass of the regular languages, which is exactly why
+the conversion algorithms must never rebuild content models.)
+
+The BKW characterization works on the minimal (partial, trimmed) DFA:
+
+* Orbits are the strongly connected components; an orbit is *trivial* if
+  it is a single state without a self-loop.
+* A *gate* of an orbit is a state that is final or has a transition
+  leaving the orbit.
+* The **orbit property**: all gates of an orbit agree on finality and
+  have identical out-of-orbit transitions.
+* A symbol ``a`` is *consistent* if all final states move to one common
+  state on ``a``; the *S-cut* removes the ``a``-transitions of final
+  states for all consistent ``a``.
+
+``L(M)`` is one-unambiguous iff the S-cut of ``M`` (for the set of all
+consistent symbols) satisfies the orbit property and all its orbit
+languages are one-unambiguous [BKW 1998, Theorems 4.2/4.3].  The
+recursion terminates because orbit automata of a properly-cut automaton
+are strictly smaller.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize
+
+
+def is_one_unambiguous_language(regex_or_dfa, alphabet=None):
+    """True iff the language has *some* deterministic expression.
+
+    Args:
+        regex_or_dfa: a :class:`~repro.regex.ast.Regex` or a
+            :class:`~repro.automata.dfa.DFA`.
+        alphabet: alphabet override when passing a regex.
+    """
+    if isinstance(regex_or_dfa, DFA):
+        dfa = regex_or_dfa
+    else:
+        from repro.regex.derivatives import to_dfa
+
+        dfa = to_dfa(regex_or_dfa, alphabet=alphabet)
+    minimal = _trim_partial(minimize(dfa))
+    return _bkw(minimal)
+
+
+def _trim_partial(dfa):
+    """Drop the sink: BKW works on the trimmed partial minimal DFA."""
+    useful = dfa.to_nfa().trim()
+    states = useful.states
+    if not states:
+        # The empty language: trivially one-unambiguous (#empty).
+        return DFA(
+            states={0}, alphabet=dfa.alphabet, transitions={},
+            initial=0, accepting=frozenset(),
+        )
+    transitions = {
+        (state, symbol): next(iter(targets))
+        for (state, symbol), targets in useful.transitions.items()
+    }
+    (initial,) = useful.initial
+    return DFA(
+        states=states,
+        alphabet=dfa.alphabet,
+        transitions=transitions,
+        initial=initial,
+        accepting=useful.accepting,
+    )
+
+
+def _bkw(dfa):
+    if len(dfa.states) <= 1 and not dfa.transitions:
+        return True
+
+    consistent = _consistent_symbols(dfa)
+    cut = _s_cut(dfa, consistent)
+    orbits, orbit_of = _orbits(cut)
+
+    if not _orbit_property(cut, orbits, orbit_of):
+        return False
+
+    single_uncut_orbit = (
+        len(orbits) == 1
+        and len(cut.transitions) == len(dfa.transitions)
+        and _is_nontrivial(next(iter(orbits)), cut)
+    )
+    if single_uncut_orbit:
+        # No progress is possible: the language is not one-unambiguous.
+        return False
+
+    for orbit in orbits:
+        if not _is_nontrivial(orbit, cut):
+            continue
+        for gate in _gates(cut, orbit):
+            if not _bkw(_orbit_automaton(cut, orbit, gate)):
+                return False
+    return True
+
+
+def _consistent_symbols(dfa):
+    """Symbols on which every final state moves to one common state."""
+    if not dfa.accepting:
+        return frozenset()
+    out = set()
+    for symbol in dfa.alphabet:
+        targets = {
+            dfa.transitions.get((state, symbol)) for state in dfa.accepting
+        }
+        if len(targets) == 1 and None not in targets:
+            out.add(symbol)
+    return frozenset(out)
+
+
+def _s_cut(dfa, symbols):
+    transitions = {
+        (state, symbol): target
+        for (state, symbol), target in dfa.transitions.items()
+        if not (state in dfa.accepting and symbol in symbols)
+    }
+    return DFA(
+        states=dfa.states,
+        alphabet=dfa.alphabet,
+        transitions=transitions,
+        initial=dfa.initial,
+        accepting=dfa.accepting,
+    )
+
+
+def _orbits(dfa):
+    """Strongly connected components (iterative Tarjan)."""
+    graph = {state: [] for state in dfa.states}
+    for (state, __symbol), target in dfa.transitions.items():
+        graph[state].append(target)
+
+    index_counter = [0]
+    stack = []
+    lowlink = {}
+    index = {}
+    on_stack = set()
+    components = []
+
+    for root in dfa.states:
+        if root in index:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = index_counter[0]
+                lowlink[node] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            successors = graph[node]
+            for offset in range(child_index, len(successors)):
+                successor = successors[offset]
+                if successor not in index:
+                    work.append((node, offset + 1))
+                    work.append((successor, 0))
+                    recurse = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.remove(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    orbit_of = {}
+    for component in components:
+        for state in component:
+            orbit_of[state] = component
+    return components, orbit_of
+
+
+def _is_nontrivial(orbit, dfa):
+    if len(orbit) > 1:
+        return True
+    (state,) = orbit
+    return any(
+        dfa.transitions.get((state, symbol)) == state
+        for symbol in dfa.alphabet
+    )
+
+
+def _gates(dfa, orbit):
+    gates = []
+    for state in sorted(orbit, key=repr):
+        if state in dfa.accepting:
+            gates.append(state)
+            continue
+        for symbol in dfa.alphabet:
+            target = dfa.transitions.get((state, symbol))
+            if target is not None and target not in orbit:
+                gates.append(state)
+                break
+    return gates
+
+
+def _orbit_property(dfa, orbits, orbit_of):
+    for orbit in orbits:
+        gates = _gates(dfa, orbit)
+        if len(gates) < 2:
+            continue
+        reference = _signature(dfa, gates[0], orbit)
+        for gate in gates[1:]:
+            if _signature(dfa, gate, orbit) != reference:
+                return False
+    return True
+
+
+def _signature(dfa, state, orbit):
+    outside = frozenset(
+        (symbol, target)
+        for symbol in dfa.alphabet
+        for target in (dfa.transitions.get((state, symbol)),)
+        if target is not None and target not in orbit
+    )
+    return (state in dfa.accepting, outside)
+
+
+def _orbit_automaton(dfa, orbit, gate):
+    transitions = {
+        (state, symbol): target
+        for (state, symbol), target in dfa.transitions.items()
+        if state in orbit and target in orbit
+    }
+    return DFA(
+        states=orbit,
+        alphabet=dfa.alphabet,
+        transitions=transitions,
+        initial=gate,
+        accepting=frozenset(_gates(dfa, orbit)),
+    )

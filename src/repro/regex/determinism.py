@@ -1,0 +1,151 @@
+"""One-unambiguity (Unique Particle Attribution) checking.
+
+The W3C UPA rule requires content models to be *deterministic* regular
+expressions: while matching a word left to right, it must always be clear
+which occurrence of a symbol in the expression matched, without lookahead.
+Formally, an expression is deterministic (one-unambiguous) iff its Glushkov
+automaton is deterministic [Brüggemann-Klein & Wood 1998].
+
+For the interleaving operator, the practical language inherits the
+``xs:all`` restrictions of XML Schema (Section 3.1 of the paper): an
+expression using ``&`` may not also use union or concatenation, and counters
+inside an interleaving may appear only directly above element names.  Under
+these restrictions an interleaving is deterministic iff its element names
+are pairwise distinct, which is what :func:`check_deterministic` enforces.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotDeterministicError, RegexError
+from repro.regex.ast import (
+    Concat,
+    Counter,
+    Interleave,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    contains_interleave,
+)
+from repro.regex.glushkov import positions
+
+
+def is_deterministic(regex):
+    """Return True iff ``regex`` satisfies UPA (see module docstring)."""
+    try:
+        check_deterministic(regex)
+    except NotDeterministicError:
+        return False
+    return True
+
+
+def check_deterministic(regex):
+    """Raise :class:`NotDeterministicError` if ``regex`` violates UPA.
+
+    Also raises for interleavings that violate the Section 3.1 syntactic
+    restrictions, because those cannot be represented as XSD all-groups.
+    """
+    if contains_interleave(regex):
+        _check_interleave_restrictions(regex)
+        _check_interleave_determinism(regex)
+        return
+    _check_glushkov_determinism(regex)
+
+
+def _check_glushkov_determinism(regex):
+    info = positions(regex)
+    # Initial state: two distinct first positions with the same symbol.
+    _check_set(info.first, info.labels, context="at the start")
+    for source, followers in info.follow.items():
+        _check_set(
+            followers,
+            info.labels,
+            context=f"after an occurrence of '{info.labels[source]}'",
+        )
+
+
+def _check_set(position_set, labels, context):
+    seen = {}
+    for position in sorted(position_set):
+        name = labels[position]
+        if name in seen:
+            raise NotDeterministicError(
+                f"two competing occurrences of '{name}' {context}",
+                witness=name,
+            )
+        seen[name] = position
+
+
+def _check_interleave_restrictions(regex):
+    """Enforce the Section 3.1 shape restrictions for ``&``-expressions.
+
+    * no union or (non-trivial) concatenation anywhere in an expression
+      using interleaving;
+    * counters (and ?, *, +) only directly above element names.
+    """
+    def walk(node, inside_interleave):
+        if isinstance(node, Interleave):
+            for child in node.children:
+                walk(child, True)
+            return
+        if isinstance(node, (Union, Concat)):
+            raise RegexError(
+                "interleaving may not be combined with union or "
+                "concatenation (XSD all-group restriction)"
+            )
+        if isinstance(node, (Star, Plus, Optional, Counter)):
+            child = node.child
+            if not isinstance(child, Symbol):
+                raise RegexError(
+                    "inside an interleaving, counters must sit directly "
+                    "above element names (XSD all-group restriction)"
+                )
+            return
+        if isinstance(node, Symbol):
+            return
+        raise RegexError(
+            f"unsupported node {type(node).__name__} inside interleaving"
+        )
+
+    # The top node must be the interleaving itself (possibly below a
+    # counter, which the restriction also forbids for non-symbols).
+    if isinstance(regex, Interleave):
+        walk(regex, True)
+    elif isinstance(regex, (Star, Plus, Optional, Counter)) and isinstance(
+        regex.child, Interleave
+    ):
+        raise RegexError(
+            "an interleaving may not be iterated (XSD all-group restriction)"
+        )
+    else:
+        walk(regex, False)
+
+
+def _check_interleave_determinism(regex):
+    if not isinstance(regex, Interleave):
+        return
+    seen = set()
+    for child in regex.children:
+        name = child.name if isinstance(child, Symbol) else child.child.name
+        if name in seen:
+            raise NotDeterministicError(
+                f"element '{name}' occurs twice in an interleaving",
+                witness=name,
+            )
+        seen.add(name)
+
+
+def ambiguity_witness(regex):
+    """Return a human-readable description of the first UPA violation.
+
+    Returns ``None`` when the expression is deterministic.  Used by the
+    linter to explain diagnostics.
+    """
+    try:
+        check_deterministic(regex)
+    except NotDeterministicError as error:
+        return str(error)
+    except RegexError as error:
+        return str(error)
+    return None

@@ -1,0 +1,172 @@
+"""Sampling words from a regular expression's language.
+
+Used by the document generator, the property-based tests and the
+benchmarks.  Sampling is recursive over the AST with a size budget; the
+``rng`` is any object with ``random()``/``randrange()`` (e.g.
+``random.Random``), so sampling is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegexError
+from repro.regex.ast import (
+    Concat,
+    Counter,
+    EmptySet,
+    Epsilon,
+    Interleave,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    UNBOUNDED,
+    Union,
+    is_empty_language,
+    nullable,
+)
+
+
+def shortest_word(regex):
+    """Return a shortest word of ``L(regex)`` or ``None`` if it is empty.
+
+    Ties are broken deterministically (leftmost alternative).
+    """
+    result = _shortest(regex)
+    return result
+
+
+def _shortest(node):
+    if isinstance(node, EmptySet):
+        return None
+    if isinstance(node, Epsilon):
+        return []
+    if isinstance(node, Symbol):
+        return [node.name]
+    if isinstance(node, Concat):
+        out = []
+        for child in node.children:
+            part = _shortest(child)
+            if part is None:
+                return None
+            out.extend(part)
+        return out
+    if isinstance(node, Interleave):
+        out = []
+        for child in node.children:
+            part = _shortest(child)
+            if part is None:
+                return None
+            out.extend(part)
+        return out
+    if isinstance(node, Union):
+        best = None
+        for child in node.children:
+            part = _shortest(child)
+            if part is not None and (best is None or len(part) < len(best)):
+                best = part
+        return best
+    if isinstance(node, (Star, Optional)):
+        return []
+    if isinstance(node, Plus):
+        return _shortest(node.child)
+    if isinstance(node, Counter):
+        if node.low == 0:
+            return []
+        part = _shortest(node.child)
+        if part is None:
+            return None
+        return part * node.low
+    raise RegexError(f"unknown regex node {node!r}")
+
+
+def min_word_length(regex):
+    """Length of a shortest word, or ``None`` for the empty language."""
+    word = shortest_word(regex)
+    return None if word is None else len(word)
+
+
+def sample_word(regex, rng, max_repeat=3):
+    """Sample a random word from ``L(regex)``.
+
+    Args:
+        regex: the expression to sample from.
+        rng: a ``random.Random``-like source.
+        max_repeat: soft cap on the number of iterations taken for ``*``,
+            ``+`` and unbounded counters.
+
+    Returns:
+        A list of symbols.
+
+    Raises:
+        RegexError: if the language is empty.
+    """
+    if is_empty_language(regex):
+        raise RegexError("cannot sample from the empty language")
+    return _sample(regex, rng, max_repeat)
+
+
+def _sample(node, rng, max_repeat):
+    if isinstance(node, Epsilon):
+        return []
+    if isinstance(node, Symbol):
+        return [node.name]
+    if isinstance(node, Concat):
+        out = []
+        for child in node.children:
+            out.extend(_sample(child, rng, max_repeat))
+        return out
+    if isinstance(node, Union):
+        viable = [c for c in node.children if not is_empty_language(c)]
+        choice = viable[rng.randrange(len(viable))]
+        return _sample(choice, rng, max_repeat)
+    if isinstance(node, Interleave):
+        streams = [_sample(child, rng, max_repeat) for child in node.children]
+        return _shuffle_streams(streams, rng)
+    if isinstance(node, Star):
+        repeats = rng.randrange(max_repeat + 1)
+        out = []
+        for __ in range(repeats):
+            out.extend(_sample(node.child, rng, max_repeat))
+        return out
+    if isinstance(node, Plus):
+        repeats = 1 + rng.randrange(max_repeat)
+        out = []
+        for __ in range(repeats):
+            out.extend(_sample(node.child, rng, max_repeat))
+        return out
+    if isinstance(node, Optional):
+        if rng.random() < 0.5:
+            return []
+        return _sample(node.child, rng, max_repeat)
+    if isinstance(node, Counter):
+        if node.high is UNBOUNDED:
+            high = node.low + max_repeat
+        else:
+            high = node.high
+        low = node.low
+        if nullable(node.child) and low > 0:
+            # Mandatory iterations may be empty; keep them anyway for
+            # variety -- sampling the child of a nullable body is fine.
+            pass
+        repeats = low + rng.randrange(high - low + 1) if high > low else low
+        out = []
+        for __ in range(repeats):
+            out.extend(_sample(node.child, rng, max_repeat))
+        return out
+    if isinstance(node, EmptySet):
+        raise RegexError("cannot sample from the empty language")
+    raise RegexError(f"unknown regex node {node!r}")
+
+
+def _shuffle_streams(streams, rng):
+    """Random interleaving of several word streams, order-preserving."""
+    indices = [0] * len(streams)
+    out = []
+    remaining = sum(len(stream) for stream in streams)
+    while remaining:
+        live = [i for i, stream in enumerate(streams) if indices[i] < len(stream)]
+        pick = live[rng.randrange(len(live))]
+        out.append(streams[pick][indices[pick]])
+        indices[pick] += 1
+        remaining -= 1
+    return out

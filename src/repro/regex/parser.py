@@ -1,0 +1,218 @@
+"""Parser for the textual regular-expression syntax.
+
+The grammar (loosest-binding first)::
+
+    union       ::= interleave ('|' interleave)*
+    interleave  ::= concat ('&' concat)*
+    concat      ::= postfix ((',' | ' ') postfix)*
+    postfix     ::= atom ('*' | '+' | '?' | '{' n ',' (m | '*') '}')*
+    atom        ::= name | '#eps' | '#empty' | '(' union ')'
+
+Names are XML name tokens, optionally prefixed with ``@`` (attribute names
+appear in ancestor patterns).  Concatenation may be written with an explicit
+comma (content-model style) or by juxtaposition (formal style); the parser
+accepts both, also mixed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    UNBOUNDED,
+    concat,
+    counter,
+    interleave,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+
+_NAME_START = set("_@")
+_NAME_CHARS = set("_-.:@")
+
+
+def _is_name_start(char):
+    return char.isalnum() or char in _NAME_START
+
+
+def _is_name_char(char):
+    return char.isalnum() or char in _NAME_CHARS
+
+
+class _Tokenizer:
+    """Splits the input into (kind, value, position) tokens."""
+
+    _PUNCT = {"|", "&", ",", "*", "+", "?", "(", ")", "{", "}"}
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+        self.tokens = []
+        self._scan()
+        self.index = 0
+
+    def _scan(self):
+        text = self.text
+        i = 0
+        while i < len(text):
+            char = text[i]
+            if char.isspace():
+                i += 1
+                continue
+            if char in self._PUNCT:
+                self.tokens.append((char, char, i))
+                i += 1
+                continue
+            if char == "#":
+                for keyword in ("#eps", "#empty"):
+                    if text.startswith(keyword, i):
+                        self.tokens.append(("keyword", keyword, i))
+                        i += len(keyword)
+                        break
+                else:
+                    raise ParseError(
+                        f"unknown keyword starting at {text[i:i + 8]!r}",
+                        column=i + 1,
+                    )
+                continue
+            if _is_name_start(char):
+                start = i
+                i += 1
+                while i < len(text) and _is_name_char(text[i]):
+                    i += 1
+                self.tokens.append(("name", text[start:i], start))
+                continue
+            raise ParseError(f"unexpected character {char!r}", column=i + 1)
+        self.tokens.append(("eof", "", len(text)))
+
+    def peek(self):
+        return self.tokens[self.index]
+
+    def next(self):
+        token = self.tokens[self.index]
+        if token[0] != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind):
+        token = self.next()
+        if token[0] != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token[1]!r}",
+                column=token[2] + 1,
+            )
+        return token
+
+
+def parse_regex(text):
+    """Parse ``text`` into a :class:`~repro.regex.ast.Regex`.
+
+    Raises:
+        ParseError: on malformed input.
+    """
+    tokenizer = _Tokenizer(text)
+    result = _parse_union(tokenizer)
+    trailing = tokenizer.peek()
+    if trailing[0] != "eof":
+        raise ParseError(
+            f"unexpected trailing input {trailing[1]!r}", column=trailing[2] + 1
+        )
+    return result
+
+
+def _parse_union(tokenizer):
+    parts = [_parse_interleave(tokenizer)]
+    while tokenizer.peek()[0] == "|":
+        tokenizer.next()
+        parts.append(_parse_interleave(tokenizer))
+    return union(*parts) if len(parts) > 1 else parts[0]
+
+
+def _parse_interleave(tokenizer):
+    parts = [_parse_concat(tokenizer)]
+    while tokenizer.peek()[0] == "&":
+        tokenizer.next()
+        parts.append(_parse_concat(tokenizer))
+    return interleave(*parts) if len(parts) > 1 else parts[0]
+
+
+_ATOM_STARTERS = {"name", "keyword", "("}
+
+
+def _parse_concat(tokenizer):
+    parts = [_parse_postfix(tokenizer)]
+    while True:
+        kind = tokenizer.peek()[0]
+        if kind == ",":
+            tokenizer.next()
+            parts.append(_parse_postfix(tokenizer))
+        elif kind in _ATOM_STARTERS:
+            # Juxtaposition (formal-sections style: "a b c").
+            parts.append(_parse_postfix(tokenizer))
+        else:
+            break
+    return concat(*parts) if len(parts) > 1 else parts[0]
+
+
+def _parse_postfix(tokenizer):
+    node = _parse_atom(tokenizer)
+    while True:
+        kind = tokenizer.peek()[0]
+        if kind == "*":
+            tokenizer.next()
+            node = star(node)
+        elif kind == "+":
+            tokenizer.next()
+            node = plus(node)
+        elif kind == "?":
+            tokenizer.next()
+            node = optional(node)
+        elif kind == "{":
+            node = _parse_counter(tokenizer, node)
+        else:
+            return node
+
+
+def _parse_counter(tokenizer, node):
+    tokenizer.expect("{")
+    low_token = tokenizer.expect("name")
+    if not low_token[1].isdigit():
+        raise ParseError(
+            f"counter lower bound must be a number, got {low_token[1]!r}",
+            column=low_token[2] + 1,
+        )
+    low = int(low_token[1])
+    high = low
+    if tokenizer.peek()[0] == ",":
+        tokenizer.next()
+        high_token = tokenizer.next()
+        if high_token[0] == "*":
+            high = UNBOUNDED
+        elif high_token[0] == "name" and high_token[1].isdigit():
+            high = int(high_token[1])
+        else:
+            raise ParseError(
+                f"counter upper bound must be a number or '*', got "
+                f"{high_token[1]!r}",
+                column=high_token[2] + 1,
+            )
+    tokenizer.expect("}")
+    return counter(node, low, high)
+
+
+def _parse_atom(tokenizer):
+    token = tokenizer.next()
+    kind, value, position = token
+    if kind == "name":
+        return sym(value)
+    if kind == "keyword":
+        return EPSILON if value == "#eps" else EMPTY
+    if kind == "(":
+        inner = _parse_union(tokenizer)
+        tokenizer.expect(")")
+        return inner
+    raise ParseError(f"unexpected token {value!r}", column=position + 1)

@@ -1,0 +1,138 @@
+"""Rendering of regular expression ASTs back to concrete syntax.
+
+The default syntax matches the paper's notation for content models
+(comma-free concatenation is used for ancestor expressions, while content
+models in the practical language separate factors by commas; both are
+supported through the ``style`` parameter).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegexError
+from repro.regex.ast import (
+    Concat,
+    Counter,
+    EmptySet,
+    Epsilon,
+    Interleave,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    UNBOUNDED,
+    Union,
+)
+
+# Binding strength, loosest first.  Used to decide where parentheses are
+# needed: a child is parenthesized iff it binds more loosely than its parent.
+_PRECEDENCE = {
+    Union: 0,
+    Interleave: 1,
+    Concat: 2,
+    Star: 3,
+    Plus: 3,
+    Optional: 3,
+    Counter: 3,
+    Symbol: 4,
+    Epsilon: 4,
+    EmptySet: 4,
+}
+
+
+def to_string(node, style="space"):
+    """Render ``node`` as a string.
+
+    Args:
+        node: the regular expression to render.
+        style: ``"space"`` separates concatenation factors with a space
+            (formal-sections notation); ``"comma"`` uses ``", "`` (the
+            practical language's content-model notation).
+    """
+    if style not in ("space", "comma"):
+        raise RegexError(f"unknown printing style {style!r}")
+    return _render(node, style)
+
+
+def _render(node, style):
+    if isinstance(node, EmptySet):
+        return "#empty"
+    if isinstance(node, Epsilon):
+        return "#eps"
+    if isinstance(node, Symbol):
+        return node.name
+    if isinstance(node, Union):
+        return " | ".join(_child(node, c, style) for c in node.children)
+    if isinstance(node, Interleave):
+        return " & ".join(_child(node, c, style) for c in node.children)
+    if isinstance(node, Concat):
+        separator = " " if style == "space" else ", "
+        return separator.join(_child(node, c, style) for c in node.children)
+    if isinstance(node, Star):
+        return _child(node, node.child, style) + "*"
+    if isinstance(node, Plus):
+        return _child(node, node.child, style) + "+"
+    if isinstance(node, Optional):
+        return _child(node, node.child, style) + "?"
+    if isinstance(node, Counter):
+        high = "*" if node.high is UNBOUNDED else str(node.high)
+        return _child(node, node.child, style) + f"{{{node.low},{high}}}"
+    raise RegexError(f"unknown regex node {node!r}")
+
+
+def _child(parent, child, style):
+    text = _render(child, style)
+    child_precedence = _PRECEDENCE[type(child)]
+    parent_precedence = _PRECEDENCE[type(parent)]
+    needs_parens = child_precedence < parent_precedence
+    # Postfix operators stack ambiguously (a** parses but means something
+    # else than intended after normalization); parenthesize nested postfix.
+    if isinstance(parent, (Star, Plus, Optional, Counter)) and isinstance(
+        child, (Star, Plus, Optional, Counter)
+    ):
+        needs_parens = True
+    if needs_parens:
+        return f"({text})"
+    return text
+
+
+def to_python_re(node):
+    """Translate to a :mod:`re`-compatible pattern over single characters.
+
+    Only valid when every symbol is a single character; used by the test
+    suite to cross-check our engine against Python's.
+
+    Raises:
+        RegexError: if a symbol is not exactly one character long, or the
+            expression contains interleaving (not expressible in ``re``).
+    """
+    import re as _re
+
+    if isinstance(node, EmptySet):
+        # A pattern that matches nothing.
+        return r"(?!x)x"
+    if isinstance(node, Epsilon):
+        return ""
+    if isinstance(node, Symbol):
+        if len(node.name) != 1:
+            raise RegexError(
+                f"to_python_re requires single-character symbols, got "
+                f"{node.name!r}"
+            )
+        return _re.escape(node.name)
+    if isinstance(node, Union):
+        return "(?:" + "|".join(to_python_re(c) for c in node.children) + ")"
+    if isinstance(node, Concat):
+        return "".join(f"(?:{to_python_re(c)})" for c in node.children)
+    if isinstance(node, Star):
+        return f"(?:{to_python_re(node.child)})*"
+    if isinstance(node, Plus):
+        return f"(?:{to_python_re(node.child)})+"
+    if isinstance(node, Optional):
+        return f"(?:{to_python_re(node.child)})?"
+    if isinstance(node, Counter):
+        high = "" if node.high is UNBOUNDED else str(node.high)
+        return f"(?:{to_python_re(node.child)}){{{node.low},{high}}}"
+    if isinstance(node, Interleave):
+        raise RegexError("interleaving is not expressible as a Python re")
+    raise RegexError(f"unknown regex node {node!r}")

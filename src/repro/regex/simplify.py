@@ -1,0 +1,168 @@
+"""Algebraic simplification of regular expressions.
+
+State elimination (Algorithm 2's line 2) produces syntactically bloated
+expressions; this module applies language-preserving rewrites so the
+generated BonXai rules stay readable.  All rules are classical identities::
+
+    r r*        = r+              r* r        = r+
+    r* r*       = r*              (r?)*       = r*
+    eps | r     = r?              r | r+      = r+
+    r | r       = r               eps r       = r
+    (r*)?       = r*              r | r*      = r*
+
+Simplification is bottom-up and iterated to a fixpoint (bounded, since each
+applied rule strictly decreases a well-founded measure).
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import (
+    Concat,
+    Counter,
+    EPSILON,
+    EmptySet,
+    Epsilon,
+    Interleave,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    counter,
+    interleave,
+    optional,
+    plus,
+    star,
+    union,
+)
+
+
+def simplify(regex, max_rounds=8):
+    """Return a language-equivalent, usually smaller expression."""
+    current = regex
+    for __ in range(max_rounds):
+        simplified = _simplify_once(current)
+        if simplified == current:
+            return simplified
+        current = simplified
+    return current
+
+
+def _simplify_once(node):
+    if isinstance(node, (EmptySet, Epsilon, Symbol)):
+        return node
+    if isinstance(node, Concat):
+        return _simplify_concat([_simplify_once(c) for c in node.children])
+    if isinstance(node, Union):
+        return _simplify_union([_simplify_once(c) for c in node.children])
+    if isinstance(node, Interleave):
+        return interleave(*(_simplify_once(c) for c in node.children))
+    if isinstance(node, Star):
+        return star(_simplify_once(node.child))
+    if isinstance(node, Plus):
+        return plus(_simplify_once(node.child))
+    if isinstance(node, Optional):
+        return optional(_simplify_once(node.child))
+    if isinstance(node, Counter):
+        return counter(_simplify_once(node.child), node.low, node.high)
+    return node
+
+
+def _iteration_body(node):
+    """The body r if node is one of r*, r+, r; plus a tag of which."""
+    if isinstance(node, Star):
+        return node.child, "star"
+    if isinstance(node, Plus):
+        return node.child, "plus"
+    if isinstance(node, Optional):
+        return node.child, "opt"
+    return node, "once"
+
+
+def _simplify_concat(parts):
+    # Flatten (the concat() helper will re-flatten, but we need the list
+    # locally to apply neighbor rules).
+    flat = []
+    for part in parts:
+        if isinstance(part, Concat):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+
+    changed = True
+    while changed:
+        changed = False
+        result = []
+        index = 0
+        while index < len(flat):
+            current = flat[index]
+            if index + 1 < len(flat):
+                merged = _merge_pair(current, flat[index + 1])
+                if merged is not None:
+                    result.append(merged)
+                    index += 2
+                    changed = True
+                    continue
+            result.append(current)
+            index += 1
+        flat = result
+    return concat(*flat)
+
+
+def _merge_pair(left, right):
+    """Merge two adjacent concatenation factors when an identity applies."""
+    left_body, left_kind = _iteration_body(left)
+    right_body, right_kind = _iteration_body(right)
+    if left_body != right_body:
+        return None
+    body = left_body
+    kinds = {left_kind, right_kind}
+    # r* r* = r*;  r* r? = r? r* = r*
+    if kinds <= {"star", "opt"} and "star" in kinds:
+        return star(body)
+    # r r* = r* r = r+;  r+ r* = r* r+ = r+
+    if kinds == {"once", "star"} or kinds == {"plus", "star"}:
+        return plus(body)
+    # r? r? stays (r? r? != r? in general -- it is r{0,2})
+    return None
+
+
+def _simplify_union(parts):
+    flat = []
+    for part in parts:
+        if isinstance(part, Union):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+
+    has_epsilon = any(isinstance(part, Epsilon) for part in flat)
+    rest = [part for part in flat if not isinstance(part, Epsilon)]
+
+    # Group alternatives by iteration body: r | r+ = r+, r | r* = r*, etc.
+    merged = []
+    kinds_by_body = {}
+    order = []
+    for part in rest:
+        body, kind = _iteration_body(part)
+        if body not in kinds_by_body:
+            kinds_by_body[body] = set()
+            order.append(body)
+        kinds_by_body[body].add(kind)
+    for body in order:
+        kinds = kinds_by_body[body]
+        if "star" in kinds:
+            merged.append(star(body))
+        elif "opt" in kinds and "plus" in kinds:
+            merged.append(star(body))
+        elif "opt" in kinds:
+            merged.append(optional(body))
+        elif "plus" in kinds:
+            merged.append(plus(body))
+        else:
+            merged.append(body)
+
+    result = union(*merged)
+    if has_epsilon:
+        return optional(result)
+    return result

@@ -1,0 +1,66 @@
+"""Algorithm 4: translating a DFA-based XSD into an equivalent XSD.
+
+Linear time (Lemma 7).  The non-initial states become the types;
+``T0 := {a[delta(q0, a)] | a in S}``; the content model of type ``q`` is
+``lambda(q)`` with each symbol ``a`` replaced by ``a[delta(q, a)]``.  The
+expressions are never rebuilt, so UPA is preserved; EDC holds because
+``delta`` is a function.
+"""
+
+from __future__ import annotations
+
+from repro.xsd.model import XSD
+from repro.xsd.typednames import TypedName
+
+
+def dfa_based_to_xsd(schema, type_namer=None, trim=True):
+    """Translate a :class:`~repro.xsd.dfa_based.DFABasedXSD` (Algorithm 4).
+
+    Args:
+        schema: the DFA-based XSD to translate.
+        type_namer: optional function mapping each non-initial state to a
+            type-name string; defaults to ``T0, T1, ...`` in a stable order.
+        trim: restrict to usefully-reachable states first.
+
+    Returns:
+        An equivalent formal :class:`~repro.xsd.model.XSD`.
+    """
+    if trim:
+        schema = schema.trimmed()
+    states = sorted(
+        (state for state in schema.states if state != schema.initial),
+        key=repr,
+    )
+    if type_namer is None:
+        names = {state: f"T{index}" for index, state in enumerate(states)}
+        type_namer = names.__getitem__
+
+    type_of = {state: str(type_namer(state)) for state in states}
+    if len(set(type_of.values())) != len(type_of):
+        raise ValueError("type_namer must be injective on states")
+
+    # Line 2: T0 := {a[delta(q0, a)] | a in S, delta(q0, a) defined}.
+    start = set()
+    for name in schema.start:
+        target = schema.transitions.get((schema.initial, name))
+        if target is not None:
+            start.add(TypedName(name, type_of[target]))
+
+    # Lines 3-5: rho(q) is lambda(q) with a replaced by a[delta(q, a)].
+    rho = {}
+    for state in states:
+        model = schema.assign[state]
+
+        def attach(symbol, state=state):
+            return TypedName(
+                symbol, type_of[schema.transitions[(state, symbol)]]
+            )
+
+        rho[type_of[state]] = model.map_symbols(attach)
+
+    return XSD(
+        ename=schema.alphabet,
+        types=set(type_of.values()),
+        rho=rho,
+        start=start,
+    )

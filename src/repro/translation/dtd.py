@@ -1,0 +1,79 @@
+"""DTD migration: translating DTDs to BXSDs / XSDs.
+
+A DTD is the context-insensitive special case (every rule's left-hand side
+is just an element name, i.e. ``EName* a`` — a 1-suffix BXSD).  This module
+implements the migration path the paper's Figure 4 illustrates: the BonXai
+schema equivalent to the Figure 2 DTD has exactly one rule per element
+name.
+"""
+
+from __future__ import annotations
+
+from repro.bonxai.bxsd import BXSD, Rule
+from repro.errors import TranslationError
+from repro.regex.ast import concat, star, sym, universal
+from repro.xsd.content import AttributeUse, ContentModel
+
+
+def dtd_to_bxsd(dtd, root=None):
+    """Translate a :class:`~repro.xmlmodel.dtd.DTD` into an equivalent BXSD.
+
+    Args:
+        dtd: the parsed DTD.
+        root: the allowed root element name(s); defaults to ``dtd.root``,
+            and to *all* declared elements when neither is given (XML's
+            standalone-DTD convention).
+
+    Raises:
+        TranslationError: for ``ANY`` content (not expressible without
+            knowing the alphabet is closed -- we translate it as
+            ``EName*`` over the declared names, which matches XML
+            validation of documents that only use declared elements).
+    """
+    ename = frozenset(dtd.elements)
+    if root is not None:
+        start = {root} if isinstance(root, str) else set(root)
+    elif dtd.root is not None:
+        start = {dtd.root}
+    else:
+        start = set(ename)
+    unknown = start - ename
+    if unknown:
+        raise TranslationError(f"root elements {sorted(unknown)} undeclared")
+
+    rules = []
+    for name in sorted(dtd.elements):
+        declaration = dtd.elements[name]
+        if declaration.category == "ANY":
+            regex = universal(ename)
+        else:
+            regex = declaration.content
+        attributes = tuple(
+            AttributeUse(
+                attr.name,
+                required=attr.required,
+                type_name=None,
+            )
+            for attr in declaration.attributes.values()
+        )
+        model = ContentModel(
+            regex,
+            mixed=declaration.allows_text,
+            attributes=attributes,
+        )
+        pattern = concat(universal(ename), sym(name))
+        rules.append(Rule(pattern, model))
+    return BXSD(ename=ename, start=start, rules=rules)
+
+
+def dtd_to_xsd(dtd, root=None):
+    """Translate a DTD into an equivalent formal XSD (via the BXSD).
+
+    Uses the linear Theorem-12 construction, since a DTD is a 1-suffix
+    BXSD by construction.
+    """
+    from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+    from repro.translation.ksuffix import ksuffix_bxsd_to_dfa_based
+
+    bxsd = dtd_to_bxsd(dtd, root=root)
+    return dfa_based_to_xsd(ksuffix_bxsd_to_dfa_based(bxsd))

@@ -1,0 +1,569 @@
+"""The k-suffix fragment (Section 4.4): detection and efficient translations.
+
+* Definition 10: a DFA-based XSD is *k-suffix* if the state reached depends
+  only on the last ``k`` symbols of the ancestor string.  Detection runs a
+  pair-propagation analysis on the DFA: starting from all pairs of distinct
+  reachable states, advance both components by the same symbol; the schema
+  is k-suffix iff every pair collapses (reaches equal states or dies) within
+  ``k`` steps.  The minimal ``k`` is the longest path in the (acyclic) pair
+  graph plus one; a cycle means "not k-suffix for any k".
+
+* Definition 11: a BXSD is *k-suffix based* if every rule's left-hand side
+  is ``{w}`` or ``EName* w`` with ``|w| <= k``.
+
+* Theorem 12 (k-suffix BXSD -> k-suffix DFA-based XSD, linear size): an
+  Aho-Corasick automaton over the rule words, extended with an "exact" bit
+  so whole-word rules ``{w}`` only fire at the true beginning.
+
+* Theorem 13 (k-suffix DFA-based XSD -> k-suffix BXSD, polynomial for
+  constant ``k``): probe every word ``w`` of length ``< k`` from the root
+  (exact rules) and every word of length ``k`` from all reachable states
+  (suffix rules); the k-suffix property guarantees a unique target state.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.bonxai.bxsd import BXSD, Rule
+from repro.errors import NotKSuffixError
+from repro.regex.ast import (
+    Concat,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    sym,
+    universal,
+)
+from repro.xsd.dfa_based import DFABasedXSD
+
+_DEAD = ("__dead__",)
+
+
+# ---------------------------------------------------------------------------
+# Detection (Definition 10)
+# ---------------------------------------------------------------------------
+
+def _totalized(schema):
+    """The underlying DFA as a total transition function with a dead state.
+
+    Returns ``(states, step)`` where ``step(state, name)`` never fails.
+    """
+    def step(state, name):
+        if state == _DEAD:
+            return _DEAD
+        target = schema.transitions.get((state, name))
+        return _DEAD if target is None else target
+
+    # Reachability over arbitrary strings (Definition 10 quantifies over
+    # all strings, not just valid document paths).
+    seen = {schema.initial}
+    worklist = [schema.initial]
+    needs_dead = False
+    while worklist:
+        state = worklist.pop()
+        for name in schema.alphabet:
+            target = schema.transitions.get((state, name))
+            if target is None:
+                needs_dead = True
+                continue
+            if target not in seen:
+                seen.add(target)
+                worklist.append(target)
+    if needs_dead:
+        seen.add(_DEAD)
+    return seen, step
+
+
+def check_k_suffix(schema, k):
+    """True iff ``schema`` is k-suffix (Definition 10) for this exact ``k``.
+
+    Note k-suffix implies (k+1)-suffix, so this is monotone in ``k``.
+    """
+    states, step = _totalized(schema)
+    pairs = {
+        frozenset((left, right))
+        for left, right in itertools.combinations(states, 2)
+    }
+    for __ in range(k):
+        if not pairs:
+            return True
+        next_pairs = set()
+        for pair in pairs:
+            left, right = tuple(pair)
+            for name in schema.alphabet:
+                left_target = step(left, name)
+                right_target = step(right, name)
+                if left_target != right_target:
+                    next_pairs.add(frozenset((left_target, right_target)))
+        pairs = next_pairs
+    return not pairs
+
+
+def detect_k_suffix(schema, max_k=None):
+    """The minimal ``k`` for which ``schema`` is k-suffix, or ``None``.
+
+    ``None`` means either no such ``k`` exists (the pair graph is cyclic) or
+    the minimal ``k`` exceeds ``max_k``.
+    """
+    states, step = _totalized(schema)
+    start_pairs = {
+        frozenset((left, right))
+        for left, right in itertools.combinations(states, 2)
+    }
+    if not start_pairs:
+        return 0
+
+    # Longest path in the pair graph; a cycle means unbounded.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {}
+    longest = {}
+
+    def successors(pair):
+        left, right = tuple(pair)
+        out = set()
+        for name in schema.alphabet:
+            left_target = step(left, name)
+            right_target = step(right, name)
+            if left_target != right_target:
+                out.add(frozenset((left_target, right_target)))
+        return out
+
+    def depth_first(pair):
+        color[pair] = GRAY
+        best = 0
+        for successor in successors(pair):
+            state = color.get(successor, WHITE)
+            if state == GRAY:
+                raise NotKSuffixError("pair graph has a cycle")
+            if state == WHITE:
+                depth_first(successor)
+            best = max(best, longest[successor] + 1)
+        color[pair] = BLACK
+        longest[pair] = best
+
+    try:
+        for pair in start_pairs:
+            if color.get(pair, WHITE) == WHITE:
+                depth_first(pair)
+    except NotKSuffixError:
+        return None
+    except RecursionError:
+        return None
+
+    k = 1 + max(longest[pair] for pair in start_pairs)
+    if max_k is not None and k > max_k:
+        return None
+    return k
+
+
+# ---------------------------------------------------------------------------
+# Definition 11: suffix-language patterns
+# ---------------------------------------------------------------------------
+
+def pattern_as_suffix(regex, ename):
+    """Classify a rule pattern as a k-suffix language.
+
+    Returns ``("exact", word)`` for ``L = {w}``, ``("suffix", word)`` for
+    ``L = EName* w``, or ``None`` if the pattern has neither shape
+    *syntactically* (no language-level normalization is attempted).
+    """
+    if isinstance(regex, Symbol):
+        return ("exact", [regex.name])
+    if isinstance(regex, Star):
+        if _is_full_alternation(regex.child, ename):
+            return ("suffix", [])
+        return None
+    if isinstance(regex, Concat):
+        children = regex.children
+        if isinstance(children[0], Star) and _is_full_alternation(
+            children[0].child, ename
+        ):
+            rest = children[1:]
+            kind = "suffix"
+        else:
+            rest = children
+            kind = "exact"
+        word = []
+        for child in rest:
+            if not isinstance(child, Symbol):
+                return None
+            word.append(child.name)
+        return (kind, word)
+    return None
+
+
+def _is_full_alternation(node, ename):
+    if isinstance(node, Symbol):
+        return frozenset((node.name,)) == frozenset(ename)
+    if isinstance(node, Union):
+        names = set()
+        for child in node.children:
+            if not isinstance(child, Symbol):
+                return False
+            names.add(child.name)
+        return names == set(ename)
+    return False
+
+
+def bxsd_suffix_width(bxsd):
+    """The minimal ``k`` for which the BXSD is k-suffix based, or ``None``.
+
+    ``None`` when some rule pattern is not a suffix language (Definition
+    11 does not apply).
+    """
+    width = 0
+    for rule in bxsd.rules:
+        classified = pattern_as_suffix(rule.pattern, bxsd.ename)
+        if classified is None:
+            return None
+        width = max(width, len(classified[1]))
+    return width
+
+
+# ---------------------------------------------------------------------------
+# Theorem 12: k-suffix BXSD -> k-suffix DFA-based XSD (Aho-Corasick)
+# ---------------------------------------------------------------------------
+
+class _Trie:
+    """Aho-Corasick trie over the rule words."""
+
+    def __init__(self):
+        self.children = [{}]   # node -> {name: node}
+        self.fail = [0]
+        self.words = [()]      # node -> the word it spells
+
+    def insert(self, word):
+        node = 0
+        for name in word:
+            child = self.children[node].get(name)
+            if child is None:
+                child = len(self.children)
+                self.children.append({})
+                self.fail.append(0)
+                self.words.append(self.words[node] + (name,))
+                self.children[node][name] = child
+            node = child
+        return node
+
+    def build_failures(self):
+        from collections import deque
+
+        queue = deque()
+        for name, child in self.children[0].items():
+            self.fail[child] = 0
+            queue.append(child)
+        while queue:
+            node = queue.popleft()
+            for name, child in self.children[node].items():
+                fallback = self.fail[node]
+                while fallback and name not in self.children[fallback]:
+                    fallback = self.fail[fallback]
+                self.fail[child] = self.children[fallback].get(name, 0)
+                if self.fail[child] == child:
+                    self.fail[child] = 0
+                queue.append(child)
+
+    def goto(self, node, name):
+        """The Aho-Corasick transition (longest suffix that is a prefix)."""
+        while True:
+            child = self.children[node].get(name)
+            if child is not None:
+                return child
+            if node == 0:
+                return 0
+            node = self.fail[node]
+
+    def suffix_chain(self, node):
+        """The node plus its failure ancestors (all pattern-suffixes)."""
+        chain = []
+        while True:
+            chain.append(node)
+            if node == 0:
+                return chain
+            node = self.fail[node]
+
+
+def ksuffix_bxsd_to_dfa_based(bxsd):
+    """Theorem 12: translate a k-suffix based BXSD in linear size.
+
+    Raises:
+        NotKSuffixError: if some rule pattern is not a suffix language.
+    """
+    classified = []
+    for index, rule in enumerate(bxsd.rules):
+        result = pattern_as_suffix(rule.pattern, bxsd.ename)
+        if result is None:
+            raise NotKSuffixError(
+                f"rule {index} ({rule.pattern}) is not a suffix language"
+            )
+        classified.append(result)
+
+    trie = _Trie()
+    exact_rule_node = {}
+    suffix_rules_at = {}
+    for index, (kind, word) in enumerate(classified):
+        node = trie.insert(word)
+        if kind == "exact":
+            exact_rule_node.setdefault(node, []).append(index)
+        else:
+            suffix_rules_at.setdefault(node, []).append(index)
+    trie.build_failures()
+
+    def assign_for(node, exact):
+        candidates = []
+        for chained in trie.suffix_chain(node):
+            candidates.extend(suffix_rules_at.get(chained, ()))
+        if exact:
+            candidates.extend(exact_rule_node.get(node, ()))
+        if not candidates:
+            return None
+        return bxsd.rules[max(candidates)].content
+
+    # States are (trie node, exact bit); the initial state is (0, True),
+    # which is never re-entered: True-successors move strictly deeper into
+    # the trie, False states stay False.  When there are no exact rules the
+    # bit carries no information, so it is pinned to False after the first
+    # step -- this keeps the automaton strictly k-suffix (Definition 10)
+    # for purely suffix-based schemas.
+    track_exact = bool(exact_rule_node)
+    initial = (0, True)
+    states = {initial}
+    assign = {}
+    transitions = {}
+    worklist = [initial]
+    while worklist:
+        state = worklist.pop()
+        node, exact = state
+        for name in bxsd.ename:
+            if track_exact and exact and name in trie.children[node]:
+                target = (trie.children[node][name], True)
+            else:
+                target = (trie.goto(node, name), False)
+            transitions[(state, name)] = target
+            if target not in states:
+                states.add(target)
+                worklist.append(target)
+
+    from repro.xsd.content import ContentModel
+
+    universal_model = ContentModel(universal(bxsd.ename))
+    for state in states:
+        if state == initial:
+            continue
+        node, exact = state
+        model = assign_for(node, exact)
+        assign[state] = universal_model if model is None else model
+
+    return DFABasedXSD(
+        states=states,
+        alphabet=bxsd.ename,
+        transitions=transitions,
+        initial=initial,
+        start=bxsd.start,
+        assign=assign,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 13: k-suffix DFA-based XSD -> k-suffix based BXSD
+# ---------------------------------------------------------------------------
+
+def ksuffix_dfa_based_to_bxsd(schema, k=None):
+    """Theorem 13: translate a k-suffix DFA-based XSD (polynomial for
+    constant ``k``).
+
+    Args:
+        schema: the DFA-based XSD to translate.
+        k: the suffix width; auto-detected (minimal) when omitted.
+
+    Raises:
+        NotKSuffixError: if ``schema`` is not k-suffix for this ``k`` (or
+            for any ``k``, when auto-detecting).
+    """
+    if k is None:
+        k = detect_k_suffix(schema)
+        if k is None:
+            raise NotKSuffixError("schema is not k-suffix for any k")
+    if not check_k_suffix(schema, k):
+        raise NotKSuffixError(f"schema is not {k}-suffix")
+    states, step = _totalized(schema)
+    alphabet = sorted(schema.alphabet)
+    rules = []
+
+    # Exact rules for short ancestor strings (length < k), probed from q0.
+    def probe_exact(prefix_state, word, remaining):
+        for name in alphabet:
+            target = step(prefix_state, name)
+            if target == _DEAD:
+                continue
+            new_word = word + [name]
+            rules.append(
+                Rule(concat(*(sym(n) for n in new_word)),
+                     schema.assign[target])
+            )
+            if remaining > 1:
+                probe_exact(target, new_word, remaining - 1)
+
+    if k > 1:
+        # Exact rules cover ancestor strings of length 1..k-1; length-k
+        # (and longer) strings are covered by the suffix rules below.
+        probe_exact(schema.initial, [], k - 1)
+    elif k == 0:
+        # 0-suffix: a single state types every node.
+        non_initial = [s for s in states
+                       if s not in (_DEAD, schema.initial)]
+        if non_initial:
+            rules.append(
+                Rule(universal(schema.alphabet),
+                     schema.assign[non_initial[0]])
+            )
+
+    # Suffix rules EName* w for |w| = k: the k-suffix property makes the
+    # target state independent of the starting state.
+    if k > 0:
+        sources = [s for s in states if s != _DEAD]
+        for word in itertools.product(alphabet, repeat=k):
+            targets = {_run(step, source, word) for source in sources}
+            targets.discard(_DEAD)
+            if not targets:
+                continue
+            if len(targets) > 1:
+                raise NotKSuffixError(
+                    f"suffix {'/'.join(word)} reaches states "
+                    f"{sorted(map(repr, targets))} -- not {k}-suffix"
+                )
+            (target,) = targets
+            pattern = concat(
+                universal(schema.alphabet), *(sym(name) for name in word)
+            )
+            rules.append(Rule(pattern, schema.assign[target]))
+
+    return BXSD(ename=schema.alphabet, start=schema.start, rules=rules)
+
+
+def _run(step, state, word):
+    for name in word:
+        state = step(state, name)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Semantic k-locality (the property the 98%-of-web-XSDs study measures)
+# ---------------------------------------------------------------------------
+
+def is_semantically_k_local(schema, k):
+    """True iff, across *valid documents*, the content model of a node is
+    determined by the last ``k`` labels of its ancestor string.
+
+    This is the property measured by the practical study the paper cites
+    [Martens et al. 2006]: strict Definition 10 compares automaton *states*
+    over arbitrary strings, which a partial or redundantly-stated automaton
+    can fail even when every valid document is perfectly k-local.  Here,
+    pairs of states propagate only along labels allowed by *both* content
+    models (so only contexts that occur in valid documents count), and
+    after ``k`` common steps the two content models must be semantically
+    equal (same word language, mixedness, and attribute uses).
+    """
+    allowed = {}
+    for state in schema.states:
+        if state == schema.initial:
+            allowed[state] = frozenset(schema.start)
+        else:
+            allowed[state] = frozenset(schema.assign[state].element_names())
+
+    def step_pairs(pairs):
+        out = set()
+        for left, right in pairs:
+            for name in allowed[left] & allowed[right]:
+                left_target = schema.transitions.get((left, name))
+                right_target = schema.transitions.get((right, name))
+                if left_target is None or right_target is None:
+                    continue
+                out.add((left_target, right_target))
+        return out
+
+    reachable = schema.reachable_states()
+    pairs = {
+        (left, right)
+        for left in reachable
+        for right in reachable
+        if repr(left) < repr(right)
+    }
+    for __ in range(k):
+        pairs = step_pairs(pairs)
+
+    # Close under further common steps; every visited pair must agree.
+    checker = _ModelEquality(schema)
+    seen = set()
+    worklist = list(pairs)
+    while worklist:
+        pair = worklist.pop()
+        if pair in seen:
+            continue
+        seen.add(pair)
+        left, right = pair
+        # Pairs involving the initial state compare no content models
+        # (q0 types no node) but still propagate to real node pairs.
+        if (
+            left != schema.initial
+            and right != schema.initial
+            and not checker.equal(left, right)
+        ):
+            return False
+        for successor in step_pairs({pair}):
+            if successor not in seen:
+                worklist.append(successor)
+    return True
+
+
+def detect_semantic_locality(schema, max_k=4):
+    """The minimal ``k`` with :func:`is_semantically_k_local`, or ``None``."""
+    for k in range(max_k + 1):
+        if is_semantically_k_local(schema, k):
+            return k
+    return None
+
+
+class _ModelEquality:
+    """Memoized semantic equality of the content models of two states."""
+
+    def __init__(self, schema):
+        self.schema = schema
+        self._canonical = {}
+        self._cache = {}
+
+    def _dfa(self, state):
+        cached = self._canonical.get(state)
+        if cached is None:
+            from repro.automata.minimize import minimize as minimize_dfa
+            from repro.regex.derivatives import to_dfa
+
+            model = self.schema.assign[state]
+            cached = minimize_dfa(
+                to_dfa(model.regex, alphabet=self.schema.alphabet)
+            )
+            self._canonical[state] = cached
+        return cached
+
+    def equal(self, left, right):
+        if left == right:
+            return True
+        key = (left, right)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        from repro.automata.operations import isomorphic
+
+        left_model = self.schema.assign[left]
+        right_model = self.schema.assign[right]
+        result = (
+            left_model.mixed == right_model.mixed
+            and frozenset(left_model.attributes)
+            == frozenset(right_model.attributes)
+            and isomorphic(self._dfa(left), self._dfa(right))
+        )
+        self._cache[key] = result
+        self._cache[(right, left)] = result
+        return result

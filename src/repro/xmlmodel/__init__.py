@@ -1,0 +1,24 @@
+"""XML substrate: tree model, parser, writer, DTDs, random trees."""
+
+from repro.xmlmodel.dtd import DTD, DTDAttribute, DTDElement, parse_dtd
+from repro.xmlmodel.generator import mutate_tree, random_tree
+from repro.xmlmodel.parser import from_etree, parse_document, parse_fragment
+from repro.xmlmodel.tree import XMLDocument, XMLElement, element
+from repro.xmlmodel.writer import write_document, write_element
+
+__all__ = [
+    "DTD",
+    "DTDAttribute",
+    "DTDElement",
+    "XMLDocument",
+    "XMLElement",
+    "element",
+    "from_etree",
+    "mutate_tree",
+    "parse_document",
+    "parse_dtd",
+    "parse_fragment",
+    "random_tree",
+    "write_document",
+    "write_element",
+]

@@ -1,0 +1,280 @@
+"""A from-scratch, dependency-free XML parser.
+
+Supports the XML subset the paper's data model needs: elements, attributes
+(single- or double-quoted), character data with the five predefined
+entities, numeric character references, comments, processing instructions,
+CDATA sections, an XML declaration, and an (ignored, but syntax-checked)
+internal DTD subset.  Namespaces are treated lexically: prefixed names are
+kept verbatim (the formal model works over plain element names).
+
+The parser is deliberately strict about well-formedness (mismatched tags,
+unterminated constructs and stray ``<`` are errors) because schema tooling
+should never guess.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.xmlmodel.tree import XMLDocument, XMLElement
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+
+class _Cursor:
+    """Tracks position in the input and provides line/column diagnostics."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+
+    def location(self):
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message):
+        line, column = self.location()
+        return ParseError(message, line=line, column=column)
+
+    def at_end(self):
+        return self.pos >= len(self.text)
+
+    def peek(self, width=1):
+        return self.text[self.pos : self.pos + width]
+
+    def startswith(self, token):
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, amount=1):
+        self.pos += amount
+
+    def skip_whitespace(self):
+        text = self.text
+        while self.pos < len(text) and text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def take_until(self, token, construct):
+        index = self.text.find(token, self.pos)
+        if index < 0:
+            raise self.error(f"unterminated {construct}")
+        chunk = self.text[self.pos : index]
+        self.pos = index + len(token)
+        return chunk
+
+
+def _is_name_start(char):
+    return char.isalpha() or char in "_:"
+
+
+def _is_name_char(char):
+    return char.isalnum() or char in "_:.-"
+
+
+def _read_name(cursor):
+    start = cursor.pos
+    if cursor.at_end() or not _is_name_start(cursor.peek()):
+        raise cursor.error("expected a name")
+    cursor.advance()
+    while not cursor.at_end() and _is_name_char(cursor.peek()):
+        cursor.advance()
+    return cursor.text[start : cursor.pos]
+
+
+def _decode_entities(raw, cursor):
+    if "&" not in raw:
+        return raw
+    out = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char != "&":
+            out.append(char)
+            index += 1
+            continue
+        end = raw.find(";", index)
+        if end < 0:
+            raise cursor.error("unterminated entity reference")
+        body = raw[index + 1 : end]
+        if body.startswith("#x") or body.startswith("#X"):
+            out.append(chr(int(body[2:], 16)))
+        elif body.startswith("#"):
+            out.append(chr(int(body[1:])))
+        elif body in _ENTITIES:
+            out.append(_ENTITIES[body])
+        else:
+            raise cursor.error(f"unknown entity &{body};")
+        index = end + 1
+    return "".join(out)
+
+
+def parse_document(text):
+    """Parse a complete XML document into an :class:`XMLDocument`.
+
+    Raises:
+        ParseError: if the input is not well-formed.
+    """
+    cursor = _Cursor(text)
+    _skip_prolog(cursor)
+    root = _parse_element(cursor)
+    _skip_misc(cursor)
+    if not cursor.at_end():
+        raise cursor.error("content after the root element")
+    return XMLDocument(root)
+
+
+def parse_fragment(text):
+    """Parse a single element (no prolog allowed) into an :class:`XMLElement`."""
+    cursor = _Cursor(text)
+    cursor.skip_whitespace()
+    element = _parse_element(cursor)
+    cursor.skip_whitespace()
+    if not cursor.at_end():
+        raise cursor.error("content after the element")
+    return element
+
+
+def _skip_prolog(cursor):
+    cursor.skip_whitespace()
+    if cursor.startswith("<?xml"):
+        cursor.take_until("?>", "XML declaration")
+    _skip_misc(cursor)
+    if cursor.startswith("<!DOCTYPE"):
+        _skip_doctype(cursor)
+    _skip_misc(cursor)
+
+
+def _skip_misc(cursor):
+    while True:
+        cursor.skip_whitespace()
+        if cursor.startswith("<!--"):
+            cursor.advance(4)
+            cursor.take_until("-->", "comment")
+        elif cursor.startswith("<?"):
+            cursor.advance(2)
+            cursor.take_until("?>", "processing instruction")
+        else:
+            return
+
+
+def _skip_doctype(cursor):
+    cursor.advance(len("<!DOCTYPE"))
+    depth = 0
+    while not cursor.at_end():
+        char = cursor.peek()
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif char == ">" and depth == 0:
+            cursor.advance()
+            return
+        cursor.advance()
+    raise cursor.error("unterminated DOCTYPE")
+
+
+def _parse_element(cursor):
+    if not cursor.startswith("<"):
+        raise cursor.error("expected an element start tag")
+    cursor.advance()
+    name = _read_name(cursor)
+    node = XMLElement(name)
+    _parse_attributes(cursor, node)
+    cursor.skip_whitespace()
+    if cursor.startswith("/>"):
+        cursor.advance(2)
+        return node
+    if not cursor.startswith(">"):
+        raise cursor.error(f"malformed start tag <{name}>")
+    cursor.advance()
+    _parse_content(cursor, node)
+    return node
+
+
+def _parse_attributes(cursor, node):
+    while True:
+        cursor.skip_whitespace()
+        if cursor.at_end():
+            raise cursor.error(f"unterminated start tag <{node.name}>")
+        if cursor.peek() in ("/", ">"):
+            return
+        attr_name = _read_name(cursor)
+        cursor.skip_whitespace()
+        if not cursor.startswith("="):
+            raise cursor.error(f"attribute {attr_name!r} is missing '='")
+        cursor.advance()
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in ("'", '"'):
+            raise cursor.error(f"attribute {attr_name!r} value must be quoted")
+        cursor.advance()
+        raw = cursor.take_until(quote, f"attribute {attr_name!r}")
+        if attr_name in node.attributes:
+            raise cursor.error(f"duplicate attribute {attr_name!r}")
+        node.attributes[attr_name] = _decode_entities(raw, cursor)
+
+
+def _parse_content(cursor, node):
+    while True:
+        if cursor.at_end():
+            raise cursor.error(f"unterminated element <{node.name}>")
+        if cursor.startswith("</"):
+            cursor.advance(2)
+            closing = _read_name(cursor)
+            if closing != node.name:
+                raise cursor.error(
+                    f"mismatched end tag </{closing}> (expected </{node.name}>)"
+                )
+            cursor.skip_whitespace()
+            if not cursor.startswith(">"):
+                raise cursor.error(f"malformed end tag </{closing}>")
+            cursor.advance()
+            return
+        if cursor.startswith("<!--"):
+            cursor.advance(4)
+            cursor.take_until("-->", "comment")
+            continue
+        if cursor.startswith("<![CDATA["):
+            cursor.advance(len("<![CDATA["))
+            node.append_text(cursor.take_until("]]>", "CDATA section"))
+            continue
+        if cursor.startswith("<?"):
+            cursor.advance(2)
+            cursor.take_until("?>", "processing instruction")
+            continue
+        if cursor.startswith("<"):
+            child = _parse_element(cursor)
+            node.append(child)
+            continue
+        # Character data up to the next markup.
+        index = cursor.text.find("<", cursor.pos)
+        if index < 0:
+            raise cursor.error(f"unterminated element <{node.name}>")
+        raw = cursor.text[cursor.pos : index]
+        cursor.pos = index
+        node.append_text(_decode_entities(raw, cursor))
+
+
+def from_etree(etree_element):
+    """Convert a stdlib :mod:`xml.etree.ElementTree` element (adapter).
+
+    Useful when callers already hold an ElementTree; namespace-qualified
+    tags (``{uri}local``) are reduced to their local name.
+    """
+    def local(tag):
+        return tag.rsplit("}", 1)[-1] if tag.startswith("{") else tag
+
+    def convert(source):
+        node = XMLElement(
+            local(source.tag),
+            attributes={local(k): v for k, v in source.attrib.items()},
+            text=source.text or "",
+        )
+        for child in source:
+            converted = convert(child)
+            node.append(converted, text_after=child.tail or "")
+        return node
+
+    return convert(etree_element)

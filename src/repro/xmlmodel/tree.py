@@ -1,0 +1,190 @@
+"""XML documents as finite, rooted, ordered, labeled, unranked trees.
+
+This mirrors the paper's Section 4.1 terminology exactly:
+
+* ``anc_str(v)`` — the ancestor-string: labels on the path from the root
+  down to (and including) ``v``.
+* ``ch_str(v)`` — the child-string: labels of the children of ``v`` from
+  left to right (the paper's "content of v").
+
+Elements carry attributes and mixed content (text interleaved with child
+elements); the formal model ignores text and attributes, the practical
+validators use them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+
+class XMLElement:
+    """One element node of an XML tree.
+
+    Attributes:
+        name: the element name (label).
+        attributes: ``dict`` of attribute name -> string value.
+        children: ordered list of :class:`XMLElement` children.
+        texts: mixed-content text runs; ``texts[i]`` is the text appearing
+            before ``children[i]`` and ``texts[len(children)]`` the trailing
+            run, so ``len(texts) == len(children) + 1`` always holds.
+        parent: the parent element, or ``None`` for a root.
+    """
+
+    __slots__ = ("name", "attributes", "children", "texts", "parent")
+
+    def __init__(self, name, attributes=None, children=None, text=None):
+        self.name = name
+        self.attributes = dict(attributes or {})
+        self.children = []
+        self.texts = [""]
+        self.parent = None
+        if text:
+            self.texts[0] = text
+        for child in children or ():
+            self.append(child)
+
+    def append(self, child, text_after=""):
+        """Append a child element (and optionally text following it)."""
+        if child.parent is not None:
+            raise SchemaError(
+                f"element <{child.name}> already has a parent "
+                f"<{child.parent.name}>"
+            )
+        child.parent = self
+        self.children.append(child)
+        self.texts.append(text_after)
+
+    def append_text(self, text):
+        """Append character data at the current end of the content."""
+        self.texts[-1] += text
+
+    # -- the paper's string notions --------------------------------------
+    def anc_str(self):
+        """The ancestor-string of this node (labels from the root to here)."""
+        path = []
+        node = self
+        while node is not None:
+            path.append(node.name)
+            node = node.parent
+        path.reverse()
+        return path
+
+    def ch_str(self):
+        """The child-string of this node (labels of children, in order)."""
+        return [child.name for child in self.children]
+
+    # -- convenience ------------------------------------------------------
+    @property
+    def text(self):
+        """All character data of this element, concatenated."""
+        return "".join(self.texts)
+
+    def has_text(self):
+        """True iff some non-whitespace character data is present."""
+        return any(run.strip() for run in self.texts)
+
+    def iter(self):
+        """Yield this element and every descendant in document order."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find(self, name):
+        """First child with the given name, or ``None``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    def find_all(self, name):
+        """All children with the given name (list)."""
+        return [child for child in self.children if child.name == name]
+
+    def depth(self):
+        """Number of ancestors (the root has depth 0)."""
+        count = 0
+        node = self.parent
+        while node is not None:
+            count += 1
+            node = node.parent
+        return count
+
+    def __repr__(self):
+        return f"<XMLElement {self.name} children={len(self.children)}>"
+
+    def __eq__(self, other):
+        if not isinstance(other, XMLElement):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.attributes == other.attributes
+            and self.texts == other.texts
+            and self.children == other.children
+        )
+
+    def __hash__(self):
+        return hash((self.name, tuple(sorted(self.attributes.items()))))
+
+
+class XMLDocument:
+    """A rooted XML document.
+
+    Attributes:
+        root: the root :class:`XMLElement`.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root):
+        self.root = root
+
+    def iter(self):
+        """Yield all elements in document order."""
+        yield from self.root.iter()
+
+    def size(self):
+        """The number of element nodes."""
+        return sum(1 for __ in self.iter())
+
+    def height(self):
+        """The length of the longest root-to-leaf path (in nodes)."""
+        best = 0
+        stack = [(self.root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            best = max(best, depth)
+            for child in node.children:
+                stack.append((child, depth + 1))
+        return best
+
+    def labels(self):
+        """The set of element names occurring in the document."""
+        return {node.name for node in self.iter()}
+
+    def __eq__(self, other):
+        if not isinstance(other, XMLDocument):
+            return NotImplemented
+        return self.root == other.root
+
+    def __hash__(self):
+        return hash(self.root)
+
+    def __repr__(self):
+        return f"<XMLDocument root={self.root.name} size={self.size()}>"
+
+
+def element(name, *children, attributes=None, text=None):
+    """Terse tree-building helper used pervasively in tests and examples.
+
+    ``children`` items may be :class:`XMLElement` nodes or plain strings
+    (appended as character data in order)::
+
+        doc = XMLDocument(element("doc", element("a"), "hello", element("b")))
+    """
+    node = XMLElement(name, attributes=attributes, text=text)
+    for child in children:
+        if isinstance(child, str):
+            node.append_text(child)
+        else:
+            node.append(child)
+    return node

@@ -1,0 +1,61 @@
+"""Serialization of XML documents back to text."""
+
+from __future__ import annotations
+
+_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ESCAPES_ATTR = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value):
+    """Escape character data for element content."""
+    return "".join(_ESCAPES_TEXT.get(char, char) for char in value)
+
+
+def escape_attribute(value):
+    """Escape an attribute value for double-quoted serialization."""
+    return "".join(_ESCAPES_ATTR.get(char, char) for char in value)
+
+
+def write_element(node, indent=None, level=0):
+    """Serialize one element.
+
+    Args:
+        node: the :class:`~repro.xmlmodel.tree.XMLElement` to write.
+        indent: indentation unit (e.g. ``"  "``) for pretty printing, or
+            ``None`` for compact output.  Pretty printing is only applied to
+            elements without mixed content (so round trips are lossless).
+        level: current nesting depth (used with ``indent``).
+    """
+    attributes = "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in node.attributes.items()
+    )
+    has_content = bool(node.children) or node.has_text()
+    if not has_content:
+        return f"<{node.name}{attributes}/>"
+
+    pieces = [f"<{node.name}{attributes}>"]
+    pretty = indent is not None and not node.has_text() and node.children
+    child_prefix = ""
+    closing_prefix = ""
+    if pretty:
+        child_prefix = "\n" + indent * (level + 1)
+        closing_prefix = "\n" + indent * level
+    for index, child in enumerate(node.children):
+        pieces.append(escape_text(node.texts[index]))
+        if pretty:
+            pieces.append(child_prefix)
+        pieces.append(write_element(child, indent=indent, level=level + 1))
+    pieces.append(escape_text(node.texts[len(node.children)]))
+    if pretty:
+        pieces.append(closing_prefix)
+    pieces.append(f"</{node.name}>")
+    return "".join(pieces)
+
+
+def write_document(document, indent="  ", declaration=True):
+    """Serialize a whole document, optionally with an XML declaration."""
+    body = write_element(document.root, indent=indent)
+    if declaration:
+        return '<?xml version="1.0" encoding="UTF-8"?>\n' + body + "\n"
+    return body + "\n"

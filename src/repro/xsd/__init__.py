@@ -1,0 +1,45 @@
+"""XML Schema substrate: formal model (Definition 2), DFA-based XSDs
+(Definition 3), validation, ``.xsd`` I/O, minimization and equivalence."""
+
+from repro.xsd.content import AttributeUse, ContentModel, as_content_model
+from repro.xsd.dfa_based import DFABasedXSD
+from repro.xsd.equivalence import (
+    dfa_xsd_counterexample_pair,
+    dfa_xsd_equivalent,
+    productive_roots,
+    productive_states,
+    xsd_equivalent,
+)
+from repro.xsd.generator import DocumentGenerator, generate_document
+from repro.xsd.minimize import minimize_dfa_based, minimize_xsd
+from repro.xsd.model import XSD
+from repro.xsd.reader import read_xsd, xsd_from_xml
+from repro.xsd.typednames import TypedName, erase_type, split_typed_name
+from repro.xsd.validator import XSDValidationReport, validate_xsd
+from repro.xsd.writer import write_xsd, xsd_to_xml
+
+__all__ = [
+    "AttributeUse",
+    "ContentModel",
+    "DFABasedXSD",
+    "DocumentGenerator",
+    "TypedName",
+    "XSD",
+    "XSDValidationReport",
+    "as_content_model",
+    "dfa_xsd_counterexample_pair",
+    "dfa_xsd_equivalent",
+    "erase_type",
+    "generate_document",
+    "minimize_dfa_based",
+    "minimize_xsd",
+    "productive_roots",
+    "productive_states",
+    "read_xsd",
+    "split_typed_name",
+    "validate_xsd",
+    "write_xsd",
+    "xsd_equivalent",
+    "xsd_from_xml",
+    "xsd_to_xml",
+]

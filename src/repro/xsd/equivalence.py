@@ -1,0 +1,190 @@
+"""Equivalence of schemas at the document-language level.
+
+Two schemas are equivalent iff they accept exactly the same set of XML
+documents.  For DFA-based XSDs (the pivot representation — everything else
+is translated into it first), equivalence is decided by a synchronized
+walk over state pairs reachable through *valid* documents:
+
+1. compute the *productive* states of each schema (states below which at
+   least one finite valid subtree exists) — a fixpoint, because a content
+   model only helps if the letters it emits lead to productive states;
+2. the two root-name sets (restricted to productive states) must agree;
+3. for every synchronized pair of states, the content languages restricted
+   to productive letters must be equal as word languages; recursion follows
+   the letters that actually occur in those restricted languages.
+
+This is sound and complete for single-type tree grammars (which is what
+XSDs are [Martens et al. 2006]).
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.operations import counterexample as word_counterexample
+from repro.automata.operations import equivalent as dfa_equivalent
+from repro.regex.derivatives import to_dfa
+
+
+def productive_states(schema):
+    """The productive states of a DFA-based XSD and their ranks.
+
+    Returns:
+        dict state -> rank (the fixpoint round in which the state was
+        proven productive; smaller rank = shallower minimal subtree).
+        The initial state never appears (it types no node).
+    """
+    ranks = {}
+    content_dfas = {}
+    for state in schema.states:
+        if state == schema.initial:
+            continue
+        model = schema.assign[state]
+        content_dfas[state] = to_dfa(
+            model.regex, alphabet=model.element_names()
+        )
+
+    round_number = 0
+    changed = True
+    while changed:
+        changed = False
+        round_number += 1
+        newly_productive = []
+        for state, content in content_dfas.items():
+            if state in ranks:
+                continue
+            allowed = {
+                name
+                for name in content.alphabet
+                if schema.transitions.get((state, name)) in ranks
+            }
+            if _has_word_over(content, allowed):
+                newly_productive.append(state)
+                changed = True
+        for state in newly_productive:
+            ranks[state] = round_number
+    return ranks
+
+
+def _has_word_over(content_dfa, allowed):
+    """True iff the content DFA accepts some word using only ``allowed``."""
+    seen = {content_dfa.initial}
+    worklist = [content_dfa.initial]
+    while worklist:
+        state = worklist.pop()
+        if state in content_dfa.accepting:
+            return True
+        for name in allowed:
+            target = content_dfa.transitions.get((state, name))
+            if target is not None and target not in seen:
+                seen.add(target)
+                worklist.append(target)
+    return False
+
+
+def restricted_content_dfa(schema, state, ranks, alphabet):
+    """DFA of ``L(lambda(state))`` restricted to productive letters."""
+    model = schema.assign[state]
+    dfa = to_dfa(model.regex, alphabet=alphabet | model.element_names())
+    productive_letters = {
+        name
+        for name in dfa.alphabet
+        if schema.transitions.get((state, name)) in ranks
+    }
+    transitions = {
+        (source, name): target
+        for (source, name), target in dfa.transitions.items()
+        if name in productive_letters
+    }
+    return DFA(
+        states=dfa.states,
+        alphabet=dfa.alphabet,
+        transitions=transitions,
+        initial=dfa.initial,
+        accepting=dfa.accepting,
+    )
+
+
+def _useful_letters(dfa):
+    """Letters occurring in at least one accepted word of ``dfa``."""
+    trimmed = dfa.to_nfa().trim()
+    return {symbol for (state, symbol) in trimmed.transitions}
+
+
+def productive_roots(schema, ranks=None):
+    """Root names that can actually head a valid document."""
+    if ranks is None:
+        ranks = productive_states(schema)
+    return frozenset(
+        name
+        for name in schema.start
+        if schema.transitions.get((schema.initial, name)) in ranks
+    )
+
+
+def dfa_xsd_equivalent(left, right):
+    """Decide document-language equivalence of two DFA-based XSDs."""
+    return dfa_xsd_counterexample_pair(left, right) is None
+
+
+def dfa_xsd_counterexample_pair(left, right):
+    """A description of the first difference found, or ``None`` if equal.
+
+    Returns ``(path, detail)`` where ``path`` is the list of element names
+    from the root to the disagreeing node and ``detail`` a human-readable
+    explanation (either differing root sets or a child-word in exactly one
+    content language).
+    """
+    left_ranks = productive_states(left)
+    right_ranks = productive_states(right)
+    left_roots = productive_roots(left, left_ranks)
+    right_roots = productive_roots(right, right_ranks)
+    if left_roots != right_roots:
+        return [], (
+            f"root names differ: {sorted(left_roots)} vs "
+            f"{sorted(right_roots)}"
+        )
+
+    alphabet = left.alphabet | right.alphabet
+    seen = set()
+    worklist = []
+    for name in sorted(left_roots):
+        pair = (
+            left.transitions[(left.initial, name)],
+            right.transitions[(right.initial, name)],
+        )
+        if pair not in seen:
+            seen.add(pair)
+            worklist.append((pair, [name]))
+
+    while worklist:
+        (left_state, right_state), path = worklist.pop()
+        left_content = restricted_content_dfa(
+            left, left_state, left_ranks, alphabet
+        )
+        right_content = restricted_content_dfa(
+            right, right_state, right_ranks, alphabet
+        )
+        if not dfa_equivalent(left_content, right_content):
+            witness = word_counterexample(left_content, right_content)
+            return path, (
+                f"content languages differ at {'/'.join(path)}; "
+                f"witness child-word: {witness}"
+            )
+        for name in sorted(_useful_letters(left_content)):
+            pair = (
+                left.transitions[(left_state, name)],
+                right.transitions[(right_state, name)],
+            )
+            if pair not in seen:
+                seen.add(pair)
+                worklist.append((pair, path + [name]))
+    return None
+
+
+def xsd_equivalent(left_xsd, right_xsd):
+    """Equivalence of two formal XSDs (via the DFA-based pivot)."""
+    from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+
+    return dfa_xsd_equivalent(
+        xsd_to_dfa_based(left_xsd), xsd_to_dfa_based(right_xsd)
+    )

@@ -1,0 +1,128 @@
+"""Minimization of DFA-based XSDs (and thereby XSDs), after [22].
+
+Martens & Niehren show XSDs can be minimized efficiently by merging
+equivalent types; the content-model *expressions* are left untouched (there
+is no known efficient minimization of deterministic regular expressions —
+the paper remarks on this after Lemma 7).
+
+The algorithm is Moore-style partition refinement on the states of the
+DFA-based XSD: the initial partition groups states whose content models
+define the same word language over element names (decided via canonical
+DFAs), with mixedness and attribute uses as part of the signature; blocks
+are then split until transitions respect the partition.
+"""
+
+from __future__ import annotations
+
+from repro.automata.minimize import minimize as minimize_dfa
+from repro.automata.operations import isomorphic
+from repro.regex.derivatives import to_dfa
+from repro.xsd.dfa_based import DFABasedXSD
+
+
+def minimize_dfa_based(schema):
+    """An equivalent DFA-based XSD with a minimal number of types/states.
+
+    The input is first trimmed to usefully-reachable states; then states
+    with indistinguishable behaviour are merged.  For each merged block the
+    content model of its smallest representative is kept verbatim (never
+    rebuilt).
+    """
+    schema = schema.trimmed()
+    states = sorted(
+        (state for state in schema.states if state != schema.initial),
+        key=repr,
+    )
+
+    # Initial partition: by content-language signature.
+    signature_groups = {}
+    canonical = {}
+    for state in states:
+        model = schema.assign[state]
+        canonical[state] = minimize_dfa(
+            to_dfa(model.regex, alphabet=schema.alphabet)
+        )
+        placed = False
+        key = (model.mixed, frozenset(model.attributes))
+        bucket = signature_groups.setdefault(key, [])
+        for group in bucket:
+            if isomorphic(canonical[state], canonical[group[0]]):
+                group.append(state)
+                placed = True
+                break
+        if not placed:
+            bucket.append([state])
+
+    block_of = {}
+    blocks = []
+    for bucket in signature_groups.values():
+        for group in bucket:
+            index = len(blocks)
+            blocks.append(list(group))
+            for state in group:
+                block_of[state] = index
+
+    # Moore refinement: split blocks whose members disagree on the block of
+    # some successor (only letters occurring in the content model matter,
+    # and those letters are identical within a block by construction).
+    changed = True
+    while changed:
+        changed = False
+        new_blocks = []
+        new_block_of = {}
+        for block in blocks:
+            groups = {}
+            for state in block:
+                letters = sorted(schema.assign[state].element_names())
+                signature = tuple(
+                    block_of[schema.transitions[(state, letter)]]
+                    for letter in letters
+                )
+                groups.setdefault(signature, []).append(state)
+            if len(groups) > 1:
+                changed = True
+            for group in groups.values():
+                index = len(new_blocks)
+                new_blocks.append(group)
+                for state in group:
+                    new_block_of[state] = index
+        blocks = new_blocks
+        block_of = new_block_of
+
+    # Build the quotient schema.
+    representative = {index: min(block, key=repr)
+                      for index, block in enumerate(blocks)}
+    initial = "__q0__"
+    transitions = {}
+    assign = {}
+    for index, block in enumerate(blocks):
+        source = representative[index]
+        state_name = f"B{index}"
+        assign[state_name] = schema.assign[source]
+        for letter in schema.assign[source].element_names():
+            target = schema.transitions[(source, letter)]
+            transitions[(state_name, letter)] = f"B{block_of[target]}"
+    for letter in schema.start:
+        target = schema.transitions.get((schema.initial, letter))
+        if target is not None:
+            transitions[(initial, letter)] = f"B{block_of[target]}"
+    return DFABasedXSD(
+        states=frozenset(assign) | {initial},
+        alphabet=schema.alphabet,
+        transitions=transitions,
+        initial=initial,
+        start=schema.start,
+        assign=assign,
+    )
+
+
+def minimize_xsd(xsd):
+    """An equivalent XSD with a minimal number of types.
+
+    Round-trips through the DFA-based representation (Algorithms 1 and 4
+    are linear, Lemmas 4 and 7).
+    """
+    from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+    from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+
+    return dfa_based_to_xsd(minimize_dfa_based(xsd_to_dfa_based(xsd)))

@@ -1,0 +1,294 @@
+"""Parsing W3C ``.xsd`` files into the formal model.
+
+The supported subset covers the constructs the paper's core concerns:
+global and local element declarations, named and anonymous complex types,
+``xs:sequence`` / ``xs:choice`` / ``xs:all`` particles with occurrence
+bounds, ``xs:group`` and ``xs:attributeGroup`` definitions and references,
+``mixed`` content, attribute declarations, and text-only elements with
+simple types.  Namespace prefixes on schema elements are recognized by
+local name, so any prefix bound to the XML Schema namespace works.
+
+Anonymous complex types receive synthesized names (``T_<element>``,
+``T_<element>_2``, ...), matching how the paper's tool displays them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError, SchemaError
+from repro.regex.ast import (
+    EPSILON,
+    concat,
+    counter,
+    interleave,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+from repro.xmlmodel.parser import parse_document
+from repro.xsd.content import AttributeUse, ContentModel
+from repro.xsd.model import XSD
+from repro.xsd.typednames import TypedName
+
+TEXT_TYPE_PREFIX = "Ttext_"
+"""Synthesized complex-type names for text-only (simple-typed) elements."""
+
+
+def read_xsd(text):
+    """Parse ``.xsd`` text into a formal :class:`~repro.xsd.model.XSD`."""
+    document = parse_document(text)
+    return xsd_from_xml(document)
+
+
+def xsd_from_xml(document):
+    """Interpret an already-parsed ``xs:schema`` document."""
+    root = document.root
+    if _local(root.name) != "schema":
+        raise ParseError(f"expected xs:schema, found <{root.name}>")
+    builder = _SchemaBuilder(root)
+    return builder.build()
+
+
+def _local(name):
+    return name.split(":", 1)[1] if ":" in name else name
+
+
+def _first_child(node, local_name):
+    for child in node.children:
+        if _local(child.name) == local_name:
+            return child
+    return None
+
+
+class _SchemaBuilder:
+    def __init__(self, schema_element):
+        self.schema = schema_element
+        self.named_types = {}      # name -> complexType element
+        self.groups = {}           # name -> group element
+        self.attribute_groups = {} # name -> attributeGroup element
+        self.global_elements = {}  # name -> element element
+        self.rho = {}
+        self.type_order = []
+        self.anonymous_counts = {}
+        self.simple_types = set()
+
+    def build(self):
+        for child in self.schema.children:
+            local = _local(child.name)
+            if local == "complexType":
+                self.named_types[child.attributes["name"]] = child
+            elif local == "group":
+                self.groups[child.attributes["name"]] = child
+            elif local == "attributeGroup":
+                self.attribute_groups[child.attributes["name"]] = child
+            elif local == "element":
+                self.global_elements[child.attributes["name"]] = child
+            elif local in ("annotation", "import", "include", "simpleType"):
+                continue
+            else:
+                raise ParseError(
+                    f"unsupported top-level schema construct <{child.name}>"
+                )
+
+        start = set()
+        for name, element in self.global_elements.items():
+            type_name = self._type_of_element(element)
+            start.add(TypedName(name, type_name))
+
+        # Named complex types that are referenced but not yet processed.
+        for name in list(self.named_types):
+            self._ensure_named_type(name)
+
+        ename = set()
+        for model in self.rho.values():
+            for symbol in model.element_names():
+                ename.add(TypedName(*_split(symbol)).element_name)
+        for typed in start:
+            ename.add(typed.element_name)
+
+        return XSD(
+            ename=ename,
+            types=set(self.rho),
+            rho=self.rho,
+            start=start,
+        )
+
+    # -- elements --------------------------------------------------------
+    def _type_of_element(self, element):
+        """The complex-type name an element declaration refers to."""
+        if "ref" in element.attributes:
+            target = self.global_elements.get(element.attributes["ref"])
+            if target is None:
+                raise SchemaError(
+                    f"element ref {element.attributes['ref']!r} is undefined"
+                )
+            return self._type_of_element(target)
+        name = element.attributes.get("name", "anonymous")
+        declared = element.attributes.get("type")
+        if declared is not None:
+            if declared in self.named_types:
+                self._ensure_named_type(declared)
+                return declared
+            if ":" in declared:
+                # A prefixed simple type (xs:string etc.): synthesize a
+                # text-only complex type for it.
+                return self._text_type(declared)
+            raise SchemaError(
+                f"element {name!r} references undefined type {declared!r}"
+            )
+        inline = _first_child(element, "complexType")
+        if inline is not None:
+            type_name = self._fresh_type_name(name)
+            self._process_complex_type(inline, type_name)
+            return type_name
+        simple = _first_child(element, "simpleType")
+        if simple is not None:
+            return self._text_type("xs:anySimpleType")
+        # No type information: anyType-like; model as mixed anything is out
+        # of the core scope -- use a text-only type.
+        return self._text_type("xs:anyType")
+
+    def _text_type(self, simple_name):
+        type_name = TEXT_TYPE_PREFIX + simple_name.replace(":", "_")
+        if type_name not in self.rho:
+            self.rho[type_name] = ContentModel(EPSILON, mixed=True)
+            self.simple_types.add(type_name)
+        return type_name
+
+    def _fresh_type_name(self, element_name):
+        base = f"T_{element_name}"
+        count = self.anonymous_counts.get(base, 0) + 1
+        self.anonymous_counts[base] = count
+        return base if count == 1 else f"{base}_{count}"
+
+    def _ensure_named_type(self, name):
+        if name in self.rho:
+            return
+        element = self.named_types.get(name)
+        if element is None:
+            raise SchemaError(f"complex type {name!r} is undefined")
+        self._process_complex_type(element, name)
+
+    # -- complex types -----------------------------------------------------
+    def _process_complex_type(self, node, type_name):
+        if type_name in self.rho:
+            return
+        self.rho[type_name] = None  # reserve (guards against cycles)
+        mixed = node.attributes.get("mixed", "false") in ("true", "1")
+        regex = EPSILON
+        attributes = []
+        for child in node.children:
+            local = _local(child.name)
+            if local in ("sequence", "choice", "all", "group", "element"):
+                regex = self._particle(child)
+            elif local == "attribute":
+                attributes.append(self._attribute(child))
+            elif local == "attributeGroup":
+                attributes.extend(self._attribute_group(child))
+            elif local == "annotation":
+                continue
+            else:
+                raise ParseError(
+                    f"unsupported construct <{child.name}> in complexType "
+                    f"{type_name!r}"
+                )
+        self.rho[type_name] = ContentModel(
+            regex, mixed=mixed, attributes=attributes
+        )
+
+    # -- particles ------------------------------------------------------------
+    def _particle(self, node):
+        local = _local(node.name)
+        if local == "element":
+            inner = self._element_symbol(node)
+        elif local == "sequence":
+            inner = concat(*(self._particle(child)
+                             for child in self._particle_children(node)))
+        elif local == "choice":
+            inner = union(*(self._particle(child)
+                            for child in self._particle_children(node)))
+        elif local == "all":
+            inner = interleave(*(self._particle(child)
+                                 for child in self._particle_children(node)))
+        elif local == "group":
+            reference = node.attributes.get("ref")
+            if reference is None:
+                raise ParseError("xs:group particles must carry ref=")
+            definition = self.groups.get(reference)
+            if definition is None:
+                raise SchemaError(f"group {reference!r} is undefined")
+            body = self._particle_children(definition)
+            if len(body) != 1:
+                raise ParseError(
+                    f"group {reference!r} must contain exactly one particle"
+                )
+            inner = self._particle(body[0])
+        else:
+            raise ParseError(f"unsupported particle <{node.name}>")
+        return _apply_occurs(inner, node)
+
+    def _particle_children(self, node):
+        return [
+            child
+            for child in node.children
+            if _local(child.name) not in ("annotation",)
+        ]
+
+    def _element_symbol(self, node):
+        if "ref" in node.attributes:
+            name = node.attributes["ref"]
+        else:
+            name = node.attributes["name"]
+        type_name = self._type_of_element(node)
+        return sym(TypedName(name, type_name))
+
+    # -- attributes ---------------------------------------------------------
+    def _attribute(self, node):
+        if "ref" in node.attributes:
+            raise ParseError("top-level attribute references are unsupported")
+        use = node.attributes.get("use", "optional")
+        return AttributeUse(
+            node.attributes["name"],
+            required=(use == "required"),
+            type_name=node.attributes.get("type"),
+        )
+
+    def _attribute_group(self, node):
+        reference = node.attributes.get("ref")
+        if reference is None:
+            raise ParseError("inline attributeGroup must carry ref=")
+        definition = self.attribute_groups.get(reference)
+        if definition is None:
+            raise SchemaError(f"attributeGroup {reference!r} is undefined")
+        out = []
+        for child in definition.children:
+            local = _local(child.name)
+            if local == "attribute":
+                out.append(self._attribute(child))
+            elif local == "attributeGroup":
+                out.extend(self._attribute_group(child))
+        return out
+
+
+def _apply_occurs(regex, node):
+    low = int(node.attributes.get("minOccurs", "1"))
+    high_raw = node.attributes.get("maxOccurs", "1")
+    if high_raw == "unbounded":
+        if low == 0:
+            return star(regex)
+        if low == 1:
+            return plus(regex)
+        return counter(regex, low, None)
+    high = int(high_raw)
+    if low == 1 and high == 1:
+        return regex
+    if low == 0 and high == 1:
+        return optional(regex)
+    return counter(regex, low, high)
+
+
+def _split(symbol):
+    from repro.xsd.typednames import split_typed_name
+
+    return split_typed_name(symbol)

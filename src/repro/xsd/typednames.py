@@ -1,0 +1,47 @@
+"""Typed element names ``a[t]`` (the paper's TEName).
+
+A :class:`TypedName` *is a string* (``"a[t]"``), so it can be used directly
+as a regex symbol, printed, hashed and compared like any name — while still
+exposing ``element_name`` and ``type_name`` components.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+
+class TypedName(str):
+    """A typed element name, rendered ``element[type]``.
+
+    Attributes:
+        element_name: the element name ``a``.
+        type_name: the complex type name ``t``.
+    """
+
+    def __new__(cls, element_name, type_name):
+        if "[" in element_name or "]" in element_name:
+            raise SchemaError(
+                f"element name {element_name!r} may not contain brackets"
+            )
+        instance = super().__new__(cls, f"{element_name}[{type_name}]")
+        instance.element_name = element_name
+        instance.type_name = type_name
+        return instance
+
+
+def split_typed_name(symbol):
+    """Split a typed-name string back into ``(element_name, type_name)``.
+
+    Accepts both :class:`TypedName` instances and plain ``"a[t]"`` strings.
+    """
+    if isinstance(symbol, TypedName):
+        return symbol.element_name, symbol.type_name
+    if not symbol.endswith("]") or "[" not in symbol:
+        raise SchemaError(f"{symbol!r} is not a typed element name")
+    element_name, type_name = symbol[:-1].split("[", 1)
+    return element_name, type_name
+
+
+def erase_type(symbol):
+    """The paper's µ: strip the type from a typed element name."""
+    return split_typed_name(symbol)[0]

@@ -1,0 +1,153 @@
+"""Serializing formal XSDs to W3C ``.xsd`` syntax.
+
+The emitted subset matches what the paper's Figure 3 uses: global element
+declarations for the start elements, named complex types, particles built
+from ``xs:sequence`` / ``xs:choice`` / ``xs:all`` with ``minOccurs`` /
+``maxOccurs``, the ``mixed`` attribute, and attribute declarations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.regex.ast import (
+    Concat,
+    Counter,
+    EmptySet,
+    Epsilon,
+    Interleave,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    UNBOUNDED,
+    Union,
+)
+from repro.xmlmodel.tree import XMLDocument, XMLElement
+from repro.xmlmodel.writer import write_document
+from repro.xsd.typednames import split_typed_name
+
+XS = "xs"
+DEFAULT_SIMPLE_TYPE = "xs:string"
+
+
+def xsd_to_xml(xsd, target_namespace=None):
+    """Build the ``xs:schema`` document tree for a formal XSD."""
+    schema = XMLElement(
+        f"{XS}:schema",
+        attributes={
+            f"xmlns:{XS}": "http://www.w3.org/2001/XMLSchema",
+            "elementFormDefault": "qualified",
+        },
+    )
+    if target_namespace:
+        schema.attributes["targetNamespace"] = target_namespace
+        schema.attributes["xmlns"] = target_namespace
+
+    for typed in sorted(xsd.start):
+        element_name, type_name = split_typed_name(typed)
+        schema.append(
+            XMLElement(
+                f"{XS}:element",
+                attributes={"name": element_name, "type": type_name},
+            )
+        )
+
+    for type_name in sorted(xsd.types, key=str):
+        schema.append(_complex_type(xsd.rho[type_name], type_name))
+    return XMLDocument(schema)
+
+
+def write_xsd(xsd, target_namespace=None):
+    """Serialize a formal XSD to ``.xsd`` text."""
+    return write_document(xsd_to_xml(xsd, target_namespace=target_namespace))
+
+
+def _complex_type(model, type_name=None):
+    node = XMLElement(f"{XS}:complexType")
+    if type_name is not None:
+        node.attributes["name"] = str(type_name)
+    if model.mixed:
+        node.attributes["mixed"] = "true"
+    if not isinstance(model.regex, Epsilon):
+        particle = _particle(model.regex)
+        if particle.name == f"{XS}:element":
+            # A complexType's content must be a model group, not a bare
+            # element declaration.
+            wrapper = XMLElement(f"{XS}:sequence")
+            wrapper.append(particle)
+            particle = wrapper
+        node.append(particle)
+    for use in model.attributes:
+        attribute = XMLElement(
+            f"{XS}:attribute",
+            attributes={
+                "name": use.name,
+                "type": use.type_name or DEFAULT_SIMPLE_TYPE,
+            },
+        )
+        attribute.attributes["use"] = "required" if use.required else "optional"
+        node.append(attribute)
+    return node
+
+
+def _particle(regex, min_occurs=1, max_occurs=1):
+    """Render ``regex`` as one XSD particle carrying occurrence bounds."""
+    if isinstance(regex, EmptySet):
+        raise TranslationError(
+            "the empty language is not expressible as an XSD particle"
+        )
+    if isinstance(regex, Epsilon):
+        return _with_occurs(XMLElement(f"{XS}:sequence"), min_occurs, max_occurs)
+    if isinstance(regex, Symbol):
+        element_name, type_name = split_typed_name(regex.name)
+        node = XMLElement(
+            f"{XS}:element",
+            attributes={"name": element_name, "type": type_name},
+        )
+        return _with_occurs(node, min_occurs, max_occurs)
+    if isinstance(regex, Concat):
+        node = XMLElement(f"{XS}:sequence")
+        for child in regex.children:
+            node.append(_particle(child))
+        return _with_occurs(node, min_occurs, max_occurs)
+    if isinstance(regex, Union):
+        node = XMLElement(f"{XS}:choice")
+        for child in regex.children:
+            node.append(_particle(child))
+        return _with_occurs(node, min_occurs, max_occurs)
+    if isinstance(regex, Interleave):
+        node = XMLElement(f"{XS}:all")
+        for child in regex.children:
+            node.append(_particle(child))
+        return _with_occurs(node, min_occurs, max_occurs)
+    if isinstance(regex, Star):
+        return _nested_occurs(regex.child, 0, "unbounded", min_occurs,
+                              max_occurs)
+    if isinstance(regex, Plus):
+        return _nested_occurs(regex.child, 1, "unbounded", min_occurs,
+                              max_occurs)
+    if isinstance(regex, Optional):
+        return _nested_occurs(regex.child, 0, 1, min_occurs, max_occurs)
+    if isinstance(regex, Counter):
+        high = "unbounded" if regex.high is UNBOUNDED else regex.high
+        return _nested_occurs(regex.child, regex.low, high, min_occurs,
+                              max_occurs)
+    raise TranslationError(f"unknown regex node {regex!r}")
+
+
+def _nested_occurs(child, low, high, outer_min, outer_max):
+    if outer_min == 1 and outer_max == 1:
+        return _particle(child, min_occurs=low, max_occurs=high)
+    # An iterated iteration (e.g. (a?)* after partial normalization): wrap
+    # the inner particle in an explicit sequence carrying the outer bounds.
+    wrapper = XMLElement(f"{XS}:sequence")
+    wrapper.append(_particle(child, min_occurs=low, max_occurs=high))
+    return _with_occurs(wrapper, outer_min, outer_max)
+
+
+def _with_occurs(node, min_occurs, max_occurs):
+    if min_occurs != 1:
+        node.attributes["minOccurs"] = str(min_occurs)
+    if max_occurs != 1:
+        node.attributes["maxOccurs"] = str(max_occurs)
+    return node

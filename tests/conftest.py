@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.regex.ast import concat, star, sym, union
+from repro.xsd.content import ContentModel
+from repro.xsd.dfa_based import DFABasedXSD
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random source (fresh per test)."""
+    return random.Random(0xB02A1)
+
+
+@pytest.fixture
+def small_dfa_based():
+    """A tiny DFA-based XSD: doc -> (item photo?)*, item -> note*.
+
+    Items directly below doc may carry a photo; nested notes are plain.
+    """
+    ename = frozenset({"doc", "item", "photo", "note"})
+    assign = {
+        "Tdoc": ContentModel(star(concat(sym("item"), _opt(sym("photo"))))),
+        "Titem": ContentModel(star(sym("note"))),
+        "Tphoto": ContentModel(_eps()),
+        "Tnote": ContentModel(star(sym("note"))),
+    }
+    transitions = {
+        ("q0", "doc"): "Tdoc",
+        ("Tdoc", "item"): "Titem",
+        ("Tdoc", "photo"): "Tphoto",
+        ("Titem", "note"): "Tnote",
+        ("Tnote", "note"): "Tnote",
+    }
+    return DFABasedXSD(
+        states=frozenset(assign) | {"q0"},
+        alphabet=ename,
+        transitions=transitions,
+        initial="q0",
+        start=frozenset({"doc"}),
+        assign=assign,
+    )
+
+
+def _opt(regex):
+    from repro.regex.ast import optional
+
+    return optional(regex)
+
+
+def _eps():
+    from repro.regex.ast import EPSILON
+
+    return EPSILON
+
+
+def make_random_word(rng, alphabet, max_length=8):
+    """A random word over ``alphabet`` (list of names)."""
+    return [
+        alphabet[rng.randrange(len(alphabet))]
+        for __ in range(rng.randrange(max_length + 1))
+    ]

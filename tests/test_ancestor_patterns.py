@@ -1,0 +1,161 @@
+"""Unit tests for ancestor patterns (parsing, compilation, rendering)."""
+
+import pytest
+
+from repro.bonxai.ancestor import (
+    AncestorPattern,
+    compile_ancestor,
+    pattern_from_regex,
+)
+from repro.errors import ParseError
+from repro.regex.derivatives import matches
+
+ENAME = frozenset({"a", "b", "c", "template", "content", "section"})
+
+
+def accepts(pattern_text, word):
+    regex, __ = compile_ancestor(pattern_text, ENAME)
+    return matches(regex, word)
+
+
+class TestImplicitDescendant:
+    def test_bare_name_matches_anywhere(self):
+        assert accepts("section", ["section"])
+        assert accepts("section", ["a", "b", "section"])
+        assert not accepts("section", ["section", "a"])
+
+    def test_paper_example_template_section(self):
+        pattern = "template//section"
+        assert accepts(pattern, ["template", "section"])
+        assert accepts(pattern, ["a", "template", "b", "section"])
+        assert accepts(pattern, ["template", "section", "section"])
+        assert not accepts(pattern, ["section", "template"])
+
+    def test_child_step(self):
+        pattern = "content/section"
+        assert accepts(pattern, ["content", "section"])
+        assert accepts(pattern, ["a", "content", "section"])
+        assert not accepts(pattern, ["content", "a", "section"])
+
+
+class TestAnchored:
+    def test_leading_slash_anchors(self):
+        assert accepts("/a/b", ["a", "b"])
+        assert not accepts("/a/b", ["c", "a", "b"])
+
+    def test_leading_double_slash(self):
+        assert accepts("//b", ["a", "b"])
+        assert accepts("//b", ["b"])
+
+    def test_section31_even_depth_example(self):
+        # (/a/a)*(@c|@d): even-depth all-a paths, attributes c and d.
+        pattern = AncestorPattern("(/a/a)*(@c|@d)")
+        assert pattern.attribute_names == ("c", "d")
+        regex = pattern.to_regex(ENAME)
+        assert matches(regex, [])
+        assert matches(regex, ["a", "a"])
+        assert matches(regex, ["a", "a", "a", "a"])
+        assert not matches(regex, ["a"])
+        assert not matches(regex, ["a", "b"])
+
+
+class TestOperators:
+    def test_union(self):
+        assert accepts("(a|b)", ["c", "a"])
+        assert accepts("(a|b)", ["b"])
+        assert not accepts("(a|b)", ["c"])
+
+    def test_union_of_paths(self):
+        pattern = "(template|content)//section"
+        assert accepts(pattern, ["template", "section"])
+        assert accepts(pattern, ["content", "a", "section"])
+        assert not accepts(pattern, ["a", "section"])
+
+    def test_star_plus_opt(self):
+        assert accepts("/a/(b)*/c", ["a", "c"])
+        assert accepts("/a/(b)*/c", ["a", "b", "b", "c"])
+        assert accepts("/a/(b)+/c", ["a", "b", "c"])
+        assert not accepts("/a/(b)+/c", ["a", "c"])
+        assert accepts("/a/(b)?/c", ["a", "c"])
+
+    def test_nested_groups(self):
+        pattern = "/((a/b)|(b/a))/c"
+        assert accepts(pattern, ["a", "b", "c"])
+        assert accepts(pattern, ["b", "a", "c"])
+        assert not accepts(pattern, ["a", "a", "c"])
+
+    def test_descendant_inside_group(self):
+        pattern = "/a/(b//c)"
+        assert accepts(pattern, ["a", "b", "c"])
+        assert accepts(pattern, ["a", "b", "x", "c"]) is False  # x not in ENAME
+        assert accepts(pattern, ["a", "b", "a", "c"])
+
+
+class TestAttributeRules:
+    def test_single_attribute(self):
+        pattern = AncestorPattern("@size")
+        assert pattern.is_attribute_pattern
+        assert pattern.attribute_names == ("size",)
+        # The element part matches every node.
+        regex = pattern.to_regex(ENAME)
+        assert matches(regex, ["a", "b"])
+
+    def test_attribute_union(self):
+        pattern = AncestorPattern("(@name|@color|@title)")
+        assert pattern.attribute_names == ("name", "color", "title")
+
+    def test_contextual_attribute(self):
+        pattern = AncestorPattern("template//section@title")
+        assert pattern.attribute_names == ("title",)
+        regex = pattern.to_regex(ENAME)
+        assert matches(regex, ["template", "section"])
+        assert not matches(regex, ["content", "section"])
+
+    def test_attribute_must_be_last(self):
+        with pytest.raises(ParseError):
+            AncestorPattern("a/@b/c")
+
+    def test_mixing_attrs_and_elements_in_group(self):
+        with pytest.raises(ParseError):
+            AncestorPattern("(@a|b)")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "()", "a|", "a//", "a/(b", "a)b", "@", "a$"],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            AncestorPattern(text)
+
+
+class TestElementNames:
+    def test_collected(self):
+        pattern = AncestorPattern("(template|content)//section@x")
+        assert pattern.element_names == {"template", "content", "section"}
+
+
+class TestPatternFromRegex:
+    @pytest.mark.parametrize(
+        "pattern_text",
+        [
+            "/a/b",
+            "//b",
+            "template//section",
+            "(template|content)//section",
+            "/a/(b)*/c",
+            "(a|b)",
+        ],
+    )
+    def test_roundtrip_language(self, pattern_text, rng):
+        original, __ = compile_ancestor(pattern_text, ENAME)
+        rendered = pattern_from_regex(original, ENAME)
+        back, __ = compile_ancestor(rendered, ENAME)
+        names = sorted(ENAME)
+        for __i in range(300):
+            word = [names[rng.randrange(len(names))]
+                    for __j in range(1 + rng.randrange(5))]
+            assert matches(original, word) == matches(back, word), (
+                pattern_text, rendered, word,
+            )

@@ -1,0 +1,200 @@
+"""Unit tests for determinization, minimization, products, state
+elimination, and the Boolean language operations."""
+
+import pytest
+
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimal_complete_dfa_for_regex, minimize
+from repro.automata.operations import (
+    complement,
+    counterexample,
+    difference,
+    equivalent,
+    intersection,
+    is_empty,
+    is_subset,
+    isomorphic,
+    some_word,
+    union_dfa,
+)
+from repro.automata.product import pair_product, product_dfa
+from repro.automata.state_elimination import dfa_to_regex, nfa_to_regex
+from repro.regex.derivatives import matches, to_dfa
+from repro.regex.glushkov import glushkov_nfa
+from repro.regex.parser import parse_regex
+
+
+def M(text):
+    return parse_regex(text)
+
+
+def D(text, alphabet=("a", "b", "c")):
+    return to_dfa(M(text), alphabet=set(alphabet))
+
+
+class TestDeterminize:
+    def test_language_preserved(self):
+        nfa = glushkov_nfa(M("(a | b)* a b"), alphabet={"a", "b"})
+        dfa = determinize(nfa)
+        for word in ["ab", "aab", "abab", "", "a", "ba"]:
+            assert dfa.accepts(list(word)) == nfa.accepts(list(word)), word
+
+    def test_result_is_deterministic_and_partial(self):
+        nfa = glushkov_nfa(M("a a | a b"), alphabet={"a", "b"})
+        dfa = determinize(nfa)
+        # One transition per (state, symbol).
+        assert len(dfa.transitions) <= len(dfa.states) * 2
+
+
+class TestMinimize:
+    def test_classic_example(self):
+        # (a|b)* a (a|b): minimal DFA has 4 states (complete).
+        dfa = minimize(D("(a | b)* a (a | b)", alphabet=("a", "b")))
+        assert len(dfa) == 4
+
+    def test_idempotent(self):
+        dfa = minimize(D("(a b)* c"))
+        again = minimize(dfa)
+        assert len(dfa) == len(again)
+        assert isomorphic(dfa, again)
+
+    def test_canonicity(self):
+        # Two syntactically different but equivalent regexes minimize to
+        # isomorphic DFAs.
+        left = minimize(D("a a* b"))
+        right = minimize(D("a+ b"))
+        assert isomorphic(left, right)
+
+    def test_empty_language(self):
+        dfa = minimize(D("#empty"))
+        assert dfa.accepts_nothing()
+        assert len(dfa) == 1
+
+    def test_minimal_complete_dfa_for_regex(self):
+        dfa = minimal_complete_dfa_for_regex(M("a b"), {"a", "b"})
+        assert dfa.is_complete()
+        assert dfa.accepts(["a", "b"])
+        assert len(dfa) == 4  # start, after-a, accept, sink
+
+
+class TestProducts:
+    def test_product_dfa_runs_in_lockstep(self):
+        left = D("(a | b)* a", alphabet=("a", "b")).completed()
+        right = D("a (a | b)*", alphabet=("a", "b")).completed()
+        product, tuples = product_dfa([minimize(left), minimize(right)])
+        state = product.run(["a", "b", "a"])
+        left_state, right_state = tuples[state]
+        assert left_state in minimize(left).accepting
+        assert right_state in minimize(right).accepting
+
+    def test_product_requires_complete(self):
+        from repro.errors import SchemaError
+
+        partial = DFA({0, 1}, {"a", "b"}, {(0, "a"): 1}, 0, {1})
+        with pytest.raises(SchemaError):
+            product_dfa([partial])
+
+    def test_pair_product_intersection(self):
+        both = pair_product(
+            D("(a | b)* a", alphabet=("a", "b")),
+            D("a (a | b)*", alphabet=("a", "b")),
+            lambda x, y: x and y,
+        )
+        assert both.accepts(["a"])
+        assert both.accepts(["a", "b", "a"])
+        assert not both.accepts(["b", "a"])
+
+
+class TestOperations:
+    def test_intersection(self):
+        dfa = intersection(D("(a | b)*"), D("a*"))
+        assert dfa.accepts(["a", "a"])
+        assert not dfa.accepts(["b"])
+
+    def test_union(self):
+        dfa = union_dfa(D("a"), D("b"))
+        assert dfa.accepts(["a"]) and dfa.accepts(["b"])
+        assert not dfa.accepts(["c"])
+
+    def test_difference(self):
+        dfa = difference(D("(a | b)*", alphabet=("a", "b")),
+                         D("a*", alphabet=("a", "b")))
+        assert dfa.accepts(["b"])
+        assert not dfa.accepts(["a", "a"])
+        assert not dfa.accepts([])
+
+    def test_complement(self):
+        dfa = complement(D("a*", alphabet=("a",)))
+        assert not dfa.accepts(["a"])
+        assert not dfa.accepts([])
+
+    def test_emptiness(self):
+        assert is_empty(D("#empty"))
+        assert not is_empty(D("a?"))
+        assert is_empty(intersection(D("a a"), D("b b")))
+
+    def test_subset_and_equivalence(self):
+        assert is_subset(D("a b"), D("a (b | c)"))
+        assert not is_subset(D("a (b | c)"), D("a b"))
+        assert equivalent(D("a+ b"), D("a a* b"))
+        assert not equivalent(D("a* b"), D("a+ b"))
+
+    def test_counterexample(self):
+        witness = counterexample(D("a* b"), D("a+ b"))
+        assert witness == ["b"]
+        assert counterexample(D("a"), D("a")) is None
+
+    def test_some_word_is_shortest(self):
+        assert some_word(D("a{3,5}", alphabet=("a",))) == ["a"] * 3
+        assert some_word(D("#empty")) is None
+
+
+class TestStateElimination:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "a",
+            "a b c",
+            "(a | b)* c",
+            "(a b)+ c?",
+            "a (b c | c b)* a",
+            "(a | b | c)*",
+            "a? b? c?",
+        ],
+    )
+    def test_roundtrip_language(self, pattern):
+        dfa = D(pattern)
+        back = dfa_to_regex(dfa)
+        assert equivalent(dfa, to_dfa(back, alphabet={"a", "b", "c"})), (
+            pattern, str(back),
+        )
+
+    def test_empty_language(self):
+        from repro.regex.ast import EmptySet
+
+        dfa = D("#empty")
+        assert isinstance(dfa_to_regex(dfa), EmptySet)
+
+    def test_per_state_regexes_partition(self):
+        # Algorithm 2's usage: the languages reaching distinct states of a
+        # DFA are pairwise disjoint.
+        dfa = minimize(D("(a b)* (c | a)", alphabet=("a", "b", "c")))
+        regexes = [
+            dfa_to_regex(dfa, accepting={state}) for state in dfa.states
+        ]
+        compiled = [to_dfa(r, alphabet={"a", "b", "c"}) for r in regexes]
+        for i in range(len(compiled)):
+            for j in range(i + 1, len(compiled)):
+                assert is_empty(intersection(compiled[i], compiled[j]))
+
+    def test_simplify_flag(self):
+        dfa = D("(a | b)* c")
+        rough = dfa_to_regex(dfa, simplify=False)
+        neat = dfa_to_regex(dfa, simplify=True)
+        assert neat.size <= rough.size
+
+    def test_nfa_elimination(self):
+        nfa = glushkov_nfa(M("(a | b)* a b"), alphabet={"a", "b"})
+        back = nfa_to_regex(nfa)
+        assert equivalent(nfa, to_dfa(back, alphabet={"a", "b"}))

@@ -1,0 +1,144 @@
+"""Unit tests for the NFA/DFA core types."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import SchemaError
+
+
+def simple_dfa():
+    """Accepts words over {a, b} ending in 'ab'."""
+    return DFA(
+        states={0, 1, 2},
+        alphabet={"a", "b"},
+        transitions={
+            (0, "a"): 1, (0, "b"): 0,
+            (1, "a"): 1, (1, "b"): 2,
+            (2, "a"): 1, (2, "b"): 0,
+        },
+        initial=0,
+        accepting={2},
+    )
+
+
+def simple_nfa():
+    """Accepts words over {a, b} with 'a' in third-to-last position."""
+    return NFA(
+        states={0, 1, 2, 3},
+        alphabet={"a", "b"},
+        transitions={
+            (0, "a"): {0, 1}, (0, "b"): {0},
+            (1, "a"): {2}, (1, "b"): {2},
+            (2, "a"): {3}, (2, "b"): {3},
+        },
+        initial={0},
+        accepting={3},
+    )
+
+
+class TestDFA:
+    def test_run_and_accept(self):
+        dfa = simple_dfa()
+        assert dfa.accepts(list("ab"))
+        assert dfa.accepts(list("babab"))
+        assert not dfa.accepts(list("ba"))
+        assert not dfa.accepts([])
+
+    def test_partial_run_dies(self):
+        dfa = DFA({0, 1}, {"a"}, {(0, "a"): 1}, 0, {1})
+        assert dfa.run(["a", "a"]) is None
+        assert not dfa.accepts(["a", "a"])
+
+    def test_is_complete_and_completed(self):
+        dfa = DFA({0, 1}, {"a", "b"}, {(0, "a"): 1}, 0, {1})
+        assert not dfa.is_complete()
+        complete = dfa.completed()
+        assert complete.is_complete()
+        assert len(complete) == 3
+        assert not complete.accepts(["b"])
+        assert complete.accepts(["a"])
+
+    def test_completed_noop_when_complete(self):
+        dfa = simple_dfa()
+        assert dfa.completed() is dfa
+
+    def test_reachable_and_trimmed(self):
+        dfa = DFA(
+            {0, 1, 9},
+            {"a"},
+            {(0, "a"): 1, (9, "a"): 9},
+            0,
+            {1},
+        )
+        assert dfa.reachable_states() == {0, 1}
+        assert len(dfa.trimmed()) == 2
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            DFA({0}, {"a"}, {(0, "a"): 7}, 0, set())
+        with pytest.raises(SchemaError):
+            DFA({0}, {"a"}, {}, 5, set())
+        with pytest.raises(SchemaError):
+            DFA({0}, {"a"}, {(0, "x"): 0}, 0, set())
+
+    def test_renumbered_preserves_language(self):
+        dfa = DFA(
+            {"x", "y", "z"},
+            {"a", "b"},
+            {("x", "a"): "y", ("y", "b"): "z"},
+            "x",
+            {"z"},
+        )
+        renumbered = dfa.renumbered()
+        assert renumbered.initial == 0
+        assert renumbered.accepts(["a", "b"])
+        assert not renumbered.accepts(["a"])
+
+    def test_accepts_nothing(self):
+        dfa = DFA({0, 1}, {"a"}, {(1, "a"): 1}, 0, {1})
+        assert dfa.accepts_nothing()
+
+
+class TestNFA:
+    def test_accepts(self):
+        nfa = simple_nfa()
+        assert nfa.accepts(list("abb"))
+        assert nfa.accepts(list("bbabb"))
+        assert not nfa.accepts(list("bbb"))
+
+    def test_run_returns_state_set(self):
+        nfa = simple_nfa()
+        assert nfa.run(["a"]) == {0, 1}
+        assert nfa.run(["b"]) == {0}
+
+    def test_reverse(self):
+        nfa = simple_nfa().reverse()
+        # Reversal accepts mirrored words: 'a' third from the START now.
+        assert nfa.accepts(list("bba"))
+        assert not nfa.accepts(list("bbb"))
+
+    def test_trim_removes_useless(self):
+        nfa = NFA(
+            states={0, 1, 2},
+            alphabet={"a"},
+            transitions={(0, "a"): {1}, (1, "a"): {2}},
+            initial={0},
+            accepting={1},
+        )
+        trimmed = nfa.trim()
+        assert 2 not in trimmed.states
+        assert trimmed.accepts(["a"])
+
+    def test_empty_step(self):
+        nfa = simple_nfa()
+        assert nfa.step(frozenset(), "a") == frozenset()
+
+    def test_renumbered(self):
+        nfa = simple_nfa().renumbered()
+        assert nfa.accepts(list("abb"))
+        assert all(isinstance(state, int) for state in nfa.states)
+
+    def test_to_nfa_roundtrip(self):
+        dfa = simple_dfa()
+        assert dfa.to_nfa().accepts(list("ab"))

@@ -1,0 +1,86 @@
+"""Property-based tests for the automata substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.determinize import determinize
+from repro.automata.minimize import minimize
+from repro.automata.operations import (
+    complement,
+    difference,
+    equivalent,
+    intersection,
+    is_empty,
+    isomorphic,
+    union_dfa,
+)
+from repro.automata.state_elimination import dfa_to_regex
+from repro.regex.derivatives import matches, to_dfa
+from repro.regex.glushkov import glushkov_nfa
+
+from tests.test_regex_properties import regex_strategy, words, ALPHABET
+
+
+@settings(max_examples=100, deadline=None)
+@given(regex=regex_strategy(), word=words)
+def test_determinize_preserves_language(regex, word):
+    nfa = glushkov_nfa(regex, alphabet=ALPHABET)
+    assert determinize(nfa).accepts(word) == nfa.accepts(word)
+
+
+@settings(max_examples=100, deadline=None)
+@given(regex=regex_strategy(), word=words)
+def test_minimize_preserves_language(regex, word):
+    dfa = to_dfa(regex, alphabet=ALPHABET)
+    assert minimize(dfa).accepts(word) == dfa.accepts(word)
+
+
+@settings(max_examples=100, deadline=None)
+@given(regex=regex_strategy())
+def test_minimize_is_minimal_and_canonical(regex):
+    via_derivatives = minimize(to_dfa(regex, alphabet=ALPHABET))
+    via_glushkov = minimize(
+        determinize(glushkov_nfa(regex, alphabet=ALPHABET)).completed()
+    )
+    assert len(via_derivatives) == len(via_glushkov)
+    assert isomorphic(via_derivatives, via_glushkov)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex=regex_strategy(max_leaves=5))
+def test_state_elimination_roundtrip(regex):
+    dfa = to_dfa(regex, alphabet=ALPHABET)
+    back = dfa_to_regex(dfa)
+    assert equivalent(dfa, to_dfa(back, alphabet=ALPHABET))
+
+
+@settings(max_examples=100, deadline=None)
+@given(left=regex_strategy(max_leaves=4), right=regex_strategy(max_leaves=4),
+       word=words)
+def test_boolean_operations_pointwise(left, right, word):
+    left_dfa = to_dfa(left, alphabet=ALPHABET)
+    right_dfa = to_dfa(right, alphabet=ALPHABET)
+    in_left = matches(left, word)
+    in_right = matches(right, word)
+    assert intersection(left_dfa, right_dfa).accepts(word) == (
+        in_left and in_right
+    )
+    assert union_dfa(left_dfa, right_dfa).accepts(word) == (
+        in_left or in_right
+    )
+    assert difference(left_dfa, right_dfa).accepts(word) == (
+        in_left and not in_right
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(regex=regex_strategy(max_leaves=4), word=words)
+def test_complement_flips_membership(regex, word):
+    dfa = to_dfa(regex, alphabet=ALPHABET)
+    assert complement(dfa).accepts(word) != dfa.accepts(word)
+
+
+@settings(max_examples=100, deadline=None)
+@given(regex=regex_strategy(max_leaves=4))
+def test_language_and_complement_partition(regex):
+    dfa = to_dfa(regex, alphabet=ALPHABET)
+    assert is_empty(intersection(dfa, complement(dfa)))

@@ -1,0 +1,99 @@
+"""Unit and property tests for the BKW one-unambiguous-language test."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.regex.bkw import is_one_unambiguous_language
+from repro.regex.determinism import is_deterministic
+from repro.regex.parser import parse_regex
+
+from tests.test_regex_properties import ALPHABET, regex_strategy
+
+
+def L(text):
+    return is_one_unambiguous_language(parse_regex(text),
+                                       alphabet={"a", "b", "c"})
+
+
+class TestKnownLanguages:
+    def test_bkw_canonical_counterexample(self):
+        # (a+b)*a(a+b) is THE example of a regular language with no
+        # deterministic expression [Brüggemann-Klein & Wood 1998].
+        assert L("(a | b)* a (a | b)") is False
+
+    def test_deterministic_rewrites_exist(self):
+        # Ambiguous expressions whose languages have deterministic forms.
+        assert L("a b | a c") is True          # a (b | c)
+        assert L("(a | b)* a") is True         # (b* a)+
+        assert L("a? a") is True               # a a?
+        assert L("(a a)* a") is True           # a (a a)*
+
+    def test_trivial_languages(self):
+        assert L("#empty") is True
+        assert L("#eps") is True
+        assert L("a") is True
+
+    def test_union_closure_failure_example(self):
+        # Deterministic expressions are not closed under union; still,
+        # this particular union is one-unambiguous.
+        assert L("(a b)* | (a c)*") in (True, False)  # decision runs
+
+    def test_third_from_last(self):
+        # 'a' in third-to-last position: classically not one-unambiguous.
+        assert L("(a | b)* a (a | b) (a | b)") is False
+
+
+class TestAcceptsDfa:
+    def test_dfa_argument(self):
+        from repro.regex.derivatives import to_dfa
+
+        dfa = to_dfa(parse_regex("(a b)* c"), alphabet={"a", "b", "c"})
+        assert is_one_unambiguous_language(dfa) is True
+
+
+@settings(max_examples=120, deadline=None)
+@given(regex=regex_strategy(max_leaves=5))
+def test_deterministic_expressions_have_ou_languages(regex):
+    # Soundness: the language of every deterministic expression must be
+    # recognized as one-unambiguous.
+    if is_deterministic(regex):
+        assert is_one_unambiguous_language(regex, alphabet=ALPHABET)
+
+
+class TestLintIntegration:
+    def test_fixable_hint(self):
+        from repro.bonxai.bxsd import BXSD, Rule
+        from repro.bonxai.lint import lint_bxsd
+        from repro.regex.parser import parse_regex
+        from repro.xsd.content import ContentModel
+
+        schema = BXSD(
+            ename={"doc", "a", "b", "c"},
+            start={"doc"},
+            rules=[
+                Rule(parse_regex("doc"),
+                     ContentModel(parse_regex("a b | a c"))),
+            ],
+            check=False,  # skip UPA so the linter can see the violation
+        )
+        diagnostics = lint_bxsd(schema, check_overlaps=False)
+        (finding,) = [d for d in diagnostics if d.level == "error"]
+        assert "rewrite" in finding.message
+
+    def test_unfixable_hint(self):
+        from repro.bonxai.bxsd import BXSD, Rule
+        from repro.bonxai.lint import lint_bxsd
+        from repro.xsd.content import ContentModel
+
+        schema = BXSD(
+            ename={"doc", "a", "b"},
+            start={"doc"},
+            rules=[
+                Rule(parse_regex("doc"),
+                     ContentModel(parse_regex("(a | b)* a (a | b)"))),
+            ],
+            check=False,
+        )
+        diagnostics = lint_bxsd(schema, check_overlaps=False)
+        (finding,) = [d for d in diagnostics if d.level == "error"]
+        assert "not expressible" in finding.message

@@ -1,0 +1,183 @@
+"""Unit tests for schema compilation and full BonXai validation
+(attribute simple types + integrity constraints)."""
+
+import pytest
+
+from repro.bonxai.compile import compile_schema
+from repro.bonxai.parser import parse_bonxai
+from repro.errors import SchemaError
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.tree import XMLDocument, element
+
+LIBRARY = """
+target namespace urn:library
+
+global { library }
+
+groups {
+  attribute-group meta = { attribute isbn, attribute year? }
+}
+
+grammar {
+  library        = { (element book)* , (element magazine)* }
+  book           = { attribute-group meta, element title, (element chapter)* }
+  magazine       = { attribute year, element title }
+  title          = mixed { }
+  chapter        = mixed { attribute number, (element chapter)* }
+  book//chapter//chapter = mixed { attribute number }
+  @year          = { type xs:integer }
+  @number        = { type xs:integer }
+  @isbn          = { type xs:string }
+}
+
+constraints {
+  key bookKey library/book (@isbn)
+  unique library/magazine (@year)
+}
+"""
+
+
+@pytest.fixture
+def compiled():
+    return compile_schema(parse_bonxai(LIBRARY))
+
+
+def library_doc(**tweaks):
+    # The override rule book//chapter//chapter makes chapters at nesting
+    # depth >= 2 childless, so the valid document nests exactly twice.
+    book = element(
+        "book",
+        element("title", "Logic"),
+        element("chapter",
+                element("chapter", attributes={"number": "2"}),
+                attributes={"number": "1"}),
+        attributes={"isbn": "12-3", "year": tweaks.get("year", "1999")},
+    )
+    outer = book.children[1]
+    if tweaks.get("deep_nesting"):
+        outer.children[0].append(element("chapter",
+                                         attributes={"number": "3"}))
+    magazine = element(
+        "magazine", element("title", "Weekly"),
+        attributes={"year": tweaks.get("magazine_year", "2001")},
+    )
+    return XMLDocument(element("library", book, magazine))
+
+
+class TestCompilation:
+    def test_compiles(self, compiled):
+        assert len(compiled.bxsd.rules) == 6  # element rules only
+        assert compiled.bxsd.start == {"library"}
+
+    def test_rule_indices_map_to_source(self, compiled):
+        for bxsd_index, source_index in enumerate(compiled.rule_indices):
+            source_rule = compiled.source.rules[source_index]
+            assert not source_rule.is_attribute_rule
+
+    def test_attribute_types_resolved(self, compiled):
+        # The 'magazine' rule's year attribute gets xs:integer.
+        magazine_rule = compiled.bxsd.rules[2]
+        assert magazine_rule.content.attribute("year").type_name == "xs:integer"
+        # The attribute-group's isbn gets xs:string.
+        book_rule = compiled.bxsd.rules[1]
+        assert book_rule.content.attribute("isbn").type_name == "xs:string"
+
+    def test_attribute_rule_requires_type(self):
+        with pytest.raises(SchemaError):
+            compile_schema(parse_bonxai(
+                "global { a }\ngrammar { a = { }\n @x = { element a } }"
+            ))
+
+    def test_ename_collection(self, compiled):
+        assert compiled.bxsd.ename == {
+            "library", "book", "magazine", "title", "chapter",
+        }
+
+
+class TestValidation:
+    def test_valid_document(self, compiled):
+        report = compiled.validate(library_doc())
+        assert report.valid, report.violations
+
+    def test_deep_nesting_rejected_by_priority_rule(self, compiled):
+        report = compiled.validate(library_doc(deep_nesting=True))
+        assert not report.valid
+
+    def test_attribute_value_type_checked(self, compiled):
+        report = compiled.validate(library_doc(year="not-a-number"))
+        assert any("xs:integer" in v for v in report.violations)
+
+    def test_key_constraint_duplicate(self, compiled):
+        doc = library_doc()
+        # Add a second book with the same isbn.
+        clone = element("book", element("title", "Other"),
+                        attributes={"isbn": "12-3"})
+        doc.root.children.insert(1, clone)
+        doc.root.texts.insert(2, "")
+        clone.parent = doc.root
+        report = compiled.validate(doc)
+        assert any("duplicate" in v for v in report.violations)
+
+    def test_key_constraint_missing_field(self, compiled):
+        doc = library_doc()
+        del doc.root.children[0].attributes["isbn"]
+        report = compiled.validate(doc)
+        assert any("missing field" in v for v in report.violations)
+
+    def test_unique_allows_absent_fields(self, compiled):
+        doc = library_doc()
+        # Magazines' unique(@year): removing year only triggers the
+        # attribute-required check of the rule, not the unique constraint.
+        report = compiled.validate(doc)
+        assert report.valid
+
+    def test_highlighting(self, compiled):
+        doc = library_doc()
+        report = compiled.validate(doc)
+        lines = report.highlighted(doc, compiled.source)
+        assert any("book//chapter//chapter" in line for line in lines)
+
+    def test_rule_of_uses_source_indices(self, compiled):
+        doc = library_doc()
+        report = compiled.validate(doc)
+        deep_chapter = (
+            doc.root.children[0].children[1].children[0]
+        )
+        rule_index = report.rule_of[id(deep_chapter)]
+        rule = compiled.source.rules[rule_index]
+        assert rule.ancestor.text == "book//chapter//chapter"
+
+
+class TestKeyrefConstraints:
+    SOURCE = """
+    global { doc }
+    grammar {
+      doc  = { (element def)*, (element use)* }
+      def  = { attribute id }
+      use  = { attribute ref }
+    }
+    constraints {
+      key defs doc/def (@id)
+      keyref uses doc/use (@ref) refers defs
+    }
+    """
+
+    def test_satisfied(self):
+        compiled = compile_schema(parse_bonxai(self.SOURCE))
+        doc = parse_document(
+            "<doc><def id='a'/><def id='b'/><use ref='a'/></doc>"
+        )
+        assert compiled.validate(doc).valid
+
+    def test_dangling_reference(self):
+        compiled = compile_schema(parse_bonxai(self.SOURCE))
+        doc = parse_document("<doc><def id='a'/><use ref='zz'/></doc>")
+        report = compiled.validate(doc)
+        assert any("no matching key" in v for v in report.violations)
+
+    def test_unknown_key_reported(self):
+        source = self.SOURCE.replace("refers defs", "refers nothing")
+        compiled = compile_schema(parse_bonxai(source))
+        doc = parse_document("<doc><use ref='a'/></doc>")
+        report = compiled.validate(doc)
+        assert any("unknown key" in v for v in report.violations)

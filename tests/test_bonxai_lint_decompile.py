@@ -1,0 +1,150 @@
+"""Unit tests for the linter and the BXSD -> concrete-schema decompiler."""
+
+import pytest
+
+from repro.bonxai.bxsd import BXSD, Rule
+from repro.bonxai.compile import compile_schema
+from repro.bonxai.decompile import bxsd_to_schema
+from repro.bonxai.lint import lint_bxsd
+from repro.bonxai.parser import parse_bonxai
+from repro.bonxai.printer import print_schema
+from repro.regex.ast import concat, star, sym, union, universal
+from repro.xsd.content import AttributeUse, ContentModel
+
+ENAME = frozenset({"doc", "a", "b"})
+U = universal(ENAME)
+
+
+class TestLint:
+    def test_clean_schema(self):
+        schema = BXSD(
+            ename=ENAME,
+            start={"doc"},
+            rules=[
+                Rule(concat(U, sym("doc")), ContentModel(star(sym("a")))),
+                Rule(concat(U, sym("a")), ContentModel(concat())),
+            ],
+        )
+        diagnostics = lint_bxsd(schema)
+        assert all(d.level != "error" for d in diagnostics)
+
+    def test_shadowed_rule_detected(self):
+        schema = BXSD(
+            ename=ENAME,
+            start={"doc"},
+            rules=[
+                Rule(concat(U, sym("doc"), sym("a")),
+                     ContentModel(star(sym("b")))),
+                # Later, broader rule shadows the earlier one completely.
+                Rule(concat(U, sym("a")), ContentModel(star(sym("b")))),
+            ],
+        )
+        diagnostics = lint_bxsd(schema)
+        assert any(
+            d.level == "warning" and "shadowed" in d.message
+            and d.rule_index == 0
+            for d in diagnostics
+        )
+
+    def test_overlap_reported_as_info(self):
+        schema = BXSD(
+            ename=ENAME,
+            start={"doc"},
+            rules=[
+                Rule(concat(U, sym("a")), ContentModel(star(sym("b")))),
+                Rule(concat(U, sym("doc"), sym("a")),
+                     ContentModel(concat())),
+            ],
+        )
+        diagnostics = lint_bxsd(schema)
+        assert any(d.level == "info" and "overlaps" in d.message
+                   for d in diagnostics)
+
+    def test_unconstrained_element_warning(self):
+        schema = BXSD(
+            ename=ENAME,
+            start={"doc"},
+            rules=[
+                Rule(concat(U, sym("doc")), ContentModel(star(sym("a")))),
+            ],
+        )
+        diagnostics = lint_bxsd(schema)
+        assert any("unconstrained" in d.message for d in diagnostics)
+
+    def test_disjoint_rules_not_flagged(self):
+        schema = BXSD(
+            ename=ENAME,
+            start={"doc"},
+            rules=[
+                Rule(concat(U, sym("a")), ContentModel(concat())),
+                Rule(concat(U, sym("b")), ContentModel(concat())),
+            ],
+        )
+        diagnostics = lint_bxsd(schema)
+        assert not any("overlaps" in d.message for d in diagnostics)
+
+
+class TestDecompile:
+    def test_roundtrip_through_concrete_syntax(self):
+        schema = BXSD(
+            ename=ENAME,
+            start={"doc"},
+            rules=[
+                Rule(concat(U, sym("doc")),
+                     ContentModel(star(union(sym("a"), sym("b"))))),
+                Rule(
+                    concat(U, sym("a")),
+                    ContentModel(
+                        star(sym("b")),
+                        mixed=True,
+                        attributes=(
+                            AttributeUse("id", required=True,
+                                         type_name="xs:string"),
+                            AttributeUse("lang", required=False),
+                        ),
+                    ),
+                ),
+                Rule(concat(U, sym("b")), ContentModel(concat())),
+            ],
+        )
+        concrete = bxsd_to_schema(schema)
+        printed = print_schema(concrete)
+        recompiled = compile_schema(parse_bonxai(printed))
+
+        from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+        from repro.xsd.equivalence import dfa_xsd_equivalent
+
+        assert dfa_xsd_equivalent(
+            bxsd_to_dfa_based(schema), bxsd_to_dfa_based(recompiled.bxsd)
+        )
+
+    def test_attribute_types_become_type_rules(self):
+        schema = BXSD(
+            ename=ENAME,
+            start={"doc"},
+            rules=[
+                Rule(
+                    concat(U, sym("doc")),
+                    ContentModel(
+                        concat(),
+                        attributes=(
+                            AttributeUse("size", type_name="xs:integer"),
+                        ),
+                    ),
+                ),
+            ],
+        )
+        concrete = bxsd_to_schema(schema)
+        attribute_rules = concrete.attribute_rules()
+        assert len(attribute_rules) == 1
+        assert attribute_rules[0].child.type_name == "xs:integer"
+
+    def test_mixed_preserved(self):
+        schema = BXSD(
+            ename=ENAME,
+            start={"doc"},
+            rules=[Rule(concat(U, sym("doc")),
+                        ContentModel(concat(), mixed=True))],
+        )
+        printed = print_schema(bxsd_to_schema(schema))
+        assert "mixed" in printed

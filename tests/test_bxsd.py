@@ -1,0 +1,144 @@
+"""Unit tests for the formal BXSD core (Definition 1 + priorities)."""
+
+import pytest
+
+from repro.bonxai.bxsd import BXSD, Rule
+from repro.errors import NotDeterministicError, SchemaError
+from repro.regex.ast import concat, star, sym, union, universal
+from repro.xmlmodel.tree import XMLDocument, element
+from repro.xsd.content import ContentModel
+
+ENAME = frozenset({"doc", "a", "b"})
+U = universal(ENAME)
+
+
+def make(rules, start=("doc",)):
+    return BXSD(ename=ENAME, start=start, rules=rules)
+
+
+@pytest.fixture
+def layered():
+    """doc -> a*; 'a' generally has b*, but an 'a' under 'a' is empty."""
+    return make([
+        Rule(concat(U, sym("doc")), ContentModel(star(sym("a")))),
+        Rule(concat(U, sym("a")), ContentModel(star(sym("b")))),
+        Rule(concat(U, sym("b")), ContentModel(star(sym("a")))),
+        Rule(concat(U, sym("a"), sym("a")),
+             ContentModel(concat())),  # overrides: empty content
+    ])
+
+
+class TestWellFormedness:
+    def test_start_must_be_in_ename(self):
+        with pytest.raises(SchemaError):
+            make([], start=("zzz",))
+
+    def test_pattern_symbols_checked(self):
+        with pytest.raises(SchemaError):
+            make([Rule(sym("ghost"), ContentModel(star(sym("a"))))])
+
+    def test_content_symbols_checked(self):
+        with pytest.raises(SchemaError):
+            make([Rule(sym("doc"), ContentModel(sym("ghost")))])
+
+    def test_content_must_be_deterministic(self):
+        with pytest.raises(NotDeterministicError):
+            make([
+                Rule(
+                    sym("doc"),
+                    ContentModel(
+                        union(concat(sym("a"), sym("b")),
+                              concat(sym("a"), sym("a")))
+                    ),
+                )
+            ])
+
+    def test_patterns_may_be_nondeterministic(self):
+        # Only CONTENT models are restricted; ancestor patterns are
+        # arbitrary regular expressions.
+        schema = make([
+            Rule(
+                union(concat(sym("doc"), sym("a")),
+                      concat(sym("doc"), sym("b"))),
+                ContentModel(star(sym("a"))),
+            )
+        ])
+        assert len(schema.rules) == 1
+
+
+class TestRelevantRule:
+    def test_largest_index_wins(self, layered):
+        # ['doc','a'] matches rules 1 only; ['doc','a','b','a'] matches 1;
+        # ['doc','a','a'] matches rules 1 and 3 -> 3 wins.
+        assert layered.relevant_rule(["doc", "a"]) == 1
+        assert layered.relevant_rule(["doc", "a", "a"]) == 3
+
+    def test_no_match_is_none(self, layered):
+        assert layered.relevant_rule(["zzz"]) is None
+
+    def test_root_path(self, layered):
+        assert layered.relevant_rule(["doc"]) == 0
+
+
+class TestConformance:
+    def test_valid(self, layered):
+        doc = XMLDocument(
+            element("doc", element("a", element("b", element("a"))))
+        )
+        assert layered.is_valid(doc)
+
+    def test_priority_override_enforced(self, layered):
+        # An 'a' whose parent is 'a'... cannot occur directly (content of
+        # 'a' is b*), but b's children are a's, and 'a' under 'b' under
+        # 'a' matches rule 1 again (pattern is about ancestors ending in
+        # 'a a', not merely containing).  Construct path doc a: children
+        # must be b* -- an 'a' child violates.
+        doc = XMLDocument(element("doc", element("a", element("a"))))
+        assert not layered.is_valid(doc)
+
+    def test_unmatched_nodes_are_unconstrained(self):
+        schema = make([
+            Rule(concat(U, sym("doc")), ContentModel(star(sym("a")))),
+        ])
+        # 'a' has no rule: anything below it is fine.
+        doc = XMLDocument(
+            element("doc", element("a", element("b", element("doc"))))
+        )
+        assert schema.is_valid(doc)
+
+    def test_root_must_be_start_element(self, layered):
+        assert not layered.is_valid(XMLDocument(element("a")))
+        violations = layered.validate(XMLDocument(element("a")))
+        assert "start" in violations[0]
+
+    def test_empty_content_override(self, layered):
+        # Rule 3 gives nodes with ancestor ...a a empty content.  Build
+        # doc/a: that a gets b*; its b child gets a*; that a's ancestor
+        # string ends 'b a' -> rule 1 -> b* content.
+        doc = XMLDocument(
+            element("doc",
+                    element("a", element("b", element("a", element("b")))))
+        )
+        assert layered.is_valid(doc)
+
+
+class TestMatchReport:
+    def test_rule_of_every_node(self, layered):
+        doc = XMLDocument(element("doc", element("a", element("b"))))
+        report = layered.match(doc)
+        nodes = list(doc.iter())
+        assert report.rule_of[id(nodes[0])] == 0
+        assert report.rule_of[id(nodes[1])] == 1
+        assert report.rule_of[id(nodes[2])] == 2
+
+    def test_paths_recorded(self, layered):
+        doc = XMLDocument(element("doc", element("a")))
+        report = layered.match(doc)
+        assert sorted(report.paths.values()) == ["/doc", "/doc/a"]
+
+    def test_size_measure(self, layered):
+        assert layered.size == sum(rule.size for rule in layered.rules)
+        assert layered.rules[0].size == (
+            layered.rules[0].pattern.size
+            + layered.rules[0].content.size
+        )

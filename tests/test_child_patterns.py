@@ -1,0 +1,146 @@
+"""Unit tests for child patterns and their lowering to content models."""
+
+import pytest
+
+from repro.bonxai.child import (
+    ChildPattern,
+    CPAttribute,
+    CPAttributeGroup,
+    CPChoice,
+    CPCounter,
+    CPElement,
+    CPGroup,
+    CPInterleave,
+    CPOpt,
+    CPSeq,
+    CPStar,
+)
+from repro.errors import SchemaError
+from repro.regex.ast import Interleave, Star, Union
+from repro.regex.derivatives import matches
+
+
+class TestCompilation:
+    def test_plain_elements(self):
+        pattern = ChildPattern(CPSeq(CPElement("a"), CPStar(CPElement("b"))))
+        model = pattern.compile()
+        assert matches(model.regex, ["a"])
+        assert matches(model.regex, ["a", "b", "b"])
+        assert not model.mixed
+        assert not model.attributes
+
+    def test_mixed_flag(self):
+        model = ChildPattern(CPElement("a"), mixed=True).compile()
+        assert model.mixed
+
+    def test_empty_pattern(self):
+        model = ChildPattern(None).compile()
+        assert matches(model.regex, [])
+        assert not matches(model.regex, ["a"])
+
+    def test_type_reference(self):
+        pattern = ChildPattern(type_name="xs:string")
+        assert pattern.is_type_reference
+        model = pattern.compile()
+        assert model.mixed  # text-only content
+
+    def test_attribute_extraction_top_level(self):
+        pattern = ChildPattern(
+            CPSeq(CPAttribute("title"), CPStar(CPElement("a")))
+        )
+        model = pattern.compile()
+        assert model.attribute("title").required
+        assert matches(model.regex, ["a", "a"])
+
+    def test_optional_attribute(self):
+        pattern = ChildPattern(CPOpt(CPAttribute("size")))
+        model = pattern.compile()
+        assert not model.attribute("size").required
+
+    def test_attribute_deep_is_error(self):
+        pattern = ChildPattern(
+            CPChoice(CPAttribute("x"), CPElement("a"))
+        )
+        with pytest.raises(SchemaError):
+            pattern.compile()
+
+    def test_attribute_types_annotated(self):
+        pattern = ChildPattern(CPSeq(CPAttribute("size"), CPElement("a")))
+        model = pattern.compile(attribute_types={"size": "xs:integer"})
+        assert model.attribute("size").type_name == "xs:integer"
+
+
+class TestGroups:
+    def test_group_inlining(self):
+        groups = {"markup": CPChoice(CPElement("b"), CPElement("i"))}
+        pattern = ChildPattern(CPStar(CPGroup("markup")))
+        model = pattern.compile(groups=groups)
+        assert matches(model.regex, ["b", "i", "b"])
+
+    def test_undefined_group(self):
+        with pytest.raises(SchemaError):
+            ChildPattern(CPGroup("nope")).compile()
+
+    def test_recursive_group_rejected(self):
+        groups = {"loop": CPSeq(CPElement("a"), CPGroup("loop"))}
+        with pytest.raises(SchemaError):
+            ChildPattern(CPGroup("loop")).compile(groups=groups)
+
+    def test_attribute_group_inlining(self):
+        attribute_groups = {"fontattr": [("name", False), ("size", False)]}
+        pattern = ChildPattern(CPAttributeGroup("fontattr"))
+        model = pattern.compile(attribute_groups=attribute_groups)
+        assert model.attribute("name") is not None
+        assert not model.attribute("name").required
+
+    def test_undefined_attribute_group(self):
+        with pytest.raises(SchemaError):
+            ChildPattern(CPAttributeGroup("nope")).compile()
+
+    def test_element_names_through_groups(self):
+        groups = {"g": CPChoice(CPElement("x"), CPElement("y"))}
+        pattern = ChildPattern(CPSeq(CPElement("a"), CPGroup("g")))
+        assert pattern.element_names(groups) == {"a", "x", "y"}
+
+
+class TestOperators:
+    def test_interleave(self):
+        pattern = ChildPattern(
+            CPInterleave(CPOpt(CPElement("f")), CPElement("c"))
+        )
+        model = pattern.compile()
+        assert isinstance(model.regex, Interleave)
+        assert matches(model.regex, ["c"])
+        assert matches(model.regex, ["c", "f"])
+
+    def test_counter(self):
+        pattern = ChildPattern(CPCounter(CPElement("a"), 2, 3))
+        model = pattern.compile()
+        assert matches(model.regex, ["a", "a"])
+        assert not matches(model.regex, ["a"])
+
+    def test_unbounded_counter(self):
+        pattern = ChildPattern(CPCounter(CPElement("a"), 1, None))
+        model = pattern.compile()
+        assert matches(model.regex, ["a"] * 10)
+
+    def test_choice_and_star(self):
+        pattern = ChildPattern(
+            CPStar(CPChoice(CPElement("a"), CPElement("b")))
+        )
+        model = pattern.compile()
+        assert isinstance(model.regex, Star)
+        assert isinstance(model.regex.child, Union)
+
+
+class TestEquality:
+    def test_value_semantics(self):
+        left = ChildPattern(CPElement("a"), mixed=True)
+        right = ChildPattern(CPElement("a"), mixed=True)
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != ChildPattern(CPElement("a"))
+
+    def test_type_ref_vs_structure(self):
+        with pytest.raises(SchemaError):
+            ChildPattern(CPElement("a"), type_name="xs:string")

@@ -1,0 +1,132 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.paperdata import (
+    FIGURE1_XML,
+    FIGURE2_DTD,
+    FIGURE3_XSD,
+    FIGURE5_BONXAI,
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, content in (
+        ("fig1.xml", FIGURE1_XML),
+        ("fig2.dtd", FIGURE2_DTD),
+        ("fig3.xsd", FIGURE3_XSD),
+        ("fig5.bonxai", FIGURE5_BONXAI),
+    ):
+        target = tmp_path / name
+        target.write_text(content)
+        paths[name] = str(target)
+    return paths
+
+
+class TestValidate:
+    def test_bonxai_valid(self, files, capsys):
+        assert main(["validate", files["fig5.bonxai"], files["fig1.xml"]]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_xsd_valid(self, files, capsys):
+        assert main(["validate", files["fig3.xsd"], files["fig1.xml"]]) == 0
+
+    def test_dtd_valid(self, files, capsys):
+        assert main(["validate", files["fig2.dtd"], files["fig1.xml"]]) == 0
+
+    def test_invalid_document(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<document><content/></document>")
+        assert main(["validate", files["fig5.bonxai"], str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+
+    def test_missing_file(self, files, capsys):
+        assert main(["validate", files["fig5.bonxai"], "/nope.xml"]) == 2
+
+    def test_malformed_schema(self, files, tmp_path, capsys):
+        broken = tmp_path / "broken.bonxai"
+        broken.write_text("grammar {")
+        assert main(["validate", str(broken), files["fig1.xml"]]) == 2
+
+
+class TestHighlight:
+    def test_lists_every_element(self, files, capsys):
+        assert main(["highlight", files["fig5.bonxai"],
+                     files["fig1.xml"]]) == 0
+        out = capsys.readouterr().out
+        assert "/document/template/section" in out
+        assert "template//section" in out
+
+    def test_requires_bonxai(self, files, capsys):
+        assert main(["highlight", files["fig3.xsd"], files["fig1.xml"]]) == 2
+
+
+class TestConvert:
+    def test_bonxai_to_xsd(self, files, capsys):
+        assert main(["convert", files["fig5.bonxai"]]) == 0
+        out = capsys.readouterr().out
+        assert "<xs:schema" in out
+        assert "xs:complexType" in out
+
+    def test_xsd_to_bonxai(self, files, capsys):
+        assert main(["convert", files["fig3.xsd"]]) == 0
+        out = capsys.readouterr().out
+        assert "grammar {" in out
+
+    def test_dtd_to_bonxai(self, files, capsys):
+        assert main(["convert", files["fig2.dtd"]]) == 0
+        out = capsys.readouterr().out
+        assert "grammar {" in out
+        assert "element template" in out
+
+    def test_output_file(self, files, tmp_path, capsys):
+        target = tmp_path / "out.xsd"
+        assert main(["convert", files["fig5.bonxai"], "-o",
+                     str(target)]) == 0
+        assert "<xs:schema" in target.read_text()
+
+    def test_converted_xsd_validates_document(self, files, tmp_path,
+                                              capsys):
+        target = tmp_path / "converted.xsd"
+        main(["convert", files["fig5.bonxai"], "-o", str(target)])
+        capsys.readouterr()
+        assert main(["validate", str(target), files["fig1.xml"]]) == 0
+
+    def test_converted_bonxai_validates_document(self, files, tmp_path,
+                                                 capsys):
+        target = tmp_path / "converted.bonxai"
+        main(["convert", files["fig3.xsd"], "-o", str(target)])
+        capsys.readouterr()
+        assert main(["validate", str(target), files["fig1.xml"]]) == 0
+
+
+class TestAnalyze:
+    def test_bonxai(self, files, capsys):
+        assert main(["analyze", files["fig5.bonxai"]]) == 0
+        out = capsys.readouterr().out
+        assert "structural k-suffix" in out
+        assert "states" in out
+
+    def test_xsd(self, files, capsys):
+        assert main(["analyze", files["fig3.xsd"]]) == 0
+
+    def test_dtd(self, files, capsys):
+        assert main(["analyze", files["fig2.dtd"]]) == 0
+        out = capsys.readouterr().out
+        assert "structural k-suffix: 1" in out
+
+
+class TestStudy:
+    def test_runs(self, capsys):
+        assert main(["study", "--size", "20", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "within 3-suffix" in out
+
+
+class TestUsage:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2

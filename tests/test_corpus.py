@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic corpus generator and the 98% study."""
+
+import random
+
+import pytest
+
+from repro.corpus.generator import (
+    DEFAULT_MIX,
+    generate_corpus,
+    make_context_aware,
+    make_deep_context,
+    make_dtd_like,
+    random_deterministic_regex,
+)
+from repro.corpus.study import format_study, run_study
+from repro.regex.determinism import is_deterministic
+from repro.translation.ksuffix import detect_k_suffix, ksuffix_bxsd_to_dfa_based
+
+
+class TestRandomRegexes:
+    def test_always_deterministic(self, rng):
+        names = ["a", "b", "c", "d", "e"]
+        for __ in range(200):
+            count = rng.randrange(0, len(names) + 1)
+            regex = random_deterministic_regex(rng, names[:count])
+            assert is_deterministic(regex), str(regex)
+
+    def test_each_name_at_most_once(self, rng):
+        from repro.regex.ast import Symbol
+
+        def count_occurrences(node, name):
+            if isinstance(node, Symbol):
+                return 1 if node.name == name else 0
+            children = getattr(node, "children", None)
+            if children is not None:
+                return sum(count_occurrences(c, name) for c in children)
+            child = getattr(node, "child", None)
+            if child is not None:
+                return count_occurrences(child, name)
+            return 0
+
+        for __ in range(100):
+            regex = random_deterministic_regex(rng, ["a", "b", "c"])
+            for name in ("a", "b", "c"):
+                assert count_occurrences(regex, name) <= 1
+
+
+class TestGenerators:
+    def test_dtd_like_is_one_suffix(self, rng):
+        schema = ksuffix_bxsd_to_dfa_based(make_dtd_like(rng))
+        assert detect_k_suffix(schema) <= 1
+
+    def test_context_aware_is_k_suffix(self, rng):
+        for k in (2, 3):
+            schema = ksuffix_bxsd_to_dfa_based(
+                make_context_aware(rng, k)
+            )
+            detected = detect_k_suffix(schema)
+            assert detected is not None and detected <= k
+
+    def test_deep_context_is_unbounded(self, rng):
+        schema = make_deep_context(rng)
+        assert detect_k_suffix(schema) is None
+
+    def test_corpus_size_and_mix(self, rng):
+        corpus = generate_corpus(rng, size=40)
+        assert len(corpus) == 40
+        kinds = {kind for kind, __ in corpus}
+        assert "dtd_like" in kinds
+
+    def test_default_mix_sums_to_one(self):
+        assert abs(sum(f for __, f in DEFAULT_MIX) - 1.0) < 1e-9
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        rng = random.Random(20150531)
+        corpus = generate_corpus(rng, size=120)
+        return run_study(corpus, max_k=5)
+
+    def test_total(self, result):
+        assert result.total == 120
+
+    def test_reproduces_98_percent(self, result):
+        assert result.fraction_within_3 >= 0.95
+
+    def test_kinds_classified_correctly(self, result):
+        assert set(result.per_kind["dtd_like"]) <= {0, 1}
+        assert set(result.per_kind["parent"]) <= {1, 2}
+        assert set(result.per_kind["grandparent"]) <= {2, 3}
+        assert set(result.per_kind["deep"]) == {None}
+
+    def test_rows_cover_total(self, result):
+        assert sum(count for __, count, __p in result.rows()) == result.total
+
+    def test_format(self, result):
+        text = format_study(result)
+        assert "within 3-suffix" in text
+        assert "98%" in text
+
+    def test_timings_collected_when_requested(self):
+        rng = random.Random(7)
+        corpus = generate_corpus(rng, size=10)
+        result = run_study(corpus, measure_translations=True)
+        assert len(result.timings["ksuffix"]) > 0
+        assert len(result.timings["ksuffix"]) == len(
+            result.timings["generic"]
+        )

@@ -1,0 +1,131 @@
+"""Unit tests for DTD -> BonXai / XSD migration."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+from repro.translation.dtd import dtd_to_bxsd, dtd_to_xsd
+from repro.translation.ksuffix import bxsd_suffix_width
+from repro.xmlmodel.dtd import parse_dtd
+from repro.xmlmodel.tree import XMLDocument, element
+from repro.xsd.validator import validate_xsd
+
+RECIPE_DTD = """
+<!ELEMENT cookbook (recipe+)>
+<!ELEMENT recipe (name, ingredient*, step+)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT ingredient EMPTY>
+<!ATTLIST ingredient what CDATA #REQUIRED amount CDATA #IMPLIED>
+<!ELEMENT step (#PCDATA|ingredient)*>
+"""
+
+
+@pytest.fixture
+def dtd():
+    return parse_dtd(RECIPE_DTD, root="cookbook")
+
+
+def sample_doc():
+    return XMLDocument(
+        element(
+            "cookbook",
+            element(
+                "recipe",
+                element("name", "Soup"),
+                element("ingredient", attributes={"what": "water"}),
+                element("step", "Boil the ",
+                        element("ingredient", attributes={"what": "water"})),
+            ),
+        )
+    )
+
+
+class TestDtdToBxsd:
+    def test_one_rule_per_element(self, dtd):
+        bxsd = dtd_to_bxsd(dtd)
+        assert len(bxsd.rules) == len(dtd.elements)
+
+    def test_is_one_suffix(self, dtd):
+        assert bxsd_suffix_width(dtd_to_bxsd(dtd)) == 1
+
+    def test_root_from_dtd(self, dtd):
+        assert dtd_to_bxsd(dtd).start == {"cookbook"}
+
+    def test_root_override(self, dtd):
+        assert dtd_to_bxsd(dtd, root="recipe").start == {"recipe"}
+
+    def test_all_roots_when_unknown(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        assert dtd_to_bxsd(dtd).start == {"a", "b"}
+
+    def test_undeclared_root_rejected(self, dtd):
+        with pytest.raises(TranslationError):
+            dtd_to_bxsd(dtd, root="nope")
+
+    def test_same_verdicts_as_dtd(self, dtd, rng):
+        from repro.xmlmodel.generator import random_tree
+
+        bxsd = dtd_to_bxsd(dtd)
+        labels = list(dtd.elements)
+        for __ in range(150):
+            doc = random_tree(rng, labels=labels, max_depth=4, max_width=3)
+            for node in doc.iter():
+                if node.name == "ingredient":
+                    node.attributes["what"] = "x"
+            # Compare element-structure verdicts (text/mixed handled the
+            # same way in both).
+            assert dtd.is_valid(doc) == bxsd.is_valid(doc), (
+                dtd.validate(doc), bxsd.validate(doc),
+            )
+
+    @staticmethod
+    def _rule_for(bxsd, name):
+        from repro.regex.ast import Concat, Symbol
+
+        for rule in bxsd.rules:
+            pattern = rule.pattern
+            if isinstance(pattern, Concat):
+                last = pattern.children[-1]
+                if isinstance(last, Symbol) and last.name == name:
+                    return rule
+        raise AssertionError(f"no rule ending in {name!r}")
+
+    def test_attributes_carried(self, dtd):
+        bxsd = dtd_to_bxsd(dtd)
+        rule = self._rule_for(bxsd, "ingredient")
+        assert rule.content.attribute("what").required
+        assert not rule.content.attribute("amount").required
+
+    def test_mixed_carried(self, dtd):
+        bxsd = dtd_to_bxsd(dtd)
+        assert self._rule_for(bxsd, "step").content.mixed
+        assert not self._rule_for(bxsd, "recipe").content.mixed
+
+    def test_any_content_becomes_universal(self):
+        dtd = parse_dtd("<!ELEMENT a ANY><!ELEMENT b EMPTY>", root="a")
+        bxsd = dtd_to_bxsd(dtd)
+        doc = XMLDocument(element("a", element("b"), element("a")))
+        assert bxsd.is_valid(doc)
+
+
+class TestDtdToXsd:
+    def test_document_validates(self, dtd):
+        xsd = dtd_to_xsd(dtd)
+        assert validate_xsd(xsd, sample_doc()).valid
+
+    def test_rejections_preserved(self, dtd):
+        xsd = dtd_to_xsd(dtd)
+        bad = XMLDocument(element("cookbook", element("name")))
+        assert not validate_xsd(xsd, bad).valid
+
+    def test_equivalent_to_generic_path(self, dtd):
+        from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+        from repro.xsd.equivalence import dfa_xsd_equivalent
+
+        via_fragment = xsd_to_dfa_based(dtd_to_xsd(dtd))
+        via_generic = bxsd_to_dfa_based(dtd_to_bxsd(dtd))
+        assert dfa_xsd_equivalent(via_fragment, via_generic)
+
+    def test_type_count_linear(self, dtd):
+        xsd = dtd_to_xsd(dtd)
+        assert len(xsd.types) <= len(dtd.elements) + 1

@@ -1,0 +1,79 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    EDCViolation,
+    NotDeterministicError,
+    NotKSuffixError,
+    ParseError,
+    RegexError,
+    ReproError,
+    SchemaError,
+    TranslationError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [ParseError, RegexError, NotDeterministicError, SchemaError,
+         EDCViolation, ValidationError, TranslationError, NotKSuffixError],
+    )
+    def test_all_derive_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, ReproError)
+
+    def test_edc_is_schema_error(self):
+        assert issubclass(EDCViolation, SchemaError)
+
+    def test_not_deterministic_is_regex_error(self):
+        assert issubclass(NotDeterministicError, RegexError)
+
+    def test_not_ksuffix_is_translation_error(self):
+        assert issubclass(NotKSuffixError, TranslationError)
+
+
+class TestParseError:
+    def test_location_formatting(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_line_only(self):
+        error = ParseError("bad token", line=3)
+        assert "line 3" in str(error)
+        assert "column" not in str(error)
+
+    def test_no_location(self):
+        assert str(ParseError("bad token")) == "bad token"
+
+
+class TestNotDeterministicError:
+    def test_witness_included(self):
+        error = NotDeterministicError("competing positions", witness="a")
+        assert "witness: a" in str(error)
+        assert error.witness == "a"
+
+    def test_without_witness(self):
+        error = NotDeterministicError("competing positions")
+        assert error.witness is None
+
+
+class TestValidationError:
+    def test_carries_violations(self):
+        error = ValidationError("3 problems", violations=["a", "b", "c"])
+        assert error.violations == ["a", "b", "c"]
+
+
+class TestCatchability:
+    def test_library_failures_catchable_at_root(self):
+        from repro.regex.parser import parse_regex
+
+        with pytest.raises(ReproError):
+            parse_regex("(((")
+        from repro.bonxai.parser import parse_bonxai
+
+        with pytest.raises(ReproError):
+            parse_bonxai("nope")

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion and prints what
+it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "valid: True" in result.stdout
+        assert "<xs:schema" in result.stdout
+        assert "valid: False" in result.stdout  # the bad document
+
+    def test_schema_evolution(self):
+        result = run_example("schema_evolution.py")
+        assert result.returncode == 0, result.stderr
+        assert "INVALID" in result.stdout   # depth 4/5 rejected
+        assert "1 appended rule" in result.stdout
+
+    def test_dtd_migration(self):
+        result = run_example("dtd_migration.py")
+        assert result.returncode == 0, result.stderr
+        assert "Figure 1 valid under the DTD:    True" in result.stdout
+        assert "expected False" in result.stdout
+
+    def test_xsd_inspection(self):
+        result = run_example("xsd_inspection.py")
+        assert result.returncode == 0, result.stderr
+        assert "type minimization" in result.stdout
+
+    def test_worst_case_families(self):
+        result = run_example("worst_case_families.py")
+        assert result.returncode == 0, result.stderr
+        assert "Theorem 8" in result.stdout
+        assert "Theorem 9" in result.stdout
+
+    def test_language_tour(self):
+        result = run_example("language_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "VALID" in result.stdout
+        assert "MISSED" not in result.stdout
+        assert result.stdout.count("[caught]") == 8
+
+    def test_corpus_study(self):
+        result = run_example("corpus_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "within 3-suffix" in result.stdout

@@ -1,0 +1,170 @@
+"""Unit tests for the Theorem 8 / Theorem 9 worst-case families."""
+
+import pytest
+
+from repro.families.ehrenfeucht_zeiger import (
+    sigma_n,
+    split_symbol,
+    symbol_name,
+    theorem8_xsd,
+    zn_contains,
+    zn_dfa,
+)
+from repro.families.theorem9 import (
+    expected_child_of_a,
+    theorem9_bxsd,
+    theorem9_ename,
+)
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+from repro.translation.dfa_to_bxsd import dfa_based_to_bxsd
+from repro.xmlmodel.tree import XMLDocument, element
+
+
+class TestZn:
+    def test_alphabet_size(self):
+        assert len(sigma_n(3)) == 9
+        assert symbol_name(2, 3) in sigma_n(3)
+
+    def test_split(self):
+        assert split_symbol("a12_7") == (12, 7)
+
+    def test_membership(self):
+        assert zn_contains([])
+        assert zn_contains(["a1_2"])
+        assert zn_contains(["a1_2", "a2_3", "a3_3"])
+        assert not zn_contains(["a1_2", "a3_1"])
+
+    def test_dfa_agrees_with_predicate(self, rng):
+        dfa = zn_dfa(3)
+        names = sigma_n(3)
+        for __ in range(300):
+            word = [names[rng.randrange(len(names))]
+                    for __i in range(rng.randrange(5))]
+            assert dfa.accepts(word) == zn_contains(word), word
+
+    def test_dfa_size_linear_in_states(self):
+        # O(n) states (start + q1..qn + dead).
+        assert len(zn_dfa(4)) == 6
+
+
+class TestTheorem8Family:
+    def test_input_size_quadratic(self):
+        sizes = [theorem8_xsd(n).total_size for n in (2, 3, 4)]
+        # Quadratic-ish: ratios roughly (n+1)^2/n^2, certainly below
+        # exponential.
+        assert sizes[1] / sizes[0] < 4
+        assert sizes[2] / sizes[1] < 3
+
+    def test_paths_unrestricted(self):
+        schema = theorem8_xsd(2)
+        doc = XMLDocument(
+            element("a1_2", element("a2_1", element("a1_1")))
+        )
+        assert schema.is_valid(doc)
+
+    def test_branching_only_below_error(self):
+        schema = theorem8_xsd(2)
+        # Error with index 1: a1_2 followed by a2_... wait: reading a1_2
+        # in q1' happens when source != state.  Build: root a1_1 -> state
+        # q1; child a2_2 has source 2 != 1 -> error with index 1; below
+        # it, branching a1_1 a1_1 is allowed.
+        good = XMLDocument(
+            element("a1_1",
+                    element("a2_2",
+                            element("a1_1"), element("a1_1")))
+        )
+        assert schema.is_valid(good)
+        # The same branching without an error above is invalid.
+        bad = XMLDocument(
+            element("a1_1", element("a1_1"), element("a1_1"))
+        )
+        assert not schema.is_valid(bad)
+
+    def test_wrong_branch_symbol_rejected(self):
+        schema = theorem8_xsd(2)
+        bad = XMLDocument(
+            element("a1_1",
+                    element("a2_2",
+                            element("a2_2"), element("a2_2")))
+        )
+        assert not schema.is_valid(bad)
+
+    def test_translation_blowup_monotone(self):
+        sizes = []
+        for n in (2, 3):
+            schema = theorem8_xsd(n)
+            bxsd = dfa_based_to_bxsd(schema)
+            sizes.append(bxsd.size / schema.total_size)
+        assert sizes[1] > sizes[0]  # output/input ratio grows
+
+    def test_roundtrip_equivalence(self):
+        from repro.xsd.equivalence import dfa_xsd_equivalent
+
+        schema = theorem8_xsd(2)
+        bxsd = dfa_based_to_bxsd(schema)
+        assert dfa_xsd_equivalent(schema, bxsd_to_dfa_based(bxsd))
+
+
+class TestTheorem9Family:
+    def test_rule_count_linear(self):
+        assert len(theorem9_bxsd(4).rules) == 3 + 4
+
+    def test_ename(self):
+        assert set(theorem9_ename(2)) == {"a", "a1", "a2", "b1", "b2"}
+
+    def test_reference_semantics(self):
+        assert expected_child_of_a(["a1", "a2", "a"]) is None
+        assert expected_child_of_a(["a1", "a1", "a"]) == "b1"
+        assert expected_child_of_a(["a2", "a1", "a2", "a1", "a"]) == "b2"
+
+    def test_document_semantics(self):
+        bxsd = theorem9_bxsd(2)
+        # a1 a1 a must have a b1 child.
+        good = XMLDocument(
+            element("a1", element("a1", element("a", element("b1"))))
+        )
+        assert bxsd.is_valid(good), bxsd.validate(good)
+        missing = XMLDocument(
+            element("a1", element("a1", element("a")))
+        )
+        assert not bxsd.is_valid(missing)
+        wrong = XMLDocument(
+            element("a1", element("a1", element("a", element("b2"))))
+        )
+        assert not bxsd.is_valid(wrong)
+
+    def test_priority_largest_j_wins(self):
+        bxsd = theorem9_bxsd(2)
+        # Both a1 and a2 doubled: b2 (largest index) is required.
+        doc_b2 = XMLDocument(
+            element("a1", element("a2", element("a1", element("a2",
+                    element("a", element("b2"))))))
+        )
+        assert bxsd.is_valid(doc_b2), bxsd.validate(doc_b2)
+        doc_b1 = XMLDocument(
+            element("a1", element("a2", element("a1", element("a2",
+                    element("a", element("b1"))))))
+        )
+        assert not bxsd.is_valid(doc_b1)
+
+    def test_xsd_states_grow_exponentially(self):
+        counts = [
+            len(bxsd_to_dfa_based(theorem9_bxsd(n)).states)
+            for n in (2, 3, 4)
+        ]
+        ratios = [counts[1] / counts[0], counts[2] / counts[1]]
+        assert all(ratio > 2.0 for ratio in ratios)
+
+    def test_translated_xsd_validates_semantics(self):
+        from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+        from repro.xsd.validator import validate_xsd
+
+        xsd = dfa_based_to_xsd(bxsd_to_dfa_based(theorem9_bxsd(2)))
+        good = XMLDocument(
+            element("a1", element("a1", element("a", element("b1"))))
+        )
+        assert validate_xsd(xsd, good).valid
+        bad = XMLDocument(
+            element("a1", element("a1", element("a")))
+        )
+        assert not validate_xsd(xsd, bad).valid

@@ -1,0 +1,100 @@
+"""Unit and property tests for the hybrid Algorithm 2 (suffix rules +
+state elimination fallback)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.families import dtd_like_bxsd, layered_ksuffix_bxsd
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+from repro.translation.dfa_to_bxsd import dfa_based_to_bxsd
+from repro.translation.hybrid import hybrid_dfa_based_to_bxsd
+from repro.translation.ksuffix import ksuffix_bxsd_to_dfa_based
+from repro.xsd.equivalence import dfa_xsd_equivalent
+
+from tests.test_translation_properties import dfa_based_schemas
+
+
+class TestOnFragmentSchemas:
+    def test_dtd_like_yields_pure_suffix_rules(self):
+        schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(5))
+        bxsd = hybrid_dfa_based_to_bxsd(schema)
+        from repro.translation.ksuffix import bxsd_suffix_width
+
+        assert bxsd_suffix_width(bxsd) == 1
+        assert dfa_xsd_equivalent(schema, bxsd_to_dfa_based(bxsd))
+
+    def test_layered_k2(self):
+        schema = ksuffix_bxsd_to_dfa_based(layered_ksuffix_bxsd(4, k=2))
+        bxsd = hybrid_dfa_based_to_bxsd(schema)
+        assert dfa_xsd_equivalent(schema, bxsd_to_dfa_based(bxsd))
+
+
+class TestOnRunningExample:
+    def test_figure3_equivalent_and_smaller(self):
+        from repro.paperdata import figure3_xsd
+        from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+        from repro.xsd.minimize import minimize_dfa_based
+
+        schema = minimize_dfa_based(xsd_to_dfa_based(figure3_xsd()))
+        hybrid = hybrid_dfa_based_to_bxsd(schema)
+        generic = dfa_based_to_bxsd(schema)
+        assert dfa_xsd_equivalent(schema, bxsd_to_dfa_based(hybrid))
+        assert hybrid.size <= generic.size
+
+    def test_figure3_beats_the_hand_written_figure5(self):
+        # The priority-aware translation produces a schema smaller than
+        # the paper's own hand-written Figure 5 (size 317).
+        from repro.bonxai.compile import compile_schema
+        from repro.paperdata import figure3_xsd, figure5_schema
+        from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+        from repro.xsd.minimize import minimize_dfa_based
+
+        schema = minimize_dfa_based(xsd_to_dfa_based(figure3_xsd()))
+        hybrid = hybrid_dfa_based_to_bxsd(schema)
+        hand_written = compile_schema(figure5_schema()).bxsd
+        assert hybrid.size < hand_written.size
+        assert dfa_xsd_equivalent(
+            bxsd_to_dfa_based(hybrid), bxsd_to_dfa_based(hand_written)
+        )
+
+    def test_figure3_local_states_get_short_rules(self):
+        from repro.paperdata import figure3_xsd
+        from repro.regex.ast import Concat, Symbol
+        from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+        from repro.xsd.minimize import minimize_dfa_based
+
+        schema = minimize_dfa_based(xsd_to_dfa_based(figure3_xsd()))
+        hybrid = hybrid_dfa_based_to_bxsd(schema)
+        # 'bold' is used with one type everywhere: a single //bold rule.
+        bold_rules = [
+            rule for rule in hybrid.rules
+            if isinstance(rule.pattern, Concat)
+            and isinstance(rule.pattern.children[-1], Symbol)
+            and rule.pattern.children[-1].name == "bold"
+            and rule.pattern.size == len(schema.alphabet) + 1
+        ]
+        assert len(bold_rules) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(schema=dfa_based_schemas())
+def test_hybrid_always_equivalent(schema):
+    hybrid = hybrid_dfa_based_to_bxsd(schema)
+    assert dfa_xsd_equivalent(schema, bxsd_to_dfa_based(hybrid))
+
+
+@settings(max_examples=15, deadline=None)
+@given(schema=dfa_based_schemas(), seed=st.integers(0, 2**31))
+def test_hybrid_validates_sampled_documents(schema, seed):
+    from repro.xsd.equivalence import productive_roots
+    from repro.xsd.generator import DocumentGenerator
+
+    if not productive_roots(schema):
+        return
+    hybrid = hybrid_dfa_based_to_bxsd(schema)
+    generator = DocumentGenerator(schema)
+    rng = random.Random(seed)
+    for __ in range(5):
+        doc = generator.generate(rng, max_depth=3)
+        assert hybrid.is_valid(doc), hybrid.validate(doc)

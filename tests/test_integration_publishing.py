@@ -1,0 +1,174 @@
+"""End-to-end integration test on a realistic publishing schema.
+
+One schema exercises every feature at once: groups, attribute groups,
+mixed content, interleaving, counters, context rules with priorities,
+attribute simple types, and all three constraint kinds.  The test drives
+the full tool chain: parse -> compile -> validate -> convert to XSD ->
+write -> re-read -> validate again -> convert back -> validate again.
+"""
+
+import pytest
+
+from repro.bonxai.compile import compile_schema
+from repro.bonxai.decompile import bxsd_to_schema
+from repro.bonxai.parser import parse_bonxai
+from repro.bonxai.printer import print_schema
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+from repro.translation.hybrid import hybrid_dfa_based_to_bxsd
+from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+from repro.xmlmodel.parser import parse_document
+from repro.xsd.equivalence import dfa_xsd_equivalent
+from repro.xsd.reader import read_xsd
+from repro.xsd.validator import validate_xsd
+from repro.xsd.writer import write_xsd
+
+SCHEMA = """
+target namespace urn:press
+namespace xs = http://www.w3.org/2001/XMLSchema
+
+global { magazine }
+
+groups {
+  group inline = { element em | element link }
+  attribute-group tracking = { attribute id, attribute revision? }
+}
+
+grammar {
+  magazine       = { element masthead, (element article){1,8} }
+  masthead       = { attribute issue, element editor & element motto? }
+  editor         = mixed { }
+  motto          = mixed { }
+  article        = { attribute-group tracking,
+                     element headline, (element para)+ ,
+                     (element sidebar)? }
+  headline       = mixed { (group inline)* }
+  para           = mixed { (group inline)* }
+  sidebar        = { attribute of?, (element para)+ }
+  em             = mixed { }
+  link           = mixed { attribute href }
+
+  # Paragraphs inside sidebars are plain: no inline markup.
+  sidebar//para  = mixed { }
+
+  @issue         = { type xs:integer }
+  @id            = { type xs:NCName }
+  @href          = { type xs:anyURI }
+}
+
+constraints {
+  key articleKey magazine/article (@id)
+  unique magazine/article/headline (@id)
+  keyref sidebarRef article/sidebar (@of) refers articleKey
+}
+"""
+
+GOOD = """
+<magazine>
+  <masthead issue="42"><motto>veritas</motto><editor>Ed Itor</editor>
+  </masthead>
+  <article id="lead" revision="3">
+    <headline>Patterns <em>beat</em> types</headline>
+    <para>Read the <link href="http://example.org/bonxai">paper</link>.</para>
+    <para>Then try the tool.</para>
+  </article>
+  <article id="aside">
+    <headline>Sidebar discipline</headline>
+    <para>Sidebars keep it plain:</para>
+    <sidebar of="lead"><para>no markup in here</para></sidebar>
+  </article>
+</magazine>
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_schema(parse_bonxai(SCHEMA))
+
+
+@pytest.fixture(scope="module")
+def good_doc():
+    return parse_document(GOOD)
+
+
+class TestValidation:
+    def test_good_document(self, compiled, good_doc):
+        report = compiled.validate(good_doc)
+        assert report.valid, report.violations
+
+    def test_interleave_order_free(self, compiled):
+        doc = parse_document(
+            GOOD.replace("<motto>veritas</motto><editor>Ed Itor</editor>",
+                         "<editor>Ed Itor</editor><motto>veritas</motto>")
+        )
+        assert compiled.validate(doc).valid
+
+    def test_counter_upper_bound(self, compiled, good_doc):
+        doc = parse_document(GOOD)
+        article = doc.root.children[1]
+        for index in range(8):
+            clone = parse_document(GOOD).root.children[1]
+            clone.attributes["id"] = f"extra{index}"
+            clone.parent = None
+            doc.root.append(clone)
+        report = compiled.validate(doc)
+        assert not report.valid  # 10 articles > {1,8}
+
+    def test_sidebar_paragraph_override(self, compiled):
+        doc = parse_document(
+            GOOD.replace("<para>no markup in here</para>",
+                         "<para>no <em>markup</em> in here</para>")
+        )
+        report = compiled.validate(doc)
+        assert not report.valid
+        assert any("sidebar" in v or "para" in v
+                   for v in report.violations)
+
+    def test_simple_type_checks(self, compiled):
+        doc = parse_document(GOOD.replace('issue="42"', 'issue="June"'))
+        report = compiled.validate(doc)
+        assert any("xs:integer" in v for v in report.violations)
+
+    def test_key_duplicate(self, compiled):
+        doc = parse_document(GOOD.replace('id="aside"', 'id="lead"'))
+        report = compiled.validate(doc)
+        assert any("duplicate" in v for v in report.violations)
+
+    def test_keyref_satisfied_and_dangling(self, compiled):
+        good = parse_document(GOOD)
+        assert compiled.validate(good).valid
+        dangling = parse_document(GOOD.replace('of="lead"', 'of="ghost"'))
+        report = compiled.validate(dangling)
+        assert any("no matching key" in v for v in report.violations)
+
+
+class TestFullToolChain:
+    def test_roundtrip_through_xsd_file(self, compiled, good_doc):
+        dfa_based = bxsd_to_dfa_based(compiled.bxsd)
+        xsd = dfa_based_to_xsd(dfa_based)
+        assert validate_xsd(xsd, good_doc).valid
+
+        text = write_xsd(xsd, target_namespace="urn:press")
+        reread = read_xsd(text)
+        assert validate_xsd(reread, good_doc).valid
+        assert dfa_xsd_equivalent(dfa_based, xsd_to_dfa_based(reread))
+
+    def test_roundtrip_back_to_bonxai(self, compiled, good_doc):
+        dfa_based = bxsd_to_dfa_based(compiled.bxsd)
+        back = hybrid_dfa_based_to_bxsd(dfa_based)
+        assert back.is_valid(good_doc), back.validate(good_doc)
+        assert dfa_xsd_equivalent(dfa_based, bxsd_to_dfa_based(back))
+
+        # ... and the concrete rendering parses and compiles again.
+        concrete = print_schema(bxsd_to_schema(back))
+        recompiled = compile_schema(parse_bonxai(concrete))
+        assert recompiled.validate(good_doc).valid
+
+    def test_structure_rejections_survive_roundtrip(self, compiled):
+        dfa_based = bxsd_to_dfa_based(compiled.bxsd)
+        xsd = dfa_based_to_xsd(dfa_based)
+        bad = parse_document(
+            GOOD.replace("<headline>Sidebar discipline</headline>", "")
+        )
+        assert not compiled.validate(bad).valid
+        assert not validate_xsd(xsd, bad).valid

@@ -1,0 +1,236 @@
+"""Unit tests for the k-suffix fragment (detection, Theorems 12 and 13)."""
+
+import pytest
+
+from repro.bonxai.bxsd import BXSD, Rule
+from repro.errors import NotKSuffixError
+from repro.families import chain_xsd, dtd_like_bxsd, layered_ksuffix_bxsd
+from repro.regex.ast import EPSILON, concat, star, sym, union, universal
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+from repro.translation.ksuffix import (
+    bxsd_suffix_width,
+    check_k_suffix,
+    detect_k_suffix,
+    detect_semantic_locality,
+    is_semantically_k_local,
+    ksuffix_bxsd_to_dfa_based,
+    ksuffix_dfa_based_to_bxsd,
+    pattern_as_suffix,
+)
+from repro.xsd.content import ContentModel
+from repro.xsd.equivalence import dfa_xsd_equivalent
+
+
+class TestDetection:
+    def test_dtd_like_is_one_suffix(self):
+        schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(5))
+        assert detect_k_suffix(schema) == 1
+        assert check_k_suffix(schema, 1)
+        assert check_k_suffix(schema, 2)  # monotone
+
+    def test_layered_is_exactly_k(self):
+        schema = ksuffix_bxsd_to_dfa_based(layered_ksuffix_bxsd(5, k=3))
+        assert detect_k_suffix(schema) == 3
+        assert not check_k_suffix(schema, 2)
+
+    def test_chain_grows_with_depth(self):
+        assert detect_k_suffix(chain_xsd(2)) < detect_k_suffix(chain_xsd(5))
+
+    def test_unbounded_context(self):
+        from repro.corpus import make_deep_context
+        import random
+
+        schema = make_deep_context(random.Random(1))
+        assert detect_k_suffix(schema) is None
+        assert detect_k_suffix(schema, max_k=10) is None
+
+    def test_max_k_cutoff(self):
+        schema = chain_xsd(5)
+        k = detect_k_suffix(schema)
+        assert detect_k_suffix(schema, max_k=k - 1) is None
+        assert detect_k_suffix(schema, max_k=k) == k
+
+    def test_single_state_is_zero_suffix(self):
+        # One non-initial state, complete transitions: 0-suffix needs
+        # A(w1) == A(w2) for all strings, which fails since A(eps) = q0
+        # differs from A(a); the detector still reports a small k.
+        schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(1))
+        assert detect_k_suffix(schema) in (0, 1)
+
+
+class TestSuffixPatterns:
+    ENAME = frozenset({"a", "b"})
+
+    def test_exact_word(self):
+        kind, word = pattern_as_suffix(concat(sym("a"), sym("b")), self.ENAME)
+        assert (kind, word) == ("exact", ["a", "b"])
+
+    def test_suffix_word(self):
+        regex = concat(universal(self.ENAME), sym("a"), sym("b"))
+        kind, word = pattern_as_suffix(regex, self.ENAME)
+        assert (kind, word) == ("suffix", ["a", "b"])
+
+    def test_single_symbol_is_exact(self):
+        assert pattern_as_suffix(sym("a"), self.ENAME) == ("exact", ["a"])
+
+    def test_non_suffix_shapes(self):
+        assert pattern_as_suffix(
+            union(sym("a"), sym("b")), self.ENAME
+        ) is None
+        assert pattern_as_suffix(
+            concat(sym("a"), universal(self.ENAME)), self.ENAME
+        ) is None
+        # Star over a strict subset of EName is not '//'.
+        assert pattern_as_suffix(
+            concat(star(sym("a")), sym("b")), self.ENAME
+        ) is None
+
+    def test_bxsd_suffix_width(self):
+        assert bxsd_suffix_width(dtd_like_bxsd(4)) == 1
+        assert bxsd_suffix_width(layered_ksuffix_bxsd(4, k=2)) == 2
+        # A non-suffix rule makes the width undefined.
+        ename = frozenset({"a", "b"})
+        bad = BXSD(
+            ename=ename,
+            start={"a"},
+            rules=[Rule(union(sym("a"), sym("b")),
+                        ContentModel(EPSILON))],
+        )
+        assert bxsd_suffix_width(bad) is None
+
+
+class TestTheorem12:
+    def test_linear_size(self):
+        for width in (4, 8, 16):
+            bxsd = dtd_like_bxsd(width)
+            schema = ksuffix_bxsd_to_dfa_based(bxsd)
+            # Linear: states bounded by 2 * (total pattern word length) + 2.
+            assert len(schema.states) <= 2 * width + 2
+
+    def test_equivalent_to_generic_algorithm3(self):
+        for bxsd in (dtd_like_bxsd(4), layered_ksuffix_bxsd(4, k=2)):
+            fast = ksuffix_bxsd_to_dfa_based(bxsd)
+            slow = bxsd_to_dfa_based(bxsd)
+            assert dfa_xsd_equivalent(fast, slow)
+
+    def test_output_is_k_suffix(self):
+        bxsd = layered_ksuffix_bxsd(5, k=2)
+        schema = ksuffix_bxsd_to_dfa_based(bxsd)
+        assert check_k_suffix(schema, 2)
+
+    def test_exact_rules_respected(self):
+        ename = frozenset({"r", "a"})
+        bxsd = BXSD(
+            ename=ename,
+            start={"r"},
+            rules=[
+                # Generally 'a' is a leaf; the root exactly may have a's.
+                Rule(concat(universal(ename), sym("a")),
+                     ContentModel(EPSILON)),
+                Rule(sym("r"), ContentModel(star(sym("a")))),
+                # Exact: an 'a' directly below the root may have one 'a'.
+                Rule(concat(sym("r"), sym("a")),
+                     ContentModel(star(sym("a")))),
+            ],
+        )
+        schema = ksuffix_bxsd_to_dfa_based(bxsd)
+        assert dfa_xsd_equivalent(schema, bxsd_to_dfa_based(bxsd))
+        from repro.xmlmodel.tree import XMLDocument, element
+
+        good = XMLDocument(element("r", element("a", element("a"))))
+        bad = XMLDocument(
+            element("r", element("a", element("a", element("a"))))
+        )
+        assert schema.is_valid(good)
+        assert not schema.is_valid(bad)
+
+    def test_rejects_non_suffix_bxsd(self):
+        ename = frozenset({"a", "b"})
+        bad = BXSD(
+            ename=ename,
+            start={"a"},
+            rules=[Rule(star(sym("a")), ContentModel(EPSILON))],
+        )
+        with pytest.raises(NotKSuffixError):
+            ksuffix_bxsd_to_dfa_based(bad)
+
+
+class TestTheorem13:
+    def test_roundtrip_equivalence(self):
+        for source in (dtd_like_bxsd(5), layered_ksuffix_bxsd(4, k=2)):
+            schema = ksuffix_bxsd_to_dfa_based(source)
+            back = ksuffix_dfa_based_to_bxsd(schema)
+            assert dfa_xsd_equivalent(schema, bxsd_to_dfa_based(back))
+
+    def test_output_is_suffix_based(self):
+        schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(4))
+        back = ksuffix_dfa_based_to_bxsd(schema)
+        assert bxsd_suffix_width(back) is not None
+
+    def test_auto_detects_k(self):
+        schema = chain_xsd(2)
+        back = ksuffix_dfa_based_to_bxsd(schema)  # k auto-detected
+        assert dfa_xsd_equivalent(schema, bxsd_to_dfa_based(back))
+
+    def test_wrong_k_rejected(self):
+        schema = ksuffix_bxsd_to_dfa_based(layered_ksuffix_bxsd(5, k=3))
+        with pytest.raises(NotKSuffixError):
+            ksuffix_dfa_based_to_bxsd(schema, 1)
+
+    def test_unbounded_rejected(self):
+        import random
+
+        from repro.corpus import make_deep_context
+
+        schema = make_deep_context(random.Random(3))
+        with pytest.raises(NotKSuffixError):
+            ksuffix_dfa_based_to_bxsd(schema)
+
+    def test_rule_count_polynomial_in_alphabet(self):
+        schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(6))
+        back = ksuffix_dfa_based_to_bxsd(schema, 1)
+        # 1-suffix: at most |EName| suffix rules (plus no exact rules for
+        # k=1 since k-1=0).
+        assert len(back.rules) <= 6
+
+
+class TestSemanticLocality:
+    def test_dtd_like_semantically_one_local(self):
+        schema = ksuffix_bxsd_to_dfa_based(dtd_like_bxsd(4))
+        assert is_semantically_k_local(schema, 1)
+        assert detect_semantic_locality(schema) == 1
+
+    def test_structural_implies_semantic(self):
+        schema = ksuffix_bxsd_to_dfa_based(layered_ksuffix_bxsd(5, k=2))
+        k = detect_k_suffix(schema)
+        assert is_semantically_k_local(schema, k)
+
+    def test_semantic_can_be_smaller_than_structural(self):
+        # A partial DFA with redundant context: structurally not 1-suffix
+        # (distinct states), semantically 1-local (same content models).
+        from repro.xsd.dfa_based import DFABasedXSD
+
+        content = ContentModel(star(sym("x")))
+        schema = DFABasedXSD(
+            states={"q0", "s1", "s2"},
+            alphabet={"x"},
+            transitions={
+                ("q0", "x"): "s1",
+                ("s1", "x"): "s2",
+                ("s2", "x"): "s1",
+            },
+            initial="q0",
+            start={"x"},
+            assign={"s1": content, "s2": content},
+        )
+        assert is_semantically_k_local(schema, 0)
+        structural = detect_k_suffix(schema)
+        assert structural is None  # s1/s2 alternate forever
+
+    def test_deep_context_not_semantically_local(self):
+        import random
+
+        from repro.corpus import make_deep_context
+
+        schema = make_deep_context(random.Random(5))
+        assert detect_semantic_locality(schema, max_k=4) is None

@@ -1,0 +1,220 @@
+"""E1: the running example of the paper (Figures 1-5), end to end.
+
+* Figure 1 conforms to the Figure 2 DTD, the Figure 3 XSD, and the
+  Figure 4/5 BonXai schemas;
+* Figure 4 (dtd-exact variant) is document-equivalent to the Figure 2 DTD;
+* Figure 5 is document-equivalent to the (completed) Figure 3 XSD;
+* the section-element context sensitivity the paper motivates is enforced.
+"""
+
+import pytest
+
+from repro.bonxai.compile import compile_schema
+from repro.paperdata import (
+    FIGURE4_BONXAI,
+    FIGURE5_BONXAI,
+    figure1_document,
+    figure2_dtd,
+    figure3_xsd,
+    figure4_schema,
+    figure5_schema,
+)
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+from repro.translation.dtd import dtd_to_bxsd
+from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+from repro.xmlmodel.tree import XMLDocument, element
+from repro.xsd.equivalence import dfa_xsd_equivalent
+from repro.xsd.validator import validate_xsd
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_document()
+
+
+@pytest.fixture(scope="module")
+def fig5_compiled():
+    return compile_schema(figure5_schema())
+
+
+class TestFigure1:
+    def test_structure(self, fig1):
+        root = fig1.root
+        assert root.name == "document"
+        assert root.ch_str() == ["template", "userstyles", "content"]
+
+    def test_example_41_ancestor_string(self, fig1):
+        template_section = fig1.root.children[0].children[0]
+        assert template_section.anc_str() == [
+            "document", "template", "section",
+        ]
+        assert template_section.ch_str() == [
+            "titlefont", "style", "section",
+        ]
+
+
+class TestFigure2DTD:
+    def test_accepts_figure1(self, fig1):
+        assert figure2_dtd().validate(fig1) == []
+
+    def test_rejects_text_in_userstyles(self):
+        dtd = figure2_dtd()
+        doc = XMLDocument(
+            element("document", element("template", element("section")),
+                    element("userstyles", "stray text"),
+                    element("content"))
+        )
+        assert not dtd.is_valid(doc)
+
+    def test_color_must_be_empty(self, fig1):
+        dtd = figure2_dtd()
+        doc = figure1_document()
+        for node in doc.iter():
+            if node.name == "color":
+                node.append_text("not allowed")
+        assert not dtd.is_valid(doc)
+
+
+class TestFigure4:
+    def test_verbatim_parses(self):
+        schema = figure4_schema()
+        assert len(schema.rules) == 15
+        assert "markup" in schema.groups
+
+    def test_dtd_exact_accepts_figure1(self, fig1):
+        compiled = compile_schema(figure4_schema(dtd_exact=True))
+        report = compiled.validate(fig1)
+        assert report.valid, report.violations
+
+    def test_dtd_exact_equivalent_to_figure2(self):
+        dtd_side = bxsd_to_dfa_based(dtd_to_bxsd(figure2_dtd()))
+        bonxai_side = bxsd_to_dfa_based(
+            compile_schema(figure4_schema(dtd_exact=True)).bxsd
+        )
+        assert dfa_xsd_equivalent(dtd_side, bonxai_side)
+
+    def test_cannot_distinguish_sections(self):
+        # The DTD-equivalent schema accepts text in template sections
+        # (the expressiveness gap the paper's Section 2 discusses).
+        compiled = compile_schema(figure4_schema(dtd_exact=True))
+        doc = XMLDocument(
+            element("document",
+                    element("template", element("section", "text here")),
+                    element("userstyles"),
+                    element("content"))
+        )
+        assert compiled.validate(doc).valid
+
+
+class TestFigure5:
+    def test_parses_with_priorities_in_order(self):
+        schema = figure5_schema()
+        texts = [rule.ancestor.text for rule in schema.rules]
+        assert texts.index("content//section") < texts.index(
+            "template//section"
+        )
+
+    def test_accepts_figure1(self, fig1, fig5_compiled):
+        report = fig5_compiled.validate(fig1)
+        assert report.valid, report.violations
+
+    def test_distinguishes_sections(self, fig5_compiled):
+        doc = XMLDocument(
+            element("document",
+                    element("template", element("section", "text here")),
+                    element("userstyles"),
+                    element("content"))
+        )
+        assert not fig5_compiled.validate(doc).valid
+
+    def test_content_sections_need_titles(self, fig5_compiled):
+        doc = XMLDocument(
+            element("document",
+                    element("template"),
+                    element("userstyles"),
+                    element("content", element("section")))
+        )
+        report = fig5_compiled.validate(doc)
+        assert any("title" in v for v in report.violations)
+
+    def test_template_sections_limited_children(self, fig5_compiled):
+        doc = XMLDocument(
+            element("document",
+                    element("template",
+                            element("section", element("bold"))),
+                    element("userstyles"),
+                    element("content"))
+        )
+        assert not fig5_compiled.validate(doc).valid
+
+    def test_size_attribute_type_checked(self, fig5_compiled):
+        doc = figure1_document()
+        for node in doc.iter():
+            if node.name == "titlefont" and "size" in node.attributes:
+                node.attributes["size"] = "forty-two"
+        report = fig5_compiled.validate(doc)
+        assert any("xs:integer" in v for v in report.violations)
+
+    def test_rule_highlighting_matches_context(self, fig5_compiled, fig1):
+        report = fig5_compiled.validate(fig1)
+        lines = report.highlighted(fig1, fig5_compiled.source)
+        template_lines = [l for l in lines
+                          if l.startswith("/document/template/section ")]
+        assert template_lines
+        assert all("template//section" in l for l in template_lines)
+
+
+class TestFigure3:
+    def test_parses(self):
+        xsd = figure3_xsd()
+        assert "TtemplateSection" in xsd.types
+        assert "Tsection" in xsd.types
+
+    def test_accepts_figure1(self, fig1):
+        report = validate_xsd(figure3_xsd(), fig1)
+        assert report.valid, report.violations
+
+    def test_typing_distinguishes_sections(self, fig1):
+        xsd = figure3_xsd()
+        report = validate_xsd(xsd, fig1)
+        template_section = fig1.root.children[0].children[0]
+        content_section = fig1.root.children[2].children[0]
+        assert report.typing[id(template_section)] == "TtemplateSection"
+        assert report.typing[id(content_section)] == "Tsection"
+
+
+class TestEquivalenceFig5Fig3:
+    def test_document_equivalence(self, fig5_compiled):
+        xsd_side = xsd_to_dfa_based(figure3_xsd())
+        bonxai_side = bxsd_to_dfa_based(fig5_compiled.bxsd)
+        assert dfa_xsd_equivalent(bonxai_side, xsd_side)
+
+    def test_random_documents_agree(self, fig5_compiled, rng):
+        from repro.xsd.generator import DocumentGenerator
+
+        xsd = figure3_xsd()
+        schema = xsd_to_dfa_based(xsd)
+        generator = DocumentGenerator(schema)
+        for __ in range(25):
+            doc = generator.generate(rng, max_depth=4)
+            # Structural agreement (attribute values are sampled without
+            # regard to simple types, so only check structure+attrs names).
+            xsd_ok = validate_xsd(xsd, doc).valid
+            core_ok = fig5_compiled.bxsd.is_valid(doc)
+            assert xsd_ok == core_ok
+
+
+class TestPaperTextArtifacts:
+    def test_figure4_text_has_all_dtd_elements(self):
+        for name in ("document", "template", "userstyles", "content",
+                     "section", "bold", "italic", "font", "style",
+                     "titlefont", "color"):
+            assert name in FIGURE4_BONXAI
+
+    def test_figure5_uses_paper_patterns(self):
+        for pattern in ("content//section", "template//section",
+                        "userstyles/style",
+                        "(userstyles|template)//color",
+                        "(userstyles|template)//(font|titlefont)",
+                        "(bold|italic)"):
+            assert pattern in FIGURE5_BONXAI

@@ -1,0 +1,165 @@
+"""E2: the priority system (Section 3.2) including schema evolution.
+
+Covers: last-rule-wins on overlapping contexts, the paper's
+section/template example, the schema-evolution use case (nesting depth
+capped by one appended rule), and the non-disjointness discussion
+(patterns overlapping on words that cannot occur as document paths).
+"""
+
+import pytest
+
+from repro.bonxai.compile import compile_schema
+from repro.bonxai.parser import parse_bonxai
+from repro.paperdata import FIGURE5_BONXAI
+from repro.xmlmodel.tree import XMLDocument, element
+
+
+class TestLastRuleWins:
+    SOURCE = """
+    global { root }
+    grammar {
+      root       = { (element item)* }
+      item       = { (element item)* }
+      root/item  = { element item, element item }
+    }
+    """
+
+    def test_special_case_overrides(self):
+        compiled = compile_schema(parse_bonxai(self.SOURCE))
+        # Items directly below root need exactly two children...
+        good = XMLDocument(
+            element("root",
+                    element("item", element("item"), element("item")))
+        )
+        assert compiled.validate(good).valid
+        bad = XMLDocument(element("root", element("item")))
+        assert not compiled.validate(bad).valid
+
+    def test_general_rule_still_applies_deeper(self):
+        compiled = compile_schema(parse_bonxai(self.SOURCE))
+        # ...while deeper items are unconstrained in their count.
+        good = XMLDocument(
+            element("root",
+                    element("item",
+                            element("item", element("item")),
+                            element("item")))
+        )
+        assert compiled.validate(good).valid
+
+    def test_swapped_order_changes_semantics(self):
+        swapped = parse_bonxai("""
+        global { root }
+        grammar {
+          root       = { (element item)* }
+          root/item  = { element item, element item }
+          item       = { (element item)* }
+        }
+        """)
+        compiled = compile_schema(swapped)
+        # Now the general rule wins everywhere: single children are fine.
+        doc = XMLDocument(element("root", element("item")))
+        assert compiled.validate(doc).valid
+
+
+class TestPaperSectionExample:
+    def test_modified_schema_keeps_semantics(self):
+        # Section 3.1: replacing content//section by plain 'section' keeps
+        # the semantics because template//section (later) takes priority.
+        modified = FIGURE5_BONXAI.replace(
+            "  content//section = mixed { attribute title, (element section | group markup)* }",
+            "  section = mixed { attribute title, (element section | group markup)* }",
+        )
+        original = compile_schema(parse_bonxai(FIGURE5_BONXAI))
+        variant = compile_schema(parse_bonxai(modified))
+
+        from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+        from repro.xsd.equivalence import dfa_xsd_equivalent
+
+        assert dfa_xsd_equivalent(
+            bxsd_to_dfa_based(original.bxsd),
+            bxsd_to_dfa_based(variant.bxsd),
+        )
+
+
+class TestSchemaEvolution:
+    EVOLVED = FIGURE5_BONXAI.replace(
+        "  (@name|@color|@title) = { type xs:string }",
+        "  content/section/section/section = "
+        "mixed { attribute title, group markup }\n"
+        "  (@name|@color|@title) = { type xs:string }",
+    )
+
+    @staticmethod
+    def document_with_depth(depth):
+        innermost = element("section", attributes={"title": "x"})
+        chain = innermost
+        for __ in range(depth - 1):
+            chain = element("section", chain, attributes={"title": "x"})
+        return XMLDocument(
+            element("document", element("template"),
+                    element("userstyles"), element("content", chain))
+        )
+
+    def test_depth_three_cap(self):
+        evolved = compile_schema(parse_bonxai(self.EVOLVED))
+        for depth in (1, 2, 3):
+            assert evolved.validate(self.document_with_depth(depth)).valid
+        for depth in (4, 5):
+            assert not evolved.validate(
+                self.document_with_depth(depth)
+            ).valid
+
+    def test_original_has_no_cap(self):
+        original = compile_schema(parse_bonxai(FIGURE5_BONXAI))
+        assert original.validate(self.document_with_depth(6)).valid
+
+    def test_xsd_needs_more_section_types(self):
+        from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+        from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+        from repro.xsd.minimize import minimize_xsd
+        from repro.xsd.typednames import split_typed_name
+
+        def section_types(xsd):
+            out = set()
+            for model in xsd.rho.values():
+                for symbol in model.element_names():
+                    name, type_name = split_typed_name(symbol)
+                    if name == "section":
+                        out.add(type_name)
+            return out
+
+        original = compile_schema(parse_bonxai(FIGURE5_BONXAI))
+        evolved = compile_schema(parse_bonxai(self.EVOLVED))
+        xsd_before = minimize_xsd(
+            dfa_based_to_xsd(bxsd_to_dfa_based(original.bxsd))
+        )
+        xsd_after = minimize_xsd(
+            dfa_based_to_xsd(bxsd_to_dfa_based(evolved.bxsd))
+        )
+        # Three section types below content (one per depth) + template's.
+        assert len(section_types(xsd_after)) == len(
+            section_types(xsd_before)
+        ) + 2
+
+
+class TestOverlapOnNonPaths:
+    def test_theoretical_overlap_is_harmless(self):
+        # template//section and content//section overlap on words like
+        # "template content section" which cannot occur as paths of
+        # conforming documents (Section 3.2's point).
+        from repro.automata.operations import intersection, is_empty
+        from repro.bonxai.ancestor import compile_ancestor
+        from repro.regex.derivatives import to_dfa
+
+        ename = frozenset({"document", "template", "content", "section"})
+        left, __ = compile_ancestor("template//section", ename)
+        right, __ = compile_ancestor("content//section", ename)
+        overlap = intersection(
+            to_dfa(left, alphabet=ename), to_dfa(right, alphabet=ename)
+        )
+        assert not is_empty(overlap)  # languages DO intersect...
+        compiled = compile_schema(parse_bonxai(FIGURE5_BONXAI))
+        # ...but the schema still behaves correctly (priorities resolve).
+        assert compiled.bxsd.relevant_rule(
+            ["document", "template", "section"]
+        ) is not None

@@ -1,0 +1,79 @@
+"""Unit tests for DFABasedXSD.pruned(): dropping useless transitions must
+preserve the document language."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.ast import EPSILON, star, sym
+from repro.xsd.content import ContentModel
+from repro.xsd.dfa_based import DFABasedXSD
+from repro.xsd.equivalence import dfa_xsd_equivalent
+
+from tests.test_translation_properties import dfa_based_schemas
+
+
+def schema_with_useless_transitions():
+    """lambda(t) = a*, but t also carries a 'b' transition into a trap."""
+    return DFABasedXSD(
+        states={"q0", "t", "trap"},
+        alphabet={"a", "b"},
+        transitions={
+            ("q0", "a"): "t",
+            ("t", "a"): "t",
+            ("t", "b"): "trap",      # 'b' not in lambda(t): useless
+            ("trap", "a"): "trap",
+            ("trap", "b"): "trap",
+        },
+        initial="q0",
+        start={"a"},
+        assign={
+            "t": ContentModel(star(sym("a"))),
+            "trap": ContentModel(EPSILON),
+        },
+    )
+
+
+class TestPruned:
+    def test_useless_transition_removed(self):
+        schema = schema_with_useless_transitions()
+        pruned = schema.pruned()
+        assert ("t", "b") not in pruned.transitions
+        assert "trap" not in pruned.states
+
+    def test_start_set_preserved(self):
+        schema = schema_with_useless_transitions()
+        assert schema.pruned().start == schema.start
+
+    def test_language_preserved(self):
+        schema = schema_with_useless_transitions()
+        assert dfa_xsd_equivalent(schema, schema.pruned())
+
+    def test_still_well_formed(self):
+        schema = schema_with_useless_transitions()
+        schema.pruned().check_well_formed()
+
+    def test_idempotent(self):
+        schema = schema_with_useless_transitions()
+        once = schema.pruned()
+        twice = once.pruned()
+        assert once.states == twice.states
+        assert once.transitions == twice.transitions
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema=dfa_based_schemas())
+def test_pruning_preserves_language_on_random_schemas(schema):
+    assert dfa_xsd_equivalent(schema, schema.pruned())
+
+
+@settings(max_examples=25, deadline=None)
+@given(schema=dfa_based_schemas(), seed=st.integers(0, 2**31))
+def test_pruning_judges_random_trees_identically(schema, seed):
+    from repro.xmlmodel.generator import random_tree
+
+    pruned = schema.pruned()
+    rng = random.Random(seed)
+    for __ in range(10):
+        doc = random_tree(rng, labels=["a", "b", "c", "d"], max_depth=3)
+        assert schema.is_valid(doc) == pruned.is_valid(doc)

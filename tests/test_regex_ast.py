@@ -1,0 +1,205 @@
+"""Unit tests for the regex AST and its smart constructors."""
+
+import pytest
+
+from repro.errors import RegexError
+from repro.regex.ast import (
+    Concat,
+    Counter,
+    EMPTY,
+    EPSILON,
+    Interleave,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    UNBOUNDED,
+    Union,
+    alternation,
+    concat,
+    contains_counter,
+    contains_interleave,
+    counter,
+    expand_counters,
+    interleave,
+    is_empty_language,
+    nullable,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+    universal,
+)
+
+
+class TestConstruction:
+    def test_symbol_requires_name(self):
+        with pytest.raises(RegexError):
+            Symbol("")
+
+    def test_symbols_are_value_objects(self):
+        assert sym("a") == sym("a")
+        assert sym("a") != sym("b")
+        assert hash(sym("a")) == hash(sym("a"))
+
+    def test_nodes_are_immutable(self):
+        node = sym("a")
+        with pytest.raises(AttributeError):
+            node.name = "b"
+
+    def test_concat_flattens(self):
+        node = concat(sym("a"), concat(sym("b"), sym("c")))
+        assert isinstance(node, Concat)
+        assert len(node.children) == 3
+
+    def test_concat_drops_epsilon(self):
+        assert concat(sym("a"), EPSILON) == sym("a")
+        assert concat(EPSILON, EPSILON) == EPSILON
+
+    def test_concat_collapses_empty(self):
+        assert concat(sym("a"), EMPTY) == EMPTY
+
+    def test_union_flattens_and_dedups(self):
+        node = union(sym("a"), union(sym("b"), sym("a")))
+        assert isinstance(node, Union)
+        assert len(node.children) == 2
+
+    def test_union_drops_empty(self):
+        assert union(sym("a"), EMPTY) == sym("a")
+        assert union(EMPTY, EMPTY) == EMPTY
+
+    def test_interleave_flattens(self):
+        node = interleave(sym("a"), interleave(sym("b"), sym("c")))
+        assert isinstance(node, Interleave)
+        assert len(node.children) == 3
+
+    def test_star_normalizations(self):
+        assert star(EMPTY) == EPSILON
+        assert star(EPSILON) == EPSILON
+        assert star(star(sym("a"))) == star(sym("a"))
+        assert star(plus(sym("a"))) == star(sym("a"))
+        assert star(optional(sym("a"))) == star(sym("a"))
+
+    def test_plus_normalizations(self):
+        assert plus(EMPTY) == EMPTY
+        assert plus(EPSILON) == EPSILON
+        assert plus(star(sym("a"))) == star(sym("a"))
+        assert plus(optional(sym("a"))) == star(sym("a"))
+
+    def test_optional_normalizations(self):
+        assert optional(EMPTY) == EPSILON
+        assert optional(star(sym("a"))) == star(sym("a"))
+        assert optional(plus(sym("a"))) == star(sym("a"))
+
+    def test_counter_trivial_bounds(self):
+        a = sym("a")
+        assert counter(a, 1, 1) == a
+        assert counter(a, 0, 0) == EPSILON
+        assert counter(a, 0, UNBOUNDED) == star(a)
+        assert counter(a, 1, UNBOUNDED) == plus(a)
+        assert counter(a, 0, 1) == optional(a)
+        assert isinstance(counter(a, 2, 4), Counter)
+
+    def test_counter_bad_bounds(self):
+        with pytest.raises(RegexError):
+            counter(sym("a"), 3, 2)
+        with pytest.raises(RegexError):
+            counter(sym("a"), -1, 2)
+
+    def test_nary_requires_two_children(self):
+        with pytest.raises(RegexError):
+            Concat([sym("a")])
+
+
+class TestSize:
+    def test_paper_examples(self):
+        # "both expressions aaa and a(b+c)? have size three"
+        aaa = concat(sym("a"), sym("a"), sym("a"))
+        abc = concat(sym("a"), optional(union(sym("b"), sym("c"))))
+        assert aaa.size == 3
+        assert abc.size == 3
+
+    def test_epsilon_and_empty_have_size_zero(self):
+        assert EPSILON.size == 0
+        assert EMPTY.size == 0
+
+    def test_counter_size_counts_body_once(self):
+        assert counter(sym("a"), 2, 5).size == 1
+
+
+class TestPredicates:
+    def test_nullable(self):
+        assert nullable(EPSILON)
+        assert not nullable(EMPTY)
+        assert not nullable(sym("a"))
+        assert nullable(star(sym("a")))
+        assert nullable(optional(sym("a")))
+        assert not nullable(plus(sym("a")))
+        assert nullable(plus(star(sym("a"))))
+        assert nullable(concat(star(sym("a")), optional(sym("b"))))
+        assert not nullable(concat(star(sym("a")), sym("b")))
+        assert nullable(union(sym("a"), EPSILON))
+        assert nullable(counter(sym("a"), 0, 3))
+        assert not nullable(Counter(sym("a"), 2, 3))
+
+    def test_is_empty_language(self):
+        assert is_empty_language(EMPTY)
+        assert not is_empty_language(EPSILON)
+        # The smart constructor already collapses concatenations with EMPTY.
+        assert concat(sym("a"), EMPTY) is EMPTY
+        assert is_empty_language(Concat((sym("a"), EMPTY)))
+        assert not is_empty_language(Union((sym("a"), EMPTY)))
+        assert is_empty_language(Union((EMPTY, EMPTY)))
+
+    def test_contains_operators(self):
+        assert contains_interleave(interleave(sym("a"), sym("b")))
+        assert not contains_interleave(concat(sym("a"), sym("b")))
+        assert contains_counter(Counter(sym("a"), 2, 3))
+        assert not contains_counter(star(sym("a")))
+
+    def test_symbols(self):
+        node = concat(sym("a"), star(union(sym("b"), sym("c"))))
+        assert node.symbols() == {"a", "b", "c"}
+
+
+class TestExpandCounters:
+    def test_bounded(self):
+        node = expand_counters(Counter(sym("a"), 2, 4))
+        # a a a? a?
+        assert isinstance(node, Concat)
+        assert node.size == 4
+
+    def test_unbounded(self):
+        node = expand_counters(Counter(sym("a"), 2, UNBOUNDED))
+        assert isinstance(node, Concat)
+        assert isinstance(node.children[-1], Star)
+
+    def test_limit(self):
+        with pytest.raises(RegexError):
+            expand_counters(Counter(sym("a"), 1, 10_000), limit=100)
+
+    def test_nested(self):
+        node = expand_counters(
+            star(Counter(union(sym("a"), sym("b")), 2, 2))
+        )
+        assert not contains_counter(node)
+
+
+class TestHelpers:
+    def test_alternation(self):
+        node = alternation(["a", "b", "c"])
+        assert isinstance(node, Union)
+        assert node.size == 3
+
+    def test_universal(self):
+        node = universal({"b", "a"})
+        assert isinstance(node, Star)
+        assert node.symbols() == {"a", "b"}
+
+    def test_operator_overloads(self):
+        node = (sym("a") + sym("b")) | sym("c").star()
+        assert isinstance(node, Union)
+        assert node.symbols() == {"a", "b", "c"}
+        assert isinstance(sym("a") & sym("b"), Interleave)
+        assert isinstance(sym("a").times(2, 3), Counter)

@@ -1,0 +1,90 @@
+"""Unit tests for one-unambiguity (UPA) checking."""
+
+import pytest
+
+from repro.errors import NotDeterministicError, RegexError
+from repro.regex.determinism import (
+    ambiguity_witness,
+    check_deterministic,
+    is_deterministic,
+)
+from repro.regex.parser import parse_regex
+
+
+def M(text):
+    return parse_regex(text)
+
+
+class TestDeterministic:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "a",
+            "a b c",
+            "a (b | c)",
+            "(a | b)* c",          # distinct symbols
+            "a* b",
+            "(b | c)? d",
+            "a b? c",
+            "section*",
+            "(a b)* c",
+            "title? (section | bold)*",
+        ],
+    )
+    def test_accepts(self, pattern):
+        assert is_deterministic(M(pattern))
+        check_deterministic(M(pattern))  # must not raise
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "a b | a c",            # classic lookahead conflict
+            "(a | b)* a",           # BKW canonical example
+            "a? a",                 # two a-positions competing at start
+            "(a b?)* a",
+            "(a a)*a",
+        ],
+    )
+    def test_rejects(self, pattern):
+        assert not is_deterministic(M(pattern))
+        with pytest.raises(NotDeterministicError):
+            check_deterministic(M(pattern))
+
+    def test_witness_names_symbol(self):
+        witness = ambiguity_witness(M("a b | a c"))
+        assert witness is not None and "'a'" in witness
+
+    def test_witness_none_for_deterministic(self):
+        assert ambiguity_witness(M("a (b | c)")) is None
+
+    def test_counter_ambiguity(self):
+        # a{1,2} a : after one a, both the counter and the tail compete.
+        assert not is_deterministic(M("a{1,2} a"))
+        assert is_deterministic(M("a{1,2} b"))
+
+
+class TestInterleaveRestrictions:
+    def test_plain_all_group(self):
+        assert is_deterministic(M("a & b & c"))
+        assert is_deterministic(M("a? & b?"))
+        assert is_deterministic(M("a{2,3} & b"))
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(NotDeterministicError):
+            check_deterministic(M("a & a"))
+
+    def test_mixing_with_concat_rejected(self):
+        with pytest.raises(RegexError):
+            check_deterministic(M("(a & b) c"))
+
+    def test_mixing_with_union_rejected(self):
+        with pytest.raises(RegexError):
+            check_deterministic(M("a & b | c"))
+
+    def test_iterated_interleave_rejected(self):
+        with pytest.raises(RegexError):
+            check_deterministic(M("(a & b)*"))
+
+    def test_counter_above_group_rejected(self):
+        with pytest.raises(RegexError):
+            check_deterministic(M("(a b)? & c"))

@@ -1,0 +1,83 @@
+"""Unit tests for word sampling from regular expressions."""
+
+import pytest
+
+from repro.errors import RegexError
+from repro.regex.ast import EMPTY
+from repro.regex.derivatives import matches
+from repro.regex.generator import min_word_length, sample_word, shortest_word
+from repro.regex.parser import parse_regex
+
+
+def M(text):
+    return parse_regex(text)
+
+
+class TestShortestWord:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("a b c", ["a", "b", "c"]),
+            ("(a | b)*", []),
+            ("a+", ["a"]),
+            ("a{3,5}", ["a", "a", "a"]),
+            ("a? b", ["b"]),
+            ("a | b c", ["a"]),
+            ("b c | a", ["a"]),
+            ("#eps", []),
+            ("a & b", ["a", "b"]),
+        ],
+    )
+    def test_values(self, pattern, expected):
+        assert shortest_word(M(pattern)) == expected
+
+    def test_empty_language(self):
+        assert shortest_word(EMPTY) is None
+        assert min_word_length(EMPTY) is None
+
+    def test_min_word_length(self):
+        assert min_word_length(M("a{2,4} b")) == 3
+
+    def test_shortest_word_always_matches(self):
+        for pattern in ["(a b?)+ c", "a{2,2} (b | c)", "(a | b c)* d?"]:
+            regex = M(pattern)
+            word = shortest_word(regex)
+            assert matches(regex, word), (pattern, word)
+
+
+class TestSampleWord:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "a b c",
+            "(a | b)* c",
+            "a{2,4}",
+            "a{2,*}",
+            "a? & b & c{1,2}",
+            "(a | b c)+ d?",
+            "#eps",
+        ],
+    )
+    def test_samples_are_members(self, pattern, rng):
+        regex = M(pattern)
+        for __ in range(100):
+            word = sample_word(regex, rng)
+            assert matches(regex, word), (pattern, word)
+
+    def test_empty_language_raises(self, rng):
+        with pytest.raises(RegexError):
+            sample_word(EMPTY, rng)
+
+    def test_union_with_empty_branch(self, rng):
+        from repro.regex.ast import Union, sym
+
+        regex = Union((EMPTY, sym("a")))
+        for __ in range(20):
+            assert sample_word(regex, rng) == ["a"]
+
+    def test_star_respects_max_repeat(self, rng):
+        regex = M("a*")
+        lengths = {len(sample_word(regex, rng, max_repeat=2))
+                   for __ in range(200)}
+        assert lengths <= {0, 1, 2}
+        assert len(lengths) > 1  # actually varies

@@ -1,0 +1,103 @@
+"""Unit tests for the Glushkov position automaton."""
+
+import pytest
+
+from repro.errors import RegexError
+from repro.regex.glushkov import glushkov_nfa, positions
+from repro.regex.parser import parse_regex
+
+
+def M(text):
+    return parse_regex(text)
+
+
+class TestPositions:
+    def test_single_symbol(self):
+        info = positions(M("a"))
+        assert info.labels == {0: "a"}
+        assert info.first == {0}
+        assert info.last == {0}
+        assert not info.accepts_empty
+
+    def test_concat(self):
+        info = positions(M("a b"))
+        assert info.first == {0}
+        assert info.last == {1}
+        assert info.follow[0] == {1}
+        assert info.follow[1] == set()
+
+    def test_union(self):
+        info = positions(M("a | b"))
+        assert info.first == {0, 1}
+        assert info.last == {0, 1}
+
+    def test_star_loops(self):
+        info = positions(M("(a b)*"))
+        assert info.accepts_empty
+        assert info.follow[1] == {0}
+
+    def test_nullable_skip_in_concat(self):
+        info = positions(M("a b? c"))
+        # After 'a' both 'b' and 'c' are possible.
+        assert info.follow[0] == {1, 2}
+
+    def test_nullable_prefix_first(self):
+        info = positions(M("a? b"))
+        assert info.first == {0, 1}
+
+    def test_nullable_suffix_last(self):
+        info = positions(M("a b?"))
+        assert info.last == {0, 1}
+
+    def test_counter_unrolled(self):
+        info = positions(M("a{2,3}"))
+        assert len(info.labels) == 3
+
+    def test_interleave_rejected(self):
+        with pytest.raises(RegexError):
+            positions(M("a & b"))
+
+
+class TestGlushkovNFA:
+    @pytest.mark.parametrize(
+        "pattern,accepted,rejected",
+        [
+            ("(a | b)* c", ["c", "abc", "bbac"], ["", "ab", "ca"]),
+            ("a b c", ["abc"], ["ab", "abcc", ""]),
+            ("(a b)+", ["ab", "abab"], ["", "a", "aba"]),
+            ("a? b?", ["", "a", "b", "ab"], ["ba", "aa"]),
+            ("a{2,3} b", ["aab", "aaab"], ["ab", "aaaab"]),
+        ],
+    )
+    def test_language(self, pattern, accepted, rejected):
+        nfa = glushkov_nfa(M(pattern), alphabet={"a", "b", "c"})
+        for word in accepted:
+            assert nfa.accepts(list(word)), word
+        for word in rejected:
+            assert not nfa.accepts(list(word)), word
+
+    def test_state_count_is_positions_plus_one(self):
+        nfa = glushkov_nfa(M("a (b | c)* d"))
+        assert len(nfa) == 5  # 4 positions + initial
+
+    def test_no_transitions_into_initial(self):
+        nfa = glushkov_nfa(M("(a b)*"))
+        for (__, __symbol), targets in nfa.transitions.items():
+            assert -1 not in targets
+
+    def test_agrees_with_derivatives(self, rng):
+        from repro.regex.derivatives import matches
+
+        patterns = ["(a|b)* a (a|b)", "a (b a)* b?", "(a|b){2,4}"]
+        for pattern_text in patterns:
+            regex = M(pattern_text)
+            nfa = glushkov_nfa(regex, alphabet={"a", "b"})
+            for __ in range(200):
+                word = [
+                    "ab"[rng.randrange(2)]
+                    for __ in range(rng.randrange(7))
+                ]
+                assert nfa.accepts(word) == matches(regex, word), (
+                    pattern_text,
+                    word,
+                )

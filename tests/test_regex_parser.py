@@ -1,0 +1,150 @@
+"""Unit tests for the textual regex parser and printer round trips."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.regex.ast import (
+    Concat,
+    Counter,
+    EMPTY,
+    EPSILON,
+    Interleave,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    UNBOUNDED,
+    Union,
+    concat,
+    optional,
+    star,
+    sym,
+    union,
+)
+from repro.regex.parser import parse_regex
+from repro.regex.printer import to_string
+
+
+class TestBasicParsing:
+    def test_single_symbol(self):
+        assert parse_regex("a") == sym("a")
+
+    def test_keywords(self):
+        assert parse_regex("#eps") == EPSILON
+        assert parse_regex("#empty") == EMPTY
+
+    def test_concatenation_by_space(self):
+        assert parse_regex("a b c") == concat(sym("a"), sym("b"), sym("c"))
+
+    def test_concatenation_by_comma(self):
+        assert parse_regex("a, b, c") == concat(sym("a"), sym("b"), sym("c"))
+
+    def test_union(self):
+        assert parse_regex("a | b") == union(sym("a"), sym("b"))
+
+    def test_interleave(self):
+        node = parse_regex("a & b & c")
+        assert isinstance(node, Interleave)
+        assert len(node.children) == 3
+
+    def test_postfix_operators(self):
+        assert parse_regex("a*") == star(sym("a"))
+        assert isinstance(parse_regex("a+"), Plus)
+        assert isinstance(parse_regex("a?"), Optional)
+
+    def test_counter(self):
+        node = parse_regex("a{2,5}")
+        assert node == Counter(sym("a"), 2, 5)
+
+    def test_counter_unbounded(self):
+        node = parse_regex("a{2,*}")
+        assert node == Counter(sym("a"), 2, UNBOUNDED)
+
+    def test_counter_exact(self):
+        node = parse_regex("a{3}")
+        assert node == Counter(sym("a"), 3, 3)
+
+    def test_precedence_union_loosest(self):
+        node = parse_regex("a b | c d")
+        assert isinstance(node, Union)
+        assert all(isinstance(child, Concat) for child in node.children)
+
+    def test_parentheses(self):
+        node = parse_regex("a (b | c) d")
+        assert isinstance(node, Concat)
+        assert isinstance(node.children[1], Union)
+
+    def test_postfix_binds_tightest(self):
+        node = parse_regex("a b*")
+        assert node == concat(sym("a"), star(sym("b")))
+
+    def test_multicharacter_names(self):
+        assert parse_regex("section") == sym("section")
+        assert parse_regex("ns:name") == sym("ns:name")
+        assert parse_regex("@attr") == sym("@attr")
+
+    def test_names_with_digits(self):
+        assert parse_regex("a1_2") == sym("a1_2")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "(a",
+            "a)",
+            "a | ",
+            "| a",
+            "a{x,2}",
+            "a{2,",
+            "a{2,1}",
+            "#nonsense",
+            "*",
+            "a $ b",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(Exception):
+            parse_regex(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_regex("a ) b")
+        assert info.value.column is not None
+
+
+class TestPrintRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "a b c",
+            "a | b | c",
+            "(a | b)* c",
+            "a? b+ c*",
+            "a{2,4}",
+            "a{2,*} b",
+            "a & b? & c",
+            "(a b | c)+",
+            "#eps",
+            "#empty",
+            "(a | #eps) b",
+        ],
+    )
+    def test_parse_print_parse(self, text):
+        first = parse_regex(text)
+        printed = to_string(first)
+        second = parse_regex(printed)
+        assert first == second, printed
+
+    def test_comma_style(self):
+        node = parse_regex("a b c")
+        assert to_string(node, style="comma") == "a, b, c"
+
+    def test_nested_postfix_parenthesized(self):
+        from repro.regex.ast import Optional, Counter
+
+        node = Counter(Optional(sym("a")), 2, 3)
+        printed = to_string(node)
+        assert parse_regex(printed) == node

@@ -1,0 +1,128 @@
+"""Property-based tests for the regex engine (hypothesis).
+
+The central oracle: our AST translated to Python :mod:`re` syntax must
+agree with our derivative matcher on random words.  Further invariants:
+Glushkov and derivative constructions define the same language, printing
+round-trips, simplification preserves the language, and sampled words are
+members.
+"""
+
+import re as _re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.ast import (
+    concat,
+    counter,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+from repro.regex.derivatives import matches, to_dfa
+from repro.regex.generator import sample_word, shortest_word
+from repro.regex.glushkov import glushkov_nfa
+from repro.regex.parser import parse_regex
+from repro.regex.printer import to_python_re, to_string
+from repro.regex.simplify import simplify
+
+ALPHABET = ["a", "b", "c"]
+
+
+def regex_strategy(max_leaves=6):
+    """Random regexes over {a, b, c} without interleave (re-comparable)."""
+    leaves = st.sampled_from(ALPHABET).map(sym)
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: concat(*pair)),
+            st.tuples(children, children).map(lambda pair: union(*pair)),
+            children.map(star),
+            children.map(plus),
+            children.map(optional),
+            st.tuples(
+                children,
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=2),
+            ).map(lambda triple: counter(
+                triple[0], triple[1], triple[1] + triple[2]
+            )),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+words = st.lists(st.sampled_from(ALPHABET), max_size=8)
+
+
+@settings(max_examples=300, deadline=None)
+@given(regex=regex_strategy(), word=words)
+def test_derivatives_agree_with_python_re(regex, word):
+    pattern = _re.compile(f"(?:{to_python_re(regex)})\\Z")
+    expected = pattern.match("".join(word)) is not None
+    assert matches(regex, word) is expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(regex=regex_strategy(), word=words)
+def test_glushkov_agrees_with_derivatives(regex, word):
+    nfa = glushkov_nfa(regex, alphabet=ALPHABET)
+    assert nfa.accepts(word) == matches(regex, word)
+
+
+@settings(max_examples=150, deadline=None)
+@given(regex=regex_strategy(), word=words)
+def test_derivative_dfa_agrees(regex, word):
+    dfa = to_dfa(regex, alphabet=ALPHABET)
+    assert dfa.accepts(word) == matches(regex, word)
+
+
+@settings(max_examples=200, deadline=None)
+@given(regex=regex_strategy())
+def test_print_parse_roundtrip(regex):
+    assert parse_regex(to_string(regex)) == regex
+
+
+@settings(max_examples=150, deadline=None)
+@given(regex=regex_strategy(), word=words)
+def test_simplify_preserves_language(regex, word):
+    assert matches(simplify(regex), word) == matches(regex, word)
+
+
+@settings(max_examples=150, deadline=None)
+@given(regex=regex_strategy())
+def test_simplify_never_grows(regex):
+    assert simplify(regex).size <= regex.size
+
+
+@settings(max_examples=150, deadline=None)
+@given(regex=regex_strategy(), seed=st.integers(min_value=0, max_value=2**31))
+def test_sampled_words_are_members(regex, seed):
+    import random
+
+    from repro.regex.ast import is_empty_language
+
+    if is_empty_language(regex):
+        return
+    word = sample_word(regex, random.Random(seed))
+    assert matches(regex, word)
+
+
+@settings(max_examples=150, deadline=None)
+@given(regex=regex_strategy())
+def test_shortest_word_is_member_and_minimal(regex):
+    from repro.regex.ast import is_empty_language
+
+    word = shortest_word(regex)
+    if is_empty_language(regex):
+        assert word is None
+        return
+    assert word is not None
+    assert matches(regex, word)
+    # No strictly shorter word exists: check against the DFA.
+    dfa = to_dfa(regex, alphabet=ALPHABET)
+    from repro.automata.operations import some_word
+
+    minimal = some_word(dfa)
+    assert minimal is not None and len(minimal) == len(word)

@@ -1,0 +1,90 @@
+"""Unit tests for the algebraic regex simplifier."""
+
+import pytest
+
+from repro.regex.ast import Optional, Plus, Star, optional, plus, star, sym
+from repro.regex.parser import parse_regex
+from repro.regex.simplify import simplify
+
+
+def M(text):
+    return parse_regex(text)
+
+
+class TestIdentities:
+    def test_r_rstar_becomes_plus(self):
+        assert simplify(M("a a*")) == plus(sym("a"))
+
+    def test_rstar_r_becomes_plus(self):
+        assert simplify(M("a* a")) == plus(sym("a"))
+
+    def test_rstar_rstar_collapses(self):
+        assert simplify(M("a* a*")) == star(sym("a"))
+
+    def test_rstar_ropt_collapses(self):
+        assert simplify(M("a* a?")) == star(sym("a"))
+        assert simplify(M("a? a*")) == star(sym("a"))
+
+    def test_plus_star_merges(self):
+        assert simplify(M("a+ a*")) == plus(sym("a"))
+        assert simplify(M("a* a+")) == plus(sym("a"))
+
+    def test_union_with_epsilon_is_optional(self):
+        assert simplify(M("a | #eps")) == optional(sym("a"))
+
+    def test_union_r_rplus(self):
+        assert simplify(M("a | a+")) == plus(sym("a"))
+
+    def test_union_r_rstar(self):
+        assert simplify(M("a | a*")) == star(sym("a"))
+
+    def test_union_ropt_rplus(self):
+        assert simplify(M("a? | a+")) == star(sym("a"))
+
+    def test_union_duplicates(self):
+        assert simplify(M("a | a")) == sym("a")
+
+    def test_optional_opt_unchanged(self):
+        # a? a? is a{0,2}, NOT a? -- must not be merged.
+        node = simplify(M("a? a?"))
+        from repro.regex.derivatives import matches
+
+        assert matches(node, ["a", "a"])
+        assert matches(node, [])
+        assert not matches(node, ["a"] * 3)
+
+    def test_complex_nested(self):
+        # eps | a a* == a*
+        node = simplify(M("#eps | a a*"))
+        assert node == star(sym("a"))
+
+
+class TestLanguagePreservation:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "a a* b",
+            "(a | b)* (a | b)*",
+            "a? | a+ | a",
+            "(a b)* (a b)?",
+            "((a | #eps) | b)*",
+            "a* a a*",
+            "(a+ | b)* c?",
+        ],
+    )
+    def test_equivalent(self, pattern, rng):
+        from repro.regex.derivatives import matches
+
+        before = M(pattern)
+        after = simplify(before)
+        for __ in range(300):
+            word = ["abc"[rng.randrange(3)]
+                    for __ in range(rng.randrange(7))]
+            assert matches(before, word) == matches(after, word), (
+                pattern, word, str(after),
+            )
+
+    def test_never_grows(self):
+        for pattern in ["a a*", "a | a+", "(a* a*) b", "a? a? a?"]:
+            before = M(pattern)
+            assert simplify(before).size <= before.size

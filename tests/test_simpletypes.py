@@ -1,0 +1,61 @@
+"""Unit tests for simple-type value checking."""
+
+import pytest
+
+from repro.bonxai.simpletypes import check_value, is_known_type, local_type_name
+
+
+class TestLocalNames:
+    def test_prefix_stripped(self):
+        assert local_type_name("xs:integer") == "integer"
+        assert local_type_name("integer") == "integer"
+
+    def test_known(self):
+        assert is_known_type("xs:string")
+        assert is_known_type("boolean")
+        assert not is_known_type("xs:madeUpType")
+
+
+class TestChecks:
+    @pytest.mark.parametrize(
+        "type_name,value,expected",
+        [
+            ("xs:string", "anything at all", True),
+            ("xs:integer", "42", True),
+            ("xs:integer", "-7", True),
+            ("xs:integer", " 12 ", True),
+            ("xs:integer", "12.5", False),
+            ("xs:integer", "twelve", False),
+            ("xs:positiveInteger", "1", True),
+            ("xs:positiveInteger", "0", False),
+            ("xs:nonNegativeInteger", "0", True),
+            ("xs:negativeInteger", "-3", True),
+            ("xs:negativeInteger", "3", False),
+            ("xs:decimal", "3.14", True),
+            ("xs:decimal", "3", True),
+            ("xs:decimal", "three", False),
+            ("xs:decimal", "1e5", False),
+            ("xs:boolean", "true", True),
+            ("xs:boolean", "false", True),
+            ("xs:boolean", "0", True),
+            ("xs:boolean", "yes", False),
+            ("xs:date", "2015-05-31", True),
+            ("xs:date", "2015-05-31Z", True),
+            ("xs:date", "2015-05-31+02:00", True),
+            ("xs:date", "31-05-2015", False),
+            ("xs:time", "12:30:00", True),
+            ("xs:time", "12:30:00.5Z", True),
+            ("xs:time", "noon", False),
+            ("xs:token", "a b c", True),
+            ("xs:token", " padded ", False),
+            ("xs:NCName", "valid-name", True),
+            ("xs:NCName", "1starts-with-digit", False),
+            ("xs:ID", "anId", True),
+        ],
+    )
+    def test_values(self, type_name, value, expected):
+        assert check_value(type_name, value) is expected
+
+    def test_unknown_types_are_permissive(self):
+        assert check_value("foo:customType", "whatever")
+        assert check_value("customType", "whatever")

@@ -1,0 +1,124 @@
+"""Property-based round-trip tests for the translation algorithms.
+
+Random DFA-based XSDs (with deterministic content models built from
+distinct symbols) are pushed around the translation square; equivalence
+must hold at every corner, and documents sampled from one corner must
+validate at all others.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+from repro.translation.dfa_to_bxsd import dfa_based_to_bxsd
+from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+from repro.xsd.content import ContentModel
+from repro.xsd.dfa_based import DFABasedXSD
+from repro.xsd.equivalence import dfa_xsd_equivalent, productive_roots
+from repro.xsd.generator import DocumentGenerator
+from repro.xsd.validator import validate_xsd
+
+NAMES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def dfa_based_schemas(draw, max_states=4):
+    """Random well-formed DFA-based XSDs over a small alphabet."""
+    state_count = draw(st.integers(min_value=1, max_value=max_states))
+    states = [f"s{i}" for i in range(state_count)]
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = random.Random(seed)
+
+    from repro.corpus.generator import random_deterministic_regex
+
+    assign = {}
+    transitions = {}
+    for state in states:
+        child_count = rng.randrange(0, len(NAMES) + 1)
+        children = rng.sample(NAMES, child_count)
+        regex = random_deterministic_regex(rng, children)
+        # Only keep names that actually occur (decorations may drop none).
+        used = sorted(regex.symbols())
+        assign[state] = ContentModel(regex)
+        for name in used:
+            transitions[(state, name)] = states[rng.randrange(state_count)]
+    start_names = rng.sample(NAMES, 1 + rng.randrange(2))
+    for name in start_names:
+        transitions[("q0", name)] = states[rng.randrange(state_count)]
+    return DFABasedXSD(
+        states=set(states) | {"q0"},
+        alphabet=set(NAMES),
+        transitions=transitions,
+        initial="q0",
+        start=set(start_names),
+        assign=assign,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema=dfa_based_schemas())
+def test_algorithm2_then_3_preserves_language(schema):
+    bxsd = dfa_based_to_bxsd(schema)
+    back = bxsd_to_dfa_based(bxsd)
+    assert dfa_xsd_equivalent(schema, back)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema=dfa_based_schemas())
+def test_algorithm4_then_1_is_identity_up_to_renaming(schema):
+    xsd = dfa_based_to_xsd(schema)
+    back = xsd_to_dfa_based(xsd)
+    assert dfa_xsd_equivalent(schema, back)
+
+
+@settings(max_examples=25, deadline=None)
+@given(schema=dfa_based_schemas(), seed=st.integers(0, 2**31))
+def test_sampled_documents_valid_at_every_corner(schema, seed):
+    if not productive_roots(schema):
+        return  # the schema accepts no documents at all
+    bxsd = dfa_based_to_bxsd(schema)
+    xsd = dfa_based_to_xsd(schema)
+    roundtrip = bxsd_to_dfa_based(bxsd)
+    generator = DocumentGenerator(schema)
+    rng = random.Random(seed)
+    for __ in range(5):
+        doc = generator.generate(rng, max_depth=3)
+        assert schema.is_valid(doc)
+        assert bxsd.is_valid(doc), bxsd.validate(doc)
+        assert validate_xsd(xsd, doc).valid
+        assert roundtrip.is_valid(doc)
+
+
+@settings(max_examples=25, deadline=None)
+@given(schema=dfa_based_schemas(), seed=st.integers(0, 2**31))
+def test_random_trees_judged_identically(schema, seed):
+    from repro.xmlmodel.generator import random_tree
+
+    bxsd = dfa_based_to_bxsd(schema)
+    xsd = dfa_based_to_xsd(schema)
+    rng = random.Random(seed)
+    for __ in range(10):
+        doc = random_tree(rng, labels=NAMES, max_depth=3, max_width=3)
+        flat = schema.is_valid(doc)
+        assert bxsd.is_valid(doc) == flat
+        assert validate_xsd(xsd, doc).valid == flat
+
+
+@settings(max_examples=30, deadline=None)
+@given(schema=dfa_based_schemas())
+def test_minimization_preserves_language(schema):
+    from repro.xsd.minimize import minimize_dfa_based
+
+    minimal = minimize_dfa_based(schema)
+    assert dfa_xsd_equivalent(schema, minimal)
+    assert len(minimal.states) <= len(schema.trimmed().states)
+
+
+@settings(max_examples=30, deadline=None)
+@given(schema=dfa_based_schemas())
+def test_equivalence_is_symmetric_on_translations(schema):
+    bxsd = dfa_based_to_bxsd(schema)
+    back = bxsd_to_dfa_based(bxsd)
+    assert dfa_xsd_equivalent(back, schema)

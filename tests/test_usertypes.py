@@ -1,0 +1,183 @@
+"""Unit tests for native simple types (the Section 5 extension)."""
+
+import pytest
+
+from repro.bonxai.compile import compile_schema
+from repro.bonxai.parser import parse_bonxai
+from repro.bonxai.printer import print_schema
+from repro.bonxai.usertypes import (
+    SimpleTypeDef,
+    check_typed_value,
+    parse_char_pattern,
+    parse_types_block,
+)
+from repro.errors import ParseError, SchemaError
+from repro.regex.derivatives import matches
+from repro.xmlmodel.parser import parse_document
+
+
+class TestCharPatterns:
+    @pytest.mark.parametrize(
+        "pattern,value,expected",
+        [
+            ("abc", "abc", True),
+            ("abc", "ab", False),
+            ("a*", "", True),
+            ("a*", "aaaa", True),
+            ("a+b?", "aa", True),
+            ("a+b?", "b", False),
+            ("(ab|cd)+", "abcdab", True),
+            ("(ab|cd)+", "abc", False),
+            ("[0-9]+", "2015", True),
+            ("[0-9]+", "20a15", False),
+            ("[A-Z][a-z]*", "Bonxai", True),
+            ("[A-Z][a-z]*", "bonxai", False),
+            ("[A-Za-z_][A-Za-z0-9_]*", "valid_name2", True),
+            ("[abc]", "b", True),
+            ("[abc]", "d", False),
+            (".", "x", True),
+            (".", "xy", False),
+            ("\\*\\+", "*+", True),
+            ("a\\|b", "a|b", True),
+        ],
+    )
+    def test_matching(self, pattern, value, expected):
+        regex = parse_char_pattern(pattern)
+        assert matches(regex, list(value)) is expected
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["(ab", "a)b", "[abc", "[]", "[z-a]", "a\\", "*a"],
+    )
+    def test_rejects(self, pattern):
+        with pytest.raises(ParseError):
+            parse_char_pattern(pattern)
+
+
+class TestSimpleTypeDef:
+    def test_enumeration(self):
+        definition = SimpleTypeDef("c", "enumeration",
+                                   values=("red", "green"))
+        assert definition.check("red")
+        assert not definition.check("blue")
+
+    def test_pattern(self):
+        definition = SimpleTypeDef("sku", "pattern",
+                                   pattern_text="[A-Z]+-[0-9]+")
+        assert definition.check("ABC-42")
+        assert not definition.check("abc-42")
+
+    def test_restriction_numeric(self):
+        definition = SimpleTypeDef(
+            "pct", "restriction", base="xs:integer",
+            facets={"min": 0, "max": 100},
+        )
+        assert definition.check("50")
+        assert not definition.check("101")
+        assert not definition.check("-1")
+        assert not definition.check("fifty")
+
+    def test_restriction_length(self):
+        definition = SimpleTypeDef(
+            "code", "restriction", base="xs:string",
+            facets={"length": 3},
+        )
+        assert definition.check("abc")
+        assert not definition.check("ab")
+
+    def test_restriction_min_max_length(self):
+        definition = SimpleTypeDef(
+            "word", "restriction", base="xs:string",
+            facets={"minLength": 2, "maxLength": 4},
+        )
+        assert definition.check("abc")
+        assert not definition.check("a")
+        assert not definition.check("abcde")
+
+    def test_base_still_enforced(self):
+        definition = SimpleTypeDef(
+            "n", "restriction", base="xs:integer", facets={},
+        )
+        assert not definition.check("3.14")
+
+    def test_unknown_facet_rejected(self):
+        with pytest.raises(SchemaError):
+            SimpleTypeDef("x", "restriction", base="xs:string",
+                          facets={"wobble": 3})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            SimpleTypeDef("x", "fancy")
+
+
+class TestTypesBlockParsing:
+    def test_all_kinds(self):
+        definitions = parse_types_block("""
+          simple-type a = restriction xs:integer { min 1 max 5 }
+          simple-type b = enumeration { x | y | z }
+          simple-type c = pattern { [0-9]+ }
+        """)
+        assert set(definitions) == {"a", "b", "c"}
+        assert definitions["a"].facets == {"min": 1.0, "max": 5.0}
+        assert definitions["b"].values == ("x", "y", "z")
+        assert definitions["c"].check("123")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_types_block(
+                "simple-type a = enumeration { x }"
+                "simple-type a = enumeration { y }"
+            )
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_types_block("simple-type = nonsense")
+
+
+class TestEndToEnd:
+    SCHEMA = """
+    global { shop }
+    types {
+      simple-type sku    = pattern { [A-Z][A-Z][A-Z]-[0-9]+ }
+      simple-type status = enumeration { new | used }
+      simple-type price  = restriction xs:decimal { min 0 }
+    }
+    grammar {
+      shop   = { (element item)* }
+      item   = { attribute code, attribute state, attribute cost }
+      @code  = { type sku }
+      @state = { type status }
+      @cost  = { type price }
+    }
+    """
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return compile_schema(parse_bonxai(self.SCHEMA))
+
+    def test_valid_values(self, compiled):
+        doc = parse_document(
+            "<shop><item code='XYZ-1' state='used' cost='3.50'/></shop>"
+        )
+        assert compiled.validate(doc).valid
+
+    def test_each_kind_enforced(self, compiled):
+        doc = parse_document(
+            "<shop><item code='xyz' state='broken' cost='-1'/></shop>"
+        )
+        report = compiled.validate(doc)
+        assert len([v for v in report.violations
+                    if "is not a valid" in v]) == 3
+
+    def test_print_roundtrip(self, compiled):
+        printed = print_schema(compiled.source)
+        again = compile_schema(parse_bonxai(printed))
+        assert set(again.source.simple_types) == {"sku", "status", "price"}
+        doc = parse_document(
+            "<shop><item code='XYZ-1' state='new' cost='1'/></shop>"
+        )
+        assert again.validate(doc).valid
+
+    def test_check_typed_value_fallback_to_builtin(self):
+        assert check_typed_value("xs:integer", "42", {})
+        assert not check_typed_value("xs:integer", "x", {})

@@ -1,0 +1,61 @@
+"""Unit tests for the random-tree generator and mutator (fuzz substrate)."""
+
+from repro.xmlmodel.generator import mutate_tree, random_tree
+
+
+class TestRandomTree:
+    def test_respects_depth(self, rng):
+        for __ in range(30):
+            doc = random_tree(rng, max_depth=3)
+            assert doc.height() <= 3
+
+    def test_respects_labels(self, rng):
+        doc = random_tree(rng, labels=["x", "y"], max_depth=4)
+        assert doc.labels() <= {"x", "y"}
+
+    def test_attributes_and_text(self, rng):
+        saw_attribute = False
+        saw_text = False
+        for __ in range(40):
+            doc = random_tree(
+                rng, attribute_names=["id"], text_probability=0.5,
+                max_depth=3,
+            )
+            saw_attribute = saw_attribute or any(
+                "id" in node.attributes for node in doc.iter()
+            )
+            saw_text = saw_text or any(
+                node.has_text() for node in doc.iter()
+            )
+        assert saw_attribute and saw_text
+
+    def test_texts_invariant_everywhere(self, rng):
+        doc = random_tree(rng, text_probability=0.6, max_depth=4)
+        for node in doc.iter():
+            assert len(node.texts) == len(node.children) + 1
+
+
+class TestMutation:
+    def test_original_untouched(self, rng):
+        doc = random_tree(rng, max_depth=3)
+        snapshot = [node.name for node in doc.iter()]
+        mutate_tree(doc, rng)
+        assert [node.name for node in doc.iter()] == snapshot
+
+    def test_mutation_changes_something(self, rng):
+        changed = 0
+        for __ in range(50):
+            doc = random_tree(rng, max_depth=3, max_width=3)
+            mutant = mutate_tree(doc, rng)
+            if mutant != doc:
+                changed += 1
+        assert changed > 30  # most mutations have a visible effect
+
+    def test_mutant_is_well_formed(self, rng):
+        for __ in range(40):
+            doc = random_tree(rng, max_depth=3)
+            mutant = mutate_tree(doc, rng)
+            for node in mutant.iter():
+                assert len(node.texts) == len(node.children) + 1
+                for child in node.children:
+                    assert child.parent is node

@@ -1,0 +1,120 @@
+"""Unit tests for the ContentModel wrapper (the shared rule RHS type)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.regex.ast import concat, star, sym, union
+from repro.xmlmodel.tree import element
+from repro.xsd.content import AttributeUse, ContentModel, as_content_model
+
+
+class TestConstruction:
+    def test_requires_regex(self):
+        with pytest.raises(SchemaError):
+            ContentModel("a b c")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            ContentModel(
+                star(sym("a")),
+                attributes=(AttributeUse("x"), AttributeUse("x")),
+            )
+
+    def test_coercion(self):
+        model = as_content_model(sym("a"))
+        assert isinstance(model, ContentModel)
+        assert as_content_model(model) is model
+
+    def test_value_semantics(self):
+        left = ContentModel(star(sym("a")), mixed=True,
+                            attributes=(AttributeUse("x"),))
+        right = ContentModel(star(sym("a")), mixed=True,
+                             attributes=(AttributeUse("x"),))
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != ContentModel(star(sym("a")))
+
+
+class TestMapSymbols:
+    def test_shape_preserved(self):
+        model = ContentModel(
+            concat(sym("a"), star(union(sym("b"), sym("c")))),
+            mixed=True,
+            attributes=(AttributeUse("k", type_name="xs:string"),),
+        )
+        mapped = model.map_symbols(lambda name: name.upper())
+        assert mapped.element_names() == {"A", "B", "C"}
+        assert mapped.regex.size == model.regex.size
+        assert mapped.mixed
+        assert mapped.attributes == model.attributes
+
+    def test_determinism_preserved(self):
+        from repro.regex.determinism import is_deterministic
+
+        model = ContentModel(concat(sym("a"), union(sym("b"), sym("c"))))
+        mapped = model.map_symbols(lambda name: "x_" + name)
+        assert is_deterministic(mapped.regex)
+
+
+class TestCheckNode:
+    @pytest.fixture
+    def model(self):
+        return ContentModel(
+            star(sym("item")),
+            mixed=False,
+            attributes=(
+                AttributeUse("id", required=True),
+                AttributeUse("note", required=False),
+            ),
+        )
+
+    def test_conforming(self, model):
+        node = element("box", element("item"), element("item"),
+                       attributes={"id": "1", "note": "n"})
+        assert model.check_node(node) == []
+
+    def test_text_rejected_when_not_mixed(self, model):
+        node = element("box", "words", attributes={"id": "1"})
+        assert any("may not contain text" in violation
+                   for violation in model.check_node(node))
+
+    def test_text_allowed_when_mixed(self):
+        model = ContentModel(star(sym("item")), mixed=True)
+        node = element("box", "words")
+        assert model.check_node(node) == []
+
+    def test_children_mismatch(self, model):
+        node = element("box", element("oops"), attributes={"id": "1"})
+        violations = model.check_node(node, path="/box")
+        assert any("/box" in violation and "content model" in violation
+                   for violation in violations)
+
+    def test_missing_required_attribute(self, model):
+        node = element("box")
+        assert any("required attribute 'id'" in violation
+                   for violation in model.check_node(node))
+
+    def test_undeclared_attribute(self, model):
+        node = element("box", attributes={"id": "1", "zz": "2"})
+        assert any("undeclared attribute 'zz'" in violation
+                   for violation in model.check_node(node))
+
+    def test_matcher_is_cached(self, model):
+        assert model.matcher() is model.matcher()
+
+
+class TestSizes:
+    def test_size_counts_attributes(self):
+        model = ContentModel(
+            concat(sym("a"), sym("b")),
+            attributes=(AttributeUse("x"),),
+        )
+        assert model.size == 3
+
+    def test_attribute_lookup(self):
+        model = ContentModel(
+            star(sym("a")),
+            attributes=(AttributeUse("x", required=False),),
+        )
+        assert model.attribute("x").required is False
+        assert model.attribute("nope") is None

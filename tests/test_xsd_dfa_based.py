@@ -1,0 +1,150 @@
+"""Unit tests for DFA-based XSDs (Definition 3) and their validator."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.regex.ast import EPSILON, star, sym
+from repro.xmlmodel.tree import XMLDocument, element
+from repro.xsd.content import ContentModel
+from repro.xsd.dfa_based import DFABasedXSD
+
+
+class TestWellFormedness:
+    def test_initial_may_not_have_incoming(self):
+        with pytest.raises(SchemaError):
+            DFABasedXSD(
+                states={"q0", "t"},
+                alphabet={"a"},
+                transitions={("q0", "a"): "t", ("t", "a"): "q0"},
+                initial="q0",
+                start={"a"},
+                assign={"t": ContentModel(star(sym("a")))},
+            )
+
+    def test_every_state_needs_content_model(self):
+        with pytest.raises(SchemaError):
+            DFABasedXSD(
+                states={"q0", "t"},
+                alphabet={"a"},
+                transitions={("q0", "a"): "t"},
+                initial="q0",
+                start={"a"},
+                assign={},
+            )
+
+    def test_initial_takes_no_content_model(self):
+        with pytest.raises(SchemaError):
+            DFABasedXSD(
+                states={"q0", "t"},
+                alphabet={"a"},
+                transitions={("q0", "a"): "t"},
+                initial="q0",
+                start={"a"},
+                assign={"t": ContentModel(EPSILON),
+                        "q0": ContentModel(EPSILON)},
+            )
+
+    def test_content_names_need_transitions(self):
+        # Definition 3: every name in lambda(q) must have delta(q, name).
+        with pytest.raises(SchemaError):
+            DFABasedXSD(
+                states={"q0", "t"},
+                alphabet={"a", "b"},
+                transitions={("q0", "a"): "t"},
+                initial="q0",
+                start={"a"},
+                assign={"t": ContentModel(sym("b"))},
+            )
+
+    def test_start_must_be_element_names(self):
+        with pytest.raises(SchemaError):
+            DFABasedXSD(
+                states={"q0", "t"},
+                alphabet={"a"},
+                transitions={("q0", "a"): "t"},
+                initial="q0",
+                start={"zz"},
+                assign={"t": ContentModel(EPSILON)},
+            )
+
+
+class TestRuns:
+    def test_state_of(self, small_dfa_based):
+        schema = small_dfa_based
+        assert schema.state_of(["doc"]) == "Tdoc"
+        assert schema.state_of(["doc", "item", "note"]) == "Tnote"
+        assert schema.state_of(["doc", "note"]) is None
+        assert schema.state_of([]) == schema.initial
+
+
+class TestValidation:
+    def test_valid_document(self, small_dfa_based):
+        doc = XMLDocument(
+            element(
+                "doc",
+                element("item", element("note", element("note"))),
+                element("photo"),
+                element("item"),
+            )
+        )
+        assert small_dfa_based.validate(doc) == []
+        assert small_dfa_based.is_valid(doc)
+
+    def test_wrong_root(self, small_dfa_based):
+        doc = XMLDocument(element("item"))
+        violations = small_dfa_based.validate(doc)
+        assert violations and "start" in violations[0]
+
+    def test_content_violation(self, small_dfa_based):
+        doc = XMLDocument(element("doc", element("photo")))
+        violations = small_dfa_based.validate(doc)
+        assert any("content model" in v for v in violations)
+
+    def test_violation_path_is_reported(self, small_dfa_based):
+        doc = XMLDocument(
+            element("doc", element("item", element("photo")))
+        )
+        violations = small_dfa_based.validate(doc)
+        assert any("/doc/item" in v for v in violations)
+
+    def test_deep_violation(self, small_dfa_based):
+        doc = XMLDocument(
+            element("doc",
+                    element("item", element("note", element("item"))))
+        )
+        assert not small_dfa_based.is_valid(doc)
+
+
+class TestStructure:
+    def test_sizes(self, small_dfa_based):
+        assert small_dfa_based.size == 5
+        assert small_dfa_based.total_size > small_dfa_based.size
+
+    def test_reachability_prunes_by_content(self):
+        # A transition on a name not occurring in the content model is
+        # never taken; the target must not count as reachable.
+        schema = DFABasedXSD(
+            states={"q0", "t", "ghost"},
+            alphabet={"a", "b"},
+            transitions={
+                ("q0", "a"): "t",
+                ("t", "a"): "t",
+                ("t", "b"): "ghost",     # 'b' not in lambda(t)
+                ("ghost", "a"): "ghost",
+                ("ghost", "b"): "ghost",
+            },
+            initial="q0",
+            start={"a"},
+            assign={
+                "t": ContentModel(star(sym("a"))),
+                "ghost": ContentModel(star(sym("a"))),
+            },
+        )
+        assert schema.reachable_states() == {"q0", "t"}
+        trimmed = schema.trimmed()
+        assert "ghost" not in trimmed.states
+
+    def test_ancestor_dfa(self, small_dfa_based):
+        dfa = small_dfa_based.ancestor_dfa(accepting={"Tnote"})
+        assert dfa.accepts(["doc", "item", "note"])
+        assert not dfa.accepts(["doc", "item"])

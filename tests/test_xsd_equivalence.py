@@ -1,0 +1,148 @@
+"""Unit tests for schema equivalence and productivity analysis."""
+
+import pytest
+
+from repro.regex.ast import EPSILON, concat, optional, star, sym, union
+from repro.xsd.content import ContentModel
+from repro.xsd.dfa_based import DFABasedXSD
+from repro.xsd.equivalence import (
+    dfa_xsd_counterexample_pair,
+    dfa_xsd_equivalent,
+    productive_roots,
+    productive_states,
+)
+
+
+def schema_of(rules, start=("r",), alphabet=None):
+    """Build a DFA-based XSD from {state: (content, {name: target})}."""
+    assign = {}
+    transitions = {}
+    states = {"q0"}
+    names = set(start)
+    for state, (content, edges) in rules.items():
+        states.add(state)
+        assign[state] = ContentModel(content)
+        for name, target in edges.items():
+            transitions[(state, name)] = target
+            names.add(name)
+    for name in start:
+        transitions[("q0", name)] = "root"
+    return DFABasedXSD(
+        states=states,
+        alphabet=alphabet or names,
+        transitions=transitions,
+        initial="q0",
+        start=set(start),
+        assign=assign,
+    )
+
+
+class TestProductivity:
+    def test_leaf_state_is_productive(self):
+        schema = schema_of({"root": (EPSILON, {})})
+        ranks = productive_states(schema)
+        assert "root" in ranks
+
+    def test_unsatisfiable_state_is_unproductive(self):
+        # root requires an 'a' child forever: no finite tree exists.
+        schema = schema_of({"root": (sym("a"), {"a": "root"})},
+                           start=("r",))
+        ranks = productive_states(schema)
+        assert "root" not in ranks
+        assert productive_roots(schema) == frozenset()
+
+    def test_rank_orders_by_depth(self):
+        schema = schema_of({
+            "root": (sym("a"), {"a": "mid"}),
+            "mid": (sym("b"), {"b": "leaf"}),
+            "leaf": (EPSILON, {}),
+        })
+        ranks = productive_states(schema)
+        assert ranks["leaf"] < ranks["mid"] < ranks["root"]
+
+    def test_optional_escape_is_productive(self):
+        schema = schema_of({
+            "root": (optional(sym("a")), {"a": "root"}),
+        })
+        assert "root" in productive_states(schema)
+
+
+class TestEquivalence:
+    def test_reflexive(self, small_dfa_based):
+        assert dfa_xsd_equivalent(small_dfa_based, small_dfa_based)
+
+    def test_renamed_states_equivalent(self):
+        left = schema_of({
+            "root": (star(sym("a")), {"a": "child"}),
+            "child": (EPSILON, {}),
+        })
+        right = schema_of({
+            "root": (star(sym("a")), {"a": "kid"}),
+            "kid": (EPSILON, {}),
+        })
+        assert dfa_xsd_equivalent(left, right)
+
+    def test_syntactically_different_content_equal_language(self):
+        left = schema_of({"root": (plus_of("a"), {"a": "leaf"}),
+                          "leaf": (EPSILON, {})})
+        right = schema_of({
+            "root": (concat(sym("a"), star(sym("a"))), {"a": "leaf"}),
+            "leaf": (EPSILON, {}),
+        })
+        assert dfa_xsd_equivalent(left, right)
+
+    def test_detects_content_difference(self):
+        left = schema_of({"root": (star(sym("a")), {"a": "leaf"}),
+                          "leaf": (EPSILON, {})})
+        right = schema_of({"root": (optional(sym("a")), {"a": "leaf"}),
+                           "leaf": (EPSILON, {})})
+        path, detail = dfa_xsd_counterexample_pair(left, right)
+        assert path == ["r"]
+        assert "witness" in detail
+
+    def test_detects_deep_difference(self):
+        left = schema_of({
+            "root": (sym("a"), {"a": "mid"}),
+            "mid": (optional(sym("b")), {"b": "leaf"}),
+            "leaf": (EPSILON, {}),
+        })
+        right = schema_of({
+            "root": (sym("a"), {"a": "mid"}),
+            "mid": (optional(sym("b")), {"b": "leaf"}),
+            "leaf": (optional(sym("b")), {"b": "leaf"}),
+        })
+        path, __ = dfa_xsd_counterexample_pair(left, right)
+        assert path == ["r", "a", "b"]
+
+    def test_root_set_difference(self):
+        left = schema_of({"root": (EPSILON, {})}, start=("r",))
+        right = schema_of({"root": (EPSILON, {})}, start=("r", "s"))
+        result = dfa_xsd_counterexample_pair(left, right)
+        assert result is not None
+        path, detail = result
+        assert path == []
+        assert "root names differ" in detail
+
+    def test_unproductive_content_ignored(self):
+        # left allows an 'x' child whose subtree can never be finished;
+        # right does not allow 'x' at all: equivalent document languages.
+        left = schema_of({
+            "root": (optional(sym("x")), {"x": "pit"}),
+            "pit": (sym("x"), {"x": "pit"}),
+        })
+        right = schema_of({"root": (EPSILON, {})})
+        assert dfa_xsd_equivalent(left, right)
+
+    def test_not_equivalent_when_extra_documents(self):
+        left = schema_of({
+            "root": (optional(sym("a")), {"a": "leaf"}),
+            "leaf": (EPSILON, {}),
+        })
+        right = schema_of({"root": (EPSILON, {})})
+        assert not dfa_xsd_equivalent(left, right)
+
+
+def plus_of(name):
+    from repro.regex.ast import plus
+
+    return plus(sym(name))

@@ -1,0 +1,220 @@
+"""Unit tests for the .xsd reader and writer."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.regex.ast import Concat, Counter, Interleave, Optional, Star, Union
+from repro.xmlmodel.tree import XMLDocument, element
+from repro.xsd.reader import read_xsd
+from repro.xsd.validator import validate_xsd
+from repro.xsd.writer import write_xsd
+
+SIMPLE = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="doc" type="Tdoc"/>
+  <xs:complexType name="Tdoc">
+    <xs:sequence>
+      <xs:element name="head" type="xs:string"/>
+      <xs:element name="item" type="Titem" minOccurs="0"
+                  maxOccurs="unbounded"/>
+    </xs:sequence>
+    <xs:attribute name="version" type="xs:string" use="required"/>
+  </xs:complexType>
+  <xs:complexType name="Titem" mixed="true">
+    <xs:choice minOccurs="0" maxOccurs="unbounded">
+      <xs:element name="em" type="xs:string"/>
+    </xs:choice>
+  </xs:complexType>
+</xs:schema>
+"""
+
+
+class TestReader:
+    def test_basic_shapes(self):
+        xsd = read_xsd(SIMPLE)
+        assert "Tdoc" in xsd.types
+        assert "Titem" in xsd.types
+        assert xsd.start_type("doc") == "Tdoc"
+        model = xsd.rho["Tdoc"]
+        assert isinstance(model.regex, Concat)
+        assert model.attribute("version").required
+
+    def test_simple_typed_elements_become_text_types(self):
+        xsd = read_xsd(SIMPLE)
+        head_type = xsd.child_type("Tdoc", "head")
+        assert head_type.startswith("Ttext_")
+        assert xsd.rho[head_type].mixed
+
+    def test_mixed_flag(self):
+        xsd = read_xsd(SIMPLE)
+        assert xsd.rho["Titem"].mixed
+        assert not xsd.rho["Tdoc"].mixed
+
+    def test_occurrence_bounds(self):
+        text = SIMPLE.replace('minOccurs="0"\n                  maxOccurs="unbounded"',
+                              'minOccurs="2" maxOccurs="5"')
+        xsd = read_xsd(text)
+        inner = xsd.rho["Tdoc"].regex.children[1]
+        assert isinstance(inner, Counter)
+        assert (inner.low, inner.high) == (2, 5)
+
+    def test_inline_anonymous_types(self):
+        xsd = read_xsd("""
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a">
+            <xs:complexType>
+              <xs:sequence>
+                <xs:element name="b">
+                  <xs:complexType><xs:sequence/></xs:complexType>
+                </xs:element>
+              </xs:sequence>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>
+        """)
+        assert xsd.start_type("a") == "T_a"
+        assert xsd.child_type("T_a", "b") == "T_b"
+
+    def test_groups_and_attribute_groups(self):
+        xsd = read_xsd("""
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a" type="Ta"/>
+          <xs:complexType name="Ta">
+            <xs:group ref="g"/>
+            <xs:attributeGroup ref="ag"/>
+          </xs:complexType>
+          <xs:group name="g">
+            <xs:choice>
+              <xs:element name="x" type="Ta"/>
+              <xs:element name="y" type="Ta"/>
+            </xs:choice>
+          </xs:group>
+          <xs:attributeGroup name="ag">
+            <xs:attribute name="k" type="xs:string" use="required"/>
+            <xs:attribute name="v" type="xs:integer"/>
+          </xs:attributeGroup>
+        </xs:schema>
+        """)
+        model = xsd.rho["Ta"]
+        assert isinstance(model.regex, Union)
+        assert model.attribute("k").required
+        assert not model.attribute("v").required
+
+    def test_all_group(self):
+        xsd = read_xsd("""
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a" type="Ta"/>
+          <xs:complexType name="Ta">
+            <xs:all>
+              <xs:element name="x" type="xs:string" minOccurs="0"/>
+              <xs:element name="y" type="xs:string"/>
+            </xs:all>
+          </xs:complexType>
+        </xs:schema>
+        """)
+        regex = xsd.rho["Ta"].regex
+        assert isinstance(regex, Interleave)
+        assert isinstance(regex.children[0], Optional)
+
+    def test_recursive_named_type(self):
+        xsd = read_xsd("""
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="tree" type="Tnode"/>
+          <xs:complexType name="Tnode">
+            <xs:sequence>
+              <xs:element name="tree" type="Tnode" minOccurs="0"
+                          maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:schema>
+        """)
+        regex = xsd.rho["Tnode"].regex
+        assert isinstance(regex, Star)
+
+    def test_undefined_type_rejected(self):
+        with pytest.raises(SchemaError):
+            read_xsd("""
+            <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="a" type="Ta"/>
+              <xs:complexType name="Ta">
+                <xs:sequence><xs:element name="b" type="Tmissing2"/>
+                </xs:sequence>
+              </xs:complexType>
+              <xs:complexType name="Tmissing2x">
+                <xs:sequence/>
+              </xs:complexType>
+            </xs:schema>
+            """)
+
+    def test_not_a_schema(self):
+        with pytest.raises(ParseError):
+            read_xsd("<html/>")
+
+    def test_undefined_group_rejected(self):
+        with pytest.raises(SchemaError):
+            read_xsd("""
+            <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="a" type="Ta"/>
+              <xs:complexType name="Ta"><xs:group ref="nope"/>
+              </xs:complexType>
+            </xs:schema>
+            """)
+
+
+class TestWriterRoundTrip:
+    def test_write_then_read_preserves_semantics(self, rng):
+        from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+        from repro.xsd.equivalence import dfa_xsd_equivalent
+
+        original = read_xsd(SIMPLE)
+        text = write_xsd(original)
+        again = read_xsd(text)
+        assert dfa_xsd_equivalent(
+            xsd_to_dfa_based(original), xsd_to_dfa_based(again)
+        )
+
+    def test_written_document_validates_same(self):
+        original = read_xsd(SIMPLE)
+        again = read_xsd(write_xsd(original))
+        doc = XMLDocument(
+            element(
+                "doc",
+                element("head", "hello"),
+                element("item", "text ", element("em", "x")),
+                attributes={"version": "1"},
+            )
+        )
+        assert validate_xsd(original, doc).valid
+        assert validate_xsd(again, doc).valid
+        bad = XMLDocument(element("doc", element("item")))
+        assert not validate_xsd(original, bad).valid
+        assert not validate_xsd(again, bad).valid
+
+    def test_target_namespace_emitted(self):
+        text = write_xsd(read_xsd(SIMPLE), target_namespace="urn:x")
+        assert 'targetNamespace="urn:x"' in text
+
+    def test_counters_serialized_as_occurs(self):
+        from repro.regex.ast import counter, sym as rsym
+        from repro.xsd.content import ContentModel
+        from repro.xsd.model import XSD
+        from repro.xsd.typednames import TypedName
+
+        xsd = XSD(
+            ename={"a", "b"},
+            types={"Ta", "Tb"},
+            rho={
+                "Ta": ContentModel(
+                    counter(rsym(TypedName("b", "Tb")), 2, 7)
+                ),
+                "Tb": ContentModel(__import__("repro.regex.ast",
+                                              fromlist=["EPSILON"]).EPSILON),
+            },
+            start={TypedName("a", "Ta")},
+        )
+        text = write_xsd(xsd)
+        assert 'minOccurs="2"' in text
+        assert 'maxOccurs="7"' in text
+        again = read_xsd(text)
+        model = again.rho["Ta"].regex
+        assert isinstance(model, Counter)

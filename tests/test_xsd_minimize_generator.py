@@ -1,0 +1,204 @@
+"""Unit tests for XSD minimization and schema-driven document generation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.regex.ast import EPSILON, optional, star, sym
+from repro.xsd.content import AttributeUse, ContentModel
+from repro.xsd.dfa_based import DFABasedXSD
+from repro.xsd.equivalence import dfa_xsd_equivalent
+from repro.xsd.generator import DocumentGenerator, generate_document
+from repro.xsd.minimize import minimize_dfa_based, minimize_xsd
+
+
+def duplicated_schema():
+    """Two states with identical behaviour that should merge."""
+    content = star(sym("a"))
+    return DFABasedXSD(
+        states={"q0", "t1", "t2"},
+        alphabet={"a"},
+        transitions={
+            ("q0", "a"): "t1",
+            ("t1", "a"): "t2",
+            ("t2", "a"): "t1",
+        },
+        initial="q0",
+        start={"a"},
+        assign={"t1": ContentModel(content), "t2": ContentModel(content)},
+    )
+
+
+class TestMinimization:
+    def test_merges_equivalent_states(self):
+        schema = duplicated_schema()
+        minimal = minimize_dfa_based(schema)
+        assert len(minimal.states) == 2  # initial + one merged type
+        assert dfa_xsd_equivalent(schema, minimal)
+
+    def test_respects_content_language_not_syntax(self):
+        from repro.regex.ast import concat, plus
+
+        # a+ vs a a*: same language, states must merge.
+        schema = DFABasedXSD(
+            states={"q0", "t1", "t2"},
+            alphabet={"a"},
+            transitions={
+                ("q0", "a"): "t1",
+                ("t1", "a"): "t2",
+                ("t2", "a"): "t1",
+            },
+            initial="q0",
+            start={"a"},
+            assign={
+                "t1": ContentModel(plus(sym("a"))),
+                "t2": ContentModel(concat(sym("a"), star(sym("a")))),
+            },
+        )
+        minimal = minimize_dfa_based(schema)
+        assert len(minimal.states) == 2
+
+    def test_distinguishes_by_mixedness(self):
+        schema = DFABasedXSD(
+            states={"q0", "t1", "t2"},
+            alphabet={"a"},
+            transitions={
+                ("q0", "a"): "t1",
+                ("t1", "a"): "t2",
+                ("t2", "a"): "t1",
+            },
+            initial="q0",
+            start={"a"},
+            assign={
+                "t1": ContentModel(star(sym("a")), mixed=True),
+                "t2": ContentModel(star(sym("a")), mixed=False),
+            },
+        )
+        minimal = minimize_dfa_based(schema)
+        assert len(minimal.states) == 3
+
+    def test_distinguishes_by_attributes(self):
+        schema = DFABasedXSD(
+            states={"q0", "t1", "t2"},
+            alphabet={"a"},
+            transitions={
+                ("q0", "a"): "t1",
+                ("t1", "a"): "t2",
+                ("t2", "a"): "t1",
+            },
+            initial="q0",
+            start={"a"},
+            assign={
+                "t1": ContentModel(
+                    star(sym("a")),
+                    attributes=(AttributeUse("id"),),
+                ),
+                "t2": ContentModel(star(sym("a"))),
+            },
+        )
+        assert len(minimize_dfa_based(schema).states) == 3
+
+    def test_distinguishes_by_successor_behaviour(self, small_dfa_based):
+        # Titem and Tnote both have content note*, but their 'note'
+        # successors behave identically, so they merge.
+        minimal = minimize_dfa_based(small_dfa_based)
+        assert dfa_xsd_equivalent(small_dfa_based, minimal)
+        assert len(minimal.states) <= len(small_dfa_based.states)
+
+    def test_refinement_splits_when_successors_differ(self):
+        # s1 and s2 have the same content language {a} but their 'a'
+        # targets differ (eps vs a?), so they must not merge.
+        schema = DFABasedXSD(
+            states={"q0", "s1", "s2", "leaf", "again"},
+            alphabet={"a", "b"},
+            transitions={
+                ("q0", "a"): "s1",
+                ("q0", "b"): "s2",
+                ("s1", "a"): "leaf",
+                ("s2", "a"): "again",
+                ("again", "a"): "leaf",
+            },
+            initial="q0",
+            start={"a", "b"},
+            assign={
+                "s1": ContentModel(sym("a")),
+                "s2": ContentModel(sym("a")),
+                "leaf": ContentModel(EPSILON),
+                "again": ContentModel(optional(sym("a"))),
+            },
+        )
+        minimal = minimize_dfa_based(schema)
+        assert dfa_xsd_equivalent(schema, minimal)
+        assert len(minimal.states) == len(schema.states)
+
+    def test_minimize_xsd_reduces_types(self):
+        from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+        from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+        from repro.xsd.equivalence import xsd_equivalent
+
+        xsd = dfa_based_to_xsd(duplicated_schema())
+        minimal = minimize_xsd(xsd)
+        assert len(minimal.types) == 1
+        assert xsd_equivalent(xsd, minimal)
+
+
+class TestGenerator:
+    def test_generated_documents_are_valid(self, small_dfa_based, rng):
+        generator = DocumentGenerator(small_dfa_based)
+        for __ in range(50):
+            doc = generator.generate(rng)
+            assert small_dfa_based.is_valid(doc), small_dfa_based.validate(doc)
+
+    def test_depth_budget_terminates_recursion(self, rng):
+        # A schema forcing one child per level, escaped only by optional.
+        schema = DFABasedXSD(
+            states={"q0", "t"},
+            alphabet={"a"},
+            transitions={("q0", "a"): "t", ("t", "a"): "t"},
+            initial="q0",
+            start={"a"},
+            assign={"t": ContentModel(optional(sym("a")))},
+        )
+        for __ in range(20):
+            doc = generate_document(schema, rng, max_depth=3)
+            assert doc.height() <= 30  # cheap words kick in
+
+    def test_attributes_sampled(self, rng):
+        schema = DFABasedXSD(
+            states={"q0", "t"},
+            alphabet={"a"},
+            transitions={("q0", "a"): "t"},
+            initial="q0",
+            start={"a"},
+            assign={
+                "t": ContentModel(
+                    EPSILON, attributes=(AttributeUse("must"),)
+                )
+            },
+        )
+        doc = generate_document(schema, rng)
+        assert "must" in doc.root.attributes
+
+    def test_empty_schema_rejected(self, rng):
+        schema = DFABasedXSD(
+            states={"q0", "pit"},
+            alphabet={"a"},
+            transitions={("q0", "a"): "pit", ("pit", "a"): "pit"},
+            initial="q0",
+            start={"a"},
+            assign={"pit": ContentModel(sym("a"))},
+        )
+        with pytest.raises(SchemaError):
+            DocumentGenerator(schema)
+
+    def test_mixed_content_sometimes_has_text(self, rng):
+        schema = DFABasedXSD(
+            states={"q0", "t"},
+            alphabet={"a"},
+            transitions={("q0", "a"): "t"},
+            initial="q0",
+            start={"a"},
+            assign={"t": ContentModel(EPSILON, mixed=True)},
+        )
+        texts = [generate_document(schema, rng).root.has_text()
+                 for __ in range(60)]
+        assert any(texts) and not all(texts)

@@ -1,0 +1,162 @@
+"""Unit tests for the formal XSD model (Definition 2: EDC + UPA)."""
+
+import pytest
+
+from repro.errors import EDCViolation, NotDeterministicError, SchemaError
+from repro.regex.ast import EPSILON, concat, star, sym, union
+from repro.xsd.content import AttributeUse, ContentModel
+from repro.xsd.model import XSD
+from repro.xsd.typednames import TypedName, erase_type, split_typed_name
+
+
+def T(name, type_name):
+    return TypedName(name, type_name)
+
+
+def make_xsd(**overrides):
+    spec = dict(
+        ename={"doc", "a", "b"},
+        types={"Tdoc", "Ta", "Tb"},
+        rho={
+            "Tdoc": ContentModel(
+                concat(sym(T("a", "Ta")), star(sym(T("b", "Tb"))))
+            ),
+            "Ta": ContentModel(EPSILON),
+            "Tb": ContentModel(star(sym(T("b", "Tb")))),
+        },
+        start={T("doc", "Tdoc")},
+    )
+    spec.update(overrides)
+    return XSD(**spec)
+
+
+class TestTypedNames:
+    def test_rendering(self):
+        typed = T("a", "Ta")
+        assert typed == "a[Ta]"
+        assert typed.element_name == "a"
+        assert typed.type_name == "Ta"
+
+    def test_split(self):
+        assert split_typed_name("section[Tsection]") == ("section", "Tsection")
+        assert split_typed_name(T("a", "X")) == ("a", "X")
+
+    def test_erase(self):
+        assert erase_type("a[Ta]") == "a"
+
+    def test_split_rejects_plain_names(self):
+        with pytest.raises(SchemaError):
+            split_typed_name("plain")
+
+    def test_brackets_forbidden_in_names(self):
+        with pytest.raises(SchemaError):
+            TypedName("a[b", "T")
+
+
+class TestWellFormedness:
+    def test_valid_schema(self):
+        xsd = make_xsd()
+        assert xsd.types == {"Tdoc", "Ta", "Tb"}
+
+    def test_missing_content_model(self):
+        with pytest.raises(SchemaError):
+            make_xsd(types={"Tdoc", "Ta", "Tb", "Torphan"})
+
+    def test_unknown_element_reference(self):
+        with pytest.raises(SchemaError):
+            make_xsd(
+                rho={
+                    "Tdoc": ContentModel(sym(T("ghost", "Ta"))),
+                    "Ta": ContentModel(EPSILON),
+                    "Tb": ContentModel(EPSILON),
+                }
+            )
+
+    def test_unknown_type_reference(self):
+        with pytest.raises(SchemaError):
+            make_xsd(
+                rho={
+                    "Tdoc": ContentModel(sym(T("a", "Tghost"))),
+                    "Ta": ContentModel(EPSILON),
+                    "Tb": ContentModel(EPSILON),
+                }
+            )
+
+    def test_edc_within_content_model(self):
+        with pytest.raises(EDCViolation):
+            make_xsd(
+                rho={
+                    "Tdoc": ContentModel(
+                        union(sym(T("a", "Ta")), sym(T("a", "Tb")))
+                    ),
+                    "Ta": ContentModel(EPSILON),
+                    "Tb": ContentModel(EPSILON),
+                }
+            )
+
+    def test_edc_within_start_elements(self):
+        with pytest.raises(EDCViolation):
+            make_xsd(start={T("doc", "Tdoc"), T("doc", "Ta")})
+
+    def test_upa_enforced(self):
+        # a[Ta] a[Ta] | a[Ta] b[Tb]: deterministic over typed names is not
+        # enough -- over element names it is ambiguous.
+        with pytest.raises(NotDeterministicError):
+            make_xsd(
+                rho={
+                    "Tdoc": ContentModel(
+                        union(
+                            concat(sym(T("a", "Ta")), sym(T("a", "Ta"))),
+                            concat(sym(T("a", "Ta")), sym(T("b", "Tb"))),
+                        )
+                    ),
+                    "Ta": ContentModel(EPSILON),
+                    "Tb": ContentModel(EPSILON),
+                }
+            )
+
+
+class TestAccessors:
+    def test_child_type_unique_by_edc(self):
+        xsd = make_xsd()
+        assert xsd.child_type("Tdoc", "a") == "Ta"
+        assert xsd.child_type("Tdoc", "b") == "Tb"
+        assert xsd.child_type("Ta", "b") is None
+
+    def test_start_type(self):
+        xsd = make_xsd()
+        assert xsd.start_type("doc") == "Tdoc"
+        assert xsd.start_type("a") is None
+
+    def test_size(self):
+        xsd = make_xsd()
+        # 3 types + content sizes (2 + 0 + 1).
+        assert xsd.size == 6
+
+    def test_reachable_and_trim(self):
+        xsd = make_xsd(
+            types={"Tdoc", "Ta", "Tb", "Tdead"},
+            rho={
+                "Tdoc": ContentModel(
+                    concat(sym(T("a", "Ta")), star(sym(T("b", "Tb"))))
+                ),
+                "Ta": ContentModel(EPSILON),
+                "Tb": ContentModel(star(sym(T("b", "Tb")))),
+                "Tdead": ContentModel(EPSILON),
+            },
+        )
+        assert xsd.reachable_types() == {"Tdoc", "Ta", "Tb"}
+        assert "Tdead" not in xsd.trimmed().types
+
+    def test_attributes_carried(self):
+        xsd = make_xsd(
+            rho={
+                "Tdoc": ContentModel(
+                    sym(T("a", "Ta")),
+                    attributes=(AttributeUse("id", required=True),),
+                ),
+                "Ta": ContentModel(EPSILON),
+                "Tb": ContentModel(EPSILON),
+            }
+        )
+        assert xsd.rho["Tdoc"].attribute("id").required

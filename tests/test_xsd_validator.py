@@ -1,0 +1,155 @@
+"""Unit tests for typed XSD validation (Definition 2 semantics)."""
+
+import pytest
+
+from repro.regex.ast import EPSILON, concat, optional, star, sym
+from repro.xmlmodel.tree import XMLDocument, element
+from repro.xsd.content import AttributeUse, ContentModel
+from repro.xsd.model import XSD
+from repro.xsd.typednames import TypedName
+from repro.xsd.validator import validate_xsd
+
+
+def T(name, type_name):
+    return TypedName(name, type_name)
+
+
+@pytest.fixture
+def xsd():
+    """Sections mean different things under template and content."""
+    return XSD(
+        ename={"doc", "template", "content", "section"},
+        types={"Tdoc", "Ttemplate", "Tcontent", "Ttsec", "Tcsec"},
+        rho={
+            "Tdoc": ContentModel(
+                concat(sym(T("template", "Ttemplate")),
+                       sym(T("content", "Tcontent")))
+            ),
+            "Ttemplate": ContentModel(optional(sym(T("section", "Ttsec")))),
+            "Tcontent": ContentModel(star(sym(T("section", "Tcsec")))),
+            "Ttsec": ContentModel(
+                optional(sym(T("section", "Ttsec")))
+            ),
+            "Tcsec": ContentModel(
+                star(sym(T("section", "Tcsec"))),
+                mixed=True,
+                attributes=(AttributeUse("title", required=True),),
+            ),
+        },
+        start={T("doc", "Tdoc")},
+    )
+
+
+class TestTyping:
+    def test_unique_typing_assigned(self, xsd):
+        doc = XMLDocument(
+            element(
+                "doc",
+                element("template", element("section")),
+                element("content",
+                        element("section", attributes={"title": "x"})),
+            )
+        )
+        report = validate_xsd(xsd, doc)
+        assert report.valid
+        template_section = doc.root.children[0].children[0]
+        content_section = doc.root.children[1].children[0]
+        assert report.typing[id(template_section)] == "Ttsec"
+        assert report.typing[id(content_section)] == "Tcsec"
+
+    def test_context_distinguishes_same_name(self, xsd):
+        # Text is allowed in content sections (mixed) but not in template
+        # sections.
+        ok = XMLDocument(
+            element(
+                "doc",
+                element("template"),
+                element("content",
+                        element("section", "prose",
+                                attributes={"title": "x"})),
+            )
+        )
+        assert validate_xsd(xsd, ok).valid
+        bad = XMLDocument(
+            element(
+                "doc",
+                element("template", element("section", "prose")),
+                element("content"),
+            )
+        )
+        report = validate_xsd(xsd, bad)
+        assert not report.valid
+        assert any("may not contain text" in v for v in report.violations)
+
+
+class TestViolations:
+    def test_unknown_root(self, xsd):
+        report = validate_xsd(xsd, XMLDocument(element("nope")))
+        assert not report.valid
+
+    def test_unexpected_child(self, xsd):
+        doc = XMLDocument(
+            element("doc", element("template", element("content")))
+        )
+        report = validate_xsd(xsd, doc)
+        assert any("not allowed under" in v for v in report.violations)
+
+    def test_word_mismatch(self, xsd):
+        doc = XMLDocument(
+            element("doc", element("content"), element("template"))
+        )
+        report = validate_xsd(xsd, doc)
+        assert any("content model" in v for v in report.violations)
+
+    def test_missing_required_attribute(self, xsd):
+        doc = XMLDocument(
+            element("doc", element("template"),
+                    element("content", element("section")))
+        )
+        report = validate_xsd(xsd, doc)
+        assert any("required attribute 'title'" in v
+                   for v in report.violations)
+
+    def test_undeclared_attribute(self, xsd):
+        doc = XMLDocument(
+            element("doc", element("template",
+                                   attributes={"zz": "1"}),
+                    element("content"))
+        )
+        report = validate_xsd(xsd, doc)
+        assert any("undeclared attribute" in v for v in report.violations)
+
+    def test_multiple_violations_collected(self, xsd):
+        doc = XMLDocument(
+            element("doc",
+                    element("template", "text"),
+                    element("content", element("section")))
+        )
+        report = validate_xsd(xsd, doc)
+        assert len(report.violations) >= 2
+
+
+class TestAgainstDfaBasedSemantics:
+    def test_agrees_with_algorithm1_translation(self, xsd, rng):
+        from repro.translation.xsd_to_dfa import xsd_to_dfa_based
+        from repro.xmlmodel.generator import random_tree
+
+        schema = xsd_to_dfa_based(xsd)
+        labels = ["doc", "template", "content", "section"]
+        for __ in range(150):
+            doc = random_tree(rng, labels=labels, max_depth=4, max_width=3)
+            # Attribute/mixed checks aside, element-structure verdicts must
+            # agree; add the required attribute everywhere to neutralize.
+            for node in doc.iter():
+                node.attributes["title"] = "t"
+            typed = validate_xsd(xsd, doc)
+            flat = schema.validate(doc)
+            typed_structural = [
+                v for v in typed.violations if "attribute" not in v
+            ]
+            flat_structural = [
+                v for v in flat if "attribute" not in v
+            ]
+            assert bool(typed_structural) == bool(flat_structural), (
+                typed.violations, flat,
+            )
