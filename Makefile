@@ -1,0 +1,21 @@
+# Developer entry points.  `make check` is the gate: tier-1 tests plus the
+# engine differential/property suites at the thorough hypothesis profile
+# (500+ generated differential cases); stays well under two minutes.
+
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: check test differential bench bench-engine
+
+check: test differential
+
+test:
+	$(PYTEST) -x -q
+
+differential:
+	HYPOTHESIS_PROFILE=thorough $(PYTEST) -q -m differential
+
+bench:
+	$(PYTEST) -q benchmarks/ -s
+
+bench-engine:
+	$(PYTEST) -q benchmarks/bench_e13_engine.py -s

@@ -1,0 +1,142 @@
+"""E13: compiled streaming engine vs the tree validator (new workload).
+
+Compares, on the E11 corpus (running-example documents of growing size):
+
+* **tree**: ``validate_xsd`` on a parsed document — per node it re-runs
+  the derivative matcher over regex ASTs and scans content-model symbol
+  lists for child types;
+* **streaming**: :class:`repro.engine.StreamingValidator` driving the
+  compiled per-type DFA tables from the document's event stream — one
+  dict lookup and one integer table index per child;
+* **streaming+parse**: the same, fed directly from XML text via
+  ``iter_events`` (no tree is ever built), against tree validation
+  including ``parse_document`` — the end-to-end text-to-verdict race.
+
+Also reports one-off compilation cost and the LRU cache hit path.  The
+acceptance bar (ISSUE 1): streaming >= 3x tree throughput on the
+4000-element corpus document.
+"""
+
+import time
+
+from repro.engine import SchemaCache, StreamingValidator, compile_xsd
+from repro.paperdata import figure3_xsd
+from repro.xmlmodel import parse_document, write_document
+from repro.xsd.validator import validate_xsd
+
+from benchmarks.bench_e11_validation import build_corpus
+from benchmarks.conftest import report
+
+SPEEDUP_FLOOR = 3.0
+"""Required streaming/tree throughput ratio on the 4000-element corpus."""
+
+
+def _rate(function, size, repeats=3):
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return size / best
+
+
+def bench_engine_throughput(benchmark):
+    def run():
+        documents = build_corpus()
+        xsd = figure3_xsd()
+        compiled = compile_xsd(xsd)
+        validator = StreamingValidator(compiled)
+        rows = [
+            f"{'elements':>9} | {'tree el/s':>10} | {'stream el/s':>11} | "
+            f"{'speedup':>7} | {'e2e tree':>9} | {'e2e stream':>10}"
+        ]
+        data = {"rows": [], "speedup_floor": SPEEDUP_FLOOR}
+        final_speedup = None
+        for target, doc in sorted(documents.items()):
+            size = doc.size()
+            text = write_document(doc)
+            tree_rate = _rate(lambda: validate_xsd(xsd, doc), size)
+            stream_rate = _rate(
+                lambda: validator.validate_events(doc.events()), size
+            )
+            e2e_tree = _rate(
+                lambda: validate_xsd(xsd, parse_document(text)), size
+            )
+            e2e_stream = _rate(lambda: validator.validate(text), size)
+            speedup = stream_rate / tree_rate
+            final_speedup = speedup
+            rows.append(
+                f"{size:>9} | {tree_rate:>10.0f} | {stream_rate:>11.0f} | "
+                f"{speedup:>6.1f}x | {e2e_tree:>9.0f} | {e2e_stream:>10.0f}"
+            )
+            data["rows"].append(
+                {
+                    "elements": size,
+                    "tree_rate": tree_rate,
+                    "stream_rate": stream_rate,
+                    "speedup": speedup,
+                    "e2e_tree_rate": e2e_tree,
+                    "e2e_stream_rate": e2e_stream,
+                }
+            )
+        rows.append(
+            "expected shape: speedup grows with table reuse; floor "
+            f"{SPEEDUP_FLOOR:.0f}x on the largest document"
+        )
+        assert final_speedup is not None and final_speedup >= SPEEDUP_FLOOR, (
+            f"streaming speedup {final_speedup:.2f}x below the "
+            f"{SPEEDUP_FLOOR:.0f}x floor on the 4000-element corpus"
+        )
+        return rows, data
+
+    rows, data = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E13", "compiled streaming engine vs tree validator", rows,
+           data=data)
+
+
+def bench_compile_and_cache(benchmark):
+    def run():
+        xsd = figure3_xsd()
+        started = time.perf_counter()
+        compile_xsd(xsd)
+        cold_ms = (time.perf_counter() - started) * 1e3
+
+        cache = SchemaCache(maxsize=4)
+        cache.get(xsd)  # warm
+        started = time.perf_counter()
+        repeats = 1000
+        for __ in range(repeats):
+            cache.get(xsd)
+        hit_us = (time.perf_counter() - started) / repeats * 1e6
+        assert cache.hits == repeats and cache.misses == 1
+        rows = [
+            f"cold compile: {cold_ms:.2f} ms",
+            f"cache hit (fingerprint + lookup): {hit_us:.1f} us",
+            "expected shape: hits orders of magnitude below compilation",
+        ]
+        data = {"cold_compile_ms": cold_ms, "cache_hit_us": hit_us}
+        return rows, data
+
+    rows, data = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E13b", "schema compilation and cache hit path", rows, data=data)
+
+
+def bench_streaming_validation(benchmark):
+    doc = build_corpus(sizes=(1000,))[1000]
+    validator = StreamingValidator(compile_xsd(figure3_xsd()))
+    result = benchmark(lambda: validator.validate_events(doc.events()))
+    assert result.valid
+
+
+def bench_batch_validate_many(benchmark):
+    from repro.engine import validate_many
+
+    doc = build_corpus(sizes=(200,))[200]
+    text = write_document(doc)
+    xsd = figure3_xsd()
+    reports = benchmark.pedantic(
+        lambda: validate_many(xsd, [text] * 16, workers=4),
+        rounds=3,
+        iterations=1,
+    )
+    assert all(r.valid for r in reports)

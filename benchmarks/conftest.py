@@ -2,12 +2,16 @@
 
 Every experiment writes the table it regenerates to
 ``benchmarks/results/<exp>.txt`` and echoes it to stdout (visible with
-``pytest benchmarks/ --benchmark-only -s``).  EXPERIMENTS.md records the
-paper-vs-measured comparison for each experiment id.
+``pytest benchmarks/ --benchmark-only -s``).  Alongside the table, a
+machine-readable ``benchmarks/results/<exp>.json`` is emitted so the
+bench trajectory can track experiments across PRs without scraping the
+text tables.  EXPERIMENTS.md records the paper-vs-measured comparison for
+each experiment id.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -15,11 +19,30 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def report(experiment_id, title, lines):
-    """Persist and echo one experiment's regenerated table."""
+def report(experiment_id, title, lines, data=None):
+    """Persist and echo one experiment's regenerated table.
+
+    Args:
+        experiment_id: e.g. ``"E11"``; names the result files.
+        title: one-line description (table header).
+        lines: list of human-readable table rows.
+        data: optional JSON-serializable structure (rows as dicts,
+            measured rates, ...) stored under ``"data"`` in the JSON file
+            for machine consumption; the text lines are always included.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = f"== {experiment_id}: {title} ==\n" + "\n".join(lines) + "\n"
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
+    payload = {
+        "experiment": experiment_id,
+        "title": title,
+        "lines": list(lines),
+    }
+    if data is not None:
+        payload["data"] = data
+    (RESULTS_DIR / f"{experiment_id}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     print()
     print(text, end="")
     return text

@@ -394,9 +394,16 @@ def pattern_from_regex(regex, ename):
                 parts.append(rendered)
                 pending_descendant = False
             if pending_descendant:
-                raise SchemaError(
-                    "a trailing EName* has no pattern rendering"
-                )
+                if not parts:
+                    raise SchemaError(
+                        "a trailing EName* has no pattern rendering"
+                    )
+                # r EName* = r | r EName* (n1|...|nk): the left branch
+                # ends the ancestor string at r, the right one descends
+                # to any element below it.
+                base = "".join(parts)
+                names = "|".join(sorted(ename))
+                return f"({base}|{base}//({names}))"
             return "".join(parts)
         if isinstance(node, Union):
             inner = "|".join(render(child) for child in node.children)

@@ -69,6 +69,14 @@ def _build_parser():
     )
     validate.add_argument("schema")
     validate.add_argument("document")
+    validate.add_argument(
+        "--engine",
+        choices=("tree", "streaming"),
+        default="tree",
+        help="tree: reference validators on a parsed document (default); "
+        "streaming: compiled DFA tables driven by a SAX event stream "
+        "(structural validation only for BonXai/DTD schemas)",
+    )
     validate.set_defaults(handler=_cmd_validate)
 
     highlight = subparsers.add_parser(
@@ -135,13 +143,17 @@ def _load_schema(path):
 
 def _cmd_validate(args):
     kind, schema = _load_schema(args.schema)
-    document = parse_document(_load_text(args.document))
-    if kind == "xsd":
-        violations = validate_xsd(schema, document).violations
-    elif kind == "dtd":
-        violations = schema.validate(document)
+    text = _load_text(args.document)
+    if getattr(args, "engine", "tree") == "streaming":
+        violations = _streaming_violations(kind, schema, text)
     else:
-        violations = schema.validate(document).violations
+        document = parse_document(text)
+        if kind == "xsd":
+            violations = validate_xsd(schema, document).violations
+        elif kind == "dtd":
+            violations = schema.validate(document)
+        else:
+            violations = schema.validate(document).violations
     if violations:
         for violation in violations:
             print(violation)
@@ -149,6 +161,24 @@ def _cmd_validate(args):
         return 1
     print("VALID")
     return 0
+
+
+def _streaming_violations(kind, schema, text):
+    """Validate with the compiled streaming engine (any schema kind).
+
+    BonXai and DTD schemas ride the translation square to a formal XSD
+    first (Algorithms 2 + 4), so the streaming engine checks exactly their
+    structural language; the compiled form is cached process-wide.
+    """
+    from repro.engine import compile_cached, validate_streaming
+
+    if kind == "xsd":
+        xsd = schema
+    elif kind == "dtd":
+        xsd = dfa_based_to_xsd(bxsd_to_dfa_based(dtd_to_bxsd(schema)))
+    else:
+        xsd = dfa_based_to_xsd(bxsd_to_dfa_based(schema.bxsd))
+    return validate_streaming(compile_cached(xsd), text).violations
 
 
 def _cmd_highlight(args):

@@ -1,0 +1,50 @@
+"""Compiled validation engine: schema compiler, cache, streaming, batch.
+
+The pipeline is ``compile -> cache -> stream``:
+
+* :func:`compile_xsd` lowers a formal XSD to immutable per-type DFA
+  tables (:class:`CompiledSchema`);
+* :class:`SchemaCache` / :func:`compile_cached` memoize compilation per
+  schema fingerprint;
+* :class:`StreamingValidator` / :func:`validate_streaming` run SAX-style
+  event streams against the tables with a stack of (type, state) pairs;
+* :func:`validate_many` fans a batch of documents across a worker pool.
+"""
+
+from repro.engine.batch import validate_many
+from repro.engine.cache import (
+    SchemaCache,
+    compile_cached,
+    default_cache,
+    schema_fingerprint,
+)
+from repro.engine.compiler import (
+    CompiledSchema,
+    CompiledType,
+    ContentDFA,
+    compile_bonxai,
+    compile_regex,
+    compile_xsd,
+)
+from repro.engine.streaming import (
+    StreamingValidator,
+    as_events,
+    validate_streaming,
+)
+
+__all__ = [
+    "CompiledSchema",
+    "CompiledType",
+    "ContentDFA",
+    "SchemaCache",
+    "StreamingValidator",
+    "as_events",
+    "compile_bonxai",
+    "compile_cached",
+    "compile_regex",
+    "compile_xsd",
+    "default_cache",
+    "schema_fingerprint",
+    "validate_many",
+    "validate_streaming",
+]

@@ -1,0 +1,69 @@
+"""Batch validation: fan many documents across a worker pool.
+
+``validate_many`` compiles (or cache-fetches) the schema once and then
+validates every document against the shared, immutable
+:class:`~repro.engine.compiler.CompiledSchema`.  Workers are threads: the
+compiled tables are read-only, so no per-worker copy is needed, and a
+serving process can overlap validation with I/O (the common case for
+heavy traffic: documents arrive as text over sockets or files).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.cache import compile_cached
+from repro.engine.compiler import CompiledSchema
+from repro.engine.streaming import StreamingValidator, as_events
+
+
+def validate_many(schema, sources, engine="streaming", workers=None,
+                  cache=None):
+    """Validate many documents against one schema.
+
+    Args:
+        schema: a formal :class:`~repro.xsd.model.XSD` or an already
+            compiled :class:`CompiledSchema` (ignored by the tree engine,
+            which needs the formal XSD).
+        sources: iterable of documents — XML text strings,
+            ``XMLDocument``/``XMLElement`` trees, or event iterables (the
+            tree engine accepts text and trees only).
+        engine: ``"streaming"`` (compiled tables, default) or ``"tree"``
+            (the reference validator, for comparison).
+        workers: thread count; ``None`` or ``1`` validates serially.
+        cache: optional :class:`~repro.engine.cache.SchemaCache` override.
+
+    Returns:
+        List of :class:`~repro.xsd.validator.XSDValidationReport`, in
+        input order.
+    """
+    sources = list(sources)
+    if engine == "streaming":
+        if isinstance(schema, CompiledSchema):
+            compiled = schema
+        else:
+            compiled = compile_cached(schema, cache)
+        validator = StreamingValidator(compiled)
+
+        def run(source):
+            return validator.validate_events(as_events(source))
+    elif engine == "tree":
+        if isinstance(schema, CompiledSchema):
+            raise ValueError("the tree engine needs the formal XSD")
+        from repro.xmlmodel.parser import parse_document
+        from repro.xmlmodel.tree import XMLDocument, XMLElement
+        from repro.xsd.validator import validate_xsd
+
+        def run(source):
+            if isinstance(source, str):
+                source = parse_document(source)
+            elif isinstance(source, XMLElement):
+                source = XMLDocument(source)
+            return validate_xsd(schema, source)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+
+    if workers is None or workers <= 1 or len(sources) <= 1:
+        return [run(source) for source in sources]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run, sources))

@@ -1,0 +1,106 @@
+"""LRU cache of compiled schemas, keyed by schema fingerprint.
+
+Compilation (DFA construction + minimization per type) is cheap but not
+free; a server validating heavy traffic sees the same few schemas over and
+over.  The cache makes repeated validations of one schema pay compilation
+exactly once, while bounding memory under schema churn.
+
+The key is a structural fingerprint — a SHA-256 over a canonical
+serialization of the formal XSD — rather than object identity, so two
+independently parsed copies of the same ``.xsd`` share one compiled form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+from repro.engine.compiler import compile_xsd
+
+
+def schema_fingerprint(xsd):
+    """A stable hex digest identifying the formal XSD structurally.
+
+    Two XSDs get the same fingerprint iff they have the same element
+    names, types, start elements, and per-type content models (regex
+    shape, mixedness, attribute uses).  Regexes serialize via their
+    canonical printer, so structurally equal models agree.
+    """
+    hasher = hashlib.sha256()
+
+    def feed(part):
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+
+    feed("ename:" + ",".join(sorted(xsd.ename)))
+    feed("start:" + ",".join(sorted(str(typed) for typed in xsd.start)))
+    for type_name in sorted(xsd.rho):
+        model = xsd.rho[type_name]
+        feed(f"type:{type_name}")
+        feed(f"regex:{model.regex}")
+        feed(f"mixed:{model.mixed}")
+        for use in model.attributes:
+            feed(f"attr:{use.name}:{use.required}:{use.type_name}")
+    return hasher.hexdigest()
+
+
+class SchemaCache:
+    """A thread-safe LRU cache mapping fingerprints to compiled schemas.
+
+    Attributes:
+        maxsize: maximum number of compiled schemas retained.
+        hits / misses: monotonically increasing counters (observability).
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_entries", "_lock")
+
+    def __init__(self, maxsize=64):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, xsd):
+        """The :class:`CompiledSchema` for ``xsd``, compiling on miss."""
+        fingerprint = schema_fingerprint(xsd)
+        with self._lock:
+            compiled = self._entries.get(fingerprint)
+            if compiled is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                return compiled
+            self.misses += 1
+        # Compile outside the lock: compilation can be slow and is
+        # idempotent — a racing duplicate is harmless and rare.
+        compiled = compile_xsd(xsd, fingerprint=fingerprint)
+        with self._lock:
+            self._entries[fingerprint] = compiled
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return compiled
+
+    def clear(self):
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+_default_cache = SchemaCache(maxsize=64)
+
+
+def default_cache():
+    """The process-wide schema cache used by the CLI and batch API."""
+    return _default_cache
+
+
+def compile_cached(xsd, cache=None):
+    """Compile ``xsd`` through a cache (the default one if none given)."""
+    return (cache or _default_cache).get(xsd)

@@ -1,0 +1,266 @@
+"""Lowering formal XSDs to compiled, table-driven form.
+
+The tree validator interprets content models symbolically: every node
+re-runs a :class:`~repro.regex.derivatives.DerivativeMatcher` whose states
+are regex ASTs (hashing whole expressions per step) and resolves child
+types by scanning the content model's symbol list.  This module performs
+that work *once per schema* instead of once per node:
+
+* each content model is lowered to its **minimal complete DFA** over the
+  erased element names (Definition 3's move: by EDC, matching the erased
+  word against the erased expression is equivalent to matching the typed
+  word, and by UPA the construction is unambiguous and small);
+* the DFA is renumbered to dense integer tables, so one validation step is
+  ``row[symbol_id]`` — an integer list index;
+* element names, types, and attribute names are interned to small ints;
+  declared-attribute sets become bitmasks.
+
+The result, :class:`CompiledSchema`, is immutable and shareable across
+threads; :mod:`repro.engine.cache` memoizes it per schema fingerprint and
+:mod:`repro.engine.streaming` runs documents against it.
+"""
+
+from __future__ import annotations
+
+from repro.automata.minimize import minimize
+from repro.regex.derivatives import to_dfa
+from repro.xsd.typednames import split_typed_name
+
+
+class ContentDFA:
+    """A minimal complete DFA over a content model's (erased) alphabet.
+
+    States are dense integers with 0 initial; ``table[state][symbol_id]``
+    is the successor (always defined — the DFA is complete over its
+    alphabet).  Words containing symbols outside the alphabet are rejected,
+    mirroring how a derivative step on a foreign symbol yields the empty
+    language.
+
+    Attributes:
+        symbols: tuple of alphabet symbols, sorted; ``symbol_ids`` inverts.
+        table: tuple of per-state tuples of successor state ids.
+        accepting: tuple of booleans, indexed by state.
+        live: tuple of booleans; ``live[s]`` iff some accepting state is
+            reachable from ``s`` (a dead state can never recover).
+    """
+
+    __slots__ = ("symbols", "symbol_ids", "table", "accepting", "live")
+
+    def __init__(self, symbols, table, accepting, live):
+        self.symbols = symbols
+        self.symbol_ids = {name: i for i, name in enumerate(symbols)}
+        self.table = table
+        self.accepting = accepting
+        self.live = live
+
+    def accepts(self, word):
+        """True iff the DFA accepts ``word`` (an iterable of symbols)."""
+        state = 0
+        table = self.table
+        ids = self.symbol_ids
+        for name in word:
+            symbol = ids.get(name)
+            if symbol is None:
+                return False
+            state = table[state][symbol]
+        return self.accepting[state]
+
+    def __len__(self):
+        return len(self.table)
+
+
+def compile_regex(regex, alphabet=None):
+    """Compile a regex to a :class:`ContentDFA`.
+
+    Args:
+        regex: a :class:`~repro.regex.ast.Regex` (deterministic content
+            models stay small; the construction works for any regex).
+        alphabet: iterable of symbols; defaults to those in the regex.
+    """
+    if alphabet is None:
+        alphabet = regex.symbols()
+    symbols = tuple(sorted(alphabet))
+    dfa = minimize(to_dfa(regex, alphabet=symbols))
+    # Stable BFS renumbering from the initial state, in symbol order.
+    index = {dfa.initial: 0}
+    order = [dfa.initial]
+    position = 0
+    while position < len(order):
+        state = order[position]
+        position += 1
+        for name in symbols:
+            target = dfa.transitions[(state, name)]
+            if target not in index:
+                index[target] = len(order)
+                order.append(target)
+    table = tuple(
+        tuple(index[dfa.transitions[(state, name)]] for name in symbols)
+        for state in order
+    )
+    accepting = tuple(state in dfa.accepting for state in order)
+    live = _live_states(table, accepting)
+    return ContentDFA(symbols, table, accepting, live)
+
+
+def _live_states(table, accepting):
+    """Backwards reachability from the accepting states."""
+    count = len(table)
+    predecessors = [[] for __ in range(count)]
+    for source, row in enumerate(table):
+        for target in row:
+            predecessors[target].append(source)
+    live = [False] * count
+    worklist = [state for state in range(count) if accepting[state]]
+    for state in worklist:
+        live[state] = True
+    while worklist:
+        state = worklist.pop()
+        for source in predecessors[state]:
+            if not live[source]:
+                live[source] = True
+                worklist.append(source)
+    return tuple(live)
+
+
+class CompiledType:
+    """One complex type, lowered to tables.
+
+    Attributes:
+        name: the source type name (for diagnostics).
+        dfa: the :class:`ContentDFA` of the erased content model.
+        children: dict element name -> ``(symbol_id, child_type_id)``; by
+            EDC the child type is a function of the element name, so one
+            dict lookup replaces the tree validator's symbol scan.
+        mixed: whether character data is allowed.
+        required_attrs: tuple of required attribute names, in declaration
+            order (diagnostic order matches the tree validator).
+        declared_mask: bitmask over the schema-wide attribute interning of
+            the attributes declared on this type.
+    """
+
+    __slots__ = (
+        "name", "dfa", "children", "mixed", "required_attrs", "declared_mask"
+    )
+
+    def __init__(self, name, dfa, children, mixed, required_attrs,
+                 declared_mask):
+        self.name = name
+        self.dfa = dfa
+        self.children = children
+        self.mixed = mixed
+        self.required_attrs = required_attrs
+        self.declared_mask = declared_mask
+
+
+class CompiledSchema:
+    """An immutable, table-driven form of a formal XSD.
+
+    Attributes:
+        fingerprint: the :func:`repro.engine.cache.schema_fingerprint` of
+            the source schema (``None`` when compiled directly).
+        types: tuple of :class:`CompiledType`, indexed by type id.
+        type_ids: dict type name -> type id.
+        start: dict root element name -> type id (the paper's ``T0``).
+        start_names: sorted tuple of allowed root names (diagnostics).
+        attr_ids: dict attribute name -> bit position, shared by every
+            type's ``declared_mask``.
+    """
+
+    __slots__ = (
+        "fingerprint", "types", "type_ids", "start", "start_names",
+        "attr_ids",
+    )
+
+    def __init__(self, fingerprint, types, type_ids, start, start_names,
+                 attr_ids):
+        self.fingerprint = fingerprint
+        self.types = types
+        self.type_ids = type_ids
+        self.start = start
+        self.start_names = start_names
+        self.attr_ids = attr_ids
+
+    def type_named(self, name):
+        """The :class:`CompiledType` for a source type name."""
+        return self.types[self.type_ids[name]]
+
+    def root_type_id(self, element_name):
+        """The start type id of a root element name, or ``None``."""
+        return self.start.get(element_name)
+
+    def __repr__(self):
+        return (
+            f"<CompiledSchema types={len(self.types)} "
+            f"roots={list(self.start_names)}>"
+        )
+
+
+def compile_xsd(xsd, fingerprint=None):
+    """Lower a formal :class:`~repro.xsd.model.XSD` to a CompiledSchema.
+
+    The schema is assumed well-formed (Definition 2: EDC + UPA); ``XSD``
+    enforces both at construction time.
+    """
+    type_names = tuple(sorted(xsd.types))
+    type_ids = {name: i for i, name in enumerate(type_names)}
+    attr_ids = {}
+    types = []
+    for name in type_names:
+        model = xsd.rho[name]
+        erased = model.map_symbols(lambda s: split_typed_name(s)[0])
+        dfa = compile_regex(erased.regex)
+        children = {}
+        for symbol in model.element_names():
+            element_name, target_type = split_typed_name(symbol)
+            children[element_name] = (
+                dfa.symbol_ids[element_name], type_ids[target_type]
+            )
+        required = tuple(
+            use.name for use in model.attributes if use.required
+        )
+        declared_mask = 0
+        for use in model.attributes:
+            bit = attr_ids.setdefault(use.name, len(attr_ids))
+            declared_mask |= 1 << bit
+        types.append(
+            CompiledType(
+                name=name,
+                dfa=dfa,
+                children=children,
+                mixed=model.mixed,
+                required_attrs=required,
+                declared_mask=declared_mask,
+            )
+        )
+    start = {}
+    for typed in xsd.start:
+        element_name, target_type = split_typed_name(typed)
+        start[element_name] = type_ids[target_type]
+    return CompiledSchema(
+        fingerprint=fingerprint,
+        types=tuple(types),
+        type_ids=type_ids,
+        start=start,
+        start_names=tuple(sorted(start)),
+        attr_ids=attr_ids,
+    )
+
+
+def compile_bonxai(schema):
+    """Compile a BonXai schema (parsed or compiled) to a CompiledSchema.
+
+    Rides the existing lowering chain: ``bonxai.compile`` to the formal
+    BXSD core, Algorithm 2 to the DFA-based pivot, Algorithm 4 to a formal
+    XSD, then :func:`compile_xsd`.  The result validates exactly the
+    structural (rule) language of the schema; BonXai-specific extras
+    (constraints, rule highlighting) stay with the tree validator.
+    """
+    from repro.bonxai.compile import CompiledSchema as BonxaiCompiled
+    from repro.bonxai.compile import compile_schema
+    from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
+    from repro.translation.dfa_to_xsd import dfa_based_to_xsd
+
+    if not isinstance(schema, BonxaiCompiled):
+        schema = compile_schema(schema)
+    xsd = dfa_based_to_xsd(bxsd_to_dfa_based(schema.bxsd))
+    return compile_xsd(xsd)

@@ -1,0 +1,179 @@
+"""Streaming validation against a compiled schema.
+
+The validator consumes SAX-style events (from
+:func:`repro.xmlmodel.parser.iter_events` or ``XMLDocument.events()``) and
+never materializes a tree: its working state is a stack of frames, one per
+open element, each holding the element's compiled type id and current
+content-DFA state.  A document is valid iff every frame's DFA ends in an
+accepting state — the event-stream restatement of Definition 2/3's "every
+node's child-string matches its content model".
+
+The report is interchangeable with the tree validator's: the same
+:class:`~repro.xsd.validator.XSDValidationReport` class, the same typing
+keys, and the same violation strings (the *multiset* of violations is
+equal; the order differs because streaming discovers a node's
+child-word mismatch at its end tag, after its children's violations,
+whereas the tree validator reports parents first).  The differential test
+suite pins this down.
+
+One deliberate deviation from pure streaming: each frame accumulates its
+child-name list so the mismatch diagnostic can cite the full child-string,
+exactly like the tree validator.  Memory is O(max fanout x depth), not
+O(document).
+"""
+
+from __future__ import annotations
+
+from repro.engine.compiler import CompiledSchema
+from repro.xsd.validator import XSDValidationReport
+
+
+class StreamingValidator:
+    """Validates event streams against one :class:`CompiledSchema`.
+
+    Stateless between calls; one instance may be shared across threads.
+    """
+
+    __slots__ = ("schema",)
+
+    def __init__(self, schema):
+        self.schema = schema
+
+    def validate_events(self, events):
+        """Consume an event iterable; return an XSDValidationReport.
+
+        Stops consuming as soon as the outcome is decided (undeclared
+        root), mirroring the tree validator's early return.
+        """
+        schema = self.schema
+        types = schema.types
+        report = XSDValidationReport()
+        violations = report.violations
+        typing = report.typing
+        # Frame layout (a mutable list, tuples would cost re-allocation):
+        # [type_id, dfa_state, name, path, typed_path, child_names,
+        #  recognized, has_text, ordinals]
+        stack = []
+        skip_depth = 0
+        for event in events:
+            kind = event[0]
+            if skip_depth:
+                if kind == "start":
+                    skip_depth += 1
+                elif kind == "end":
+                    skip_depth -= 1
+                continue
+            if kind == "start":
+                name = event[1]
+                if stack:
+                    frame = stack[-1]
+                    frame[5].append(name)
+                    compiled = types[frame[0]]
+                    entry = compiled.children.get(name)
+                    if entry is None:
+                        violations.append(
+                            f"{frame[3]}: element <{name}> is not allowed "
+                            f"under <{frame[2]}> (type {compiled.name})"
+                        )
+                        frame[6] = False
+                        skip_depth = 1
+                        continue
+                    symbol, type_id = entry
+                    frame[1] = compiled.dfa.table[frame[1]][symbol]
+                    ordinals = frame[8]
+                    ordinal = ordinals[name] = ordinals.get(name, 0) + 1
+                    path = f"{frame[3]}/{name}"
+                    typed_path = f"{frame[4]}/{name}[{ordinal}]"
+                else:
+                    type_id = schema.start.get(name)
+                    if type_id is None:
+                        violations.append(
+                            f"root element <{name}> is not declared "
+                            f"(allowed: {list(schema.start_names)})"
+                        )
+                        return report
+                    path = "/" + name
+                    typed_path = f"/{name}[1]"
+                typing[typed_path] = types[type_id].name
+                stack.append(
+                    [type_id, 0, name, path, typed_path, [], True, False, {}]
+                )
+                self._check_attributes(stack[-1], event[2], violations)
+            elif kind == "end":
+                frame = stack.pop()
+                compiled = types[frame[0]]
+                if frame[6] and not compiled.dfa.accepting[frame[1]]:
+                    shown = " ".join(frame[5])
+                    violations.append(
+                        f"{frame[3]}: children of <{frame[2]}> "
+                        f"[{shown or 'none'}] do not match the content "
+                        f"model of type {compiled.name}"
+                    )
+                if frame[7] and not compiled.mixed:
+                    violations.append(
+                        f"{frame[3]}: element <{frame[2]}> "
+                        f"(type {compiled.name}) may not contain text"
+                    )
+                if not stack:
+                    return report
+            else:  # text
+                if stack and event[1].strip():
+                    stack[-1][7] = True
+        return report
+
+    def _check_attributes(self, frame, attributes, violations):
+        compiled = self.schema.types[frame[0]]
+        for required in compiled.required_attrs:
+            if required not in attributes:
+                violations.append(
+                    f"{frame[3]}: element <{frame[2]}> is missing required "
+                    f"attribute {required!r}"
+                )
+        attr_ids = self.schema.attr_ids
+        mask = compiled.declared_mask
+        for attr_name in attributes:
+            bit = attr_ids.get(attr_name)
+            if bit is None or not mask >> bit & 1:
+                violations.append(
+                    f"{frame[3]}: element <{frame[2]}> has undeclared "
+                    f"attribute {attr_name!r}"
+                )
+
+    def validate(self, source):
+        """Validate ``source``: XML text, a document/element, or events."""
+        return self.validate_events(as_events(source))
+
+
+def as_events(source):
+    """Coerce text / documents / elements / iterables into an event stream."""
+    from repro.xmlmodel.parser import iter_events
+
+    if isinstance(source, str):
+        return iter_events(source)
+    events = getattr(source, "events", None)
+    if events is not None:
+        return events()
+    return source
+
+
+def validate_streaming(schema, source, cache=None):
+    """One-shot convenience: validate ``source`` against ``schema``.
+
+    Args:
+        schema: a :class:`CompiledSchema`, or a formal
+            :class:`~repro.xsd.model.XSD` (compiled through the default
+            cache, so repeated calls with an equal schema are cheap).
+        source: XML text, an ``XMLDocument``/``XMLElement``, or an event
+            iterable.
+        cache: optional :class:`~repro.engine.cache.SchemaCache` override.
+
+    Returns:
+        An :class:`~repro.xsd.validator.XSDValidationReport` agreeing with
+        :func:`repro.xsd.validator.validate_xsd` on validity, typing, and
+        the multiset of violation messages.
+    """
+    if not isinstance(schema, CompiledSchema):
+        from repro.engine.cache import compile_cached
+
+        schema = compile_cached(schema, cache)
+    return StreamingValidator(schema).validate_events(as_events(source))

@@ -2,7 +2,12 @@
 
 from repro.xmlmodel.dtd import DTD, DTDAttribute, DTDElement, parse_dtd
 from repro.xmlmodel.generator import mutate_tree, random_tree
-from repro.xmlmodel.parser import from_etree, parse_document, parse_fragment
+from repro.xmlmodel.parser import (
+    from_etree,
+    iter_events,
+    parse_document,
+    parse_fragment,
+)
 from repro.xmlmodel.tree import XMLDocument, XMLElement, element
 from repro.xmlmodel.writer import write_document, write_element
 
@@ -14,6 +19,7 @@ __all__ = [
     "XMLElement",
     "element",
     "from_etree",
+    "iter_events",
     "mutate_tree",
     "parse_document",
     "parse_dtd",

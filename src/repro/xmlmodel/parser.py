@@ -194,12 +194,18 @@ def _parse_element(cursor):
 
 
 def _parse_attributes(cursor, node):
+    node.attributes.update(_read_attributes(cursor, node.name))
+
+
+def _read_attributes(cursor, owner_name):
+    """Read the attribute list of a start tag into a fresh dict."""
+    attributes = {}
     while True:
         cursor.skip_whitespace()
         if cursor.at_end():
-            raise cursor.error(f"unterminated start tag <{node.name}>")
+            raise cursor.error(f"unterminated start tag <{owner_name}>")
         if cursor.peek() in ("/", ">"):
-            return
+            return attributes
         attr_name = _read_name(cursor)
         cursor.skip_whitespace()
         if not cursor.startswith("="):
@@ -211,9 +217,9 @@ def _parse_attributes(cursor, node):
             raise cursor.error(f"attribute {attr_name!r} value must be quoted")
         cursor.advance()
         raw = cursor.take_until(quote, f"attribute {attr_name!r}")
-        if attr_name in node.attributes:
+        if attr_name in attributes:
             raise cursor.error(f"duplicate attribute {attr_name!r}")
-        node.attributes[attr_name] = _decode_entities(raw, cursor)
+        attributes[attr_name] = _decode_entities(raw, cursor)
 
 
 def _parse_content(cursor, node):
@@ -255,6 +261,113 @@ def _parse_content(cursor, node):
         raw = cursor.text[cursor.pos : index]
         cursor.pos = index
         node.append_text(_decode_entities(raw, cursor))
+
+
+# -- streaming (SAX-style) event mode -----------------------------------
+#
+# ``iter_events`` tokenizes a document into a flat event stream without
+# ever materializing the tree: ``("start", name, attributes)``,
+# ``("text", data)`` and ``("end", name)``.  It enforces the same
+# well-formedness rules as :func:`parse_document` (the two share the
+# cursor and attribute machinery), so for every input either both raise
+# :class:`~repro.errors.ParseError` or the event stream spells exactly the
+# tree the parser would build.  The compiled validation engine
+# (:mod:`repro.engine.streaming`) consumes this stream keeping only a
+# stack of DFA states.
+
+def iter_events(text):
+    """Stream SAX-style events from XML ``text`` without building a tree.
+
+    Yields:
+        ``("start", name, attributes)`` for each start tag (attributes is
+        a fresh dict), ``("text", data)`` for each character-data or CDATA
+        run (entity-decoded, possibly empty chunks are suppressed), and
+        ``("end", name)`` for each end tag (self-closing tags produce a
+        start/end pair).
+
+    Raises:
+        ParseError: on the same inputs :func:`parse_document` rejects.
+        Because this is a generator, errors surface lazily, as the stream
+        is consumed.
+    """
+    cursor = _Cursor(text)
+    _skip_prolog(cursor)
+    yield from _element_events(cursor)
+    _skip_misc(cursor)
+    if not cursor.at_end():
+        raise cursor.error("content after the root element")
+
+
+def _element_events(cursor):
+    if not cursor.startswith("<"):
+        raise cursor.error("expected an element start tag")
+    stack = []
+    while True:
+        # Cursor sits on the '<' of a start tag.
+        cursor.advance()
+        name = _read_name(cursor)
+        attributes = _read_attributes(cursor, name)
+        cursor.skip_whitespace()
+        if cursor.startswith("/>"):
+            cursor.advance(2)
+            yield ("start", name, attributes)
+            yield ("end", name)
+            if not stack:
+                return
+        elif cursor.startswith(">"):
+            cursor.advance()
+            yield ("start", name, attributes)
+            stack.append(name)
+        else:
+            raise cursor.error(f"malformed start tag <{name}>")
+        # Consume content until a nested start tag (break to the outer
+        # loop) or until every open element has been closed.
+        descend = False
+        while stack:
+            if cursor.at_end():
+                raise cursor.error(f"unterminated element <{stack[-1]}>")
+            if cursor.startswith("</"):
+                cursor.advance(2)
+                closing = _read_name(cursor)
+                if closing != stack[-1]:
+                    raise cursor.error(
+                        f"mismatched end tag </{closing}> "
+                        f"(expected </{stack[-1]}>)"
+                    )
+                cursor.skip_whitespace()
+                if not cursor.startswith(">"):
+                    raise cursor.error(f"malformed end tag </{closing}>")
+                cursor.advance()
+                stack.pop()
+                yield ("end", closing)
+                continue
+            if cursor.startswith("<!--"):
+                cursor.advance(4)
+                cursor.take_until("-->", "comment")
+                continue
+            if cursor.startswith("<![CDATA["):
+                cursor.advance(len("<![CDATA["))
+                data = cursor.take_until("]]>", "CDATA section")
+                if data:
+                    yield ("text", data)
+                continue
+            if cursor.startswith("<?"):
+                cursor.advance(2)
+                cursor.take_until("?>", "processing instruction")
+                continue
+            if cursor.startswith("<"):
+                descend = True
+                break
+            index = cursor.text.find("<", cursor.pos)
+            if index < 0:
+                raise cursor.error(f"unterminated element <{stack[-1]}>")
+            raw = cursor.text[cursor.pos : index]
+            cursor.pos = index
+            data = _decode_entities(raw, cursor)
+            if data:
+                yield ("text", data)
+        if not descend:
+            return
 
 
 def from_etree(etree_element):

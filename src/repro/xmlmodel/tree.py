@@ -89,6 +89,36 @@ class XMLElement:
         for child in self.children:
             yield from child.iter()
 
+    def events(self):
+        """Yield this subtree as SAX-style events.
+
+        The stream is exactly what :func:`repro.xmlmodel.parser.iter_events`
+        would produce for this subtree's serialization: ``("start", name,
+        attributes)`` / ``("text", data)`` / ``("end", name)``, with empty
+        text runs suppressed.  The attributes dict is the node's own (not
+        copied) — consumers must not mutate it.
+        """
+        stack = [(self, 0)]
+        yield ("start", self.name, self.attributes)
+        if self.texts[0]:
+            yield ("text", self.texts[0])
+        while stack:
+            node, index = stack[-1]
+            if index >= len(node.children):
+                stack.pop()
+                yield ("end", node.name)
+                if stack:
+                    parent, parent_index = stack[-1]
+                    if parent.texts[parent_index]:
+                        yield ("text", parent.texts[parent_index])
+                continue
+            stack[-1] = (node, index + 1)
+            child = node.children[index]
+            yield ("start", child.name, child.attributes)
+            if child.texts[0]:
+                yield ("text", child.texts[0])
+            stack.append((child, 0))
+
     def find(self, name):
         """First child with the given name, or ``None``."""
         for child in self.children:
@@ -141,6 +171,10 @@ class XMLDocument:
     def iter(self):
         """Yield all elements in document order."""
         yield from self.root.iter()
+
+    def events(self):
+        """Yield the document as SAX-style events (see XMLElement.events)."""
+        return self.root.events()
 
     def size(self):
         """The number of element nodes."""

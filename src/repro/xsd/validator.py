@@ -17,8 +17,14 @@ class XSDValidationReport:
 
     Attributes:
         violations: list of human-readable violation strings.
-        typing: dict mapping each typed node (by identity) to its assigned
-            type name; partial when validation failed early.
+        typing: dict mapping each typed node to its assigned type name, in
+            document order; partial when validation failed early.  Keys are
+            stable XPath-style indexed paths such as
+            ``/doc[1]/item[2]`` (the ordinal counts same-named siblings,
+            1-based), so they survive the document tree being garbage
+            collected and distinguish equal-named siblings — unlike the
+            ``id(node)`` keys used previously, which could be recycled by
+            the allocator and were opaque to callers.
     """
 
     __slots__ = ("violations", "typing")
@@ -30,6 +36,10 @@ class XSDValidationReport:
     @property
     def valid(self):
         return not self.violations
+
+    def type_at(self, path):
+        """The type assigned at an indexed path, or ``None``."""
+        return self.typing.get(path)
 
 
 def validate_xsd(xsd, document):
@@ -48,7 +58,9 @@ def validate_xsd(xsd, document):
             f"(allowed: {sorted(_start_names(xsd))})"
         )
         return report
-    _validate_node(xsd, root, root_type, "/" + root.name, report)
+    _validate_node(
+        xsd, root, root_type, "/" + root.name, f"/{root.name}[1]", report
+    )
     return report
 
 
@@ -60,8 +72,8 @@ def _start_names(xsd):
     return names
 
 
-def _validate_node(xsd, node, type_name, path, report):
-    report.typing[id(node)] = type_name
+def _validate_node(xsd, node, type_name, path, typed_path, report):
+    report.typing[typed_path] = type_name
     model = xsd.rho[type_name]
 
     # Children must spell a word of the *typed* content model.  By EDC the
@@ -110,7 +122,14 @@ def _validate_node(xsd, node, type_name, path, report):
                 f"{path}: element <{node.name}> has undeclared attribute "
                 f"{attr_name!r}"
             )
+    ordinals = {}
     for child, child_type in child_types:
+        ordinal = ordinals[child.name] = ordinals.get(child.name, 0) + 1
         _validate_node(
-            xsd, child, child_type, f"{path}/{child.name}", report
+            xsd,
+            child,
+            child_type,
+            f"{path}/{child.name}",
+            f"{typed_path}/{child.name}[{ordinal}]",
+            report,
         )

@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
+
+# Bounded hypothesis profiles: "ci" keeps the tier-1 run fast, "thorough"
+# is what `make check` uses for the differential suites (500+ generated
+# cases, still well under two minutes).  Tests carrying explicit
+# @settings keep their own example counts.
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.register_profile("thorough", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 from repro.regex.ast import concat, star, sym, union
 from repro.xsd.content import ContentModel

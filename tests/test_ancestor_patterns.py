@@ -159,3 +159,23 @@ class TestPatternFromRegex:
             assert matches(original, word) == matches(back, word), (
                 pattern_text, rendered, word,
             )
+
+    def test_trailing_universe(self, rng):
+        # State elimination on random DFAs can yield regexes ending in
+        # EName* (e.g. ``a (a | b | ...)*``); these have no direct step
+        # rendering and are rewritten as ``(r|r//(a|b|...))``.
+        from repro.regex.ast import concat, sym, universal
+
+        names = sorted(ENAME)
+        for prefix in (["a"], ["a", "b"], ["template", "section"]):
+            original = concat(*(sym(name) for name in prefix),
+                              universal(ENAME))
+            rendered = pattern_from_regex(original, ENAME)
+            back, attrs = compile_ancestor(rendered, ENAME)
+            assert attrs == ()
+            for __i in range(300):
+                word = [names[rng.randrange(len(names))]
+                        for __j in range(1 + rng.randrange(6))]
+                assert matches(original, word) == matches(back, word), (
+                    prefix, rendered, word,
+                )

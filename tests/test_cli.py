@@ -47,6 +47,43 @@ class TestValidate:
     def test_missing_file(self, files, capsys):
         assert main(["validate", files["fig5.bonxai"], "/nope.xml"]) == 2
 
+    def test_streaming_engine_xsd(self, files, capsys):
+        assert main(["validate", files["fig3.xsd"], files["fig1.xml"],
+                     "--engine", "streaming"]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_streaming_engine_bonxai(self, files, capsys):
+        assert main(["validate", files["fig5.bonxai"], files["fig1.xml"],
+                     "--engine", "streaming"]) == 0
+
+    def test_streaming_engine_dtd(self, files, capsys):
+        assert main(["validate", files["fig2.dtd"], files["fig1.xml"],
+                     "--engine", "streaming"]) == 0
+
+    def test_streaming_engine_invalid(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<document><content/></document>")
+        assert main(["validate", files["fig3.xsd"], str(bad),
+                     "--engine", "streaming"]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+
+    def test_engines_agree_on_violation_count(self, files, tmp_path,
+                                              capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text(
+            "<document><template/><userstyles/>"
+            "<content><section title='t'><bogus/></section></content>"
+            "</document>"
+        )
+        assert main(["validate", files["fig3.xsd"], str(bad)]) == 1
+        tree_out = capsys.readouterr().out
+        assert main(["validate", files["fig3.xsd"], str(bad),
+                     "--engine", "streaming"]) == 1
+        stream_out = capsys.readouterr().out
+        assert (sorted(tree_out.strip().splitlines())
+                == sorted(stream_out.strip().splitlines()))
+
     def test_malformed_schema(self, files, tmp_path, capsys):
         broken = tmp_path / "broken.bonxai"
         broken.write_text("grammar {")

@@ -1,0 +1,97 @@
+"""Unit tests for the compiled-schema cache and the batch API."""
+
+import pytest
+
+from repro.engine import (
+    SchemaCache,
+    compile_xsd,
+    schema_fingerprint,
+    validate_many,
+)
+from repro.paperdata import FIGURE1_XML, figure3_xsd
+from repro.xmlmodel import parse_document
+
+
+@pytest.fixture
+def xsd():
+    return figure3_xsd()
+
+
+class TestSchemaCache:
+    def test_hit_returns_same_object(self, xsd):
+        cache = SchemaCache(maxsize=4)
+        first = cache.get(xsd)
+        second = cache.get(figure3_xsd())  # independently parsed copy
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1 and len(cache) == 1
+
+    def test_lru_eviction(self):
+        from repro.regex.ast import star, sym
+        from repro.xsd.content import ContentModel
+        from repro.xsd.model import XSD
+        from repro.xsd.typednames import TypedName
+
+        def tiny(root):
+            return XSD(
+                ename={root},
+                types={"T"},
+                rho={"T": ContentModel(star(sym(TypedName(root, "T"))))},
+                start={TypedName(root, "T")},
+            )
+
+        cache = SchemaCache(maxsize=2)
+        first = cache.get(tiny("a"))
+        cache.get(tiny("b"))
+        cache.get(tiny("c"))  # evicts "a" (least recently used)
+        assert len(cache) == 2
+        assert cache.get(tiny("a")) is not first  # recompiled
+        assert cache.get(tiny("c")) is not None  # still resident
+        assert cache.misses == 4 and cache.hits == 1
+
+    def test_fingerprint_ignores_dict_order(self, xsd):
+        reordered = dict(reversed(list(xsd.rho.items())))
+        from repro.xsd.model import XSD
+
+        copy = XSD(ename=xsd.ename, types=xsd.types, rho=reordered,
+                   start=xsd.start, check=False)
+        assert schema_fingerprint(xsd) == schema_fingerprint(copy)
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            SchemaCache(maxsize=0)
+
+
+class TestValidateMany:
+    def test_mixed_sources_serial(self, xsd):
+        document = parse_document(FIGURE1_XML)
+        bad = FIGURE1_XML.replace('<color color="red"/>', "<color/>", 1)
+        reports = validate_many(xsd, [FIGURE1_XML, document, bad])
+        assert [r.valid for r in reports] == [True, True, False]
+        assert "missing required" in reports[2].violations[0]
+
+    def test_worker_pool_preserves_order(self, xsd):
+        bad = FIGURE1_XML.replace('<color color="red"/>', "<color/>", 1)
+        sources = [FIGURE1_XML, bad] * 8
+        reports = validate_many(xsd, sources, workers=4)
+        assert [r.valid for r in reports] == [True, False] * 8
+
+    def test_precompiled_schema_accepted(self, xsd):
+        compiled = compile_xsd(xsd)
+        reports = validate_many(compiled, [FIGURE1_XML])
+        assert reports[0].valid
+
+    def test_tree_engine_agrees(self, xsd):
+        bad = FIGURE1_XML.replace('<color color="red"/>', "<color/>", 1)
+        streaming = validate_many(xsd, [FIGURE1_XML, bad])
+        tree = validate_many(xsd, [FIGURE1_XML, bad], engine="tree")
+        for left, right in zip(streaming, tree):
+            assert left.valid == right.valid
+            assert sorted(left.violations) == sorted(right.violations)
+
+    def test_tree_engine_rejects_compiled(self, xsd):
+        with pytest.raises(ValueError):
+            validate_many(compile_xsd(xsd), [FIGURE1_XML], engine="tree")
+
+    def test_unknown_engine(self, xsd):
+        with pytest.raises(ValueError):
+            validate_many(xsd, [], engine="warp")

@@ -1,0 +1,205 @@
+"""Property tests for the engine's schema compiler.
+
+The central invariant: for every content model, the compiled minimal-DFA
+table (``repro.engine.compile_regex``) accepts exactly the words the
+reference matcher (``ContentModel.matches_children`` — Brzozowski
+derivatives over the regex AST) accepts.  Random words over the model's
+alphabet probe both directions; schema-level tests then check that
+``compile_xsd`` wires types, child maps, and attribute bitsets correctly.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import compile_regex, compile_xsd, schema_fingerprint
+from repro.regex.ast import (
+    EPSILON,
+    EmptySet,
+    concat,
+    counter,
+    interleave,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+from repro.xsd.content import AttributeUse, ContentModel
+from repro.xsd.model import XSD
+from repro.xsd.typednames import TypedName
+
+pytestmark = pytest.mark.differential
+
+ALPHABET = ["a", "b", "c"]
+
+
+def regex_strategy(max_leaves=6):
+    """Random regexes over {a, b, c}, all engine-supported operators."""
+    leaves = st.one_of(
+        st.sampled_from(ALPHABET).map(sym),
+        st.just(EPSILON),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: concat(*pair)),
+            st.tuples(children, children).map(lambda pair: union(*pair)),
+            st.tuples(children, children).map(
+                lambda pair: interleave(*pair)
+            ),
+            children.map(star),
+            children.map(plus),
+            children.map(optional),
+            st.tuples(
+                children,
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=2),
+            ).map(lambda triple: counter(
+                triple[0], triple[1], triple[1] + triple[2]
+            )),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+words = st.lists(st.sampled_from(ALPHABET + ["d"]), max_size=10)
+
+
+class TestCompileRegex:
+    @given(regex=regex_strategy(), word=words)
+    def test_dfa_agrees_with_derivative_matcher(self, regex, word):
+        model = ContentModel(regex)
+        dfa = compile_regex(regex)
+        assert dfa.accepts(word) == model.matches_children(word)
+
+    @given(regex=regex_strategy())
+    def test_empty_word_agreement(self, regex):
+        model = ContentModel(regex)
+        assert compile_regex(regex).accepts([]) == \
+            model.matches_children([])
+
+    def test_random_words_fresh_rng(self, rng):
+        # conftest-style fresh-rng sweep: denser than hypothesis shrinking
+        # for the pure word-agreement property.
+        from repro.regex.parser import parse_regex
+        from tests.conftest import make_random_word
+
+        expressions = [
+            "(a b)* c?",
+            "(a | b c)+",
+            "a{2,4} (b | c)",
+            "(a & b & c?)",
+            "((a | b)* c){1,2}",
+            "(a? b?)*",
+        ]
+        for source in expressions:
+            regex = parse_regex(source)
+            model = ContentModel(regex)
+            dfa = compile_regex(regex)
+            for __ in range(200):
+                word = make_random_word(rng, ALPHABET + ["d"], max_length=9)
+                assert dfa.accepts(word) == model.matches_children(word), (
+                    source, word
+                )
+
+    def test_minimality_and_liveness(self):
+        dfa = compile_regex(star(concat(sym("a"), sym("b"))))
+        # (ab)*: minimal complete DFA has 3 states (start/accepting,
+        # after-a, sink); the sink is the only dead state.
+        assert len(dfa) == 3
+        assert sum(dfa.live) == 2
+        assert dfa.accepting[0]
+
+    def test_empty_language(self):
+        dfa = compile_regex(EmptySet())
+        assert not dfa.accepts([])
+        assert not dfa.accepts(["a"])
+
+    def test_epsilon_only(self):
+        dfa = compile_regex(EPSILON)
+        assert dfa.accepts([])
+        assert not dfa.accepts(["a"])
+        assert dfa.symbols == ()
+
+    def test_foreign_symbols_rejected(self):
+        dfa = compile_regex(star(sym("a")))
+        assert dfa.accepts(["a", "a"])
+        assert not dfa.accepts(["a", "z"])
+
+
+def T(name, type_name):
+    return TypedName(name, type_name)
+
+
+@pytest.fixture
+def xsd():
+    return XSD(
+        ename={"doc", "item", "note"},
+        types={"Tdoc", "Titem", "Tnote"},
+        rho={
+            "Tdoc": ContentModel(
+                plus(sym(T("item", "Titem"))),
+                attributes=(
+                    AttributeUse("version", required=True),
+                    AttributeUse("lang", required=False),
+                ),
+            ),
+            "Titem": ContentModel(
+                star(sym(T("note", "Tnote"))), mixed=True
+            ),
+            "Tnote": ContentModel(EPSILON),
+        },
+        start={T("doc", "Tdoc")},
+    )
+
+
+class TestCompileXSD:
+    def test_child_maps_follow_edc(self, xsd):
+        compiled = compile_xsd(xsd)
+        tdoc = compiled.type_named("Tdoc")
+        symbol, child_id = tdoc.children["item"]
+        assert compiled.types[child_id].name == "Titem"
+        assert tdoc.dfa.symbols[symbol] == "item"
+        assert "note" not in tdoc.children
+
+    def test_start_and_roots(self, xsd):
+        compiled = compile_xsd(xsd)
+        assert compiled.start_names == ("doc",)
+        assert compiled.types[compiled.root_type_id("doc")].name == "Tdoc"
+        assert compiled.root_type_id("item") is None
+
+    def test_attribute_bitsets(self, xsd):
+        compiled = compile_xsd(xsd)
+        tdoc = compiled.type_named("Tdoc")
+        assert tdoc.required_attrs == ("version",)
+        for name in ("version", "lang"):
+            bit = compiled.attr_ids[name]
+            assert tdoc.declared_mask >> bit & 1
+        titem = compiled.type_named("Titem")
+        assert titem.declared_mask == 0 and titem.required_attrs == ()
+        assert titem.mixed and not tdoc.mixed
+
+    def test_content_language_per_type(self, xsd):
+        compiled = compile_xsd(xsd)
+        assert compiled.type_named("Tdoc").dfa.accepts(["item", "item"])
+        assert not compiled.type_named("Tdoc").dfa.accepts([])
+        assert compiled.type_named("Tnote").dfa.accepts([])
+        assert not compiled.type_named("Tnote").dfa.accepts(["note"])
+
+    def test_fingerprint_stability(self, xsd):
+        copy = XSD(
+            ename=set(xsd.ename),
+            types=set(xsd.types),
+            rho=dict(xsd.rho),
+            start=set(xsd.start),
+        )
+        assert schema_fingerprint(xsd) == schema_fingerprint(copy)
+        other = XSD(
+            ename=xsd.ename,
+            types=xsd.types,
+            rho={**xsd.rho, "Tnote": ContentModel(optional(
+                sym(T("note", "Tnote"))
+            ))},
+            start=xsd.start,
+        )
+        assert schema_fingerprint(xsd) != schema_fingerprint(other)

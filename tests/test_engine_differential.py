@@ -1,0 +1,248 @@
+"""Differential tests: streaming engine vs the reference tree validator.
+
+For random (schema, document) pairs — valid documents sampled from the
+schema via :class:`repro.xsd.generator.DocumentGenerator`, then pushed
+off the language by random mutations — the compiled streaming engine and
+``validate_xsd`` must agree on:
+
+* validity,
+* the multiset of violation messages (same paths, same text; only the
+  order may differ, because streaming discovers a parent's child-word
+  mismatch at its end tag, after its children's violations),
+* the typing (same indexed-path keys, same types, same document order).
+
+Both streaming inputs are exercised: the document's own event stream and
+the serialized text through ``iter_events`` (no tree ever built).
+
+Scale: with the default "ci" hypothesis profile each run covers a few
+hundred comparisons; ``HYPOTHESIS_PROFILE=thorough`` (what ``make check``
+uses) covers 200 examples x 4 documents x 2 inputs plus the fixed-seed
+sweep — well over 500 generated cases.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import StreamingValidator, compile_xsd
+from repro.paperdata import figure3_xsd
+from repro.regex.ast import EPSILON, concat, optional, star, sym
+from repro.translation import xsd_to_dfa_based
+from repro.xmlmodel import parse_document, write_document
+from repro.xmlmodel.tree import XMLDocument, XMLElement
+from repro.xsd import DocumentGenerator, validate_xsd
+from repro.xsd.content import AttributeUse, ContentModel
+from repro.xsd.model import XSD
+from repro.xsd.typednames import TypedName
+
+pytestmark = pytest.mark.differential
+
+
+def T(name, type_name):
+    return TypedName(name, type_name)
+
+
+def _sections_xsd():
+    """Same-named elements with context-dependent types + attributes."""
+    return XSD(
+        ename={"doc", "template", "content", "section"},
+        types={"Tdoc", "Ttemplate", "Tcontent", "Ttsec", "Tcsec"},
+        rho={
+            "Tdoc": ContentModel(
+                concat(sym(T("template", "Ttemplate")),
+                       sym(T("content", "Tcontent")))
+            ),
+            "Ttemplate": ContentModel(optional(sym(T("section", "Ttsec")))),
+            "Tcontent": ContentModel(star(sym(T("section", "Tcsec")))),
+            "Ttsec": ContentModel(optional(sym(T("section", "Ttsec")))),
+            "Tcsec": ContentModel(
+                star(sym(T("section", "Tcsec"))),
+                mixed=True,
+                attributes=(
+                    AttributeUse("title", required=True),
+                    AttributeUse("lang", required=False),
+                ),
+            ),
+        },
+        start={T("doc", "Tdoc")},
+    )
+
+
+def _inventory_xsd():
+    """Repetition-heavy models (counters via star/plus, optionals)."""
+    return XSD(
+        ename={"inv", "item", "tag", "note"},
+        types={"Tinv", "Titem", "Ttag", "Tnote"},
+        rho={
+            "Tinv": ContentModel(
+                star(concat(sym(T("item", "Titem")),
+                            optional(sym(T("note", "Tnote"))))),
+                attributes=(AttributeUse("owner", required=True),),
+            ),
+            "Titem": ContentModel(star(sym(T("tag", "Ttag")))),
+            "Ttag": ContentModel(EPSILON),
+            "Tnote": ContentModel(EPSILON, mixed=True),
+        },
+        start={T("inv", "Tinv")},
+    )
+
+
+SCHEMAS = {
+    "figure3": figure3_xsd,
+    "sections": _sections_xsd,
+    "inventory": _inventory_xsd,
+}
+
+_cache = {}
+
+
+def _setup(key):
+    """(xsd, compiled, generator, element names, attribute names)."""
+    entry = _cache.get(key)
+    if entry is None:
+        xsd = SCHEMAS[key]()
+        compiled = compile_xsd(xsd)
+        generator = DocumentGenerator(xsd_to_dfa_based(xsd))
+        names = sorted(xsd.ename) + ["zzz"]
+        attr_names = sorted(
+            {use.name for model in xsd.rho.values()
+             for use in model.attributes}
+        ) + ["bogus"]
+        entry = _cache[key] = (xsd, compiled, generator, names, attr_names)
+    return entry
+
+
+def _copy_tree(node):
+    clone = XMLElement(node.name, attributes=dict(node.attributes))
+    clone.texts = [node.texts[0]]
+    for index, child in enumerate(node.children):
+        clone.append(_copy_tree(child), text_after=node.texts[index + 1])
+    return clone
+
+
+def _mutate(document, rng, names, attr_names):
+    """One random mutation covering every violation class."""
+    root = _copy_tree(document.root)
+    nodes = list(root.iter())
+    victim = nodes[rng.randrange(len(nodes))]
+    choice = rng.randrange(6)
+    if choice == 0:  # relabel (may hit the root -> undeclared root)
+        others = [name for name in names if name != victim.name]
+        victim.name = others[rng.randrange(len(others))]
+    elif choice == 1 and victim.parent is not None:  # delete subtree
+        index = victim.parent.children.index(victim)
+        del victim.parent.children[index]
+        del victim.parent.texts[index + 1]
+        victim.parent = None
+    elif choice == 2 and victim.children:  # duplicate a child
+        victim.append(_copy_tree(
+            victim.children[rng.randrange(len(victim.children))]
+        ))
+    elif choice == 3:  # add an attribute (possibly undeclared)
+        name = attr_names[rng.randrange(len(attr_names))]
+        victim.attributes[name] = "x"
+    elif choice == 4 and victim.attributes:  # drop an attribute
+        keys = sorted(victim.attributes)
+        del victim.attributes[keys[rng.randrange(len(keys))]]
+    else:  # inject text (violates non-mixed models)
+        victim.append_text("stray text")
+    return XMLDocument(root)
+
+
+def _assert_agreement(xsd, compiled, document):
+    """The core oracle: tree and streaming reports are interchangeable."""
+    expected = validate_xsd(xsd, document)
+    validator = StreamingValidator(compiled)
+
+    from_tree = validator.validate_events(document.events())
+    assert from_tree.valid == expected.valid
+    assert sorted(from_tree.violations) == sorted(expected.violations)
+    assert from_tree.typing == expected.typing
+    assert list(from_tree.typing) == list(expected.typing)
+
+    text = write_document(document)
+    from_text = validator.validate(text)
+    assert from_text.valid == expected.valid
+    assert sorted(from_text.violations) == sorted(expected.violations)
+    assert from_text.typing == expected.typing
+    return expected
+
+
+class TestDifferential:
+    @given(
+        key=st.sampled_from(sorted(SCHEMAS)),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_engines_agree(self, key, seed):
+        xsd, compiled, generator, names, attr_names = _setup(key)
+        rng = random.Random(seed)
+        document = generator.generate(rng, max_depth=4, max_children=5)
+        report = _assert_agreement(xsd, compiled, document)
+        assert report.valid, report.violations
+        for __ in range(3):
+            mutant = _mutate(document, rng, names, attr_names)
+            _assert_agreement(xsd, compiled, mutant)
+
+    def test_fixed_seed_sweep(self, rng):
+        # Deterministic bulk sweep, independent of hypothesis: 50 valid
+        # documents and 150 mutants per schema.
+        for key in sorted(SCHEMAS):
+            xsd, compiled, generator, names, attr_names = _setup(key)
+            for __ in range(50):
+                document = generator.generate(
+                    rng, max_depth=4, max_children=5
+                )
+                assert _assert_agreement(xsd, compiled, document).valid
+                for __ in range(3):
+                    mutant = _mutate(document, rng, names, attr_names)
+                    _assert_agreement(xsd, compiled, mutant)
+
+
+class TestStreamingInputs:
+    def test_text_and_tree_events_agree_on_parsed_documents(self):
+        # The parser's event mode and the tree's event replay describe
+        # the same document (modulo text-run chunking).
+        text = """<doc a="1"><item>hi<sub/>there</item><item/></doc>"""
+        from repro.xmlmodel import iter_events
+
+        def coalesced(events):
+            out = []
+            for event in events:
+                if (event[0] == "text" and out
+                        and out[-1][0] == "text"):
+                    out[-1] = ("text", out[-1][1] + event[1])
+                else:
+                    out.append(event)
+            return [
+                e if e[0] != "start" else (e[0], e[1], dict(e[2]))
+                for e in out
+            ]
+
+        assert coalesced(iter_events(text)) == coalesced(
+            parse_document(text).events()
+        )
+
+    def test_undeclared_root_stops_early(self):
+        xsd, compiled, *__ = _setup("sections")
+        report = StreamingValidator(compiled).validate(
+            "<nowhere><junk/></nowhere>"
+        )
+        expected = validate_xsd(xsd, parse_document(
+            "<nowhere><junk/></nowhere>"
+        ))
+        assert not report.valid
+        assert report.violations == expected.violations
+        assert report.typing == expected.typing == {}
+
+    def test_unrecognized_child_subtree_is_skipped(self):
+        xsd, compiled, *__ = _setup("sections")
+        text = (
+            "<doc><template/><content>"
+            "<wrong><deep>text</deep></wrong>"
+            "<section title='t'/></content></doc>"
+        )
+        expected = validate_xsd(xsd, parse_document(text))
+        report = StreamingValidator(compiled).validate(text)
+        assert sorted(report.violations) == sorted(expected.violations)
+        assert report.typing == expected.typing

@@ -177,10 +177,10 @@ class TestFigure3:
     def test_typing_distinguishes_sections(self, fig1):
         xsd = figure3_xsd()
         report = validate_xsd(xsd, fig1)
-        template_section = fig1.root.children[0].children[0]
-        content_section = fig1.root.children[2].children[0]
-        assert report.typing[id(template_section)] == "TtemplateSection"
-        assert report.typing[id(content_section)] == "Tsection"
+        template_path = "/document[1]/template[1]/section[1]"
+        content_path = "/document[1]/content[1]/section[1]"
+        assert report.typing[template_path] == "TtemplateSection"
+        assert report.typing[content_path] == "Tsection"
 
 
 class TestEquivalenceFig5Fig3:

@@ -52,10 +52,36 @@ class TestTyping:
         )
         report = validate_xsd(xsd, doc)
         assert report.valid
-        template_section = doc.root.children[0].children[0]
-        content_section = doc.root.children[1].children[0]
-        assert report.typing[id(template_section)] == "Ttsec"
-        assert report.typing[id(content_section)] == "Tcsec"
+        assert report.typing["/doc[1]/template[1]/section[1]"] == "Ttsec"
+        assert report.typing["/doc[1]/content[1]/section[1]"] == "Tcsec"
+
+    def test_typing_keys_are_stable_paths(self, xsd):
+        # Regression: typing used to be keyed by id(node), which is
+        # recycled after GC and opaque to callers.  Same-named siblings
+        # must get distinct, stable keys that outlive the tree.
+        doc = XMLDocument(
+            element(
+                "doc",
+                element("template"),
+                element("content",
+                        element("section", attributes={"title": "a"}),
+                        element("section", attributes={"title": "b"})),
+            )
+        )
+        report = validate_xsd(xsd, doc)
+        assert report.valid
+        del doc  # keys must stay meaningful after the tree is gone
+        assert list(report.typing) == [
+            "/doc[1]",
+            "/doc[1]/template[1]",
+            "/doc[1]/content[1]",
+            "/doc[1]/content[1]/section[1]",
+            "/doc[1]/content[1]/section[2]",
+        ]
+        assert report.typing["/doc[1]/content[1]/section[1]"] == "Tcsec"
+        assert report.typing["/doc[1]/content[1]/section[2]"] == "Tcsec"
+        assert report.type_at("/doc[1]/content[1]") == "Tcontent"
+        assert report.type_at("/doc[1]/nowhere[1]") is None
 
     def test_context_distinguishes_same_name(self, xsd):
         # Text is allowed in content sections (mixed) but not in template
