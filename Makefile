@@ -1,18 +1,22 @@
-# Developer entry points.  `make check` is the gate: tier-1 tests plus the
+# Developer entry points.  `make check` is the gate: tier-1 tests, the
 # engine differential/property suites at the thorough hypothesis profile
-# (500+ generated differential cases); stays well under two minutes.
+# (500+ generated differential cases), and the CLI observability smoke;
+# stays well under two minutes.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: check test differential bench bench-engine
+.PHONY: check test differential bench bench-engine metrics-smoke
 
-check: test differential
+check: test differential metrics-smoke
 
 test:
 	$(PYTEST) -x -q
 
 differential:
 	HYPOTHESIS_PROFILE=thorough $(PYTEST) -q -m differential
+
+metrics-smoke:
+	PYTHONPATH=src python scripts/metrics_smoke.py
 
 bench:
 	$(PYTEST) -q benchmarks/ -s

@@ -16,6 +16,8 @@ import pathlib
 
 import pytest
 
+from repro.observability import default_registry
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -29,6 +31,11 @@ def report(experiment_id, title, lines, data=None):
         data: optional JSON-serializable structure (rows as dicts,
             measured rates, ...) stored under ``"data"`` in the JSON file
             for machine consumption; the text lines are always included.
+
+    A snapshot of the process-wide metrics registry rides along under
+    ``"metrics"``, so the bench trajectory can correlate the measured
+    rates with what the engine actually did (cache behaviour, DFA sizes,
+    states created by the translation arrows).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = f"== {experiment_id}: {title} ==\n" + "\n".join(lines) + "\n"
@@ -37,6 +44,7 @@ def report(experiment_id, title, lines, data=None):
         "experiment": experiment_id,
         "title": title,
         "lines": list(lines),
+        "metrics": default_registry().snapshot(),
     }
     if data is not None:
         payload["data"] = data

@@ -1,0 +1,102 @@
+"""Smoke test for the CLI observability surface (``make metrics-smoke``).
+
+Runs ``bonxai validate --engine streaming --metrics`` on the paper's
+running example (Figure 3 XSD, Figure 1 document) and checks that the
+snapshot written to stderr is valid JSON with nonzero cache and DFA-size
+metrics, and that ``--budget-states`` refuses a Theorem-9 instance.
+Exits nonzero (with a diagnostic) on any failure, so it can gate
+``make check``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import pathlib
+
+from repro.cli import main
+from repro.paperdata import FIGURE1_XML, figure3_xsd
+from repro.xsd import write_xsd
+
+
+def run_cli(argv):
+    stderr = io.StringIO()
+    stdout = io.StringIO()
+    with contextlib.redirect_stderr(stderr), contextlib.redirect_stdout(
+        stdout
+    ):
+        code = main(argv)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+def check(condition, message):
+    if not condition:
+        print(f"metrics-smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main_smoke():
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        schema = root / "figure3.xsd"
+        document = root / "figure1.xml"
+        schema.write_text(write_xsd(figure3_xsd()))
+        document.write_text(FIGURE1_XML)
+
+        code, out, err = run_cli(
+            [
+                "validate",
+                str(schema),
+                str(document),
+                "--engine",
+                "streaming",
+                "--metrics",
+            ]
+        )
+        check(code == 0, f"validate exited {code}; stderr:\n{err}")
+        check("VALID" in out, f"unexpected stdout: {out!r}")
+        snapshot = json.loads(err)  # raises (fails the smoke) if not JSON
+        counters = snapshot.get("counters", {})
+        histograms = snapshot.get("histograms", {})
+        cache_traffic = counters.get("engine.cache.hits", 0) + counters.get(
+            "engine.cache.misses", 0
+        )
+        check(cache_traffic > 0, f"no cache traffic in snapshot: {counters}")
+        dfa_sizes = histograms.get("engine.compile.dfa_states", {})
+        check(
+            dfa_sizes.get("count", 0) > 0 and dfa_sizes.get("max", 0) > 0,
+            f"no DFA-size metrics in snapshot: {histograms}",
+        )
+        check(
+            counters.get("engine.stream.docs", 0) > 0,
+            f"no streaming metrics in snapshot: {counters}",
+        )
+
+        # The budget flags must refuse adversarial translation work.
+        from repro.families.theorem9 import theorem9_bxsd
+        from repro.bonxai.decompile import bxsd_to_schema
+        from repro.bonxai.printer import print_schema
+
+        hard = root / "theorem9.bonxai"
+        hard.write_text(print_schema(bxsd_to_schema(theorem9_bxsd(8))))
+        code, out, err = run_cli(
+            ["analyze", str(hard), "--budget-states", "64", "--metrics"]
+        )
+        check(code == 2, f"budgeted analyze exited {code}, expected 2")
+        check(
+            "state budget exceeded" in err,
+            f"expected a budget refusal on stderr, got:\n{err}",
+        )
+        # stderr carries the error line followed by the JSON snapshot.
+        snapshot = json.loads(err.split("\n", 1)[1])
+        check("counters" in snapshot, "snapshot missing after refusal")
+
+    print("metrics-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_smoke())

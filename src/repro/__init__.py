@@ -23,6 +23,7 @@ Package map:
 * :mod:`repro.families`    — Theorem 8/9 worst-case families
 * :mod:`repro.corpus`      — the synthetic web-XSD study (Section 4.4)
 * :mod:`repro.paperdata`   — Figures 1-5 of the paper
+* :mod:`repro.observability` — metrics registry + resource budgets
 """
 
 from repro.bonxai import (
@@ -36,6 +37,7 @@ from repro.bonxai import (
     print_schema,
 )
 from repro.errors import (
+    BudgetExceeded,
     EDCViolation,
     NotDeterministicError,
     NotKSuffixError,
@@ -45,6 +47,11 @@ from repro.errors import (
     SchemaError,
     TranslationError,
     ValidationError,
+)
+from repro.observability import (
+    MetricsRegistry,
+    ResourceBudget,
+    default_registry,
 )
 from repro.translation import (
     bxsd_to_dfa_based,
@@ -84,9 +91,12 @@ __version__ = "1.0.0"
 __all__ = [
     "BXSD",
     "BonXaiSchema",
+    "BudgetExceeded",
     "ContentModel",
     "DFABasedXSD",
     "EDCViolation",
+    "MetricsRegistry",
+    "ResourceBudget",
     "NotDeterministicError",
     "NotKSuffixError",
     "ParseError",
@@ -104,6 +114,7 @@ __all__ = [
     "bxsd_to_schema",
     "bxsd_to_xsd",
     "compile_schema",
+    "default_registry",
     "detect_k_suffix",
     "dfa_based_to_bxsd",
     "dfa_based_to_xsd",

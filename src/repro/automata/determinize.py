@@ -8,20 +8,30 @@ automaton is required.
 from __future__ import annotations
 
 from repro.automata.dfa import DFA
+from repro.observability import default_registry, resolve_budget
 
 
-def determinize(nfa):
+def determinize(nfa, budget=None):
     """Determinize ``nfa`` by the subset construction.
+
+    Args:
+        nfa: the automaton to determinize.
+        budget: optional :class:`~repro.observability.ResourceBudget`
+            (falls back to the ambient one); each materialized subset is
+            charged, bounding the worst-case ``2^n`` explosion.
 
     Returns:
         A partial :class:`DFA` over frozenset-of-states subsets, renumbered
         to integers for compactness.
     """
+    budget = resolve_budget(budget)
     initial = nfa.initial
     subsets = {initial: 0}
     order = [initial]
     transitions = {}
     worklist = [initial]
+    if budget is not None:
+        budget.charge_states(1, where="automata.determinize")
     while worklist:
         subset = worklist.pop()
         source = subsets[subset]
@@ -35,7 +45,10 @@ def determinize(nfa):
                 subsets[target_subset] = target
                 order.append(target_subset)
                 worklist.append(target_subset)
+                if budget is not None:
+                    budget.charge_states(1, where="automata.determinize")
             transitions[(source, symbol)] = target
+    default_registry().counter("automata.determinize.states").inc(len(order))
     accepting = frozenset(
         subsets[subset] for subset in order if subset & nfa.accepting
     )

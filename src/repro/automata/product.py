@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from repro.automata.dfa import DFA
 from repro.errors import SchemaError
+from repro.observability import default_registry, resolve_budget
 
 
-def product_dfa(components, alphabet=None):
+def product_dfa(components, alphabet=None, budget=None):
     """The reachable synchronous product of complete DFAs.
 
     Args:
@@ -22,6 +23,10 @@ def product_dfa(components, alphabet=None):
             alphabet.
         alphabet: optional explicit alphabet (defaults to the union; all
             components must be complete over it).
+        budget: optional :class:`~repro.observability.ResourceBudget`
+            (falls back to the ambient one); every product state created
+            is charged, so the exponential blow-up of Lemma 6 trips
+            :class:`~repro.errors.BudgetExceeded` instead of running away.
 
     Returns:
         A pair ``(dfa, tuples)`` where ``dfa`` has integer states and
@@ -42,11 +47,14 @@ def product_dfa(components, alphabet=None):
                         f"product alphabet (missing {symbol!r})"
                     )
 
+    budget = resolve_budget(budget)
     initial = tuple(dfa.initial for dfa in components)
     ids = {initial: 0}
     tuples = [initial]
     transitions = {}
     worklist = [initial]
+    if budget is not None:
+        budget.charge_states(1, where="automata.product")
     while worklist:
         current = worklist.pop()
         source = ids[current]
@@ -61,7 +69,10 @@ def product_dfa(components, alphabet=None):
                 ids[target_tuple] = target
                 tuples.append(target_tuple)
                 worklist.append(target_tuple)
+                if budget is not None:
+                    budget.charge_states(1, where="automata.product")
             transitions[(source, symbol)] = target
+    default_registry().counter("automata.product.states").inc(len(tuples))
     dfa = DFA(
         states=frozenset(range(len(tuples))),
         alphabet=alphabet,
@@ -72,12 +83,14 @@ def product_dfa(components, alphabet=None):
     return dfa, tuples
 
 
-def pair_product(left, right, combine):
+def pair_product(left, right, combine, budget=None):
     """Binary product with acceptance decided by ``combine(in_l, in_r)``.
 
     Both inputs are completed over the union alphabet first, so set
-    difference and symmetric difference work as expected.
+    difference and symmetric difference work as expected.  State creation
+    is charged to the (explicit or ambient) resource budget.
     """
+    budget = resolve_budget(budget)
     alphabet = left.alphabet | right.alphabet
     left = DFA(
         left.states, alphabet, left.transitions, left.initial, left.accepting
@@ -91,6 +104,8 @@ def pair_product(left, right, combine):
     order = [initial]
     transitions = {}
     worklist = [initial]
+    if budget is not None:
+        budget.charge_states(1, where="automata.pair_product")
     while worklist:
         current = worklist.pop()
         source = ids[current]
@@ -105,7 +120,10 @@ def pair_product(left, right, combine):
                 ids[target_tuple] = target
                 order.append(target_tuple)
                 worklist.append(target_tuple)
+                if budget is not None:
+                    budget.charge_states(1, where="automata.pair_product")
             transitions[(source, symbol)] = target
+    default_registry().counter("automata.pair_product.states").inc(len(order))
     accepting = frozenset(
         ids[(l_state, r_state)]
         for (l_state, r_state) in order

@@ -13,11 +13,12 @@ order of increasing ``in-degree * out-degree`` weight, resplicing paths as
 
 from __future__ import annotations
 
+from repro.observability import default_registry, resolve_budget
 from repro.regex.ast import EMPTY, EPSILON, Regex, Symbol, concat, star, union
 from repro.regex.simplify import simplify as simplify_regex
 
 
-def dfa_to_regex(dfa, accepting=None, simplify=True):
+def dfa_to_regex(dfa, accepting=None, simplify=True, budget=None):
     """A regular expression for the language of ``dfa``.
 
     Args:
@@ -25,17 +26,24 @@ def dfa_to_regex(dfa, accepting=None, simplify=True):
         accepting: optional override of the accepting-state set; Algorithm 2
             calls this once per state ``q`` with ``accepting={q}``.
         simplify: run the algebraic simplifier on intermediate labels.
+        budget: optional :class:`~repro.observability.ResourceBudget`
+            (falls back to the ambient one); intermediate label sizes and
+            the wall clock are checked each elimination round, so the
+            Theorem-8 exponential blow-up is refused rather than endured.
 
     Returns:
         A :class:`~repro.regex.ast.Regex`; ``EMPTY`` for the empty language.
     """
     if accepting is None:
         accepting = dfa.accepting
-    return nfa_to_regex(dfa.to_nfa(), accepting=accepting, simplify=simplify)
+    return nfa_to_regex(
+        dfa.to_nfa(), accepting=accepting, simplify=simplify, budget=budget
+    )
 
 
-def nfa_to_regex(nfa, accepting=None, simplify=True):
+def nfa_to_regex(nfa, accepting=None, simplify=True, budget=None):
     """A regular expression for the language of ``nfa`` (state elimination)."""
+    budget = resolve_budget(budget)
     if accepting is None:
         accepting = nfa.accepting
     accepting = frozenset(accepting)
@@ -67,9 +75,13 @@ def nfa_to_regex(nfa, accepting=None, simplify=True):
         outgoing = sum(1 for (origin, target) in edges if origin == state)
         return incoming * outgoing
 
+    eliminated = 0
     while interior:
+        if budget is not None:
+            budget.check_time(where="automata.state_elimination")
         interior.sort(key=lambda state: (weight(state), repr(state)))
         victim = interior.pop(0)
+        eliminated += 1
         loop = edges.pop((victim, victim), None)
         loop_star = EPSILON if loop is None else star(loop)
         incoming = [
@@ -89,7 +101,16 @@ def nfa_to_regex(nfa, accepting=None, simplify=True):
         for origin, in_label in incoming:
             for target, out_label in outgoing:
                 label = reducer(concat(in_label, loop_star, out_label))
+                if budget is not None:
+                    budget.charge_regex(
+                        label.size, where="automata.state_elimination"
+                    )
                 add_edge(origin, target, label)
 
-    result = edges.get((source, sink), EMPTY)
-    return reducer(result)
+    result = reducer(edges.get((source, sink), EMPTY))
+    registry = default_registry()
+    registry.counter("automata.state_elimination.eliminated").inc(eliminated)
+    registry.histogram("automata.state_elimination.regex_size").observe(
+        result.size
+    )
+    return result

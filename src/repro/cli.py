@@ -10,6 +10,17 @@ Subcommands::
     bonxai analyze   <schema>               k-suffix analysis + lint
     bonxai study     [--size N] [--seed S]  run the synthetic corpus study
 
+Every subcommand also accepts the observability flags::
+
+    --metrics                dump a JSON metrics snapshot to stderr on exit
+    --budget-states N        cap automaton states created by translations
+    --budget-seconds S       wall-clock deadline for the command's
+                             constructions
+
+Budget violations surface as ``error: ...`` with exit status 2 (the
+schema was refused, not proven invalid); the metrics snapshot is still
+emitted.
+
 Exit status: 0 on success/valid, 1 on invalid documents or diagnostics,
 2 on usage errors.
 """
@@ -47,7 +58,20 @@ def main(argv=None):
     if args.command is None:
         parser.print_help()
         return 2
+    budget = None
+    if getattr(args, "budget_states", None) is not None or getattr(
+        args, "budget_seconds", None
+    ) is not None:
+        from repro.observability import ResourceBudget
+
+        budget = ResourceBudget(
+            max_states=args.budget_states,
+            max_seconds=args.budget_seconds,
+        )
     try:
+        if budget is not None:
+            with budget:
+                return args.handler(args)
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -55,6 +79,23 @@ def main(argv=None):
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if getattr(args, "metrics", False):
+            from repro.observability import default_registry
+
+            print(default_registry().to_json(), file=sys.stderr)
+
+
+def _positive(cast):
+    def convert(text):
+        value = cast(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive {cast.__name__}: {text!r}"
+            )
+        return value
+
+    return convert
 
 
 def _build_parser():
@@ -64,8 +105,32 @@ def _build_parser():
     )
     subparsers = parser.add_subparsers(dest="command")
 
+    # Observability flags shared by every subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--metrics",
+        action="store_true",
+        help="dump a JSON metrics snapshot to stderr after the command",
+    )
+    common.add_argument(
+        "--budget-states",
+        type=_positive(int),
+        default=None,
+        metavar="N",
+        help="refuse translations that create more than N automaton states",
+    )
+    common.add_argument(
+        "--budget-seconds",
+        type=_positive(float),
+        default=None,
+        metavar="S",
+        help="wall-clock deadline for the command's constructions",
+    )
+
     validate = subparsers.add_parser(
-        "validate", help="validate an XML document against a schema"
+        "validate",
+        help="validate an XML document against a schema",
+        parents=[common],
     )
     validate.add_argument("schema")
     validate.add_argument("document")
@@ -80,14 +145,18 @@ def _build_parser():
     validate.set_defaults(handler=_cmd_validate)
 
     highlight = subparsers.add_parser(
-        "highlight", help="show the matching rule for every element"
+        "highlight",
+        help="show the matching rule for every element",
+        parents=[common],
     )
     highlight.add_argument("schema")
     highlight.add_argument("document")
     highlight.set_defaults(handler=_cmd_highlight)
 
     convert = subparsers.add_parser(
-        "convert", help="convert between BonXai and XML Schema"
+        "convert",
+        help="convert between BonXai and XML Schema",
+        parents=[common],
     )
     convert.add_argument("input")
     convert.add_argument("-o", "--output", default=None)
@@ -100,14 +169,18 @@ def _build_parser():
     convert.set_defaults(handler=_cmd_convert)
 
     analyze = subparsers.add_parser(
-        "analyze", help="k-suffix analysis and schema lint"
+        "analyze",
+        help="k-suffix analysis and schema lint",
+        parents=[common],
     )
     analyze.add_argument("schema")
     analyze.add_argument("--max-k", type=int, default=6)
     analyze.set_defaults(handler=_cmd_analyze)
 
     study = subparsers.add_parser(
-        "study", help="run the synthetic web-XSD k-locality study"
+        "study",
+        help="run the synthetic web-XSD k-locality study",
+        parents=[common],
     )
     study.add_argument("--size", type=int, default=225)
     study.add_argument("--seed", type=int, default=2015)

@@ -15,6 +15,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.engine.cache import compile_cached
 from repro.engine.compiler import CompiledSchema
 from repro.engine.streaming import StreamingValidator, as_events
+from repro.observability import default_registry
 
 
 def validate_many(schema, sources, engine="streaming", workers=None,
@@ -38,6 +39,9 @@ def validate_many(schema, sources, engine="streaming", workers=None,
         input order.
     """
     sources = list(sources)
+    registry = default_registry()
+    registry.counter("engine.batch.calls").inc()
+    registry.counter("engine.batch.docs").inc(len(sources))
     if engine == "streaming":
         if isinstance(schema, CompiledSchema):
             compiled = schema

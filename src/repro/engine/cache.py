@@ -8,15 +8,27 @@ exactly once, while bounding memory under schema churn.
 The key is a structural fingerprint — a SHA-256 over a canonical
 serialization of the formal XSD — rather than object identity, so two
 independently parsed copies of the same ``.xsd`` share one compiled form.
+
+Cache behaviour is observable: every :class:`SchemaCache` owns thread-safe
+hit/miss/eviction counters and a compile-time histogram, and mirrors them
+into a :class:`~repro.observability.MetricsRegistry` (the process default
+unless one is injected) under ``engine.cache.*``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 
 from repro.engine.compiler import compile_xsd
+from repro.observability import Counter, Histogram, resolve_registry
+
+
+def _join(parts):
+    """Length-prefixed join: unambiguous even when names contain ','."""
+    return ",".join(f"{len(part)}:{part}" for part in parts)
 
 
 def schema_fingerprint(xsd):
@@ -25,7 +37,10 @@ def schema_fingerprint(xsd):
     Two XSDs get the same fingerprint iff they have the same element
     names, types, start elements, and per-type content models (regex
     shape, mixedness, attribute uses).  Regexes serialize via their
-    canonical printer, so structurally equal models agree.
+    canonical printer, so structurally equal models agree.  Attribute
+    uses hash in name order (declaration order is not structural — the
+    validators treat attribute tuples as sets), and every joined name
+    list is length-prefixed so names containing ``,`` cannot collide.
     """
     hasher = hashlib.sha256()
 
@@ -33,15 +48,18 @@ def schema_fingerprint(xsd):
         hasher.update(part.encode("utf-8"))
         hasher.update(b"\x00")
 
-    feed("ename:" + ",".join(sorted(xsd.ename)))
-    feed("start:" + ",".join(sorted(str(typed) for typed in xsd.start)))
+    feed("ename:" + _join(sorted(xsd.ename)))
+    feed("start:" + _join(sorted(str(typed) for typed in xsd.start)))
     for type_name in sorted(xsd.rho):
         model = xsd.rho[type_name]
-        feed(f"type:{type_name}")
+        feed(f"type:{len(type_name)}:{type_name}")
         feed(f"regex:{model.regex}")
         feed(f"mixed:{model.mixed}")
-        for use in model.attributes:
-            feed(f"attr:{use.name}:{use.required}:{use.type_name}")
+        for use in sorted(model.attributes, key=lambda use: use.name):
+            feed(
+                f"attr:{len(use.name)}:{use.name}:{use.required}:"
+                f"{use.type_name}"
+            )
     return hasher.hexdigest()
 
 
@@ -50,41 +68,79 @@ class SchemaCache:
 
     Attributes:
         maxsize: maximum number of compiled schemas retained.
-        hits / misses: monotonically increasing counters (observability).
+
+    ``hits`` / ``misses`` / ``evictions`` are per-instance thread-safe
+    counters (plain ints before the observability layer existed); the
+    ``compile_ns`` histogram records per-compilation wall time.  All four
+    also feed the shared registry's ``engine.cache.*`` metrics.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_entries", "_lock")
+    __slots__ = ("maxsize", "_hits", "_misses", "_evictions", "_compile_ns",
+                 "_registry", "_entries", "_lock")
 
-    def __init__(self, maxsize=64):
+    def __init__(self, maxsize=64, registry=None):
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
+        self._hits = Counter("hits")
+        self._misses = Counter("misses")
+        self._evictions = Counter("evictions")
+        self._compile_ns = Histogram("compile_ns")
+        self._registry = resolve_registry(registry)
         self._entries = OrderedDict()
         self._lock = threading.Lock()
+
+    @property
+    def hits(self):
+        return self._hits.value
+
+    @property
+    def misses(self):
+        return self._misses.value
+
+    @property
+    def evictions(self):
+        return self._evictions.value
+
+    @property
+    def compile_ns(self):
+        """Snapshot of the per-compilation wall-time histogram (ns)."""
+        return self._compile_ns.snapshot()
 
     def __len__(self):
         return len(self._entries)
 
     def get(self, xsd):
         """The :class:`CompiledSchema` for ``xsd``, compiling on miss."""
+        registry = self._registry
         fingerprint = schema_fingerprint(xsd)
         with self._lock:
             compiled = self._entries.get(fingerprint)
             if compiled is not None:
                 self._entries.move_to_end(fingerprint)
-                self.hits += 1
+                self._hits.inc()
+                registry.counter("engine.cache.hits").inc()
                 return compiled
-            self.misses += 1
+            self._misses.inc()
+            registry.counter("engine.cache.misses").inc()
         # Compile outside the lock: compilation can be slow and is
         # idempotent — a racing duplicate is harmless and rare.
+        started = time.perf_counter_ns()
         compiled = compile_xsd(xsd, fingerprint=fingerprint)
+        elapsed = time.perf_counter_ns() - started
+        self._compile_ns.observe(elapsed)
+        registry.histogram("engine.cache.compile_ns").observe(elapsed)
+        evicted = 0
         with self._lock:
             self._entries[fingerprint] = compiled
             self._entries.move_to_end(fingerprint)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                evicted += 1
+            self._registry.gauge("engine.cache.size").set(len(self._entries))
+        if evicted:
+            self._evictions.inc(evicted)
+            registry.counter("engine.cache.evictions").inc(evicted)
         return compiled
 
     def clear(self):

@@ -22,7 +22,10 @@ threads; :mod:`repro.engine.cache` memoizes it per schema fingerprint and
 
 from __future__ import annotations
 
+import time
+
 from repro.automata.minimize import minimize
+from repro.observability import default_registry
 from repro.regex.derivatives import to_dfa
 from repro.xsd.typednames import split_typed_name
 
@@ -80,7 +83,11 @@ def compile_regex(regex, alphabet=None):
     if alphabet is None:
         alphabet = regex.symbols()
     symbols = tuple(sorted(alphabet))
+    started = time.perf_counter_ns()
     dfa = minimize(to_dfa(regex, alphabet=symbols))
+    default_registry().histogram("engine.compile.minimize_ns").observe(
+        time.perf_counter_ns() - started
+    )
     # Stable BFS renumbering from the initial state, in symbol order.
     index = {dfa.initial: 0}
     order = [dfa.initial]
@@ -201,6 +208,8 @@ def compile_xsd(xsd, fingerprint=None):
     The schema is assumed well-formed (Definition 2: EDC + UPA); ``XSD``
     enforces both at construction time.
     """
+    registry = default_registry()
+    dfa_sizes = registry.histogram("engine.compile.dfa_states")
     type_names = tuple(sorted(xsd.types))
     type_ids = {name: i for i, name in enumerate(type_names)}
     attr_ids = {}
@@ -209,6 +218,7 @@ def compile_xsd(xsd, fingerprint=None):
         model = xsd.rho[name]
         erased = model.map_symbols(lambda s: split_typed_name(s)[0])
         dfa = compile_regex(erased.regex)
+        dfa_sizes.observe(len(dfa))
         children = {}
         for symbol in model.element_names():
             element_name, target_type = split_typed_name(symbol)
@@ -232,6 +242,8 @@ def compile_xsd(xsd, fingerprint=None):
                 declared_mask=declared_mask,
             )
         )
+    registry.counter("engine.compile.schemas").inc()
+    registry.counter("engine.compile.types").inc(len(types))
     start = {}
     for typed in xsd.start:
         element_name, target_type = split_typed_name(typed)

@@ -24,7 +24,10 @@ O(document).
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.compiler import CompiledSchema
+from repro.observability import default_registry
 from repro.xsd.validator import XSDValidationReport
 
 
@@ -43,8 +46,28 @@ class StreamingValidator:
         """Consume an event iterable; return an XSDValidationReport.
 
         Stops consuming as soon as the outcome is decided (undeclared
-        root), mirroring the tree validator's early return.
+        root), mirroring the tree validator's early return.  After the
+        root element closes, the remainder of the stream is drained and
+        any further element event is reported as a violation — a
+        malformed stream carrying a second root must not validate clean,
+        matching what the tree parser would reject outright.
         """
+        registry = default_registry()
+        started = time.perf_counter_ns()
+        report, consumed = self._run(events)
+        registry.counter("engine.stream.events").inc(consumed)
+        registry.counter("engine.stream.docs").inc()
+        if report.violations:
+            registry.counter("engine.stream.violations").inc(
+                len(report.violations)
+            )
+        registry.histogram("engine.stream.doc_ns").observe(
+            time.perf_counter_ns() - started
+        )
+        return report
+
+    def _run(self, events):
+        """The validation loop; returns ``(report, events_consumed)``."""
         schema = self.schema
         types = schema.types
         report = XSDValidationReport()
@@ -55,7 +78,10 @@ class StreamingValidator:
         #  recognized, has_text, ordinals]
         stack = []
         skip_depth = 0
+        root_closed = False
+        consumed = 0
         for event in events:
+            consumed += 1
             kind = event[0]
             if skip_depth:
                 if kind == "start":
@@ -65,6 +91,13 @@ class StreamingValidator:
                 continue
             if kind == "start":
                 name = event[1]
+                if root_closed:
+                    violations.append(
+                        f"/{name}: document has more than one root element "
+                        f"(<{name}> follows the closed root)"
+                    )
+                    skip_depth = 1
+                    continue
                 if stack:
                     frame = stack[-1]
                     frame[5].append(name)
@@ -91,7 +124,7 @@ class StreamingValidator:
                             f"root element <{name}> is not declared "
                             f"(allowed: {list(schema.start_names)})"
                         )
-                        return report
+                        return report, consumed
                     path = "/" + name
                     typed_path = f"/{name}[1]"
                 typing[typed_path] = types[type_id].name
@@ -115,11 +148,13 @@ class StreamingValidator:
                         f"(type {compiled.name}) may not contain text"
                     )
                 if not stack:
-                    return report
+                    # Keep draining: trailing element events (a second
+                    # root) must surface as violations, not be ignored.
+                    root_closed = True
             else:  # text
                 if stack and event[1].strip():
                     stack[-1][7] = True
-        return report
+        return report, consumed
 
     def _check_attributes(self, frame, attributes, violations):
         compiled = self.schema.types[frame[0]]

@@ -82,3 +82,23 @@ class TranslationError(ReproError):
 
 class NotKSuffixError(TranslationError):
     """A schema is not k-suffix for the requested (or any) k."""
+
+
+class BudgetExceeded(TranslationError):
+    """A construction ran past its :class:`~repro.observability.ResourceBudget`.
+
+    The exponential arrows of the translation square (Theorems 8/9 prove
+    the blow-up unavoidable) can exceed any practical limit on adversarial
+    input; a serving process must refuse such schemas promptly rather than
+    hang.  ``stats`` carries the partial progress at the point of refusal
+    (states created, elapsed seconds, the limit that tripped, and the
+    construction site).
+
+    Attributes:
+        stats: dict of partial-progress figures, e.g. ``states_created``,
+            ``elapsed_seconds``, ``limit``, ``where``.
+    """
+
+    def __init__(self, message, stats=None):
+        self.stats = dict(stats or {})
+        super().__init__(message)

@@ -1,0 +1,42 @@
+"""Observability: metrics and resource budgets for the serving stack.
+
+Two orthogonal facilities, both dependency-free and thread-safe:
+
+* :mod:`repro.observability.metrics` — counters, gauges, histograms with
+  ns-resolution timers, collected in a :class:`MetricsRegistry` that
+  snapshots to dict/JSON.  The engine, translation square, CLI
+  (``--metrics``), and benchmark harness all publish here.
+* :mod:`repro.observability.budget` — :class:`ResourceBudget` caps
+  wall-clock time, automaton states, and intermediate regex size in the
+  provably-exponential constructions, raising
+  :class:`~repro.errors.BudgetExceeded` with partial-progress stats
+  instead of hanging (Theorems 8/9 guarantee adversarial inputs exist).
+"""
+
+from repro.errors import BudgetExceeded
+from repro.observability.budget import (
+    ResourceBudget,
+    current_budget,
+    resolve_budget,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    resolve_registry,
+)
+
+__all__ = [
+    "BudgetExceeded",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ResourceBudget",
+    "current_budget",
+    "default_registry",
+    "resolve_budget",
+    "resolve_registry",
+]

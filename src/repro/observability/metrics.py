@@ -1,0 +1,246 @@
+"""A dependency-free, thread-safe metrics registry.
+
+Serving the validator under heavy traffic needs visibility into the hot
+paths (cache behaviour, DFA sizes, per-document latency) without pulling
+in a metrics client.  This module provides the three standard instrument
+kinds — :class:`Counter`, :class:`Gauge`, :class:`Histogram` — owned by a
+:class:`MetricsRegistry` that snapshots to a plain dict (and from there to
+JSON).  Timers use ``time.perf_counter_ns`` so latency histograms keep
+nanosecond resolution.
+
+Design constraints:
+
+* **Thread safety.**  Every instrument guards its state with one lock;
+  hot loops should aggregate locally and publish once per unit of work
+  (the streaming validator counts events per document, not per event).
+* **Stable names.**  Instruments are keyed by dotted names
+  (``engine.cache.hits``); asking the registry for an existing name
+  returns the existing instrument, so modules never need to coordinate
+  creation order.
+* **No global coupling.**  Instrumented code resolves its registry through
+  :func:`default_registry` but accepts an explicit one, so tests can use a
+  private registry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name=""):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self):
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (pool sizes, cache occupancy)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name=""):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def set(self, value):
+        with self._lock:
+            self._value = value
+
+    def add(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self):
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max + buckets.
+
+    Buckets are powers of two over the observed value (dense enough for
+    both DFA state counts and nanosecond latencies without configuration);
+    ``snapshot`` reports them as ``{"<=2^k": count}`` plus the scalar
+    summary, from which mean and rough percentiles can be derived.
+    """
+
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_buckets",
+                 "_lock")
+
+    def __init__(self, name=""):
+        self.name = name
+        self._count = 0
+        self._total = 0
+        self._min = None
+        self._max = None
+        self._buckets = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        bucket = max(0, (int(value) - 1).bit_length()) if value > 0 else 0
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    def time(self):
+        """Context manager observing the elapsed wall time in nanoseconds."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self):
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self):
+        with self._lock:
+            return self._total
+
+    def snapshot(self):
+        with self._lock:
+            mean = self._total / self._count if self._count else 0
+            return {
+                "count": self._count,
+                "total": self._total,
+                "min": self._min,
+                "max": self._max,
+                "mean": mean,
+                "buckets": {
+                    f"<=2^{exponent}": hits
+                    for exponent, hits in sorted(self._buckets.items())
+                },
+            }
+
+    def __repr__(self):
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class _HistogramTimer:
+    """``with histogram.time():`` — records elapsed nanoseconds."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram):
+        self._histogram = histogram
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._histogram.observe(time.perf_counter_ns() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """A named collection of instruments, snapshot-able as one document.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call with a name creates the instrument, later calls return it.  A
+    name may only ever denote one instrument kind.
+    """
+
+    def __init__(self):
+        self._instruments = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory(name)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, factory):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {factory.__name__}"
+                )
+            return instrument
+
+    def counter(self, name):
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        return self._get(name, Gauge)
+
+    def histogram(self, name):
+        return self._get(name, Histogram)
+
+    def timer(self, name):
+        """Alias: a context manager timing into histogram ``name``."""
+        return self.histogram(name).time()
+
+    def snapshot(self):
+        """A plain-dict view: {kind: {name: value-or-summary}}."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        kinds = {Counter: "counters", Gauge: "gauges", Histogram: "histograms"}
+        result = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            result[kinds[type(instrument)]][name] = instrument.snapshot()
+        return result
+
+    def to_json(self, indent=2):
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self):
+        """Drop every instrument (tests; metric objects held by callers
+        keep counting but are no longer reported)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._instruments)
+
+
+_default = MetricsRegistry()
+
+
+def default_registry():
+    """The process-wide registry used by the engine, CLI, and benchmarks."""
+    return _default
+
+
+def resolve_registry(registry=None):
+    """``registry`` if given, else the process-wide default."""
+    return registry if registry is not None else _default

@@ -5,7 +5,7 @@ The grammar (loosest-binding first)::
     union       ::= interleave ('|' interleave)*
     interleave  ::= concat ('&' concat)*
     concat      ::= postfix ((',' | ' ') postfix)*
-    postfix     ::= atom ('*' | '+' | '?' | '{' n ',' (m | '*') '}')*
+    postfix     ::= atom ('*' | '+' | '?' | '{' n (',' (m | '*')?)? '}')*
     atom        ::= name | '#eps' | '#empty' | '(' union ')'
 
 Names are XML name tokens, optionally prefixed with ``@`` (attribute names
@@ -189,17 +189,22 @@ def _parse_counter(tokenizer, node):
     high = low
     if tokenizer.peek()[0] == ",":
         tokenizer.next()
-        high_token = tokenizer.next()
-        if high_token[0] == "*":
+        if tokenizer.peek()[0] == "}":
+            # Standard spelling `{n,}` — synonym for `{n,*}` (the printer
+            # stays canonical and always emits the `*` form).
             high = UNBOUNDED
-        elif high_token[0] == "name" and high_token[1].isdigit():
-            high = int(high_token[1])
         else:
-            raise ParseError(
-                f"counter upper bound must be a number or '*', got "
-                f"{high_token[1]!r}",
-                column=high_token[2] + 1,
-            )
+            high_token = tokenizer.next()
+            if high_token[0] == "*":
+                high = UNBOUNDED
+            elif high_token[0] == "name" and high_token[1].isdigit():
+                high = int(high_token[1])
+            else:
+                raise ParseError(
+                    f"counter upper bound must be a number or '*', got "
+                    f"{high_token[1]!r}",
+                    column=high_token[2] + 1,
+                )
     tokenizer.expect("}")
     return counter(node, low, high)
 

@@ -20,6 +20,7 @@ is unavoidable in the worst case.
 from __future__ import annotations
 
 from repro.automata.minimize import minimal_complete_dfa_for_regex
+from repro.observability import default_registry, resolve_budget
 from repro.xsd.content import ContentModel
 from repro.xsd.dfa_based import DFABasedXSD
 from repro.regex.ast import universal
@@ -27,7 +28,7 @@ from repro.regex.ast import universal
 INITIAL_STATE = "__q0__"
 
 
-def bxsd_to_dfa_based(schema, full_product=False):
+def bxsd_to_dfa_based(schema, full_product=False, budget=None):
     """Translate a :class:`~repro.bonxai.bxsd.BXSD` (Algorithm 3).
 
     Args:
@@ -35,10 +36,16 @@ def bxsd_to_dfa_based(schema, full_product=False):
         full_product: explore the entire product state space as in the
             textbook formulation (benchmark ablation); by default only
             usefully-reachable states are built.
+        budget: optional :class:`~repro.observability.ResourceBudget`
+            (falls back to the ambient one); every interned product state
+            is charged, so the Theorem-9 ``B_n`` blow-up (``2^n`` product
+            states) raises :class:`~repro.errors.BudgetExceeded` promptly
+            instead of exhausting memory.
 
     Returns:
         An equivalent :class:`~repro.xsd.dfa_based.DFABasedXSD`.
     """
+    budget = resolve_budget(budget)
     alphabet = frozenset(schema.ename)
     # Line 2: A_i := minimal complete DFA for L(r_i).
     components = [
@@ -74,6 +81,8 @@ def bxsd_to_dfa_based(schema, full_product=False):
     def intern(state_tuple):
         identifier = ids.get(state_tuple)
         if identifier is None:
+            if budget is not None:
+                budget.charge_states(1, where="translation.algorithm3")
             identifier = f"P{len(order)}"
             ids[state_tuple] = identifier
             order.append(state_tuple)
@@ -110,6 +119,9 @@ def bxsd_to_dfa_based(schema, full_product=False):
         # Lemma 6 counts.
         pass
 
+    default_registry().counter("translation.algorithm3.states").inc(
+        len(order) + 1
+    )
     return DFABasedXSD(
         states=frozenset(assign) | {initial},
         alphabet=alphabet,

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 from repro.automata.state_elimination import dfa_to_regex
 from repro.bonxai.bxsd import BXSD, Rule
+from repro.observability import default_registry, resolve_budget
 
 
-def dfa_based_to_bxsd(schema, simplify=True, trim=True):
+def dfa_based_to_bxsd(schema, simplify=True, trim=True, budget=None):
     """Translate a :class:`~repro.xsd.dfa_based.DFABasedXSD` (Algorithm 2).
 
     Args:
@@ -29,10 +30,15 @@ def dfa_based_to_bxsd(schema, simplify=True, trim=True):
             (ablation knob for the benchmarks).
         trim: restrict to usefully-reachable states first (rules for
             unreachable states would be dead weight).
+        budget: optional :class:`~repro.observability.ResourceBudget`
+            (falls back to the ambient one); bounds the per-rule state
+            eliminations, whose output is exponential on the Theorem-8
+            families.
 
     Returns:
         An equivalent :class:`~repro.bonxai.bxsd.BXSD`.
     """
+    budget = resolve_budget(budget)
     if trim:
         # Pruning also removes transitions that no conforming document can
         # take (names outside the source state's content model), keeping
@@ -44,12 +50,15 @@ def dfa_based_to_bxsd(schema, simplify=True, trim=True):
     for state in sorted(schema.states, key=repr):
         if state == schema.initial:
             continue
+        if budget is not None:
+            budget.check_time(where="translation.algorithm2")
         # Line 2: r_q := a regular expression for (Q, EName, delta, q0, {q}).
         pattern = dfa_to_regex(
-            ancestor_dfa, accepting={state}, simplify=simplify
+            ancestor_dfa, accepting={state}, simplify=simplify, budget=budget
         )
         # Line 3: s_q := lambda(q), untouched.
         rules.append(Rule(pattern, schema.assign[state]))
+    default_registry().counter("translation.algorithm2.rules").inc(len(rules))
     return BXSD(
         ename=schema.alphabet,
         start=schema.start,

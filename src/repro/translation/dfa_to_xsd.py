@@ -9,11 +9,12 @@ expressions are never rebuilt, so UPA is preserved; EDC holds because
 
 from __future__ import annotations
 
+from repro.observability import default_registry, resolve_budget
 from repro.xsd.model import XSD
 from repro.xsd.typednames import TypedName
 
 
-def dfa_based_to_xsd(schema, type_namer=None, trim=True):
+def dfa_based_to_xsd(schema, type_namer=None, trim=True, budget=None):
     """Translate a :class:`~repro.xsd.dfa_based.DFABasedXSD` (Algorithm 4).
 
     Args:
@@ -21,15 +22,24 @@ def dfa_based_to_xsd(schema, type_namer=None, trim=True):
         type_namer: optional function mapping each non-initial state to a
             type-name string; defaults to ``T0, T1, ...`` in a stable order.
         trim: restrict to usefully-reachable states first.
+        budget: optional :class:`~repro.observability.ResourceBudget`
+            (falls back to the ambient one); linear arrow, charged once
+            for the whole type set.
 
     Returns:
         An equivalent formal :class:`~repro.xsd.model.XSD`.
     """
+    budget = resolve_budget(budget)
     if trim:
         schema = schema.trimmed()
     states = sorted(
         (state for state in schema.states if state != schema.initial),
         key=repr,
+    )
+    if budget is not None and states:
+        budget.charge_states(len(states), where="translation.algorithm4")
+    default_registry().counter("translation.algorithm4.types").inc(
+        len(states)
     )
     if type_namer is None:
         names = {state: f"T{index}" for index, state in enumerate(states)}

@@ -17,7 +17,8 @@ from repro.translation.dfa_to_xsd import dfa_based_to_xsd
 from repro.translation.xsd_to_dfa import xsd_to_dfa_based
 
 
-def xsd_to_bxsd(xsd, simplify=True, prefer_ksuffix=False, max_k=3):
+def xsd_to_bxsd(xsd, simplify=True, prefer_ksuffix=False, max_k=3,
+                budget=None):
     """Translate a formal XSD into an equivalent BXSD.
 
     Args:
@@ -26,8 +27,10 @@ def xsd_to_bxsd(xsd, simplify=True, prefer_ksuffix=False, max_k=3):
         prefer_ksuffix: when the schema is k-suffix for some ``k <= max_k``,
             use the polynomial Theorem-13 construction.
         max_k: largest ``k`` tried by the detector.
+        budget: optional :class:`~repro.observability.ResourceBudget`
+            covering both arrows (falls back to the ambient one).
     """
-    schema = xsd_to_dfa_based(xsd)
+    schema = xsd_to_dfa_based(xsd, budget=budget)
     if prefer_ksuffix:
         from repro.translation.ksuffix import (
             detect_k_suffix,
@@ -37,10 +40,10 @@ def xsd_to_bxsd(xsd, simplify=True, prefer_ksuffix=False, max_k=3):
         k = detect_k_suffix(schema, max_k=max_k)
         if k is not None:
             return ksuffix_dfa_based_to_bxsd(schema, k)
-    return dfa_based_to_bxsd(schema, simplify=simplify)
+    return dfa_based_to_bxsd(schema, simplify=simplify, budget=budget)
 
 
-def bxsd_to_xsd(bxsd, prefer_ksuffix=False, max_k=3):
+def bxsd_to_xsd(bxsd, prefer_ksuffix=False, max_k=3, budget=None):
     """Translate a BXSD into an equivalent formal XSD.
 
     Args:
@@ -49,6 +52,10 @@ def bxsd_to_xsd(bxsd, prefer_ksuffix=False, max_k=3):
             ``k <= max_k``, use the linear Theorem-12 (Aho-Corasick)
             construction.
         max_k: largest ``k`` accepted by the fragment detector.
+        budget: optional :class:`~repro.observability.ResourceBudget`
+            covering both arrows (falls back to the ambient one); on
+            adversarial input (Theorem 9's ``B_n``) the product arrow
+            raises :class:`~repro.errors.BudgetExceeded` promptly.
     """
     if prefer_ksuffix:
         from repro.translation.ksuffix import (
@@ -58,5 +65,9 @@ def bxsd_to_xsd(bxsd, prefer_ksuffix=False, max_k=3):
 
         k = bxsd_suffix_width(bxsd)
         if k is not None and k <= max_k:
-            return dfa_based_to_xsd(ksuffix_bxsd_to_dfa_based(bxsd))
-    return dfa_based_to_xsd(bxsd_to_dfa_based(bxsd))
+            return dfa_based_to_xsd(
+                ksuffix_bxsd_to_dfa_based(bxsd), budget=budget
+            )
+    return dfa_based_to_xsd(
+        bxsd_to_dfa_based(bxsd, budget=budget), budget=budget
+    )

@@ -1,5 +1,7 @@
 """Integration tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -162,6 +164,49 @@ class TestStudy:
         assert main(["study", "--size", "20", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "within 3-suffix" in out
+
+
+class TestObservabilityFlags:
+    def test_metrics_dumps_json_snapshot_to_stderr(self, files, capsys):
+        assert main(["validate", files["fig3.xsd"], files["fig1.xml"],
+                     "--engine", "streaming", "--metrics"]) == 0
+        out, err = capsys.readouterr()
+        assert "VALID" in out
+        snapshot = json.loads(err)
+        cache = snapshot["counters"]
+        assert cache["engine.cache.hits"] + cache["engine.cache.misses"] > 0
+        assert snapshot["histograms"]["engine.compile.dfa_states"]["count"] > 0
+        assert cache["engine.stream.docs"] >= 1
+
+    def test_metrics_emitted_even_on_invalid_document(self, files,
+                                                      tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<document><content/></document>")
+        assert main(["validate", files["fig5.bonxai"], str(bad),
+                     "--metrics"]) == 1
+        _, err = capsys.readouterr()
+        json.loads(err)  # still a well-formed snapshot
+
+    def test_state_budget_refuses_theorem9_blowup(self, tmp_path, capsys):
+        from repro.bonxai import bxsd_to_schema, print_schema
+        from repro.families import theorem9_bxsd
+
+        schema = tmp_path / "t9.bonxai"
+        schema.write_text(print_schema(bxsd_to_schema(theorem9_bxsd(8))))
+        assert main(["analyze", str(schema), "--budget-states", "64"]) == 2
+        _, err = capsys.readouterr()
+        assert "budget exceeded" in err
+
+    def test_generous_budget_lets_small_schemas_through(self, files,
+                                                        capsys):
+        assert main(["convert", files["fig5.bonxai"],
+                     "--budget-states", "100000",
+                     "--budget-seconds", "60"]) == 0
+        assert "<xs:schema" in capsys.readouterr().out
+
+    def test_budget_flags_reject_nonpositive(self, files, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", files["fig5.bonxai"], "--budget-states", "0"])
 
 
 class TestUsage:

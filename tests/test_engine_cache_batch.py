@@ -61,6 +61,57 @@ class TestSchemaCache:
             SchemaCache(maxsize=0)
 
 
+class TestFingerprintCanonicalization:
+    """Regression tests: the fingerprint is structural, not incidental."""
+
+    @staticmethod
+    def _with_attributes(attributes):
+        from repro.regex.ast import star, sym
+        from repro.xsd.content import ContentModel
+        from repro.xsd.model import XSD
+        from repro.xsd.typednames import TypedName
+
+        return XSD(
+            ename={"r"},
+            types={"T"},
+            rho={
+                "T": ContentModel(
+                    star(sym(TypedName("r", "T"))), attributes=attributes
+                )
+            },
+            start={TypedName("r", "T")},
+        )
+
+    def test_attribute_declaration_order_is_ignored(self):
+        from repro.xsd.content import AttributeUse
+
+        forward = self._with_attributes(
+            (AttributeUse("x"), AttributeUse("y", required=False))
+        )
+        reversed_ = self._with_attributes(
+            (AttributeUse("y", required=False), AttributeUse("x"))
+        )
+        assert schema_fingerprint(forward) == schema_fingerprint(reversed_)
+
+    def test_attribute_structure_still_distinguishes(self):
+        from repro.xsd.content import AttributeUse
+
+        required = self._with_attributes((AttributeUse("x"),))
+        optional = self._with_attributes((AttributeUse("x", required=False),))
+        assert schema_fingerprint(required) != schema_fingerprint(optional)
+
+    def test_comma_in_names_cannot_collide(self):
+        # Joining {"a,b"} and {"a", "b"} with a bare comma collides; the
+        # length-prefixed encoding must not.  The formal XSD class never
+        # sees such names in practice, so fingerprint the duck-typed shape
+        # directly.
+        from types import SimpleNamespace
+
+        merged = SimpleNamespace(ename={"a,b"}, start=set(), rho={})
+        split = SimpleNamespace(ename={"a", "b"}, start=set(), rho={})
+        assert schema_fingerprint(merged) != schema_fingerprint(split)
+
+
 class TestValidateMany:
     def test_mixed_sources_serial(self, xsd):
         document = parse_document(FIGURE1_XML)

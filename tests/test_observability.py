@@ -1,0 +1,258 @@
+"""Unit tests for the observability layer: metrics registry + budgets."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import BudgetExceeded, TranslationError
+from repro.families.theorem9 import theorem9_bxsd
+from repro.observability import (
+    MetricsRegistry,
+    ResourceBudget,
+    current_budget,
+    default_registry,
+    resolve_budget,
+    resolve_registry,
+)
+from repro.translation.pipeline import bxsd_to_xsd
+
+
+class TestRegistry:
+    def test_counter_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("test.hits")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for __ in range(10_000)]
+            )
+            for __ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+    def test_histogram_concurrent_observes_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("test.latency")
+        threads = [
+            threading.Thread(
+                target=lambda: [histogram.observe(3) for __ in range(5_000)]
+            )
+            for __ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 20_000
+        assert snapshot["total"] == 60_000
+        assert snapshot["min"] == snapshot["max"] == 3
+        assert snapshot["mean"] == 3
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("pool")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+    def test_histogram_buckets_are_powers_of_two(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (1, 2, 3, 4, 1000):
+            histogram.observe(value)
+        buckets = histogram.snapshot()["buckets"]
+        assert buckets["<=2^0"] == 1  # 1
+        assert buckets["<=2^1"] == 1  # 2
+        assert buckets["<=2^2"] == 2  # 3, 4
+        assert buckets["<=2^10"] == 1  # 1000
+
+    def test_timer_records_nanoseconds(self):
+        registry = MetricsRegistry()
+        with registry.timer("t.ns"):
+            pass
+        snapshot = registry.histogram("t.ns").snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["min"] > 0  # perf_counter_ns always advances
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(10)
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["c"] == 7
+        assert parsed["gauges"]["g"] == 2
+        assert parsed["histograms"]["h"]["count"] == 1
+
+    def test_default_registry_is_resolved_fallback(self):
+        assert resolve_registry(None) is default_registry()
+        private = MetricsRegistry()
+        assert resolve_registry(private) is private
+
+
+class TestResourceBudget:
+    def test_state_budget_trips(self):
+        budget = ResourceBudget(max_states=3)
+        budget.charge_states(3, where="test")
+        with pytest.raises(BudgetExceeded) as info:
+            budget.charge_states(1, where="test")
+        assert info.value.stats["states_created"] == 4
+        assert info.value.stats["limit"] == "max_states"
+        assert info.value.stats["where"] == "test"
+
+    def test_budget_exceeded_is_a_translation_error(self):
+        assert issubclass(BudgetExceeded, TranslationError)
+
+    def test_deadline_trips(self):
+        budget = ResourceBudget(max_seconds=1e-9)
+        import time
+
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceeded) as info:
+            budget.check_time(where="test")
+        assert info.value.stats["limit"] == "max_seconds"
+
+    def test_regex_budget_trips(self):
+        budget = ResourceBudget(max_regex_size=10)
+        budget.charge_regex(10)
+        with pytest.raises(BudgetExceeded):
+            budget.charge_regex(11)
+
+    def test_limits_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(max_states=0)
+        with pytest.raises(ValueError):
+            ResourceBudget(max_seconds=-1)
+
+    def test_ambient_installation(self):
+        assert current_budget() is None
+        budget = ResourceBudget(max_states=5)
+        with budget:
+            assert current_budget() is budget
+            assert resolve_budget(None) is budget
+            explicit = ResourceBudget(max_states=1)
+            assert resolve_budget(explicit) is explicit
+        assert current_budget() is None
+
+    def test_entry_restarts_accounting(self):
+        budget = ResourceBudget(max_states=5)
+        budget.charge_states(4)
+        with budget:
+            assert budget.states_created == 0
+
+
+class TestBudgetedTranslations:
+    def test_theorem9_trips_state_budget_promptly(self):
+        # B_8's product has >= 2^8 states; a 64-state cap must refuse it
+        # long before completion, with partial progress attached.
+        with pytest.raises(BudgetExceeded) as info:
+            bxsd_to_xsd(theorem9_bxsd(8),
+                        budget=ResourceBudget(max_states=64))
+        assert info.value.stats["states_created"] == 65
+        assert info.value.stats["where"] == "translation.algorithm3"
+
+    def test_theorem9_ambient_budget_also_trips(self):
+        with ResourceBudget(max_states=64):
+            with pytest.raises(BudgetExceeded):
+                bxsd_to_xsd(theorem9_bxsd(8))
+
+    def test_unlimited_budget_translates_small_instance(self):
+        xsd = bxsd_to_xsd(theorem9_bxsd(2), budget=ResourceBudget())
+        assert len(xsd.types) > 0
+
+    def test_generous_budget_translates_small_instance(self):
+        xsd = bxsd_to_xsd(
+            theorem9_bxsd(2), budget=ResourceBudget(max_states=100_000)
+        )
+        assert len(xsd.types) > 0
+
+    def test_state_elimination_regex_budget(self):
+        from repro.automata.state_elimination import dfa_to_regex
+        from repro.families.ehrenfeucht_zeiger import theorem8_xsd
+
+        dfa_based = theorem8_xsd(4)  # already DFA-based
+        ancestor = dfa_based.ancestor_dfa()
+        state = next(iter(s for s in dfa_based.states
+                          if s != dfa_based.initial))
+        with pytest.raises(BudgetExceeded):
+            dfa_to_regex(
+                ancestor,
+                accepting={state},
+                budget=ResourceBudget(max_regex_size=2),
+            )
+
+
+class TestInstrumentation:
+    def test_streaming_publishes_doc_and_event_metrics(self):
+        from repro.engine import compile_xsd, StreamingValidator
+        from repro.paperdata import FIGURE1_XML, figure3_xsd
+
+        registry = default_registry()
+        docs_before = registry.counter("engine.stream.docs").value
+        events_before = registry.counter("engine.stream.events").value
+        report = StreamingValidator(compile_xsd(figure3_xsd())).validate(
+            FIGURE1_XML
+        )
+        assert report.valid
+        assert registry.counter("engine.stream.docs").value == docs_before + 1
+        assert registry.counter("engine.stream.events").value > events_before
+        assert registry.histogram("engine.stream.doc_ns").count > 0
+
+    def test_cache_publishes_hit_miss_metrics(self):
+        from repro.engine import SchemaCache
+        from repro.paperdata import figure3_xsd
+
+        registry = default_registry()
+        hits_before = registry.counter("engine.cache.hits").value
+        misses_before = registry.counter("engine.cache.misses").value
+        cache = SchemaCache(maxsize=2)
+        cache.get(figure3_xsd())
+        cache.get(figure3_xsd())
+        assert cache.hits == 1 and cache.misses == 1
+        assert registry.counter("engine.cache.hits").value == hits_before + 1
+        assert (
+            registry.counter("engine.cache.misses").value == misses_before + 1
+        )
+        assert cache.compile_ns["count"] == 1
+
+    def test_cache_counts_evictions(self):
+        from repro.engine import SchemaCache
+        from repro.regex.ast import star, sym
+        from repro.xsd.content import ContentModel
+        from repro.xsd.model import XSD
+        from repro.xsd.typednames import TypedName
+
+        def tiny(root):
+            return XSD(
+                ename={root},
+                types={"T"},
+                rho={"T": ContentModel(star(sym(TypedName(root, "T"))))},
+                start={TypedName(root, "T")},
+            )
+
+        cache = SchemaCache(maxsize=1)
+        cache.get(tiny("a"))
+        cache.get(tiny("b"))
+        cache.get(tiny("c"))
+        assert cache.evictions == 2
+
+    def test_translation_counters_advance(self):
+        registry = default_registry()
+        before = registry.counter("translation.algorithm3.states").value
+        bxsd_to_xsd(theorem9_bxsd(2))
+        assert (
+            registry.counter("translation.algorithm3.states").value > before
+        )

@@ -60,6 +60,16 @@ class TestBasicParsing:
         node = parse_regex("a{2,*}")
         assert node == Counter(sym("a"), 2, UNBOUNDED)
 
+    def test_counter_unbounded_standard_spelling(self):
+        # Regression: the standard `{n,}` spelling used to raise
+        # ParseError; it is a synonym for `{n,*}`.
+        assert parse_regex("a{2,}") == parse_regex("a{2,*}")
+        assert parse_regex("a{0,}") == parse_regex("a{0,*}")
+
+    def test_counter_standard_spelling_prints_canonically(self):
+        # The printer stays canonical: always the `*` form.
+        assert to_string(parse_regex("a{2,}")) == "a{2,*}"
+
     def test_counter_exact(self):
         node = parse_regex("a{3}")
         assert node == Counter(sym("a"), 3, 3)
@@ -125,6 +135,7 @@ class TestPrintRoundTrip:
             "a? b+ c*",
             "a{2,4}",
             "a{2,*} b",
+            "a{2,}",
             "a & b? & c",
             "(a b | c)+",
             "#eps",
