@@ -1,13 +1,13 @@
 # Developer entry points.  `make check` is the gate: tier-1 tests, the
 # engine differential/property suites at the thorough hypothesis profile
-# (500+ generated differential cases), and the CLI observability smoke;
-# stays well under two minutes.
+# (500+ generated differential cases), the CLI observability smoke, and
+# the fault-injection chaos smoke; stays well under two minutes.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: check test differential bench bench-engine metrics-smoke
+.PHONY: check test differential bench bench-engine metrics-smoke chaos-smoke
 
-check: test differential metrics-smoke
+check: test differential metrics-smoke chaos-smoke
 
 test:
 	$(PYTEST) -x -q
@@ -17,6 +17,9 @@ differential:
 
 metrics-smoke:
 	PYTHONPATH=src python scripts/metrics_smoke.py
+
+chaos-smoke:
+	PYTHONPATH=src python scripts/chaos_smoke.py
 
 bench:
 	$(PYTEST) -q benchmarks/ -s

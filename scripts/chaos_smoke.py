@@ -1,0 +1,149 @@
+"""Chaos smoke for the fault-isolation layer (``make chaos-smoke``).
+
+Runs a seeded :class:`~repro.resilience.FaultInjector` over a 200-document
+batch that mixes valid, malformed, over-limit, and invalid documents, and
+asserts the serving claim end to end:
+
+* **zero escaped exceptions** — ``validate_many(policy="isolate")``
+  returns one :class:`~repro.resilience.DocumentOutcome` per input, in
+  order, no matter what the injector or the documents do;
+* **exact isolated-error accounting** — the number of ``injected``
+  outcomes equals the injector's own count (the seeded decision stream
+  makes both deterministic), the malformed/over-limit documents surface
+  as ``parse``/``limit`` errors, and the
+  ``engine.batch.failed_docs`` / ``engine.batch.isolated_errors``
+  counters advance by exactly the errored total;
+* the same holds under a worker pool (ambient injector re-installed in
+  pool threads), where the fault *assignment* may differ but containment
+  and outcome counts may not.
+
+Exits nonzero with a diagnostic on any failure, so it gates ``make check``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.engine import compile_cached, validate_many
+from repro.observability import default_registry
+from repro.paperdata import FIGURE1_XML, figure3_xsd
+from repro.resilience import FailurePolicy, FaultInjector
+
+BATCH_SIZE = 200
+SEED = 2015
+
+
+def check(condition, message):
+    if not condition:
+        print(f"chaos-smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def build_batch():
+    """200 documents: valid, malformed (every 10th), 3k-deep (every 25th),
+    invalid-but-well-formed (every 40th)."""
+    malformed = "<document><content></document>"
+    deep = "<document>" * 3000 + "</document>" * 3000
+    invalid = "<document><bogus/></document>"
+    batch = []
+    for index in range(BATCH_SIZE):
+        if index % 25 == 0:
+            batch.append(deep)
+        elif index % 10 == 0:
+            batch.append(malformed)
+        elif index % 40 == 7:
+            batch.append(invalid)
+        else:
+            batch.append(FIGURE1_XML)
+    return batch
+
+
+def classify(outcomes):
+    tally = {}
+    for outcome in outcomes:
+        if outcome.ok:
+            kind = "valid" if outcome.valid else "invalid"
+        else:
+            kind = outcome.error.kind
+        tally[kind] = tally.get(kind, 0) + 1
+    return tally
+
+
+def counter(name):
+    return default_registry().counter(name).value
+
+
+def run(workers):
+    batch = build_batch()
+    # Compile outside the injected extent: the compile site is exercised
+    # separately; here every fault must land on one document.
+    compiled = compile_cached(figure3_xsd())
+    injector = FaultInjector(
+        seed=SEED, rates={"parse": 0.08, "validate": 0.05}
+    )
+    failed_before = counter("engine.batch.failed_docs")
+    isolated_before = counter("engine.batch.isolated_errors")
+    with injector:
+        outcomes = validate_many(
+            compiled, batch, policy=FailurePolicy.ISOLATE, workers=workers
+        )
+    check(
+        len(outcomes) == BATCH_SIZE,
+        f"expected {BATCH_SIZE} outcomes, got {len(outcomes)}",
+    )
+    check(
+        [outcome.index for outcome in outcomes] == list(range(BATCH_SIZE)),
+        "outcomes arrived out of order",
+    )
+    tally = classify(outcomes)
+    injected = tally.get("injected", 0)
+    check(
+        injected == injector.injected(),
+        f"containment leak: injector fired {injector.injected()} faults "
+        f"but {injected} outcomes carry kind 'injected' ({tally})",
+    )
+    check(injector.injected() > 0, "the seeded injector never fired")
+    errored = sum(
+        count for kind, count in tally.items()
+        if kind not in ("valid", "invalid")
+    )
+    check(
+        tally.get("parse", 0) > 0 and tally.get("limit", 0) > 0,
+        f"expected malformed and over-limit documents in the tally: {tally}",
+    )
+    check(
+        counter("engine.batch.failed_docs") - failed_before == errored,
+        "engine.batch.failed_docs did not advance by the errored count",
+    )
+    check(
+        counter("engine.batch.isolated_errors") - isolated_before == errored,
+        "engine.batch.isolated_errors did not advance by the errored count",
+    )
+    return tally
+
+
+def main():
+    serial = run(workers=None)
+    # Serial execution is fully deterministic: same seed, same documents,
+    # same per-kind tallies on every run.
+    serial_again = run(workers=None)
+    check(
+        serial == serial_again,
+        f"seeded chaos run is not reproducible: {serial} != {serial_again}",
+    )
+    threaded = run(workers=4)
+    check(
+        sum(serial.values()) == sum(threaded.values()) == BATCH_SIZE,
+        "outcome totals differ between serial and threaded runs",
+    )
+    print(
+        "chaos-smoke OK "
+        f"(serial tally: {dict(sorted(serial.items()))}; "
+        f"threaded total {sum(threaded.values())} outcomes, "
+        f"0 escaped exceptions)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,8 @@ Package map:
 * :mod:`repro.corpus`      — the synthetic web-XSD study (Section 4.4)
 * :mod:`repro.paperdata`   — Figures 1-5 of the paper
 * :mod:`repro.observability` — metrics registry + resource budgets
+* :mod:`repro.resilience`  — parsing limits, failure policies, fault
+  injection (hardening against hostile input)
 """
 
 from repro.bonxai import (
@@ -52,6 +54,13 @@ from repro.observability import (
     MetricsRegistry,
     ResourceBudget,
     default_registry,
+)
+from repro.resilience import (
+    DocumentOutcome,
+    FailurePolicy,
+    FaultInjector,
+    ParserLimits,
+    RetryPolicy,
 )
 from repro.translation import (
     bxsd_to_dfa_based,
@@ -94,13 +103,18 @@ __all__ = [
     "BudgetExceeded",
     "ContentModel",
     "DFABasedXSD",
+    "DocumentOutcome",
     "EDCViolation",
+    "FailurePolicy",
+    "FaultInjector",
     "MetricsRegistry",
     "ResourceBudget",
     "NotDeterministicError",
     "NotKSuffixError",
     "ParseError",
+    "ParserLimits",
     "RegexError",
+    "RetryPolicy",
     "ReproError",
     "Rule",
     "SchemaError",

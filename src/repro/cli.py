@@ -2,8 +2,14 @@
 
 Subcommands::
 
-    bonxai validate  <schema> <document>    validate XML (schema may be
-                                            .bonxai, .xsd, or .dtd)
+    bonxai validate  <schema> <document>... validate XML (schema may be
+                                            .bonxai, .xsd, or .dtd); with
+                                            several documents, runs a
+                                            fault-isolated batch
+                                            (--keep-going default,
+                                            --fail-fast to stop at the
+                                            first errored document) and
+                                            prints a summary line
     bonxai highlight <schema> <document>    per-node matched rules
     bonxai convert   <input> [-o OUT]       convert between BonXai and XSD
                                             (direction from extensions)
@@ -22,7 +28,9 @@ schema was refused, not proven invalid); the metrics snapshot is still
 emitted.
 
 Exit status: 0 on success/valid, 1 on invalid documents or diagnostics,
-2 on usage errors.
+2 on usage errors.  A malformed or over-limit *document* is not a usage
+error: ``validate`` prints a structured one-line report
+(``<path>: ERROR [kind] message``) and exits 1 — no traceback.
 """
 
 from __future__ import annotations
@@ -133,7 +141,7 @@ def _build_parser():
         parents=[common],
     )
     validate.add_argument("schema")
-    validate.add_argument("document")
+    validate.add_argument("documents", nargs="+", metavar="document")
     validate.add_argument(
         "--engine",
         choices=("tree", "streaming"),
@@ -142,7 +150,22 @@ def _build_parser():
         "streaming: compiled DFA tables driven by a SAX event stream "
         "(structural validation only for BonXai/DTD schemas)",
     )
-    validate.set_defaults(handler=_cmd_validate)
+    batch_policy = validate.add_mutually_exclusive_group()
+    batch_policy.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="batch mode: report every document even when some fail "
+        "(FailurePolicy 'isolate'; the default)",
+    )
+    batch_policy.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        help="batch mode: stop at the first errored document and mark "
+        "the rest SKIPPED (FailurePolicy 'fail_fast')",
+    )
+    validate.set_defaults(handler=_cmd_validate, fail_fast=False)
 
     highlight = subparsers.add_parser(
         "highlight",
@@ -214,19 +237,40 @@ def _load_schema(path):
     return kind, compile_schema(parse_bonxai(text))
 
 
+def _error_line(path, error):
+    """The structured one-line report for one failed document."""
+    return f"{path}: ERROR [{error.kind}] {error.message}"
+
+
 def _cmd_validate(args):
     kind, schema = _load_schema(args.schema)
-    text = _load_text(args.document)
-    if getattr(args, "engine", "tree") == "streaming":
-        violations = _streaming_violations(kind, schema, text)
-    else:
-        document = parse_document(text)
-        if kind == "xsd":
-            violations = validate_xsd(schema, document).violations
-        elif kind == "dtd":
-            violations = schema.validate(document)
+    if len(args.documents) == 1:
+        return _validate_single(args, kind, schema, args.documents[0])
+    return _validate_batch(args, kind, schema)
+
+
+def _validate_single(args, kind, schema, path):
+    """The classic one-document flow (plus structured parse failures)."""
+    from repro.errors import ParseError
+    from repro.resilience import DocumentError
+
+    text = _load_text(path)
+    try:
+        if getattr(args, "engine", "tree") == "streaming":
+            violations = _streaming_violations(kind, schema, text)
         else:
-            violations = schema.validate(document).violations
+            document = parse_document(text)
+            if kind == "xsd":
+                violations = validate_xsd(schema, document).violations
+            elif kind == "dtd":
+                violations = schema.validate(document)
+            else:
+                violations = schema.validate(document).violations
+    except ParseError as error:
+        # A malformed (or over-limit) document is a *data* failure, not
+        # a usage error: one structured line, exit 1, no traceback.
+        print(_error_line(path, DocumentError.from_exception(error)))
+        return 1
     if violations:
         for violation in violations:
             print(violation)
@@ -234,6 +278,59 @@ def _cmd_validate(args):
         return 1
     print("VALID")
     return 0
+
+
+def _validate_batch(args, kind, schema):
+    """Fault-isolated multi-document validation with a summary line.
+
+    Every schema kind rides the translation square to one formal XSD
+    (structural validation for BonXai/DTD), so the whole batch shares a
+    single compiled schema.  Documents are fetched lazily as source
+    callables; a file that fails to read is an isolated ``io`` error,
+    not a batch abort.
+    """
+    from repro.engine import compile_cached, validate_many
+    from repro.resilience import FailurePolicy
+
+    engine = getattr(args, "engine", "tree")
+    xsd = _as_formal_xsd(kind, schema)
+    target = compile_cached(xsd) if engine == "streaming" else xsd
+    policy = (
+        FailurePolicy.FAIL_FAST if args.fail_fast else FailurePolicy.ISOLATE
+    )
+    sources = [lambda path=path: _load_text(path) for path in args.documents]
+    outcomes = validate_many(target, sources, engine=engine, policy=policy)
+
+    ok = invalid = errored = skipped = 0
+    for path, outcome in zip(args.documents, outcomes):
+        if outcome.ok:
+            if outcome.valid:
+                ok += 1
+                print(f"{path}: VALID")
+            else:
+                invalid += 1
+                count = len(outcome.report.violations)
+                print(f"{path}: INVALID ({count} violation(s))")
+        elif outcome.error.kind == "skipped":
+            skipped += 1
+            print(f"{path}: SKIPPED")
+        else:
+            errored += 1
+            print(_error_line(path, outcome.error))
+    summary = f"{ok} ok / {invalid} invalid / {errored} errored"
+    if skipped:
+        summary += f" / {skipped} skipped"
+    print(summary)
+    return 0 if ok == len(outcomes) else 1
+
+
+def _as_formal_xsd(kind, schema):
+    """Ride the translation square to a formal XSD (Algorithms 2 + 4)."""
+    if kind == "xsd":
+        return schema
+    if kind == "dtd":
+        return dfa_based_to_xsd(bxsd_to_dfa_based(dtd_to_bxsd(schema)))
+    return dfa_based_to_xsd(bxsd_to_dfa_based(schema.bxsd))
 
 
 def _streaming_violations(kind, schema, text):
@@ -245,13 +342,9 @@ def _streaming_violations(kind, schema, text):
     """
     from repro.engine import compile_cached, validate_streaming
 
-    if kind == "xsd":
-        xsd = schema
-    elif kind == "dtd":
-        xsd = dfa_based_to_xsd(bxsd_to_dfa_based(dtd_to_bxsd(schema)))
-    else:
-        xsd = dfa_based_to_xsd(bxsd_to_dfa_based(schema.bxsd))
-    return validate_streaming(compile_cached(xsd), text).violations
+    return validate_streaming(
+        compile_cached(_as_formal_xsd(kind, schema)), text
+    ).violations
 
 
 def _cmd_highlight(args):

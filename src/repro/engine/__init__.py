@@ -8,7 +8,9 @@ The pipeline is ``compile -> cache -> stream``:
   schema fingerprint;
 * :class:`StreamingValidator` / :func:`validate_streaming` run SAX-style
   event streams against the tables with a stack of (type, state) pairs;
-* :func:`validate_many` fans a batch of documents across a worker pool.
+* :func:`validate_many` fans a batch of documents across a worker pool,
+  with per-document fault isolation, deadlines, and retry
+  (:mod:`repro.resilience`).
 """
 
 from repro.engine.batch import validate_many

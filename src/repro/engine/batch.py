@@ -1,4 +1,4 @@
-"""Batch validation: fan many documents across a worker pool.
+"""Batch validation: fan many documents across a worker pool, fault-isolated.
 
 ``validate_many`` compiles (or cache-fetches) the schema once and then
 validates every document against the shared, immutable
@@ -6,20 +6,50 @@ validates every document against the shared, immutable
 compiled tables are read-only, so no per-worker copy is needed, and a
 serving process can overlap validation with I/O (the common case for
 heavy traffic: documents arrive as text over sockets or files).
+
+Fault isolation (:mod:`repro.resilience`): under ``policy="isolate"`` (or
+``"fail_fast"``) every input yields a
+:class:`~repro.resilience.DocumentOutcome` in input order — a document
+that fails to fetch, parse, or validate contributes a structured
+:class:`~repro.resilience.DocumentError` (kind, message, line/column,
+elapsed time) instead of aborting the batch.  Sources may be zero-arg
+callables fetching the text lazily (files, sockets); transient failures
+retry with bounded backoff per the :class:`~repro.resilience.RetryPolicy`.
+A per-document wall-clock ``deadline`` aborts runaway documents (checked
+between events on the streaming engine).  An ambient or explicit
+:class:`~repro.resilience.FaultInjector` is re-installed inside worker
+threads (contextvars do not cross pool threads on their own), so chaos
+tests exercise the exact serving configuration.
+
+Schema-side failures (the schema itself failing to compile) always
+propagate: with no compiled schema there are no per-document outcomes to
+report.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.engine.cache import compile_cached
 from repro.engine.compiler import CompiledSchema
-from repro.engine.streaming import StreamingValidator, as_events
+from repro.engine.streaming import StreamingValidator
+from repro.errors import DeadlineExceeded
 from repro.observability import default_registry
+from repro.resilience import (
+    DocumentError,
+    DocumentOutcome,
+    FailurePolicy,
+    NO_RETRY,
+    installed_injector,
+    resolve_injector,
+    resolve_limits,
+)
 
 
 def validate_many(schema, sources, engine="streaming", workers=None,
-                  cache=None):
+                  cache=None, policy=FailurePolicy.RAISE, deadline=None,
+                  retry=None, limits=None, injector=None):
     """Validate many documents against one schema.
 
     Args:
@@ -27,21 +57,141 @@ def validate_many(schema, sources, engine="streaming", workers=None,
             compiled :class:`CompiledSchema` (ignored by the tree engine,
             which needs the formal XSD).
         sources: iterable of documents — XML text strings,
-            ``XMLDocument``/``XMLElement`` trees, or event iterables (the
-            tree engine accepts text and trees only).
+            ``XMLDocument``/``XMLElement`` trees, event iterables (the
+            tree engine accepts text and trees only), or zero-arg
+            callables returning any of those (fetched lazily, with
+            retry).
         engine: ``"streaming"`` (compiled tables, default) or ``"tree"``
             (the reference validator, for comparison).
         workers: thread count; ``None`` or ``1`` validates serially.
         cache: optional :class:`~repro.engine.cache.SchemaCache` override.
+        policy: a :class:`~repro.resilience.FailurePolicy` string —
+            ``"raise"`` (default; per-document exceptions propagate and
+            the return value is a plain report list, the legacy
+            contract), ``"isolate"`` (every input yields a
+            :class:`DocumentOutcome`), or ``"fail_fast"`` (isolate, but
+            stop at the first *errored* document and mark the remainder
+            ``skipped``; forces serial execution).
+        deadline: per-document wall-clock allowance in seconds; a
+            document exceeding it fails with
+            :class:`~repro.errors.DeadlineExceeded`.
+        retry: a :class:`~repro.resilience.RetryPolicy` for callable
+            sources (default: no retry).
+        limits: :class:`~repro.resilience.ParserLimits` for parsing
+            text sources (explicit wins over ambient wins over the
+            defaults; resolved once, so worker threads see the caller's
+            ambient limits).
+        injector: a :class:`~repro.resilience.FaultInjector` (explicit
+            wins over ambient; re-installed inside workers).
 
     Returns:
-        List of :class:`~repro.xsd.validator.XSDValidationReport`, in
-        input order.
+        Under ``policy="raise"``: list of
+        :class:`~repro.xsd.validator.XSDValidationReport`, in input
+        order.  Otherwise: list of
+        :class:`~repro.resilience.DocumentOutcome`, one per input, in
+        input order — no exception escapes per-document work.
     """
     sources = list(sources)
+    policy = FailurePolicy.coerce(policy)
+    if deadline is not None and deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline!r}")
+    retry = retry if retry is not None else NO_RETRY
+    limits = resolve_limits(limits)
+    injector = resolve_injector(injector)
     registry = default_registry()
     registry.counter("engine.batch.calls").inc()
     registry.counter("engine.batch.docs").inc(len(sources))
+
+    validate = _make_validator(schema, engine, cache, limits, deadline)
+
+    def fetch(source):
+        """Resolve a callable source with retry; returns (doc, attempts)."""
+        if not callable(source):
+            return source, 1
+
+        def on_retry(attempt, exc):
+            registry.counter("engine.batch.retries").inc()
+
+        try:
+            return retry.call(source, on_retry=on_retry)
+        except retry.retry_on:
+            registry.counter("engine.batch.retry_exhausted").inc()
+            raise
+
+    if policy == FailurePolicy.RAISE:
+        def run(source):
+            document, __ = fetch(source)
+            return validate(document, _deadline_at(deadline))
+
+        if workers is None or workers <= 1 or len(sources) <= 1:
+            return [run(source) for source in sources]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run, sources))
+
+    def run_isolated(index, source):
+        started = time.monotonic()
+        attempts = 1
+        try:
+            with installed_injector(injector):
+                document, attempts = fetch(source)
+                report = validate(document, _deadline_at(deadline))
+            return DocumentOutcome(
+                index, report=report,
+                elapsed_seconds=time.monotonic() - started,
+                attempts=attempts,
+            )
+        except Exception as exc:
+            error = DocumentError.from_exception(exc)
+            registry.counter("engine.batch.failed_docs").inc()
+            registry.counter("engine.batch.isolated_errors").inc()
+            registry.counter(f"engine.batch.errors.{error.kind}").inc()
+            return DocumentOutcome(
+                index, error=error,
+                elapsed_seconds=time.monotonic() - started,
+                attempts=attempts,
+            )
+
+    if policy == FailurePolicy.FAIL_FAST:
+        # Serial by definition: "stop at the first error" has no stable
+        # meaning when later documents may already be in flight.
+        outcomes = []
+        failed = False
+        for index, source in enumerate(sources):
+            if failed:
+                registry.counter("engine.batch.skipped_docs").inc()
+                outcomes.append(
+                    DocumentOutcome(index, error=DocumentError.skipped())
+                )
+                continue
+            outcome = run_isolated(index, source)
+            outcomes.append(outcome)
+            if not outcome.ok:
+                failed = True
+        return outcomes
+
+    # policy == ISOLATE
+    indexed = list(enumerate(sources))
+    if workers is None or workers <= 1 or len(sources) <= 1:
+        return [run_isolated(index, source) for index, source in indexed]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(
+            pool.map(lambda pair: run_isolated(*pair), indexed)
+        )
+
+
+def _deadline_at(deadline):
+    """Convert a relative allowance to an absolute monotonic instant."""
+    if deadline is None:
+        return None
+    return time.monotonic() + deadline
+
+
+def _make_validator(schema, engine, cache, limits, deadline=None):
+    """Build the per-document ``validate(document, deadline_at)`` callable.
+
+    Schema compilation happens here, once, before any per-document work —
+    schema-side failures are the caller's problem, not a per-doc error.
+    """
     if engine == "streaming":
         if isinstance(schema, CompiledSchema):
             compiled = schema
@@ -49,25 +199,71 @@ def validate_many(schema, sources, engine="streaming", workers=None,
             compiled = compile_cached(schema, cache)
         validator = StreamingValidator(compiled)
 
-        def run(source):
-            return validator.validate_events(as_events(source))
-    elif engine == "tree":
+        def validate(document, deadline_at):
+            events = _as_limited_events(document, limits)
+            if deadline_at is not None:
+                events = _deadline_events(events, deadline_at, deadline)
+            return validator.validate_events(events)
+
+        return validate
+    if engine == "tree":
         if isinstance(schema, CompiledSchema):
             raise ValueError("the tree engine needs the formal XSD")
         from repro.xmlmodel.parser import parse_document
         from repro.xmlmodel.tree import XMLDocument, XMLElement
         from repro.xsd.validator import validate_xsd
 
-        def run(source):
-            if isinstance(source, str):
-                source = parse_document(source)
-            elif isinstance(source, XMLElement):
-                source = XMLDocument(source)
-            return validate_xsd(schema, source)
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
+        def validate(document, deadline_at):
+            if isinstance(document, str):
+                document = parse_document(document, limits=limits)
+            elif isinstance(document, XMLElement):
+                document = XMLDocument(document)
+            _check_deadline(deadline_at, deadline)
+            report = validate_xsd(schema, document)
+            _check_deadline(deadline_at, deadline)
+            return report
 
-    if workers is None or workers <= 1 or len(sources) <= 1:
-        return [run(source) for source in sources]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run, sources))
+        return validate
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def _as_limited_events(source, limits):
+    """Like :func:`repro.engine.streaming.as_events`, threading limits."""
+    from repro.xmlmodel.parser import iter_events
+
+    if isinstance(source, str):
+        return iter_events(source, limits=limits)
+    events = getattr(source, "events", None)
+    if events is not None:
+        return events()
+    return source
+
+
+def _deadline_events(events, deadline_at, allowance, stride=64):
+    """Wrap an event stream with a wall-clock check every ``stride`` events.
+
+    Raising from inside the stream aborts the streaming validator
+    mid-document, so a pathological document cannot hold a worker past
+    its deadline by more than one stride of events.
+    """
+    count = 0
+    for event in events:
+        count += 1
+        if count % stride == 0:
+            _check_deadline(deadline_at, allowance)
+        yield event
+    _check_deadline(deadline_at, allowance)
+
+
+def _check_deadline(deadline_at, allowance):
+    if deadline_at is None:
+        return
+    now = time.monotonic()
+    if now > deadline_at:
+        elapsed = allowance + (now - deadline_at)
+        default_registry().counter("engine.batch.deadline_exceeded").inc()
+        raise DeadlineExceeded(
+            f"per-document deadline exceeded "
+            f"({elapsed:.3f}s > deadline={allowance}s)",
+            elapsed_seconds=elapsed, deadline_seconds=allowance,
+        )

@@ -208,6 +208,9 @@ def compile_xsd(xsd, fingerprint=None):
     The schema is assumed well-formed (Definition 2: EDC + UPA); ``XSD``
     enforces both at construction time.
     """
+    from repro.resilience.faults import probe
+
+    probe("compile")
     registry = default_registry()
     dfa_sizes = registry.histogram("engine.compile.dfa_states")
     type_names = tuple(sorted(xsd.types))

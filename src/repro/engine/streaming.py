@@ -52,6 +52,9 @@ class StreamingValidator:
         malformed stream carrying a second root must not validate clean,
         matching what the tree parser would reject outright.
         """
+        from repro.resilience.faults import probe
+
+        probe("validate")
         registry = default_registry()
         started = time.perf_counter_ns()
         report, consumed = self._run(events)

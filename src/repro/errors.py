@@ -34,6 +34,57 @@ class ParseError(ReproError):
         super().__init__(f"{message}{location}")
 
 
+class LimitExceeded(ParseError):
+    """An input tripped a :class:`~repro.resilience.ParserLimits` cap.
+
+    A subclass of :class:`ParseError` because an over-limit document is
+    rejected exactly like a malformed one (same catch sites, same
+    line/column diagnostics); the extra attributes let callers tell a
+    policy refusal from a well-formedness failure.
+
+    Attributes:
+        limit: the name of the limit that tripped (e.g. ``max_depth``).
+        value: the observed value that exceeded the limit.
+    """
+
+    def __init__(self, message, line=None, column=None, limit=None,
+                 value=None):
+        self.limit = limit
+        self.value = value
+        super().__init__(message, line=line, column=column)
+
+
+class DeadlineExceeded(ReproError):
+    """A per-document wall-clock deadline passed during validation.
+
+    Attributes:
+        elapsed_seconds: wall time consumed when the deadline tripped.
+        deadline_seconds: the configured per-document allowance.
+    """
+
+    def __init__(self, message, elapsed_seconds=None, deadline_seconds=None):
+        self.elapsed_seconds = elapsed_seconds
+        self.deadline_seconds = deadline_seconds
+        super().__init__(message)
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by :class:`~repro.resilience.FaultInjector`.
+
+    Chaos tests install a seeded injector and then assert that every
+    injected fault is contained to one document (never escaping a batch
+    run under ``policy="isolate"``).
+
+    Attributes:
+        site: the injection point that fired (``parse`` / ``compile`` /
+            ``validate`` / ``source``).
+    """
+
+    def __init__(self, message, site=None):
+        self.site = site
+        super().__init__(message)
+
+
 class RegexError(ReproError):
     """A regular expression is structurally invalid for the requested use."""
 

@@ -1,0 +1,63 @@
+"""Resilience: fault isolation and hardening for untrusted input.
+
+The serving north star (heavy traffic from millions of users) makes
+hostile and malformed documents the *common* case.  This package is the
+document-side counterpart of :mod:`repro.observability`'s schema-side
+budgets — three orthogonal facilities, dependency-free and thread-safe:
+
+* :mod:`repro.resilience.limits` — :class:`ParserLimits` caps input
+  size, nesting depth, attribute counts, name lengths, and text runs;
+  the parser enforces them iteratively, so depth is policy-limited,
+  never interpreter-limited (:class:`~repro.errors.LimitExceeded`).
+* :mod:`repro.resilience.policy` — :class:`FailurePolicy` (``raise`` /
+  ``isolate`` / ``fail_fast``) with structured :class:`DocumentOutcome`
+  rows per batch input, plus :class:`RetryPolicy` backoff for transient
+  source callables.
+* :mod:`repro.resilience.faults` — a seeded, contextvar-installable
+  :class:`FaultInjector` whose injected faults chaos tests prove are
+  contained to a single document.
+"""
+
+from repro.errors import DeadlineExceeded, InjectedFault, LimitExceeded
+from repro.resilience.faults import (
+    FaultInjector,
+    current_injector,
+    installed_injector,
+    probe,
+    resolve_injector,
+)
+from repro.resilience.limits import (
+    DEFAULT_LIMITS,
+    ParserLimits,
+    current_limits,
+    installed_limits,
+    resolve_limits,
+)
+from repro.resilience.policy import (
+    NO_RETRY,
+    DocumentError,
+    DocumentOutcome,
+    FailurePolicy,
+    RetryPolicy,
+)
+
+__all__ = [
+    "DEFAULT_LIMITS",
+    "DeadlineExceeded",
+    "DocumentError",
+    "DocumentOutcome",
+    "FailurePolicy",
+    "FaultInjector",
+    "InjectedFault",
+    "LimitExceeded",
+    "NO_RETRY",
+    "ParserLimits",
+    "RetryPolicy",
+    "current_injector",
+    "current_limits",
+    "installed_injector",
+    "installed_limits",
+    "probe",
+    "resolve_injector",
+    "resolve_limits",
+]

@@ -1,0 +1,243 @@
+"""Failure policies, per-document outcomes, and retry for batch serving.
+
+One malformed document must not kill a 10k-document batch.  The batch API
+(:func:`repro.engine.validate_many`) accepts a failure *policy*:
+
+* ``"raise"`` — legacy behaviour: the first per-document exception
+  propagates to the caller (the batch result is lost).
+* ``"isolate"`` — every document produces a :class:`DocumentOutcome`, in
+  input order; a document that fails to fetch, parse, or validate yields
+  a structured :class:`DocumentError` (kind, message, line/column) plus
+  its elapsed time, and the rest of the batch is unaffected.
+* ``"fail_fast"`` — like isolate, but the batch stops at the first
+  *errored* document (invalid-but-well-formed documents are ordinary
+  results, not failures); the remaining inputs are reported with error
+  kind ``"skipped"``.
+
+:class:`RetryPolicy` adds bounded retry-with-backoff for *source
+callables* — documents fetched lazily from files or sockets, where
+transient ``OSError`` is routine.  The sleeper is injectable so tests can
+assert the exact backoff schedule without waiting.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    InjectedFault,
+    LimitExceeded,
+    ParseError,
+    ReproError,
+)
+
+
+class FailurePolicy:
+    """The three batch failure policies (string constants + coercion)."""
+
+    RAISE = "raise"
+    ISOLATE = "isolate"
+    FAIL_FAST = "fail_fast"
+    ALL = (RAISE, ISOLATE, FAIL_FAST)
+
+    @classmethod
+    def coerce(cls, value):
+        """Validate ``value`` (a policy string); returns it normalized."""
+        if isinstance(value, str) and value in cls.ALL:
+            return value
+        raise ValueError(
+            f"unknown failure policy {value!r} (expected one of {cls.ALL})"
+        )
+
+
+# Error-kind classification, most specific first.  LimitExceeded is a
+# ParseError subclass and InjectedFault/DeadlineExceeded/BudgetExceeded
+# are ReproErrors, so order matters.
+_KINDS = (
+    (LimitExceeded, "limit"),
+    (ParseError, "parse"),
+    (InjectedFault, "injected"),
+    (DeadlineExceeded, "deadline"),
+    (BudgetExceeded, "budget"),
+    (OSError, "io"),
+    (ReproError, "error"),
+)
+
+
+class DocumentError:
+    """A structured description of why one document failed.
+
+    Attributes:
+        kind: classification — ``parse`` / ``limit`` / ``injected`` /
+            ``deadline`` / ``budget`` / ``io`` / ``error`` (other library
+            failure) / ``internal`` (unexpected exception) / ``skipped``
+            (fail-fast remainder).
+        message: the exception's human-readable message.
+        line / column: 1-based source location, when the failure was a
+            parse/limit error that knows one.
+    """
+
+    __slots__ = ("kind", "message", "line", "column")
+
+    def __init__(self, kind, message, line=None, column=None):
+        self.kind = kind
+        self.message = message
+        self.line = line
+        self.column = column
+
+    @classmethod
+    def from_exception(cls, exc):
+        for exc_type, kind in _KINDS:
+            if isinstance(exc, exc_type):
+                return cls(
+                    kind,
+                    str(exc),
+                    line=getattr(exc, "line", None),
+                    column=getattr(exc, "column", None),
+                )
+        return cls("internal", f"{type(exc).__name__}: {exc}")
+
+    @classmethod
+    def skipped(cls, reason="skipped by fail_fast after an earlier error"):
+        return cls("skipped", reason)
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+        }
+
+    def __repr__(self):
+        where = ""
+        if self.line is not None:
+            where = f" @ line {self.line}"
+            if self.column is not None:
+                where += f", column {self.column}"
+        return f"DocumentError({self.kind}: {self.message}{where})"
+
+
+class DocumentOutcome:
+    """The per-document result row of an isolated batch run.
+
+    Exactly one of ``report`` / ``error`` is set.
+
+    Attributes:
+        index: position of the document in the input batch.
+        report: the validation report, when the document was processed.
+        error: a :class:`DocumentError`, when it was not.
+        elapsed_seconds: wall time spent on this document (fetch +
+            parse + validate, including retries).
+        attempts: times the source was fetched (1 unless retried).
+    """
+
+    __slots__ = ("index", "report", "error", "elapsed_seconds", "attempts")
+
+    def __init__(self, index, report=None, error=None, elapsed_seconds=0.0,
+                 attempts=1):
+        if (report is None) == (error is None):
+            raise ValueError("exactly one of report/error must be given")
+        self.index = index
+        self.report = report
+        self.error = error
+        self.elapsed_seconds = elapsed_seconds
+        self.attempts = attempts
+
+    @property
+    def ok(self):
+        """True iff the document was processed (it may still be invalid)."""
+        return self.error is None
+
+    @property
+    def valid(self):
+        """True iff processed and the report holds no violations."""
+        return self.error is None and self.report.valid
+
+    def to_dict(self):
+        return {
+            "index": self.index,
+            "ok": self.ok,
+            "valid": self.valid if self.ok else None,
+            "violations": list(self.report.violations) if self.ok else None,
+            "error": self.error.to_dict() if self.error else None,
+            "elapsed_seconds": self.elapsed_seconds,
+            "attempts": self.attempts,
+        }
+
+    def __repr__(self):
+        if self.ok:
+            state = "valid" if self.valid else (
+                f"invalid({len(self.report.violations)})"
+            )
+        else:
+            state = f"error[{self.error.kind}]"
+        return f"DocumentOutcome(#{self.index} {state})"
+
+
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient source failures.
+
+    Args:
+        max_attempts: total tries (1 = no retry).
+        backoff: delay before the second attempt, in seconds.
+        multiplier: backoff growth factor per further attempt.
+        max_backoff: ceiling on any single delay.
+        retry_on: exception types considered transient; anything else
+            propagates immediately.
+        sleep: the sleeper (injectable for tests; defaults to
+            :func:`time.sleep`).
+    """
+
+    __slots__ = ("max_attempts", "backoff", "multiplier", "max_backoff",
+                 "retry_on", "sleep")
+
+    def __init__(self, max_attempts=3, backoff=0.05, multiplier=2.0,
+                 max_backoff=1.0, retry_on=(OSError,), sleep=time.sleep):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff < 0 or max_backoff < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.multiplier = multiplier
+        self.max_backoff = max_backoff
+        self.retry_on = tuple(retry_on)
+        self.sleep = sleep
+
+    def delays(self):
+        """The backoff schedule: one delay per retry (attempts - 1)."""
+        delay = self.backoff
+        for __ in range(self.max_attempts - 1):
+            yield min(delay, self.max_backoff)
+            delay *= self.multiplier
+
+    def call(self, fn, on_retry=None):
+        """Invoke ``fn()`` with retries; returns ``(result, attempts)``.
+
+        ``on_retry(attempt, exc)`` is called before each backoff sleep
+        (metrics hooks).  The final failure propagates unchanged.
+        """
+        delays = self.delays()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(), attempt
+            except self.retry_on as exc:
+                if attempt == self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(next(delays))
+
+    def __repr__(self):
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"backoff={self.backoff}, multiplier={self.multiplier})"
+        )
+
+
+NO_RETRY = RetryPolicy(max_attempts=1)

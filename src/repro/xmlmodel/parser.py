@@ -1,4 +1,4 @@
-"""A from-scratch, dependency-free XML parser.
+"""A from-scratch, dependency-free XML parser, hardened for hostile input.
 
 Supports the XML subset the paper's data model needs: elements, attributes
 (single- or double-quoted), character data with the five predefined
@@ -9,15 +9,33 @@ kept verbatim (the formal model works over plain element names).
 
 The parser is deliberately strict about well-formedness (mismatched tags,
 unterminated constructs and stray ``<`` are errors) because schema tooling
-should never guess.
+should never guess.  Every failure — including malformed numeric
+character references and inputs that trip a cap — is a
+:class:`~repro.errors.ParseError`; no other exception type escapes on any
+input (the fuzz suite pins this).
+
+Hardening (:mod:`repro.resilience`): both entry points accept a
+``limits=`` :class:`~repro.resilience.ParserLimits` (explicit, ambient,
+or the generous defaults) capping input size, nesting depth, attribute
+counts, name lengths, and text runs.  Element parsing is *iterative* — an
+explicit stack of open elements — so depth is policy-limited
+(:class:`~repro.errors.LimitExceeded`), never interpreter-limited: a
+10,000-deep nesting bomb is rejected cleanly instead of crashing the
+process with ``RecursionError``.  An ambient
+:class:`~repro.resilience.FaultInjector` may plant faults at the
+``parse`` site (chaos testing).
 """
 
 from __future__ import annotations
 
-from repro.errors import ParseError
+from repro.errors import LimitExceeded, ParseError
+from repro.resilience.faults import probe
+from repro.resilience.limits import resolve_limits
 from repro.xmlmodel.tree import XMLDocument, XMLElement
 
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
 
 
 class _Cursor:
@@ -38,6 +56,12 @@ class _Cursor:
     def error(self, message):
         line, column = self.location()
         return ParseError(message, line=line, column=column)
+
+    def limit_error(self, message, limit, value):
+        line, column = self.location()
+        return LimitExceeded(
+            message, line=line, column=column, limit=limit, value=value
+        )
 
     def at_end(self):
         return self.pos >= len(self.text)
@@ -73,17 +97,61 @@ def _is_name_char(char):
     return char.isalnum() or char in "_:.-"
 
 
-def _read_name(cursor):
+def _read_name(cursor, limits):
     start = cursor.pos
     if cursor.at_end() or not _is_name_start(cursor.peek()):
         raise cursor.error("expected a name")
     cursor.advance()
     while not cursor.at_end() and _is_name_char(cursor.peek()):
         cursor.advance()
-    return cursor.text[start : cursor.pos]
+    name = cursor.text[start : cursor.pos]
+    limit = limits.max_name_length
+    if limit is not None and len(name) > limit:
+        raise cursor.limit_error(
+            f"name length limit exceeded ({len(name)} chars > "
+            f"max_name_length={limit})",
+            "max_name_length", len(name),
+        )
+    return name
 
 
-def _decode_entities(raw, cursor):
+def _check_text(data, cursor, limits):
+    """Enforce the per-run text cap (character data, CDATA, attributes)."""
+    limit = limits.max_text_length
+    if limit is not None and len(data) > limit:
+        raise cursor.limit_error(
+            f"text run limit exceeded ({len(data)} chars > "
+            f"max_text_length={limit})",
+            "max_text_length", len(data),
+        )
+
+
+def _decode_character_reference(body, cursor):
+    """Decode a numeric character reference body (``#10`` / ``#x1F600``).
+
+    Malformed digits, out-of-range code points, and surrogates all raise
+    :class:`ParseError` with the cursor's line/column — never a raw
+    ``ValueError`` from ``int``/``chr``.
+    """
+    if body[1:2] in ("x", "X"):
+        digits = body[2:]
+        if not digits or not all(c in _HEX_DIGITS for c in digits):
+            raise cursor.error(f"invalid character reference &{body};")
+        code = int(digits, 16)
+    else:
+        digits = body[1:]
+        if not digits or not (digits.isascii() and digits.isdigit()):
+            raise cursor.error(f"invalid character reference &{body};")
+        code = int(digits)
+    if code == 0 or code > 0x10FFFF or 0xD800 <= code <= 0xDFFF:
+        raise cursor.error(
+            f"character reference &{body}; is not a valid XML character"
+        )
+    return chr(code)
+
+
+def _decode_entities(raw, cursor, limits):
+    _check_text(raw, cursor, limits)
     if "&" not in raw:
         return raw
     out = []
@@ -98,10 +166,8 @@ def _decode_entities(raw, cursor):
         if end < 0:
             raise cursor.error("unterminated entity reference")
         body = raw[index + 1 : end]
-        if body.startswith("#x") or body.startswith("#X"):
-            out.append(chr(int(body[2:], 16)))
-        elif body.startswith("#"):
-            out.append(chr(int(body[1:])))
+        if body.startswith("#"):
+            out.append(_decode_character_reference(body, cursor))
         elif body in _ENTITIES:
             out.append(_ENTITIES[body])
         else:
@@ -110,26 +176,39 @@ def _decode_entities(raw, cursor):
     return "".join(out)
 
 
-def parse_document(text):
+def parse_document(text, limits=None):
     """Parse a complete XML document into an :class:`XMLDocument`.
 
+    Args:
+        text: the document source.
+        limits: optional :class:`~repro.resilience.ParserLimits`
+            (explicit wins over ambient wins over the defaults).
+
     Raises:
-        ParseError: if the input is not well-formed.
+        ParseError: if the input is not well-formed, or (the
+            :class:`~repro.errors.LimitExceeded` subclass) if it trips a
+            parsing limit.
     """
+    limits = resolve_limits(limits)
+    limits.check_input_size(text)
+    probe("parse")
     cursor = _Cursor(text)
     _skip_prolog(cursor)
-    root = _parse_element(cursor)
+    root = _parse_element(cursor, limits)
     _skip_misc(cursor)
     if not cursor.at_end():
         raise cursor.error("content after the root element")
     return XMLDocument(root)
 
 
-def parse_fragment(text):
+def parse_fragment(text, limits=None):
     """Parse a single element (no prolog allowed) into an :class:`XMLElement`."""
+    limits = resolve_limits(limits)
+    limits.check_input_size(text)
+    probe("parse")
     cursor = _Cursor(text)
     cursor.skip_whitespace()
-    element = _parse_element(cursor)
+    element = _parse_element(cursor, limits)
     cursor.skip_whitespace()
     if not cursor.at_end():
         raise cursor.error("content after the element")
@@ -164,6 +243,13 @@ def _skip_doctype(cursor):
     depth = 0
     while not cursor.at_end():
         char = cursor.peek()
+        if char in ("'", '"'):
+            # Quoted literals (system/public ids, entity values) may
+            # contain '>', '[' and ']'; they must not affect nesting or
+            # terminate the DOCTYPE.
+            cursor.advance()
+            cursor.take_until(char, "DOCTYPE literal")
+            continue
         if char == "[":
             depth += 1
         elif char == "]":
@@ -175,30 +261,97 @@ def _skip_doctype(cursor):
     raise cursor.error("unterminated DOCTYPE")
 
 
-def _parse_element(cursor):
+def _parse_element(cursor, limits):
+    """Parse one element and its whole subtree, iteratively.
+
+    An explicit stack of open elements replaces the per-nesting-level
+    recursion this function used to have, so the accepted depth is
+    decided by ``limits.max_depth`` — not by the interpreter's recursion
+    limit (a 10k-deep document used to die with ``RecursionError``).
+    """
     if not cursor.startswith("<"):
         raise cursor.error("expected an element start tag")
-    cursor.advance()
-    name = _read_name(cursor)
-    node = XMLElement(name)
-    _parse_attributes(cursor, node)
-    cursor.skip_whitespace()
-    if cursor.startswith("/>"):
-        cursor.advance(2)
-        return node
-    if not cursor.startswith(">"):
-        raise cursor.error(f"malformed start tag <{name}>")
-    cursor.advance()
-    _parse_content(cursor, node)
-    return node
+    max_depth = limits.max_depth
+    stack = []
+    while True:
+        # The cursor sits on the '<' of a start tag.
+        cursor.advance()
+        name = _read_name(cursor, limits)
+        if max_depth is not None and len(stack) >= max_depth:
+            raise cursor.limit_error(
+                f"nesting depth limit exceeded at <{name}> "
+                f"(depth {len(stack) + 1} > max_depth={max_depth})",
+                "max_depth", len(stack) + 1,
+            )
+        node = XMLElement(name)
+        node.attributes.update(_read_attributes(cursor, name, limits))
+        cursor.skip_whitespace()
+        if cursor.startswith("/>"):
+            cursor.advance(2)
+            if not stack:
+                return node
+            stack[-1].append(node)
+        elif cursor.startswith(">"):
+            cursor.advance()
+            stack.append(node)
+        else:
+            raise cursor.error(f"malformed start tag <{name}>")
+        # Consume content until a nested start tag (break back to the
+        # outer loop, which pushes it) or until every open element has
+        # been closed (the subtree is complete: return it).
+        while stack:
+            if cursor.at_end():
+                raise cursor.error(
+                    f"unterminated element <{stack[-1].name}>"
+                )
+            if cursor.startswith("</"):
+                cursor.advance(2)
+                closing = _read_name(cursor, limits)
+                node = stack[-1]
+                if closing != node.name:
+                    raise cursor.error(
+                        f"mismatched end tag </{closing}> "
+                        f"(expected </{node.name}>)"
+                    )
+                cursor.skip_whitespace()
+                if not cursor.startswith(">"):
+                    raise cursor.error(f"malformed end tag </{closing}>")
+                cursor.advance()
+                stack.pop()
+                if not stack:
+                    return node
+                stack[-1].append(node)
+                continue
+            if cursor.startswith("<!--"):
+                cursor.advance(4)
+                cursor.take_until("-->", "comment")
+                continue
+            if cursor.startswith("<![CDATA["):
+                cursor.advance(len("<![CDATA["))
+                data = cursor.take_until("]]>", "CDATA section")
+                _check_text(data, cursor, limits)
+                stack[-1].append_text(data)
+                continue
+            if cursor.startswith("<?"):
+                cursor.advance(2)
+                cursor.take_until("?>", "processing instruction")
+                continue
+            if cursor.startswith("<"):
+                break
+            # Character data up to the next markup.
+            index = cursor.text.find("<", cursor.pos)
+            if index < 0:
+                raise cursor.error(
+                    f"unterminated element <{stack[-1].name}>"
+                )
+            raw = cursor.text[cursor.pos : index]
+            cursor.pos = index
+            stack[-1].append_text(_decode_entities(raw, cursor, limits))
 
 
-def _parse_attributes(cursor, node):
-    node.attributes.update(_read_attributes(cursor, node.name))
-
-
-def _read_attributes(cursor, owner_name):
+def _read_attributes(cursor, owner_name, limits):
     """Read the attribute list of a start tag into a fresh dict."""
+    max_attributes = limits.max_attributes
     attributes = {}
     while True:
         cursor.skip_whitespace()
@@ -206,7 +359,7 @@ def _read_attributes(cursor, owner_name):
             raise cursor.error(f"unterminated start tag <{owner_name}>")
         if cursor.peek() in ("/", ">"):
             return attributes
-        attr_name = _read_name(cursor)
+        attr_name = _read_name(cursor, limits)
         cursor.skip_whitespace()
         if not cursor.startswith("="):
             raise cursor.error(f"attribute {attr_name!r} is missing '='")
@@ -219,48 +372,14 @@ def _read_attributes(cursor, owner_name):
         raw = cursor.take_until(quote, f"attribute {attr_name!r}")
         if attr_name in attributes:
             raise cursor.error(f"duplicate attribute {attr_name!r}")
-        attributes[attr_name] = _decode_entities(raw, cursor)
-
-
-def _parse_content(cursor, node):
-    while True:
-        if cursor.at_end():
-            raise cursor.error(f"unterminated element <{node.name}>")
-        if cursor.startswith("</"):
-            cursor.advance(2)
-            closing = _read_name(cursor)
-            if closing != node.name:
-                raise cursor.error(
-                    f"mismatched end tag </{closing}> (expected </{node.name}>)"
-                )
-            cursor.skip_whitespace()
-            if not cursor.startswith(">"):
-                raise cursor.error(f"malformed end tag </{closing}>")
-            cursor.advance()
-            return
-        if cursor.startswith("<!--"):
-            cursor.advance(4)
-            cursor.take_until("-->", "comment")
-            continue
-        if cursor.startswith("<![CDATA["):
-            cursor.advance(len("<![CDATA["))
-            node.append_text(cursor.take_until("]]>", "CDATA section"))
-            continue
-        if cursor.startswith("<?"):
-            cursor.advance(2)
-            cursor.take_until("?>", "processing instruction")
-            continue
-        if cursor.startswith("<"):
-            child = _parse_element(cursor)
-            node.append(child)
-            continue
-        # Character data up to the next markup.
-        index = cursor.text.find("<", cursor.pos)
-        if index < 0:
-            raise cursor.error(f"unterminated element <{node.name}>")
-        raw = cursor.text[cursor.pos : index]
-        cursor.pos = index
-        node.append_text(_decode_entities(raw, cursor))
+        if max_attributes is not None and len(attributes) >= max_attributes:
+            raise cursor.limit_error(
+                f"attribute count limit exceeded on <{owner_name}> "
+                f"({len(attributes) + 1} attributes > "
+                f"max_attributes={max_attributes})",
+                "max_attributes", len(attributes) + 1,
+            )
+        attributes[attr_name] = _decode_entities(raw, cursor, limits)
 
 
 # -- streaming (SAX-style) event mode -----------------------------------
@@ -268,15 +387,20 @@ def _parse_content(cursor, node):
 # ``iter_events`` tokenizes a document into a flat event stream without
 # ever materializing the tree: ``("start", name, attributes)``,
 # ``("text", data)`` and ``("end", name)``.  It enforces the same
-# well-formedness rules as :func:`parse_document` (the two share the
-# cursor and attribute machinery), so for every input either both raise
-# :class:`~repro.errors.ParseError` or the event stream spells exactly the
-# tree the parser would build.  The compiled validation engine
-# (:mod:`repro.engine.streaming`) consumes this stream keeping only a
-# stack of DFA states.
+# well-formedness rules and parsing limits as :func:`parse_document` (the
+# two share the cursor and attribute machinery), so for every input
+# either both raise :class:`~repro.errors.ParseError` or the event
+# stream spells exactly the tree the parser would build.  The compiled
+# validation engine (:mod:`repro.engine.streaming`) consumes this stream
+# keeping only a stack of DFA states.
 
-def iter_events(text):
+def iter_events(text, limits=None):
     """Stream SAX-style events from XML ``text`` without building a tree.
+
+    Args:
+        text: the document source.
+        limits: optional :class:`~repro.resilience.ParserLimits`
+            (explicit wins over ambient wins over the defaults).
 
     Yields:
         ``("start", name, attributes)`` for each start tag (attributes is
@@ -286,27 +410,42 @@ def iter_events(text):
         start/end pair).
 
     Raises:
-        ParseError: on the same inputs :func:`parse_document` rejects.
-        Because this is a generator, errors surface lazily, as the stream
-        is consumed.
+        ParseError: on the same inputs :func:`parse_document` rejects
+        (including over-limit ones).  The input-size cap and the fault
+        probe fire eagerly at the call; all other errors surface lazily,
+        as the stream is consumed.
     """
+    limits = resolve_limits(limits)
+    limits.check_input_size(text)
+    probe("parse")
+    return _iter_events(text, limits)
+
+
+def _iter_events(text, limits):
     cursor = _Cursor(text)
     _skip_prolog(cursor)
-    yield from _element_events(cursor)
+    yield from _element_events(cursor, limits)
     _skip_misc(cursor)
     if not cursor.at_end():
         raise cursor.error("content after the root element")
 
 
-def _element_events(cursor):
+def _element_events(cursor, limits):
     if not cursor.startswith("<"):
         raise cursor.error("expected an element start tag")
+    max_depth = limits.max_depth
     stack = []
     while True:
         # Cursor sits on the '<' of a start tag.
         cursor.advance()
-        name = _read_name(cursor)
-        attributes = _read_attributes(cursor, name)
+        name = _read_name(cursor, limits)
+        if max_depth is not None and len(stack) >= max_depth:
+            raise cursor.limit_error(
+                f"nesting depth limit exceeded at <{name}> "
+                f"(depth {len(stack) + 1} > max_depth={max_depth})",
+                "max_depth", len(stack) + 1,
+            )
+        attributes = _read_attributes(cursor, name, limits)
         cursor.skip_whitespace()
         if cursor.startswith("/>"):
             cursor.advance(2)
@@ -328,7 +467,7 @@ def _element_events(cursor):
                 raise cursor.error(f"unterminated element <{stack[-1]}>")
             if cursor.startswith("</"):
                 cursor.advance(2)
-                closing = _read_name(cursor)
+                closing = _read_name(cursor, limits)
                 if closing != stack[-1]:
                     raise cursor.error(
                         f"mismatched end tag </{closing}> "
@@ -348,6 +487,7 @@ def _element_events(cursor):
             if cursor.startswith("<![CDATA["):
                 cursor.advance(len("<![CDATA["))
                 data = cursor.take_until("]]>", "CDATA section")
+                _check_text(data, cursor, limits)
                 if data:
                     yield ("text", data)
                 continue
@@ -363,7 +503,7 @@ def _element_events(cursor):
                 raise cursor.error(f"unterminated element <{stack[-1]}>")
             raw = cursor.text[cursor.pos : index]
             cursor.pos = index
-            data = _decode_entities(raw, cursor)
+            data = _decode_entities(raw, cursor, limits)
             if data:
                 yield ("text", data)
         if not descend:
@@ -374,20 +514,28 @@ def from_etree(etree_element):
     """Convert a stdlib :mod:`xml.etree.ElementTree` element (adapter).
 
     Useful when callers already hold an ElementTree; namespace-qualified
-    tags (``{uri}local``) are reduced to their local name.
+    tags (``{uri}local``) are reduced to their local name.  The walk is
+    iterative, so arbitrarily deep trees convert without recursion.
     """
     def local(tag):
         return tag.rsplit("}", 1)[-1] if tag.startswith("{") else tag
 
-    def convert(source):
-        node = XMLElement(
+    def make(source):
+        return XMLElement(
             local(source.tag),
             attributes={local(k): v for k, v in source.attrib.items()},
             text=source.text or "",
         )
-        for child in source:
-            converted = convert(child)
-            node.append(converted, text_after=child.tail or "")
-        return node
 
-    return convert(etree_element)
+    root = make(etree_element)
+    stack = [(root, iter(etree_element))]
+    while stack:
+        node, children = stack[-1]
+        child = next(children, None)
+        if child is None:
+            stack.pop()
+            continue
+        converted = make(child)
+        node.append(converted, text_after=child.tail or "")
+        stack.append((converted, iter(child)))
+    return root

@@ -49,6 +49,9 @@ def validate_xsd(xsd, document):
         An :class:`XSDValidationReport`; ``report.typing`` is the paper's
         (unique) typing µ restricted to the nodes that received a type.
     """
+    from repro.resilience.faults import probe
+
+    probe("validate")
     report = XSDValidationReport()
     root = document.root
     root_type = xsd.start_type(root.name)

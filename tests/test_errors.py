@@ -3,7 +3,10 @@
 import pytest
 
 from repro.errors import (
+    DeadlineExceeded,
     EDCViolation,
+    InjectedFault,
+    LimitExceeded,
     NotDeterministicError,
     NotKSuffixError,
     ParseError,
@@ -19,13 +22,24 @@ class TestHierarchy:
     @pytest.mark.parametrize(
         "exception_class",
         [ParseError, RegexError, NotDeterministicError, SchemaError,
-         EDCViolation, ValidationError, TranslationError, NotKSuffixError],
+         EDCViolation, ValidationError, TranslationError, NotKSuffixError,
+         LimitExceeded, DeadlineExceeded, InjectedFault],
     )
     def test_all_derive_from_repro_error(self, exception_class):
         assert issubclass(exception_class, ReproError)
 
     def test_edc_is_schema_error(self):
         assert issubclass(EDCViolation, SchemaError)
+
+    def test_limit_exceeded_is_a_parse_error(self):
+        assert issubclass(LimitExceeded, ParseError)
+        error = LimitExceeded("too deep", line=1, column=2,
+                              limit="max_depth", value=1001)
+        assert error.limit == "max_depth" and error.value == 1001
+        assert "line 1" in str(error)
+
+    def test_injected_fault_carries_its_site(self):
+        assert InjectedFault("boom", site="parse").site == "parse"
 
     def test_not_deterministic_is_regex_error(self):
         assert issubclass(NotDeterministicError, RegexError)

@@ -1,0 +1,215 @@
+"""Unit tests for the resilience layer: limits, faults, policy, retry."""
+
+import pytest
+
+from repro.errors import InjectedFault, LimitExceeded, ParseError, ReproError
+from repro.resilience import (
+    DEFAULT_LIMITS,
+    DocumentError,
+    DocumentOutcome,
+    FailurePolicy,
+    FaultInjector,
+    ParserLimits,
+    RetryPolicy,
+    current_injector,
+    current_limits,
+    installed_injector,
+    resolve_injector,
+    resolve_limits,
+)
+
+
+class TestParserLimits:
+    def test_defaults_are_finite(self):
+        for name, value in DEFAULT_LIMITS.to_dict().items():
+            assert value is not None and value > 0, name
+
+    def test_unlimited_disables_everything(self):
+        assert all(
+            value is None
+            for value in ParserLimits.unlimited().to_dict().values()
+        )
+
+    def test_resolution_order(self):
+        explicit = ParserLimits(max_depth=7)
+        assert resolve_limits(explicit) is explicit
+        assert resolve_limits(None) is DEFAULT_LIMITS
+        with ParserLimits(max_depth=3) as ambient:
+            assert current_limits() is ambient
+            assert resolve_limits(None) is ambient
+            assert resolve_limits(explicit) is explicit  # explicit wins
+        assert current_limits() is None
+
+    def test_check_input_size_exact_at_utf8_boundary(self):
+        limits = ParserLimits(max_input_bytes=10)
+        limits.check_input_size("é" * 5)  # 10 bytes: exactly at the cap
+        with pytest.raises(LimitExceeded):
+            limits.check_input_size("é" * 5 + "x")  # 11 bytes
+
+    def test_limit_exceeded_is_a_parse_error(self):
+        assert issubclass(LimitExceeded, ParseError)
+
+
+class TestFaultInjector:
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector(seed=1, rates={"parse": 0.0})
+        for __ in range(100):
+            injector.maybe_fail("parse")
+        assert injector.injected() == 0 and injector.checks() == 100
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(seed=1, rates={"validate": 1.0})
+        with pytest.raises(InjectedFault) as info:
+            injector.maybe_fail("validate")
+        assert info.value.site == "validate"
+        assert isinstance(info.value, ReproError)
+
+    def test_seeded_determinism(self):
+        def run(seed):
+            injector = FaultInjector(seed=seed, rates={"parse": 0.3})
+            fired = []
+            for index in range(200):
+                try:
+                    injector.maybe_fail("parse")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_unconfigured_site_is_a_no_op_but_counted(self):
+        injector = FaultInjector(seed=1, rates={"parse": 1.0})
+        injector.maybe_fail("compile")
+        assert injector.checks("compile") == 1
+        assert injector.injected("compile") == 0
+
+    def test_validates_sites_and_rates(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rates={"teleport": 0.5})
+        with pytest.raises(ValueError):
+            FaultInjector(rates={"parse": 1.5})
+
+    def test_ambient_installation(self):
+        injector = FaultInjector(seed=1)
+        assert current_injector() is None
+        with injector:
+            assert current_injector() is injector
+            assert resolve_injector(None) is injector
+        assert current_injector() is None
+
+    def test_installed_injector_helper_nests(self):
+        outer, inner = FaultInjector(seed=1), FaultInjector(seed=2)
+        with installed_injector(outer):
+            with installed_injector(inner):
+                assert current_injector() is inner
+            assert current_injector() is outer
+
+    def test_stats_snapshot(self):
+        injector = FaultInjector(seed=1, rates={"parse": 1.0})
+        with pytest.raises(InjectedFault):
+            injector.maybe_fail("parse")
+        stats = injector.stats()
+        assert stats["injected"]["parse"] == 1
+        assert stats["checks"]["parse"] == 1
+
+
+class TestFailurePolicy:
+    def test_coerce_accepts_the_three_policies(self):
+        for policy in FailurePolicy.ALL:
+            assert FailurePolicy.coerce(policy) == policy
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            FailurePolicy.coerce("explode")
+
+
+class TestDocumentError:
+    def test_classification(self):
+        cases = [
+            (ParseError("bad", line=2, column=5), "parse", 2, 5),
+            (LimitExceeded("deep", line=1, limit="max_depth"), "limit", 1,
+             None),
+            (InjectedFault("boom", site="parse"), "injected", None, None),
+            (OSError("io"), "io", None, None),
+            (KeyError("x"), "internal", None, None),
+        ]
+        for exc, kind, line, column in cases:
+            error = DocumentError.from_exception(exc)
+            assert error.kind == kind
+            assert error.line == line and error.column == column
+
+    def test_to_dict_roundtrip_fields(self):
+        error = DocumentError.from_exception(ParseError("bad", line=3))
+        assert error.to_dict() == {
+            "kind": "parse", "message": "bad at line 3",
+            "line": 3, "column": None,
+        }
+
+
+class TestDocumentOutcome:
+    def test_exactly_one_of_report_error(self):
+        with pytest.raises(ValueError):
+            DocumentOutcome(0)
+        outcome = DocumentOutcome(0, error=DocumentError.skipped())
+        assert not outcome.ok and not outcome.valid
+        assert outcome.to_dict()["error"]["kind"] == "skipped"
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_bounded(self):
+        policy = RetryPolicy(max_attempts=5, backoff=0.1, multiplier=3.0,
+                             max_backoff=0.5)
+        assert list(policy.delays()) == pytest.approx([0.1, 0.3, 0.5, 0.5])
+
+    def test_call_retries_then_succeeds(self):
+        sleeps = []
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise OSError("transient")
+            return "payload"
+
+        policy = RetryPolicy(max_attempts=3, backoff=0.01,
+                             sleep=sleeps.append)
+        result, used = policy.call(flaky)
+        assert result == "payload" and used == 3
+        assert sleeps == [0.01, 0.02]
+
+    def test_exhaustion_propagates_the_last_error(self):
+        policy = RetryPolicy(max_attempts=2, sleep=lambda _: None)
+        with pytest.raises(OSError, match="always"):
+            policy.call(lambda: (_ for _ in ()).throw(OSError("always")))
+
+    def test_non_transient_errors_skip_retry(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("permanent")
+
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _: None)
+        with pytest.raises(ValueError):
+            policy.call(broken)
+        assert calls["n"] == 1
+
+    def test_on_retry_hook_sees_each_transient_failure(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _: None)
+        with pytest.raises(OSError):
+            policy.call(
+                lambda: (_ for _ in ()).throw(OSError("x")),
+                on_retry=lambda attempt, exc: seen.append(attempt),
+            )
+        assert seen == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-1)

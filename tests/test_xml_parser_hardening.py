@@ -1,0 +1,191 @@
+"""Hardening tests: hostile documents against the parser and both engines."""
+
+import pytest
+
+from repro.errors import LimitExceeded, ParseError
+from repro.resilience import ParserLimits
+from repro.xmlmodel.parser import iter_events, parse_document
+
+
+class TestCharacterReferences:
+    """Invalid numeric character references raise ParseError, never
+    ValueError (they used to escape ``int``/``chr`` raw)."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a>&#x;</a>",          # empty hex digits
+            "<a>&#xZZ;</a>",        # non-hex digits
+            "<a>&#;</a>",           # empty decimal digits
+            "<a>&#abc;</a>",        # non-decimal digits
+            "<a>&#+12;</a>",        # int() would accept the sign
+            "<a>&# 12;</a>",        # int() would accept the whitespace
+            "<a>&#1114112;</a>",    # one past U+10FFFF
+            "<a>&#x110000;</a>",    # one past U+10FFFF, hex
+            "<a>&#xD800;</a>",      # low surrogate bound
+            "<a>&#xDFFF;</a>",      # high surrogate bound
+            "<a>&#55296;</a>",      # surrogate, decimal spelling
+            "<a>&#0;</a>",          # NUL is not an XML character
+            "<a b='&#x;'/>",        # same checks inside attribute values
+        ],
+    )
+    def test_invalid_references_raise_parse_error(self, text):
+        with pytest.raises(ParseError) as info:
+            parse_document(text)
+        assert info.value.line is not None
+        with pytest.raises(ParseError):
+            list(iter_events(text))
+
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("<a>&#65;</a>", "A"),
+            ("<a>&#x41;</a>", "A"),
+            ("<a>&#x1F600;</a>", "\U0001F600"),
+            ("<a>&#x10FFFF;</a>", "\U0010FFFF"),
+            ("<a>&#xd7ff;</a>", "퟿"),
+        ],
+    )
+    def test_valid_references_still_decode(self, text, expected):
+        assert parse_document(text).root.text == expected
+
+
+class TestDoctypeLiterals:
+    def test_gt_inside_system_id_does_not_terminate(self):
+        doc = parse_document('<!DOCTYPE a SYSTEM "odd>name.dtd"><a/>')
+        assert doc.root.name == "a"
+
+    def test_gt_inside_single_quoted_literal(self):
+        doc = parse_document("<!DOCTYPE a SYSTEM 'odd>name.dtd'><a/>")
+        assert doc.root.name == "a"
+
+    def test_brackets_inside_literal_do_not_nest(self):
+        doc = parse_document(
+            '<!DOCTYPE a [ <!ENTITY e "val]ue"> ]><a/>'
+        )
+        assert doc.root.name == "a"
+
+    def test_unterminated_literal_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_document('<!DOCTYPE a SYSTEM "no-close <a/>')
+
+    def test_internal_subset_still_skipped(self):
+        doc = parse_document("<!DOCTYPE a [ <!ELEMENT a (b)> ]><a><b/></a>")
+        assert doc.root.find("b") is not None
+
+
+class TestDepthLimits:
+    """Deep nesting is policy-limited, never interpreter-limited."""
+
+    @staticmethod
+    def _nested(depth, name="a"):
+        return f"<{name}>" * depth + f"</{name}>" * depth
+
+    def test_10k_deep_rejected_by_tree_parser(self):
+        with pytest.raises(ParseError, match="nesting depth limit"):
+            parse_document(self._nested(10_000))
+
+    def test_10k_deep_rejected_by_event_stream(self):
+        with pytest.raises(ParseError, match="nesting depth limit"):
+            list(iter_events(self._nested(10_000)))
+
+    def test_limit_exceeded_is_a_parse_error_with_metadata(self):
+        with pytest.raises(LimitExceeded) as info:
+            parse_document(self._nested(10_000))
+        assert info.value.limit == "max_depth"
+        assert info.value.value == 1001
+        assert info.value.line == 1
+
+    def test_no_recursion_error_even_with_tiny_sys_limit(self):
+        import sys
+
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(100)
+        try:
+            doc = parse_document(self._nested(80), limits=ParserLimits())
+        finally:
+            sys.setrecursionlimit(limit)
+        assert doc.height() == 80
+
+    def test_explicit_depth_limit(self):
+        limits = ParserLimits(max_depth=3)
+        assert parse_document(self._nested(3), limits=limits).height() == 3
+        with pytest.raises(LimitExceeded):
+            parse_document(self._nested(4), limits=limits)
+
+    def test_self_closing_element_counts_toward_depth(self):
+        limits = ParserLimits(max_depth=2)
+        with pytest.raises(LimitExceeded):
+            parse_document("<a><b><c/></b></a>", limits=limits)
+
+    def test_ambient_limits(self):
+        with ParserLimits(max_depth=2):
+            with pytest.raises(LimitExceeded):
+                parse_document(self._nested(3))
+        # Out of the extent, defaults apply again.
+        assert parse_document(self._nested(3)).height() == 3
+
+    def test_unlimited_disables_the_cap(self):
+        import sys
+
+        deep = 2 * sys.getrecursionlimit()
+        doc = parse_document(
+            self._nested(deep), limits=ParserLimits.unlimited()
+        )
+        assert doc.height() == deep
+
+
+class TestOtherLimits:
+    def test_input_size(self):
+        limits = ParserLimits(max_input_bytes=16)
+        with pytest.raises(LimitExceeded) as info:
+            parse_document("<a>" + "x" * 100 + "</a>", limits=limits)
+        assert info.value.limit == "max_input_bytes"
+
+    def test_input_size_counts_utf8_bytes(self):
+        # 9 code points spelling more than 16 UTF-8 bytes.
+        text = "<a>ééééé</a>".replace("a", "ab")
+        limits = ParserLimits(max_input_bytes=len(text) + 1)
+        with pytest.raises(LimitExceeded):
+            parse_document(text * 3, limits=limits)
+
+    def test_attribute_count(self):
+        attrs = " ".join(f"a{i}='v'" for i in range(5))
+        limits = ParserLimits(max_attributes=4)
+        with pytest.raises(LimitExceeded) as info:
+            parse_document(f"<a {attrs}/>", limits=limits)
+        assert info.value.limit == "max_attributes"
+        parse_document(f"<a {attrs}/>", limits=ParserLimits(max_attributes=5))
+
+    def test_name_length(self):
+        limits = ParserLimits(max_name_length=8)
+        with pytest.raises(LimitExceeded) as info:
+            parse_document(f"<{'n' * 9}/>", limits=limits)
+        assert info.value.limit == "max_name_length"
+
+    def test_text_run_length(self):
+        limits = ParserLimits(max_text_length=10)
+        with pytest.raises(LimitExceeded) as info:
+            parse_document("<a>" + "x" * 11 + "</a>", limits=limits)
+        assert info.value.limit == "max_text_length"
+        with pytest.raises(LimitExceeded):
+            parse_document("<a><![CDATA[" + "x" * 11 + "]]></a>",
+                           limits=limits)
+        with pytest.raises(LimitExceeded):
+            parse_document("<a b='" + "x" * 11 + "'/>", limits=limits)
+
+    def test_events_enforce_the_same_limits(self):
+        limits = ParserLimits(max_attributes=1)
+        with pytest.raises(LimitExceeded):
+            list(iter_events("<a x='1' y='2'/>", limits=limits))
+
+    def test_defaults_accept_ordinary_documents(self):
+        from repro.paperdata import FIGURE1_XML
+
+        assert parse_document(FIGURE1_XML).root.name == "document"
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            ParserLimits(max_depth=0)
+        with pytest.raises(ValueError):
+            ParserLimits(max_input_bytes=-1)
