@@ -1,13 +1,15 @@
 # Developer entry points.  `make check` is the gate: tier-1 tests, the
 # engine differential/property suites at the thorough hypothesis profile
-# (500+ generated differential cases), the CLI observability smoke, and
-# the fault-injection chaos smoke; stays well under two minutes.
+# (500+ generated differential cases), the CLI observability smoke, the
+# fault-injection chaos smoke, and the tracing smoke; stays well under
+# two minutes.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: check test differential bench bench-engine metrics-smoke chaos-smoke
+.PHONY: check test differential bench bench-engine metrics-smoke \
+	chaos-smoke trace-smoke
 
-check: test differential metrics-smoke chaos-smoke
+check: test differential metrics-smoke chaos-smoke trace-smoke
 
 test:
 	$(PYTEST) -x -q
@@ -20,6 +22,9 @@ metrics-smoke:
 
 chaos-smoke:
 	PYTHONPATH=src python scripts/chaos_smoke.py
+
+trace-smoke:
+	PYTHONPATH=src python scripts/trace_smoke.py
 
 bench:
 	$(PYTEST) -q benchmarks/ -s

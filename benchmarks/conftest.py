@@ -16,9 +16,24 @@ import pathlib
 
 import pytest
 
-from repro.observability import default_registry
+from repro.observability import Tracer, current_tracer, default_registry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True, scope="session")
+def bench_tracer():
+    """An ambient tracer for the whole bench session.
+
+    Spans recorded by the engine and the translation arrows accumulate in
+    the per-name summary (ring-proof), and :func:`report` attaches the
+    summary to each experiment's JSON so the trajectory sees per-stage
+    nanoseconds alongside the measured rates.  Timed hot loops that must
+    exclude tracing overhead (E13's disabled-path measurement) opt out by
+    resetting the ambient tracer locally.
+    """
+    with Tracer(maxlen=1) as tracer:
+        yield tracer
 
 
 def report(experiment_id, title, lines, data=None):
@@ -35,7 +50,10 @@ def report(experiment_id, title, lines, data=None):
     A snapshot of the process-wide metrics registry rides along under
     ``"metrics"``, so the bench trajectory can correlate the measured
     rates with what the engine actually did (cache behaviour, DFA sizes,
-    states created by the translation arrows).
+    states created by the translation arrows).  When a tracer is ambient
+    (the session-wide :func:`bench_tracer`), the per-span-name timing
+    summary (count / total ns / mean ns per stage) rides along under
+    ``"spans"``.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = f"== {experiment_id}: {title} ==\n" + "\n".join(lines) + "\n"
@@ -46,6 +64,9 @@ def report(experiment_id, title, lines, data=None):
         "lines": list(lines),
         "metrics": default_registry().snapshot(),
     }
+    tracer = current_tracer()
+    if tracer is not None:
+        payload["spans"] = tracer.summary()
     if data is not None:
         payload["data"] = data
     (RESULTS_DIR / f"{experiment_id}.json").write_text(

@@ -1,0 +1,169 @@
+"""Smoke test for the tracing surface (``make trace-smoke``).
+
+Exercises ``--trace FILE`` on a traced convert in both directions (so
+Algorithms 1-4 all record spans) and on a traced streaming validate, then
+checks the JSONL trace files hard:
+
+* every line is a well-formed span record with the expected keys;
+* every span is closed (``end_ns`` stamped, nonnegative duration), and an
+  in-process tracer run reports zero open spans;
+* parent ids form a tree: every non-root parent id is an earlier span in
+  the same file (allocation order guarantees parent_id < span_id, so the
+  graph is acyclic by construction);
+* with no tracer installed, the module-level ``span()`` returns the
+  shared no-op singleton — the disabled path allocates nothing.
+
+Exits nonzero (with a diagnostic) on any failure, so it gates
+``make check``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import tempfile
+
+from repro.cli import main
+from repro.observability import NULL_SPAN, Tracer, span
+from repro.paperdata import FIGURE1_XML, FIGURE5_BONXAI
+from repro.translation import bxsd_to_xsd, xsd_to_bxsd
+
+
+def run_cli(argv):
+    stderr = io.StringIO()
+    stdout = io.StringIO()
+    with contextlib.redirect_stderr(stderr), contextlib.redirect_stdout(
+        stdout
+    ):
+        code = main(argv)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+def check(condition, message):
+    if not condition:
+        print(f"trace-smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+SPAN_KEYS = {
+    "name", "span_id", "trace_id", "parent_id", "start_ns", "end_ns",
+    "duration_ns", "status", "attributes",
+}
+
+
+def load_trace(path):
+    """Parse one JSONL trace file, checking shape and tree structure."""
+    spans = []
+    for line in path.read_text().splitlines():
+        record = json.loads(line)  # raises (fails the smoke) if not JSON
+        check(
+            set(record) == SPAN_KEYS,
+            f"span record keys {sorted(record)} != expected",
+        )
+        spans.append(record)
+    check(spans, f"empty trace file {path}")
+    ids = set()
+    for record in spans:
+        check(
+            record["end_ns"] is not None and record["duration_ns"] >= 0,
+            f"unclosed or time-warped span: {record}",
+        )
+        ids.add(record["span_id"])
+    # A span finishes (and is written) only after all its children, so a
+    # parent appears *later* in the file; ids are allocated parent-first.
+    for record in spans:
+        parent = record["parent_id"]
+        if parent is not None:
+            check(
+                parent in ids and parent < record["span_id"],
+                f"span {record['span_id']} has dangling/late parent "
+                f"{parent}",
+            )
+    roots = [r for r in spans if r["parent_id"] is None]
+    check(roots, "no root span in trace")
+    return spans
+
+
+def main_smoke():
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        bonxai = root / "figure5.bonxai"
+        document = root / "figure1.xml"
+        bonxai.write_text(FIGURE5_BONXAI)
+        document.write_text(FIGURE1_XML)
+
+        # BonXai -> XSD: Algorithms 3 + 4 record spans.
+        forward = root / "convert_forward.jsonl"
+        xsd = root / "figure5.xsd"
+        code, out, err = run_cli(
+            ["convert", str(bonxai), "-o", str(xsd),
+             "--trace", str(forward)]
+        )
+        check(code == 0, f"convert exited {code}; stderr:\n{err}")
+        names = {record["name"] for record in load_trace(forward)}
+        check(
+            {"translation.algorithm3", "translation.algorithm4"} <= names,
+            f"missing Algorithm 3/4 spans: {sorted(names)}",
+        )
+
+        # XSD -> BonXai: Algorithms 1 + 2 (hybrid) record spans.
+        backward = root / "convert_backward.jsonl"
+        code, out, err = run_cli(
+            ["convert", str(xsd), "-o", str(root / "roundtrip.bonxai"),
+             "--trace", str(backward)]
+        )
+        check(code == 0, f"reverse convert exited {code}; stderr:\n{err}")
+        names = {record["name"] for record in load_trace(backward)}
+        check(
+            "translation.algorithm1" in names
+            and {"translation.algorithm2",
+                 "translation.algorithm2.hybrid"} & names,
+            f"missing Algorithm 1/2 spans: {sorted(names)}",
+        )
+
+        # Traced streaming validation: batch + per-doc + engine spans.
+        validated = root / "validate.jsonl"
+        code, out, err = run_cli(
+            ["validate", str(bonxai), str(document), str(document),
+             "--engine", "streaming", "--trace", str(validated)]
+        )
+        check(code == 0, f"validate exited {code}; stderr:\n{err}")
+        spans = load_trace(validated)
+        names = {record["name"] for record in spans}
+        check(
+            {"engine.batch", "engine.batch.doc", "engine.validate"}
+            <= names,
+            f"missing engine spans: {sorted(names)}",
+        )
+
+    # In-process: a clean run leaves no span open.
+    with Tracer() as tracer:
+        with span("smoke.outer"):
+            with span("smoke.inner"):
+                pass
+    check(
+        tracer.open_spans() == 0,
+        f"{tracer.open_spans()} span(s) left open after a clean run",
+    )
+
+    # Disabled tracing is a no-op: the shared singleton, not an allocation.
+    check(
+        span("smoke.disabled") is NULL_SPAN,
+        "span() with no tracer did not return the shared NULL_SPAN",
+    )
+
+    # The translation arrows run unchanged (and untraced) when disabled.
+    from repro.bonxai import compile_schema, parse_bonxai
+
+    bxsd = compile_schema(parse_bonxai(FIGURE5_BONXAI)).bxsd
+    xsd_to_bxsd(bxsd_to_xsd(bxsd))
+
+    print("trace-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_smoke())

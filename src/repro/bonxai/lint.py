@@ -10,7 +10,13 @@ The linter inspects a compiled BonXai schema and reports:
   places where the priority semantics actually decides something (the
   Section 3.2 discussion) — useful to audit intent;
 * ``warning`` — element names used in content models but never given a
-  rule (their content is unconstrained).
+  rule (their content is unconstrained);
+* ``warning`` — with a :class:`~repro.observability.RuleCoverage` sample
+  (``coverage=``), *dynamically dead* rules: rules that decided no
+  element across the sampled documents.  Static shadowing proves a rule
+  can never fire; coverage observes that it did not fire on real data —
+  the two checks catch different smells (an unshadowed rule may still be
+  dead weight for the documents actually produced).
 """
 
 from __future__ import annotations
@@ -41,15 +47,28 @@ class Diagnostic:
         return f"{self.level}{where}: {self.message}"
 
 
-def lint_bxsd(bxsd, check_overlaps=True):
+def lint_bxsd(bxsd, check_overlaps=True, coverage=None):
     """Diagnose a formal BXSD; returns a list of :class:`Diagnostic`.
 
     Args:
         bxsd: the schema to inspect.
         check_overlaps: also report overlapping/shadowed rules (requires
             automata constructions; disable for very large schemas).
+        coverage: optional :class:`~repro.observability.RuleCoverage`
+            accumulated over sample documents (``bxsd.match`` reports);
+            rules that decided no sampled element gain a *dynamically
+            dead* warning each.  The coverage must have been built for
+            this schema (same rule count).
     """
     diagnostics = []
+
+    if coverage is not None:
+        if coverage.rule_count != len(bxsd.rules):
+            raise ValueError(
+                f"coverage tracks {coverage.rule_count} rules but the "
+                f"schema has {len(bxsd.rules)}"
+            )
+        diagnostics.extend(_coverage_diagnostics(bxsd, coverage))
 
     for index, rule in enumerate(bxsd.rules):
         witness = ambiguity_witness(rule.content.regex)
@@ -91,6 +110,25 @@ def lint_bxsd(bxsd, check_overlaps=True):
                 "warning",
                 f"element {name!r} is used but no rule can match it; its "
                 f"content is unconstrained",
+            )
+        )
+    return diagnostics
+
+
+def _coverage_diagnostics(bxsd, coverage):
+    """One warning per rule that decided no element in the sample."""
+    diagnostics = []
+    sample = (
+        f"{coverage.nodes()} element(s) across "
+        f"{coverage.documents} document(s)"
+    )
+    for index in coverage.never_fired():
+        diagnostics.append(
+            Diagnostic(
+                "warning",
+                f"rule decided no element over {sample} (dynamically "
+                f"dead for this sample)",
+                rule_index=index,
             )
         )
     return diagnostics

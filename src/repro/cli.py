@@ -11,14 +11,23 @@ Subcommands::
                                             first errored document) and
                                             prints a summary line
     bonxai highlight <schema> <document>    per-node matched rules
+    bonxai explain   <document> --schema S  per-element provenance: winning
+                                            rule index, assigned type, and
+                                            a first-divergence reason for
+                                            every invalid element
     bonxai convert   <input> [-o OUT]       convert between BonXai and XSD
                                             (direction from extensions)
     bonxai analyze   <schema>               k-suffix analysis + lint
+                                            (--coverage DOC... adds
+                                            dynamically-dead-rule checks)
     bonxai study     [--size N] [--seed S]  run the synthetic corpus study
 
 Every subcommand also accepts the observability flags::
 
-    --metrics                dump a JSON metrics snapshot to stderr on exit
+    --metrics                dump a metrics snapshot to stderr on exit
+    --metrics-format FMT     snapshot format: json (default) or prometheus
+    --trace FILE             stream a JSONL span trace of the whole command
+                             to FILE (one span object per line)
     --budget-states N        cap automaton states created by translations
     --budget-seconds S       wall-clock deadline for the command's
                              constructions
@@ -36,6 +45,8 @@ error: ``validate`` prints a structured one-line report
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 
 from repro.bonxai import (
@@ -77,10 +88,13 @@ def main(argv=None):
             max_seconds=args.budget_seconds,
         )
     try:
-        if budget is not None:
-            with budget:
-                return args.handler(args)
-        return args.handler(args)
+        with contextlib.ExitStack() as stack:
+            trace_path = getattr(args, "trace", None)
+            if trace_path is not None:
+                stack.enter_context(_traced(trace_path))
+            if budget is not None:
+                stack.enter_context(budget)
+            return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -89,9 +103,30 @@ def main(argv=None):
         return 2
     finally:
         if getattr(args, "metrics", False):
-            from repro.observability import default_registry
+            from repro.observability import default_registry, render_metrics
 
-            print(default_registry().to_json(), file=sys.stderr)
+            fmt = getattr(args, "metrics_format", "json")
+            print(
+                render_metrics(default_registry(), fmt), file=sys.stderr
+            )
+
+
+@contextlib.contextmanager
+def _traced(path):
+    """Install an ambient tracer streaming JSONL spans to ``path``.
+
+    The sink writes each span as it finishes, so the file is complete
+    even when the command records more spans than the tracer's ring
+    buffer retains.
+    """
+    from repro.observability import Tracer
+
+    with open(path, "w", encoding="utf-8") as handle:
+        def sink(span):
+            handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+
+        with Tracer(sink=sink):
+            yield
 
 
 def _positive(cast):
@@ -118,7 +153,19 @@ def _build_parser():
     common.add_argument(
         "--metrics",
         action="store_true",
-        help="dump a JSON metrics snapshot to stderr after the command",
+        help="dump a metrics snapshot to stderr after the command",
+    )
+    common.add_argument(
+        "--metrics-format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="format of the --metrics snapshot (default: json)",
+    )
+    common.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="stream a JSONL span trace of the command to FILE",
     )
     common.add_argument(
         "--budget-states",
@@ -176,6 +223,15 @@ def _build_parser():
     highlight.add_argument("document")
     highlight.set_defaults(handler=_cmd_highlight)
 
+    explain = subparsers.add_parser(
+        "explain",
+        help="per-element provenance: winning rule, type, divergence",
+        parents=[common],
+    )
+    explain.add_argument("document")
+    explain.add_argument("--schema", required=True)
+    explain.set_defaults(handler=_cmd_explain)
+
     convert = subparsers.add_parser(
         "convert",
         help="convert between BonXai and XML Schema",
@@ -198,6 +254,14 @@ def _build_parser():
     )
     analyze.add_argument("schema")
     analyze.add_argument("--max-k", type=int, default=6)
+    analyze.add_argument(
+        "--coverage",
+        nargs="+",
+        default=None,
+        metavar="DOC",
+        help="sample documents for rule-coverage lint: rules that decide "
+        "no element in any DOC are reported as dynamically dead",
+    )
     analyze.set_defaults(handler=_cmd_analyze)
 
     study = subparsers.add_parser(
@@ -359,6 +423,49 @@ def _cmd_highlight(args):
     return 0 if report.valid else 1
 
 
+def _cmd_explain(args):
+    """Per-element provenance: who decided what, and why it failed."""
+    from repro.observability import explain_document
+
+    kind, schema = _load_schema(args.schema)
+    document = parse_document(_load_text(args.document))
+    explanation = explain_document(kind, schema, document)
+
+    for entry in explanation.elements:
+        parts = [f"type={entry.type_name}"]
+        if entry.rule_index is not None:
+            parts.append(f"rule=#{entry.rule_index}")
+        parts.append(entry.verdict)
+        print(f"{entry.typed_path}: {' '.join(parts)}")
+        if entry.reason is not None:
+            print(f"  why: {entry.reason}")
+
+    if explanation.rules is not None and explanation.elements:
+        decided = {
+            entry.rule_index
+            for entry in explanation.elements
+            if entry.rule_index is not None
+        }
+        for index in sorted(decided):
+            print(f"rule #{index}: {explanation.rules[index]}")
+
+    if explanation.coverage is not None:
+        dead = explanation.coverage.never_fired()
+        fired = explanation.coverage.rule_count - len(dead)
+        print(
+            f"rule coverage: {fired}/{explanation.coverage.rule_count} "
+            f"rules fired over {explanation.coverage.nodes()} element(s)"
+        )
+
+    for violation in explanation.violations:
+        print(violation)
+    if explanation.valid:
+        print("CONFORMING")
+        return 0
+    print(f"NOT CONFORMING ({len(explanation.violations)} violation(s))")
+    return 1
+
+
 def _cmd_convert(args):
     kind, __ = _load_schema(args.input)
     text = _load_text(args.input)
@@ -422,9 +529,22 @@ def _cmd_analyze(args):
     print(f"structural k-suffix: {k if k is not None else f'> {args.max_k} or unbounded'}")
     print(f"semantic k-locality: {semantic if semantic is not None else f'> {args.max_k} or unbounded'}")
 
+    if args.coverage is not None and bxsd is None:
+        print("--coverage requires a BonXai or DTD schema", file=sys.stderr)
+        return 2
+
     exit_code = 0
     if bxsd is not None:
-        diagnostics = lint_bxsd(bxsd)
+        coverage = None
+        if args.coverage is not None:
+            from repro.observability import RuleCoverage
+
+            coverage = RuleCoverage(len(bxsd.rules))
+            for path in args.coverage:
+                coverage.add_report(
+                    bxsd.match(parse_document(_load_text(path)))
+                )
+        diagnostics = lint_bxsd(bxsd, coverage=coverage)
         for diagnostic in diagnostics:
             print(diagnostic)
         if any(d.level == "error" for d in diagnostics):

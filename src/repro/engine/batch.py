@@ -21,6 +21,14 @@ between events on the streaming engine).  An ambient or explicit
 threads (contextvars do not cross pool threads on their own), so chaos
 tests exercise the exact serving configuration.
 
+Tracing: when a :class:`~repro.observability.Tracer` is ambient, the
+whole call records an ``engine.batch`` span and every document an
+``engine.batch.doc`` child — the tracer and the batch span are
+re-installed inside pool workers with the same trick used for limits and
+injectors, so worker-side spans (``engine.validate`` included) land in
+the caller's trace tree.  With no tracer the batch path is untouched
+(one contextvar read).
+
 Schema-side failures (the schema itself failing to compile) always
 propagate: with no compiled schema there are no per-document outcomes to
 report.
@@ -28,6 +36,7 @@ report.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -36,6 +45,7 @@ from repro.engine.compiler import CompiledSchema
 from repro.engine.streaming import StreamingValidator
 from repro.errors import DeadlineExceeded
 from repro.observability import default_registry
+from repro.observability.tracing import current_tracer, installed_tracer, span
 from repro.resilience import (
     DocumentError,
     DocumentOutcome,
@@ -102,7 +112,33 @@ def validate_many(schema, sources, engine="streaming", workers=None,
     registry.counter("engine.batch.calls").inc()
     registry.counter("engine.batch.docs").inc(len(sources))
 
+    tracer = current_tracer()
+    with span("engine.batch") as batch_span:
+        batch_span.set_attribute("docs", len(sources))
+        batch_span.set_attribute("engine", engine)
+        batch_span.set_attribute("policy", str(policy))
+        batch_span.set_attribute("workers", workers or 1)
+        return _run_batch(
+            schema, sources, engine, workers, cache, policy, deadline,
+            retry, limits, injector, registry,
+            tracer, batch_span if tracer is not None else None,
+        )
+
+
+def _run_batch(schema, sources, engine, workers, cache, policy, deadline,
+               retry, limits, injector, registry, tracer, batch_span):
     validate = _make_validator(schema, engine, cache, limits, deadline)
+
+    def trace_context():
+        """Re-install the caller's tracer + batch span (pool workers).
+
+        Contextvars do not cross pool threads; token-based re-install
+        inside each unit of work makes worker spans children of the
+        batch span.  With no tracer this is a shared no-op context.
+        """
+        if tracer is None:
+            return contextlib.nullcontext()
+        return installed_tracer(tracer, batch_span)
 
     def fetch(source):
         """Resolve a callable source with retry; returns (doc, attempts)."""
@@ -120,8 +156,9 @@ def validate_many(schema, sources, engine="streaming", workers=None,
 
     if policy == FailurePolicy.RAISE:
         def run(source):
-            document, __ = fetch(source)
-            return validate(document, _deadline_at(deadline))
+            with trace_context(), span("engine.batch.doc"):
+                document, __ = fetch(source)
+                return validate(document, _deadline_at(deadline))
 
         if workers is None or workers <= 1 or len(sources) <= 1:
             return [run(source) for source in sources]
@@ -131,25 +168,29 @@ def validate_many(schema, sources, engine="streaming", workers=None,
     def run_isolated(index, source):
         started = time.monotonic()
         attempts = 1
-        try:
-            with installed_injector(injector):
-                document, attempts = fetch(source)
-                report = validate(document, _deadline_at(deadline))
-            return DocumentOutcome(
-                index, report=report,
-                elapsed_seconds=time.monotonic() - started,
-                attempts=attempts,
-            )
-        except Exception as exc:
-            error = DocumentError.from_exception(exc)
-            registry.counter("engine.batch.failed_docs").inc()
-            registry.counter("engine.batch.isolated_errors").inc()
-            registry.counter(f"engine.batch.errors.{error.kind}").inc()
-            return DocumentOutcome(
-                index, error=error,
-                elapsed_seconds=time.monotonic() - started,
-                attempts=attempts,
-            )
+        with trace_context(), span("engine.batch.doc") as doc_span:
+            doc_span.set_attribute("index", index)
+            try:
+                with installed_injector(injector):
+                    document, attempts = fetch(source)
+                    report = validate(document, _deadline_at(deadline))
+                return DocumentOutcome(
+                    index, report=report,
+                    elapsed_seconds=time.monotonic() - started,
+                    attempts=attempts,
+                )
+            except Exception as exc:
+                error = DocumentError.from_exception(exc)
+                doc_span.set_status("error")
+                doc_span.set_attribute("error_kind", error.kind)
+                registry.counter("engine.batch.failed_docs").inc()
+                registry.counter("engine.batch.isolated_errors").inc()
+                registry.counter(f"engine.batch.errors.{error.kind}").inc()
+                return DocumentOutcome(
+                    index, error=error,
+                    elapsed_seconds=time.monotonic() - started,
+                    attempts=attempts,
+                )
 
     if policy == FailurePolicy.FAIL_FAST:
         # Serial by definition: "stop at the first error" has no stable

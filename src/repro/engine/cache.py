@@ -24,6 +24,7 @@ from collections import OrderedDict
 
 from repro.engine.compiler import compile_xsd
 from repro.observability import Counter, Histogram, resolve_registry
+from repro.observability.tracing import span
 
 
 def _join(parts):
@@ -113,35 +114,41 @@ class SchemaCache:
     def get(self, xsd):
         """The :class:`CompiledSchema` for ``xsd``, compiling on miss."""
         registry = self._registry
-        fingerprint = schema_fingerprint(xsd)
-        with self._lock:
-            compiled = self._entries.get(fingerprint)
-            if compiled is not None:
+        with span("engine.cache.get") as trace:
+            fingerprint = schema_fingerprint(xsd)
+            trace.set_attribute("fingerprint", fingerprint[:12])
+            with self._lock:
+                compiled = self._entries.get(fingerprint)
+                if compiled is not None:
+                    self._entries.move_to_end(fingerprint)
+                    self._hits.inc()
+                    registry.counter("engine.cache.hits").inc()
+                    trace.set_attribute("outcome", "hit")
+                    return compiled
+                self._misses.inc()
+                registry.counter("engine.cache.misses").inc()
+            trace.set_attribute("outcome", "miss")
+            # Compile outside the lock: compilation can be slow and is
+            # idempotent — a racing duplicate is harmless and rare.
+            started = time.perf_counter_ns()
+            compiled = compile_xsd(xsd, fingerprint=fingerprint)
+            elapsed = time.perf_counter_ns() - started
+            self._compile_ns.observe(elapsed)
+            registry.histogram("engine.cache.compile_ns").observe(elapsed)
+            evicted = 0
+            with self._lock:
+                self._entries[fingerprint] = compiled
                 self._entries.move_to_end(fingerprint)
-                self._hits.inc()
-                registry.counter("engine.cache.hits").inc()
-                return compiled
-            self._misses.inc()
-            registry.counter("engine.cache.misses").inc()
-        # Compile outside the lock: compilation can be slow and is
-        # idempotent — a racing duplicate is harmless and rare.
-        started = time.perf_counter_ns()
-        compiled = compile_xsd(xsd, fingerprint=fingerprint)
-        elapsed = time.perf_counter_ns() - started
-        self._compile_ns.observe(elapsed)
-        registry.histogram("engine.cache.compile_ns").observe(elapsed)
-        evicted = 0
-        with self._lock:
-            self._entries[fingerprint] = compiled
-            self._entries.move_to_end(fingerprint)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                evicted += 1
-            self._registry.gauge("engine.cache.size").set(len(self._entries))
-        if evicted:
-            self._evictions.inc(evicted)
-            registry.counter("engine.cache.evictions").inc(evicted)
-        return compiled
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    evicted += 1
+                self._registry.gauge("engine.cache.size").set(
+                    len(self._entries)
+                )
+            if evicted:
+                self._evictions.inc(evicted)
+                registry.counter("engine.cache.evictions").inc(evicted)
+            return compiled
 
     def clear(self):
         """Drop every entry (counters are kept)."""

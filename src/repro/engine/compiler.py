@@ -26,6 +26,7 @@ import time
 
 from repro.automata.minimize import minimize
 from repro.observability import default_registry
+from repro.observability.tracing import span
 from repro.regex.derivatives import to_dfa
 from repro.xsd.typednames import split_typed_name
 
@@ -213,52 +214,57 @@ def compile_xsd(xsd, fingerprint=None):
     probe("compile")
     registry = default_registry()
     dfa_sizes = registry.histogram("engine.compile.dfa_states")
-    type_names = tuple(sorted(xsd.types))
-    type_ids = {name: i for i, name in enumerate(type_names)}
-    attr_ids = {}
-    types = []
-    for name in type_names:
-        model = xsd.rho[name]
-        erased = model.map_symbols(lambda s: split_typed_name(s)[0])
-        dfa = compile_regex(erased.regex)
-        dfa_sizes.observe(len(dfa))
-        children = {}
-        for symbol in model.element_names():
-            element_name, target_type = split_typed_name(symbol)
-            children[element_name] = (
-                dfa.symbol_ids[element_name], type_ids[target_type]
+    with span("engine.compile") as trace:
+        type_names = tuple(sorted(xsd.types))
+        type_ids = {name: i for i, name in enumerate(type_names)}
+        attr_ids = {}
+        types = []
+        dfa_states = 0
+        for name in type_names:
+            model = xsd.rho[name]
+            erased = model.map_symbols(lambda s: split_typed_name(s)[0])
+            dfa = compile_regex(erased.regex)
+            dfa_sizes.observe(len(dfa))
+            dfa_states += len(dfa)
+            children = {}
+            for symbol in model.element_names():
+                element_name, target_type = split_typed_name(symbol)
+                children[element_name] = (
+                    dfa.symbol_ids[element_name], type_ids[target_type]
+                )
+            required = tuple(
+                use.name for use in model.attributes if use.required
             )
-        required = tuple(
-            use.name for use in model.attributes if use.required
-        )
-        declared_mask = 0
-        for use in model.attributes:
-            bit = attr_ids.setdefault(use.name, len(attr_ids))
-            declared_mask |= 1 << bit
-        types.append(
-            CompiledType(
-                name=name,
-                dfa=dfa,
-                children=children,
-                mixed=model.mixed,
-                required_attrs=required,
-                declared_mask=declared_mask,
+            declared_mask = 0
+            for use in model.attributes:
+                bit = attr_ids.setdefault(use.name, len(attr_ids))
+                declared_mask |= 1 << bit
+            types.append(
+                CompiledType(
+                    name=name,
+                    dfa=dfa,
+                    children=children,
+                    mixed=model.mixed,
+                    required_attrs=required,
+                    declared_mask=declared_mask,
+                )
             )
+        registry.counter("engine.compile.schemas").inc()
+        registry.counter("engine.compile.types").inc(len(types))
+        trace.set_attribute("types", len(types))
+        trace.set_attribute("dfa_states", dfa_states)
+        start = {}
+        for typed in xsd.start:
+            element_name, target_type = split_typed_name(typed)
+            start[element_name] = type_ids[target_type]
+        return CompiledSchema(
+            fingerprint=fingerprint,
+            types=tuple(types),
+            type_ids=type_ids,
+            start=start,
+            start_names=tuple(sorted(start)),
+            attr_ids=attr_ids,
         )
-    registry.counter("engine.compile.schemas").inc()
-    registry.counter("engine.compile.types").inc(len(types))
-    start = {}
-    for typed in xsd.start:
-        element_name, target_type = split_typed_name(typed)
-        start[element_name] = type_ids[target_type]
-    return CompiledSchema(
-        fingerprint=fingerprint,
-        types=tuple(types),
-        type_ids=type_ids,
-        start=start,
-        start_names=tuple(sorted(start)),
-        attr_ids=attr_ids,
-    )
 
 
 def compile_bonxai(schema):

@@ -28,6 +28,8 @@ import time
 
 from repro.engine.compiler import CompiledSchema
 from repro.observability import default_registry
+from repro.observability.provenance import first_divergence
+from repro.observability.tracing import span
 from repro.xsd.validator import XSDValidationReport
 
 
@@ -42,7 +44,7 @@ class StreamingValidator:
     def __init__(self, schema):
         self.schema = schema
 
-    def validate_events(self, events):
+    def validate_events(self, events, provenance=None):
         """Consume an event iterable; return an XSDValidationReport.
 
         Stops consuming as soon as the outcome is decided (undeclared
@@ -51,13 +53,25 @@ class StreamingValidator:
         any further element event is reported as a violation — a
         malformed stream carrying a second root must not validate clean,
         matching what the tree parser would reject outright.
+
+        Args:
+            events: the SAX-style event iterable.
+            provenance: optional
+                :class:`~repro.observability.ProvenanceRecorder`; when
+                given, every validated element gets an
+                :class:`~repro.observability.ElementProvenance` record
+                (type, content-DFA state path, first-divergence reason).
+                Disabled recording costs the event loop one bool test.
         """
         from repro.resilience.faults import probe
 
         probe("validate")
         registry = default_registry()
         started = time.perf_counter_ns()
-        report, consumed = self._run(events)
+        with span("engine.validate") as trace:
+            report, consumed = self._run(events, provenance)
+            trace.set_attribute("events", consumed)
+            trace.set_attribute("violations", len(report.violations))
         registry.counter("engine.stream.events").inc(consumed)
         registry.counter("engine.stream.docs").inc()
         if report.violations:
@@ -69,16 +83,19 @@ class StreamingValidator:
         )
         return report
 
-    def _run(self, events):
+    def _run(self, events, recorder=None):
         """The validation loop; returns ``(report, events_consumed)``."""
         schema = self.schema
         types = schema.types
         report = XSDValidationReport()
         violations = report.violations
         typing = report.typing
+        recording = recorder is not None
         # Frame layout (a mutable list, tuples would cost re-allocation):
         # [type_id, dfa_state, name, path, typed_path, child_names,
-        #  recognized, has_text, ordinals]
+        #  recognized, has_text, ordinals] — plus, only while a
+        # provenance recorder is attached, [dfa_state_path, entry] at
+        # indices 9/10 (the hot loop never touches them otherwise).
         stack = []
         skip_depth = 0
         root_closed = False
@@ -112,10 +129,17 @@ class StreamingValidator:
                             f"under <{frame[2]}> (type {compiled.name})"
                         )
                         frame[6] = False
+                        if recording:
+                            frame[10].mark_invalid(
+                                f"child <{name}> is not allowed under "
+                                f"<{frame[2]}> (type {compiled.name})"
+                            )
                         skip_depth = 1
                         continue
                     symbol, type_id = entry
                     frame[1] = compiled.dfa.table[frame[1]][symbol]
+                    if recording:
+                        frame[9].append(frame[1])
                     ordinals = frame[8]
                     ordinal = ordinals[name] = ordinals.get(name, 0) + 1
                     path = f"{frame[3]}/{name}"
@@ -131,10 +155,19 @@ class StreamingValidator:
                     path = "/" + name
                     typed_path = f"/{name}[1]"
                 typing[typed_path] = types[type_id].name
-                stack.append(
-                    [type_id, 0, name, path, typed_path, [], True, False, {}]
+                frame = [
+                    type_id, 0, name, path, typed_path, [], True, False, {}
+                ]
+                if recording:
+                    frame.append([0])
+                    frame.append(recorder.start_element(
+                        path, typed_path, name, types[type_id].name
+                    ))
+                stack.append(frame)
+                self._check_attributes(
+                    frame, event[2], violations,
+                    frame[10] if recording else None,
                 )
-                self._check_attributes(stack[-1], event[2], violations)
             elif kind == "end":
                 frame = stack.pop()
                 compiled = types[frame[0]]
@@ -145,11 +178,22 @@ class StreamingValidator:
                         f"[{shown or 'none'}] do not match the content "
                         f"model of type {compiled.name}"
                     )
+                    if recording:
+                        frame[10].mark_invalid(
+                            first_divergence(compiled.dfa, frame[5])
+                        )
                 if frame[7] and not compiled.mixed:
                     violations.append(
                         f"{frame[3]}: element <{frame[2]}> "
                         f"(type {compiled.name}) may not contain text"
                     )
+                    if recording:
+                        frame[10].mark_invalid(
+                            f"contains text but type {compiled.name} "
+                            f"is not mixed"
+                        )
+                if recording:
+                    frame[10].dfa_states = tuple(frame[9])
                 if not stack:
                     # Keep draining: trailing element events (a second
                     # root) must surface as violations, not be ignored.
@@ -159,14 +203,19 @@ class StreamingValidator:
                     stack[-1][7] = True
         return report, consumed
 
-    def _check_attributes(self, frame, attributes, violations):
+    def _check_attributes(self, frame, attributes, violations, entry=None):
         compiled = self.schema.types[frame[0]]
         for required in compiled.required_attrs:
             if required not in attributes:
-                violations.append(
+                message = (
                     f"{frame[3]}: element <{frame[2]}> is missing required "
                     f"attribute {required!r}"
                 )
+                violations.append(message)
+                if entry is not None:
+                    entry.mark_invalid(
+                        f"missing required attribute {required!r}"
+                    )
         attr_ids = self.schema.attr_ids
         mask = compiled.declared_mask
         for attr_name in attributes:
@@ -176,10 +225,14 @@ class StreamingValidator:
                     f"{frame[3]}: element <{frame[2]}> has undeclared "
                     f"attribute {attr_name!r}"
                 )
+                if entry is not None:
+                    entry.mark_invalid(
+                        f"undeclared attribute {attr_name!r}"
+                    )
 
-    def validate(self, source):
+    def validate(self, source, provenance=None):
         """Validate ``source``: XML text, a document/element, or events."""
-        return self.validate_events(as_events(source))
+        return self.validate_events(as_events(source), provenance)
 
 
 def as_events(source):

@@ -1,16 +1,25 @@
-"""Observability: metrics and resource budgets for the serving stack.
+"""Observability: metrics, budgets, tracing, and provenance.
 
-Two orthogonal facilities, both dependency-free and thread-safe:
+Four orthogonal facilities, all dependency-free and thread-safe:
 
 * :mod:`repro.observability.metrics` — counters, gauges, histograms with
   ns-resolution timers, collected in a :class:`MetricsRegistry` that
-  snapshots to dict/JSON.  The engine, translation square, CLI
-  (``--metrics``), and benchmark harness all publish here.
+  snapshots to dict/JSON (one consistent point-in-time cut across all
+  instruments) and exports as Prometheus text
+  (:mod:`repro.observability.export`).
 * :mod:`repro.observability.budget` — :class:`ResourceBudget` caps
   wall-clock time, automaton states, and intermediate regex size in the
   provably-exponential constructions, raising
   :class:`~repro.errors.BudgetExceeded` with partial-progress stats
   instead of hanging (Theorems 8/9 guarantee adversarial inputs exist).
+* :mod:`repro.observability.tracing` — hierarchical :class:`Span` trees
+  with ns timing, attributes, and status, collected by an ambiently
+  installable :class:`Tracer` and exported as JSONL; one shared no-op
+  span when disabled (the CLI's ``--trace FILE``).
+* :mod:`repro.observability.provenance` — per-element validation
+  provenance (winning rule index, XSD type, content-DFA state path,
+  first-divergence explanations) and :class:`RuleCoverage` accounting
+  (the CLI's ``explain`` subcommand and the linter's coverage mode).
 """
 
 from repro.errors import BudgetExceeded
@@ -19,6 +28,7 @@ from repro.observability.budget import (
     current_budget,
     resolve_budget,
 )
+from repro.observability.export import render_metrics, to_prometheus
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -27,16 +37,50 @@ from repro.observability.metrics import (
     default_registry,
     resolve_registry,
 )
+from repro.observability.provenance import (
+    DocumentExplanation,
+    ElementProvenance,
+    ProvenanceRecorder,
+    RuleCoverage,
+    explain_document,
+    first_divergence,
+)
+from repro.observability.tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    installed_tracer,
+    resolve_tracer,
+    span,
+)
 
 __all__ = [
     "BudgetExceeded",
     "Counter",
+    "DocumentExplanation",
+    "ElementProvenance",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_SPAN",
+    "ProvenanceRecorder",
     "ResourceBudget",
+    "RuleCoverage",
+    "Span",
+    "Tracer",
     "current_budget",
+    "current_span",
+    "current_tracer",
     "default_registry",
+    "explain_document",
+    "first_divergence",
+    "installed_tracer",
+    "render_metrics",
     "resolve_budget",
     "resolve_registry",
+    "resolve_tracer",
+    "span",
+    "to_prometheus",
 ]

@@ -1,0 +1,72 @@
+"""Metrics exporters: Prometheus text format and JSON.
+
+Spans export as JSONL (:meth:`~repro.observability.tracing.Tracer.
+write_jsonl`); this module gives :class:`~repro.observability.
+MetricsRegistry` the matching one-call export story.  Both exporters
+render one consistent :meth:`~repro.observability.MetricsRegistry.
+snapshot` (a single point-in-time cut across all instruments).
+
+The Prometheus rendering follows the text exposition format:
+
+* dotted instrument names map to legal metric names (``engine.cache.hits``
+  becomes ``engine_cache_hits``);
+* counters and gauges emit one ``# TYPE`` line and one sample;
+* histograms emit cumulative ``_bucket{le="..."}`` samples derived from
+  the power-of-two buckets (the upper bound of ``<=2^k`` is ``2**k``),
+  plus the mandatory ``+Inf`` bucket, ``_sum``, and ``_count``.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name):
+    """A legal Prometheus metric name for a dotted instrument name."""
+    sanitized = _NAME_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _histogram_lines(metric, summary):
+    lines = [f"# TYPE {metric} histogram"]
+    cumulative = 0
+    for label, hits in summary["buckets"].items():
+        exponent = int(label.split("^", 1)[1])
+        cumulative += hits
+        lines.append(
+            f'{metric}_bucket{{le="{float(2 ** exponent)}"}} {cumulative}'
+        )
+    lines.append(f'{metric}_bucket{{le="+Inf"}} {summary["count"]}')
+    lines.append(f"{metric}_sum {summary['total']}")
+    lines.append(f"{metric}_count {summary['count']}")
+    return lines
+
+
+def to_prometheus(registry):
+    """Render the registry snapshot in Prometheus text format."""
+    snapshot = registry.snapshot()
+    lines = []
+    for name, value in snapshot["counters"].items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot["gauges"].items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, summary in snapshot["histograms"].items():
+        lines.extend(_histogram_lines(_metric_name(name), summary))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_metrics(registry, fmt="json"):
+    """Render the registry in ``fmt`` (``"json"`` or ``"prometheus"``)."""
+    if fmt == "prometheus":
+        return to_prometheus(registry)
+    if fmt == "json":
+        return registry.to_json()
+    raise ValueError(f"unknown metrics format {fmt!r}")

@@ -24,6 +24,7 @@ Design constraints:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 import time
@@ -52,6 +53,10 @@ class Counter:
 
     def snapshot(self):
         return self.value
+
+    def _read_locked(self):
+        """The snapshot value; the caller must hold ``self._lock``."""
+        return self._value
 
     def __repr__(self):
         return f"Counter({self.name}={self.value})"
@@ -82,6 +87,10 @@ class Gauge:
 
     def snapshot(self):
         return self.value
+
+    def _read_locked(self):
+        """The snapshot value; the caller must hold ``self._lock``."""
+        return self._value
 
     def __repr__(self):
         return f"Gauge({self.name}={self.value})"
@@ -134,19 +143,30 @@ class Histogram:
             return self._total
 
     def snapshot(self):
+        """A consistent point-in-time summary.
+
+        Guarantee: all fields come from one instant under the instrument
+        lock, so ``sum(buckets.values()) == count`` and
+        ``mean == total / count`` hold exactly, even under concurrent
+        :meth:`observe` calls.
+        """
         with self._lock:
-            mean = self._total / self._count if self._count else 0
-            return {
-                "count": self._count,
-                "total": self._total,
-                "min": self._min,
-                "max": self._max,
-                "mean": mean,
-                "buckets": {
-                    f"<=2^{exponent}": hits
-                    for exponent, hits in sorted(self._buckets.items())
-                },
-            }
+            return self._read_locked()
+
+    def _read_locked(self):
+        """The snapshot summary; the caller must hold ``self._lock``."""
+        mean = self._total / self._count if self._count else 0
+        return {
+            "count": self._count,
+            "total": self._total,
+            "min": self._min,
+            "max": self._max,
+            "mean": mean,
+            "buckets": {
+                f"<=2^{exponent}": hits
+                for exponent, hits in sorted(self._buckets.items())
+            },
+        }
 
     def __repr__(self):
         return f"Histogram({self.name}, n={self.count})"
@@ -209,14 +229,28 @@ class MetricsRegistry:
         return self.histogram(name).time()
 
     def snapshot(self):
-        """A plain-dict view: {kind: {name: value-or-summary}}."""
+        """A plain-dict view: {kind: {name: value-or-summary}}.
+
+        Consistency guarantee: the snapshot is a single point-in-time cut
+        across *all* instruments — every instrument lock is held (in
+        sorted-name order, so concurrent snapshots cannot deadlock; hot
+        paths only ever hold one instrument lock at a time) while the raw
+        values are read.  Two counters always incremented back-to-back by
+        one thread therefore differ by at most the one in-flight
+        increment in any snapshot, and each histogram summary satisfies
+        ``sum(buckets.values()) == count`` and ``mean == total / count``.
+        """
         with self._lock:
-            instruments = dict(self._instruments)
+            instruments = sorted(self._instruments.items())
         kinds = {Counter: "counters", Gauge: "gauges", Histogram: "histograms"}
         result = {"counters": {}, "gauges": {}, "histograms": {}}
-        for name in sorted(instruments):
-            instrument = instruments[name]
-            result[kinds[type(instrument)]][name] = instrument.snapshot()
+        with contextlib.ExitStack() as stack:
+            for __, instrument in instruments:
+                stack.enter_context(instrument._lock)
+            for name, instrument in instruments:
+                result[kinds[type(instrument)]][name] = (
+                    instrument._read_locked()
+                )
         return result
 
     def to_json(self, indent=2):

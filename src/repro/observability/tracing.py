@@ -1,0 +1,332 @@
+"""Hierarchical tracing spans for the engine and the translation square.
+
+Metrics (PR 2) say *how much*; spans say *where the time went*.  A
+:class:`Span` is one timed region of work — nanosecond start/end from
+``perf_counter_ns``, free-form attributes, an ``ok``/``error`` status, and
+a parent id linking it into a tree — and a :class:`Tracer` collects
+finished spans into a bounded ring buffer plus per-name aggregate
+summaries, exporting them as JSONL (one span object per line).
+
+The installation idiom mirrors :class:`~repro.observability.ResourceBudget`
+and :class:`~repro.resilience.FaultInjector`: enter a tracer to install it
+ambiently for a dynamic extent (a contextvar), and instrumented code opens
+spans through the module-level :func:`span` function::
+
+    with Tracer() as tracer:
+        bxsd_to_xsd(schema)          # every arrow records its span
+    tracer.write_jsonl("trace.jsonl")
+
+**Zero cost when disabled.**  With no tracer installed, :func:`span`
+returns a single shared no-op object after one contextvar read — no
+allocation, no clock read, no locking — so the hot paths pay one ``is
+None`` test per unit of work (never per event).  Instrumented sites open
+one span per document / per translation stage, not per node.
+
+**Pool workers.**  Contextvars do not cross thread-pool boundaries, so
+:func:`repro.engine.validate_many` re-installs the caller's tracer (and
+the batch span as the parent) inside each worker via
+:func:`installed_tracer` — the same re-install trick the resilience layer
+uses for limits and injectors.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import threading
+import time
+from collections import deque
+
+_ambient_tracer = contextvars.ContextVar("repro_tracer", default=None)
+_current_span = contextvars.ContextVar("repro_current_span", default=None)
+
+
+class Span:
+    """One timed, attributed region of work inside a trace tree.
+
+    Created by :meth:`Tracer.span` (or the module-level :func:`span`);
+    used as a context manager.  Entering installs the span as the ambient
+    parent for spans opened inside its extent; exiting restores the
+    previous parent, stamps ``end_ns``, marks the status ``error`` when
+    an exception is propagating, and hands the span to its tracer.
+
+    Attributes:
+        name: the span's stable dotted name (``translation.algorithm3``).
+        span_id: tracer-unique integer id (allocation order: a parent's
+            id is always smaller than its children's).
+        trace_id: the id of the root span of this tree.
+        parent_id: the enclosing span's id, or ``None`` for a root.
+        start_ns / end_ns: ``perf_counter_ns`` stamps (``end_ns`` is
+            ``None`` while the span is open).
+        attributes: free-form dict of JSON-serializable values.
+        status: ``"ok"`` or ``"error"``.
+    """
+
+    __slots__ = ("name", "span_id", "trace_id", "parent_id", "start_ns",
+                 "end_ns", "attributes", "status", "_tracer", "_token")
+
+    def __init__(self, tracer, name, span_id, trace_id, parent_id,
+                 attributes):
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.status = "ok"
+        self._tracer = tracer
+        self._token = None
+        self.end_ns = None
+        self.start_ns = time.perf_counter_ns()
+
+    # -- recording --------------------------------------------------------
+    def set_attribute(self, key, value):
+        self.attributes[key] = value
+
+    def set_status(self, status):
+        self.status = status
+
+    def end(self):
+        """Stamp ``end_ns`` and hand the span to the tracer (idempotent)."""
+        if self.end_ns is None:
+            self.end_ns = time.perf_counter_ns()
+            self._tracer._finish(self)
+
+    @property
+    def duration_ns(self):
+        """Elapsed nanoseconds (up to now while the span is still open)."""
+        end = self.end_ns
+        if end is None:
+            end = time.perf_counter_ns()
+        return end - self.start_ns
+
+    def to_dict(self):
+        """A JSON-serializable view (one JSONL record)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": None if self.end_ns is None else self.duration_ns,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    # -- context manager --------------------------------------------------
+    def __enter__(self):
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, traceback):
+        _current_span.reset(self._token)
+        self._token = None
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault(
+                "error", f"{exc_type.__name__}: {exc}"
+            )
+        self.end()
+        return False
+
+    def __repr__(self):
+        state = "open" if self.end_ns is None else f"{self.duration_ns}ns"
+        return f"<Span {self.name} #{self.span_id} {state}>"
+
+
+class _NullSpan:
+    """The shared no-op span handed out when no tracer is installed.
+
+    Stateless, so one instance serves every disabled call site (including
+    nested ``with`` blocks); every method is a no-op.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def set_attribute(self, key, value):
+        pass
+
+    def set_status(self, status):
+        pass
+
+    def end(self):
+        pass
+
+    def __repr__(self):
+        return "<NullSpan>"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Thread-safe collector of finished spans.
+
+    Args:
+        maxlen: ring-buffer bound on *retained* finished spans (older
+            spans are dropped from the buffer but stay counted in the
+            per-name summary, so aggregates never lose data).
+        sink: optional callable invoked with each finished :class:`Span`
+            (outside the tracer lock) — the CLI's ``--trace FILE`` streams
+            JSONL lines through it so no span is lost to the ring bound.
+
+    Entering the tracer installs it ambiently (contextvar) for the
+    dynamic extent, mirroring :class:`~repro.observability.ResourceBudget`.
+    """
+
+    __slots__ = ("maxlen", "sink", "_spans", "_summary", "_next_id",
+                 "_started", "_finished", "_lock", "_token")
+
+    def __init__(self, maxlen=4096, sink=None):
+        if maxlen < 1:
+            raise ValueError("maxlen must be at least 1")
+        self.maxlen = maxlen
+        self.sink = sink
+        self._spans = deque(maxlen=maxlen)
+        self._summary = {}
+        self._next_id = 1
+        self._started = 0
+        self._finished = 0
+        self._lock = threading.Lock()
+        self._token = None
+
+    # -- span creation ----------------------------------------------------
+    def span(self, name, **attributes):
+        """Open a child span of the current ambient span."""
+        parent = _current_span.get()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            self._started += 1
+        if parent is None:
+            trace_id, parent_id = span_id, None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        return Span(self, name, span_id, trace_id, parent_id, attributes)
+
+    def _finish(self, span):
+        with self._lock:
+            self._finished += 1
+            self._spans.append(span)
+            entry = self._summary.get(span.name)
+            if entry is None:
+                entry = self._summary[span.name] = [0, 0]
+            entry[0] += 1
+            entry[1] += span.duration_ns
+        sink = self.sink
+        if sink is not None:
+            sink(span)
+
+    # -- inspection -------------------------------------------------------
+    def finished_spans(self):
+        """Snapshot list of retained finished spans (oldest first)."""
+        with self._lock:
+            return list(self._spans)
+
+    def open_spans(self):
+        """Spans started but not yet ended (0 after a clean run)."""
+        with self._lock:
+            return self._started - self._finished
+
+    def summary(self):
+        """Per-name aggregates over *all* finished spans (ring-proof).
+
+        Returns:
+            dict ``name -> {"count", "total_ns", "mean_ns"}``.
+        """
+        with self._lock:
+            return {
+                name: {
+                    "count": count,
+                    "total_ns": total,
+                    "mean_ns": total / count if count else 0,
+                }
+                for name, (count, total) in sorted(self._summary.items())
+            }
+
+    # -- export -----------------------------------------------------------
+    def to_jsonl(self):
+        """Retained finished spans as JSONL text (one object per line)."""
+        return "".join(
+            json.dumps(span.to_dict(), sort_keys=True) + "\n"
+            for span in self.finished_spans()
+        )
+
+    def write_jsonl(self, target):
+        """Write :meth:`to_jsonl` to a path or a writable file object."""
+        text = self.to_jsonl()
+        if hasattr(target, "write"):
+            target.write(text)
+            return
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+    # -- ambient installation ---------------------------------------------
+    def __enter__(self):
+        self._token = _ambient_tracer.set(self)
+        return self
+
+    def __exit__(self, *exc_info):
+        _ambient_tracer.reset(self._token)
+        self._token = None
+        return False
+
+    def __repr__(self):
+        return (
+            f"<Tracer finished={self._finished} open={self.open_spans()} "
+            f"maxlen={self.maxlen}>"
+        )
+
+
+def current_tracer():
+    """The ambiently installed tracer, or ``None``."""
+    return _ambient_tracer.get()
+
+
+def current_span():
+    """The innermost open ambient span, or ``None``."""
+    return _current_span.get()
+
+
+def resolve_tracer(tracer=None):
+    """``tracer`` if given, else the ambient one (``None`` when neither)."""
+    return tracer if tracer is not None else _ambient_tracer.get()
+
+
+def span(name, **attributes):
+    """Open a span on the ambient tracer; the shared no-op when disabled.
+
+    This is the call instrumented hot paths make: one contextvar read,
+    and with no tracer installed the same stateless :data:`NULL_SPAN`
+    object is returned every time — no allocation, no clock read.
+    """
+    tracer = _ambient_tracer.get()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+@contextlib.contextmanager
+def installed_tracer(tracer, parent=None):
+    """Install ``tracer`` (and ``parent`` as the current span) ambiently.
+
+    Token-based, so concurrent use from pool worker threads is safe —
+    the worker threads of :func:`repro.engine.validate_many` use this to
+    carry the caller's tracer and the batch span across the pool boundary
+    (entering the :class:`Tracer` instance itself would clobber the reset
+    token under concurrency, exactly like the fault injector).
+    """
+    tracer_token = _ambient_tracer.set(tracer)
+    span_token = _current_span.set(parent)
+    try:
+        yield tracer
+    finally:
+        _current_span.reset(span_token)
+        _ambient_tracer.reset(tracer_token)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.automata.minimize import minimal_complete_dfa_for_regex
 from repro.observability import default_registry, resolve_budget
+from repro.observability.tracing import span
 from repro.xsd.content import ContentModel
 from repro.xsd.dfa_based import DFABasedXSD
 from repro.regex.ast import universal
@@ -45,6 +46,11 @@ def bxsd_to_dfa_based(schema, full_product=False, budget=None):
     Returns:
         An equivalent :class:`~repro.xsd.dfa_based.DFABasedXSD`.
     """
+    with span("translation.algorithm3") as trace:
+        return _bxsd_to_dfa_based(schema, full_product, budget, trace)
+
+
+def _bxsd_to_dfa_based(schema, full_product, budget, trace):
     budget = resolve_budget(budget)
     alphabet = frozenset(schema.ename)
     # Line 2: A_i := minimal complete DFA for L(r_i).
@@ -122,6 +128,7 @@ def bxsd_to_dfa_based(schema, full_product=False, budget=None):
     default_registry().counter("translation.algorithm3.states").inc(
         len(order) + 1
     )
+    trace.set_attribute("states", len(order) + 1)
     return DFABasedXSD(
         states=frozenset(assign) | {initial},
         alphabet=alphabet,

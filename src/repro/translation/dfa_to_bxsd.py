@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.automata.state_elimination import dfa_to_regex
 from repro.bonxai.bxsd import BXSD, Rule
 from repro.observability import default_registry, resolve_budget
+from repro.observability.tracing import span
 
 
 def dfa_based_to_bxsd(schema, simplify=True, trim=True, budget=None):
@@ -38,29 +39,38 @@ def dfa_based_to_bxsd(schema, simplify=True, trim=True, budget=None):
     Returns:
         An equivalent :class:`~repro.bonxai.bxsd.BXSD`.
     """
-    budget = resolve_budget(budget)
-    if trim:
-        # Pruning also removes transitions that no conforming document can
-        # take (names outside the source state's content model), keeping
-        # the ancestor automaton -- and hence the generated expressions --
-        # as sparse as the schema itself.
-        schema = schema.pruned()
-    ancestor_dfa = schema.ancestor_dfa()
-    rules = []
-    for state in sorted(schema.states, key=repr):
-        if state == schema.initial:
-            continue
-        if budget is not None:
-            budget.check_time(where="translation.algorithm2")
-        # Line 2: r_q := a regular expression for (Q, EName, delta, q0, {q}).
-        pattern = dfa_to_regex(
-            ancestor_dfa, accepting={state}, simplify=simplify, budget=budget
+    with span("translation.algorithm2") as trace:
+        budget = resolve_budget(budget)
+        if trim:
+            # Pruning also removes transitions that no conforming document
+            # can take (names outside the source state's content model),
+            # keeping the ancestor automaton -- and hence the generated
+            # expressions -- as sparse as the schema itself.
+            schema = schema.pruned()
+        ancestor_dfa = schema.ancestor_dfa()
+        rules = []
+        for state in sorted(schema.states, key=repr):
+            if state == schema.initial:
+                continue
+            if budget is not None:
+                budget.check_time(where="translation.algorithm2")
+            # Line 2: r_q := a regular expression for
+            # (Q, EName, delta, q0, {q}).
+            pattern = dfa_to_regex(
+                ancestor_dfa, accepting={state}, simplify=simplify,
+                budget=budget,
+            )
+            # Line 3: s_q := lambda(q), untouched.
+            rules.append(Rule(pattern, schema.assign[state]))
+        default_registry().counter("translation.algorithm2.rules").inc(
+            len(rules)
         )
-        # Line 3: s_q := lambda(q), untouched.
-        rules.append(Rule(pattern, schema.assign[state]))
-    default_registry().counter("translation.algorithm2.rules").inc(len(rules))
-    return BXSD(
-        ename=schema.alphabet,
-        start=schema.start,
-        rules=rules,
-    )
+        trace.set_attribute("rules", len(rules))
+        trace.set_attribute(
+            "regex_size", sum(rule.pattern.size for rule in rules)
+        )
+        return BXSD(
+            ename=schema.alphabet,
+            start=schema.start,
+            rules=rules,
+        )

@@ -10,6 +10,7 @@ expressions are never rebuilt, so UPA is preserved; EDC holds because
 from __future__ import annotations
 
 from repro.observability import default_registry, resolve_budget
+from repro.observability.tracing import span
 from repro.xsd.model import XSD
 from repro.xsd.typednames import TypedName
 
@@ -29,48 +30,50 @@ def dfa_based_to_xsd(schema, type_namer=None, trim=True, budget=None):
     Returns:
         An equivalent formal :class:`~repro.xsd.model.XSD`.
     """
-    budget = resolve_budget(budget)
-    if trim:
-        schema = schema.trimmed()
-    states = sorted(
-        (state for state in schema.states if state != schema.initial),
-        key=repr,
-    )
-    if budget is not None and states:
-        budget.charge_states(len(states), where="translation.algorithm4")
-    default_registry().counter("translation.algorithm4.types").inc(
-        len(states)
-    )
-    if type_namer is None:
-        names = {state: f"T{index}" for index, state in enumerate(states)}
-        type_namer = names.__getitem__
+    with span("translation.algorithm4") as trace:
+        budget = resolve_budget(budget)
+        if trim:
+            schema = schema.trimmed()
+        states = sorted(
+            (state for state in schema.states if state != schema.initial),
+            key=repr,
+        )
+        if budget is not None and states:
+            budget.charge_states(len(states), where="translation.algorithm4")
+        default_registry().counter("translation.algorithm4.types").inc(
+            len(states)
+        )
+        trace.set_attribute("types", len(states))
+        if type_namer is None:
+            names = {state: f"T{index}" for index, state in enumerate(states)}
+            type_namer = names.__getitem__
 
-    type_of = {state: str(type_namer(state)) for state in states}
-    if len(set(type_of.values())) != len(type_of):
-        raise ValueError("type_namer must be injective on states")
+        type_of = {state: str(type_namer(state)) for state in states}
+        if len(set(type_of.values())) != len(type_of):
+            raise ValueError("type_namer must be injective on states")
 
-    # Line 2: T0 := {a[delta(q0, a)] | a in S, delta(q0, a) defined}.
-    start = set()
-    for name in schema.start:
-        target = schema.transitions.get((schema.initial, name))
-        if target is not None:
-            start.add(TypedName(name, type_of[target]))
+        # Line 2: T0 := {a[delta(q0, a)] | a in S, delta(q0, a) defined}.
+        start = set()
+        for name in schema.start:
+            target = schema.transitions.get((schema.initial, name))
+            if target is not None:
+                start.add(TypedName(name, type_of[target]))
 
-    # Lines 3-5: rho(q) is lambda(q) with a replaced by a[delta(q, a)].
-    rho = {}
-    for state in states:
-        model = schema.assign[state]
+        # Lines 3-5: rho(q) is lambda(q) with a replaced by a[delta(q, a)].
+        rho = {}
+        for state in states:
+            model = schema.assign[state]
 
-        def attach(symbol, state=state):
-            return TypedName(
-                symbol, type_of[schema.transitions[(state, symbol)]]
-            )
+            def attach(symbol, state=state):
+                return TypedName(
+                    symbol, type_of[schema.transitions[(state, symbol)]]
+                )
 
-        rho[type_of[state]] = model.map_symbols(attach)
+            rho[type_of[state]] = model.map_symbols(attach)
 
-    return XSD(
-        ename=schema.alphabet,
-        types=set(type_of.values()),
-        rho=rho,
-        start=start,
-    )
+        return XSD(
+            ename=schema.alphabet,
+            types=set(type_of.values()),
+            rho=rho,
+            start=start,
+        )

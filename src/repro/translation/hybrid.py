@@ -39,6 +39,7 @@ import itertools
 from repro.automata.operations import difference, is_empty, union_dfa
 from repro.automata.state_elimination import dfa_to_regex
 from repro.bonxai.bxsd import BXSD, Rule
+from repro.observability.tracing import span
 from repro.regex.ast import concat, sym, universal
 from repro.regex.derivatives import to_dfa
 from repro.translation.ksuffix import _totalized  # shared totalization
@@ -56,6 +57,16 @@ def hybrid_dfa_based_to_bxsd(schema, max_k=3, simplify=True):
         An equivalent :class:`~repro.bonxai.bxsd.BXSD` (rules ordered
         general-first, exceptions later).
     """
+    with span("translation.algorithm2.hybrid") as trace:
+        result = _hybrid_dfa_based_to_bxsd(schema, max_k, simplify)
+        trace.set_attribute("rules", len(result.rules))
+        trace.set_attribute(
+            "regex_size", sum(rule.pattern.size for rule in result.rules)
+        )
+        return result
+
+
+def _hybrid_dfa_based_to_bxsd(schema, max_k, simplify):
     schema = schema.pruned()
     states, step = _totalized(schema)
     alphabet = sorted(schema.alphabet)

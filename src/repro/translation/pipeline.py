@@ -11,6 +11,7 @@ detection runs first and the Aho-Corasick / suffix-probing constructions
 
 from __future__ import annotations
 
+from repro.observability.tracing import span
 from repro.translation.bxsd_to_dfa import bxsd_to_dfa_based
 from repro.translation.dfa_to_bxsd import dfa_based_to_bxsd
 from repro.translation.dfa_to_xsd import dfa_based_to_xsd
@@ -30,17 +31,18 @@ def xsd_to_bxsd(xsd, simplify=True, prefer_ksuffix=False, max_k=3,
         budget: optional :class:`~repro.observability.ResourceBudget`
             covering both arrows (falls back to the ambient one).
     """
-    schema = xsd_to_dfa_based(xsd, budget=budget)
-    if prefer_ksuffix:
-        from repro.translation.ksuffix import (
-            detect_k_suffix,
-            ksuffix_dfa_based_to_bxsd,
-        )
+    with span("translation.xsd_to_bxsd"):
+        schema = xsd_to_dfa_based(xsd, budget=budget)
+        if prefer_ksuffix:
+            from repro.translation.ksuffix import (
+                detect_k_suffix,
+                ksuffix_dfa_based_to_bxsd,
+            )
 
-        k = detect_k_suffix(schema, max_k=max_k)
-        if k is not None:
-            return ksuffix_dfa_based_to_bxsd(schema, k)
-    return dfa_based_to_bxsd(schema, simplify=simplify, budget=budget)
+            k = detect_k_suffix(schema, max_k=max_k)
+            if k is not None:
+                return ksuffix_dfa_based_to_bxsd(schema, k)
+        return dfa_based_to_bxsd(schema, simplify=simplify, budget=budget)
 
 
 def bxsd_to_xsd(bxsd, prefer_ksuffix=False, max_k=3, budget=None):
@@ -57,17 +59,18 @@ def bxsd_to_xsd(bxsd, prefer_ksuffix=False, max_k=3, budget=None):
             adversarial input (Theorem 9's ``B_n``) the product arrow
             raises :class:`~repro.errors.BudgetExceeded` promptly.
     """
-    if prefer_ksuffix:
-        from repro.translation.ksuffix import (
-            bxsd_suffix_width,
-            ksuffix_bxsd_to_dfa_based,
-        )
-
-        k = bxsd_suffix_width(bxsd)
-        if k is not None and k <= max_k:
-            return dfa_based_to_xsd(
-                ksuffix_bxsd_to_dfa_based(bxsd), budget=budget
+    with span("translation.bxsd_to_xsd"):
+        if prefer_ksuffix:
+            from repro.translation.ksuffix import (
+                bxsd_suffix_width,
+                ksuffix_bxsd_to_dfa_based,
             )
-    return dfa_based_to_xsd(
-        bxsd_to_dfa_based(bxsd, budget=budget), budget=budget
-    )
+
+            k = bxsd_suffix_width(bxsd)
+            if k is not None and k <= max_k:
+                return dfa_based_to_xsd(
+                    ksuffix_bxsd_to_dfa_based(bxsd), budget=budget
+                )
+        return dfa_based_to_xsd(
+            bxsd_to_dfa_based(bxsd, budget=budget), budget=budget
+        )

@@ -10,6 +10,7 @@ carried over verbatim modulo erasure, so determinism (UPA) is preserved.
 from __future__ import annotations
 
 from repro.observability import default_registry, resolve_budget
+from repro.observability.tracing import span
 from repro.xsd.dfa_based import DFABasedXSD
 from repro.xsd.typednames import split_typed_name
 
@@ -27,42 +28,45 @@ def xsd_to_dfa_based(xsd, budget=None):
         An equivalent :class:`~repro.xsd.dfa_based.DFABasedXSD` whose
         states are the XSD's type names plus a fresh initial state.
     """
-    budget = resolve_budget(budget)
-    if budget is not None:
-        budget.charge_states(len(xsd.types) + 1,
-                             where="translation.algorithm1")
-    default_registry().counter("translation.algorithm1.states").inc(
-        len(xsd.types) + 1
-    )
-    initial = INITIAL_STATE
-    while initial in xsd.types:
-        initial = initial + "_"
-
-    # Line 1: S := {a | exists t with a[t] in T0}.
-    start = set()
-    transitions = {}
-    for typed in xsd.start:
-        element_name, type_name = split_typed_name(typed)
-        start.add(element_name)
-        # Line 3: delta(q0, a) := t.  (EDC on T0 makes this unambiguous.)
-        transitions[(initial, element_name)] = type_name
-
-    # Line 4: delta(t1, a) := t2 for each a[t2] occurring in rho(t1).
-    # Line 5: lambda(t) := mu(rho(t)) (type erasure).
-    assign = {}
-    for type_name, model in xsd.rho.items():
-        for symbol in model.element_names():
-            element_name, target_type = split_typed_name(symbol)
-            transitions[(type_name, element_name)] = target_type
-        assign[type_name] = model.map_symbols(
-            lambda s: split_typed_name(s)[0]
+    with span("translation.algorithm1") as trace:
+        budget = resolve_budget(budget)
+        if budget is not None:
+            budget.charge_states(len(xsd.types) + 1,
+                                 where="translation.algorithm1")
+        default_registry().counter("translation.algorithm1.states").inc(
+            len(xsd.types) + 1
         )
+        trace.set_attribute("states", len(xsd.types) + 1)
+        initial = INITIAL_STATE
+        while initial in xsd.types:
+            initial = initial + "_"
 
-    return DFABasedXSD(
-        states=frozenset(xsd.types) | {initial},
-        alphabet=frozenset(xsd.ename),
-        transitions=transitions,
-        initial=initial,
-        start=frozenset(start),
-        assign=assign,
-    )
+        # Line 1: S := {a | exists t with a[t] in T0}.
+        start = set()
+        transitions = {}
+        for typed in xsd.start:
+            element_name, type_name = split_typed_name(typed)
+            start.add(element_name)
+            # Line 3: delta(q0, a) := t.  (EDC on T0 makes this
+            # unambiguous.)
+            transitions[(initial, element_name)] = type_name
+
+        # Line 4: delta(t1, a) := t2 for each a[t2] occurring in rho(t1).
+        # Line 5: lambda(t) := mu(rho(t)) (type erasure).
+        assign = {}
+        for type_name, model in xsd.rho.items():
+            for symbol in model.element_names():
+                element_name, target_type = split_typed_name(symbol)
+                transitions[(type_name, element_name)] = target_type
+            assign[type_name] = model.map_symbols(
+                lambda s: split_typed_name(s)[0]
+            )
+
+        return DFABasedXSD(
+            states=frozenset(xsd.types) | {initial},
+            alphabet=frozenset(xsd.ename),
+            transitions=transitions,
+            initial=initial,
+            start=frozenset(start),
+            assign=assign,
+        )

@@ -59,6 +59,82 @@ class TestRegistry:
         with pytest.raises(TypeError):
             registry.gauge("a")
 
+    def test_histogram_snapshot_is_consistent_under_concurrency(self):
+        # The documented guarantee: every field of one snapshot comes
+        # from one instant, so the internal invariants hold exactly even
+        # while observe() races.
+        histogram = MetricsRegistry().histogram("test.racy")
+        stop = threading.Event()
+
+        def hammer():
+            value = 1
+            while not stop.is_set():
+                histogram.observe(value)
+                value = value % 1000 + 1
+
+        threads = [threading.Thread(target=hammer) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for __ in range(200):
+                snapshot = histogram.snapshot()
+                assert (
+                    sum(snapshot["buckets"].values()) == snapshot["count"]
+                )
+                if snapshot["count"]:
+                    assert snapshot["mean"] == (
+                        snapshot["total"] / snapshot["count"]
+                    )
+                    assert snapshot["min"] <= snapshot["mean"]
+                    assert snapshot["mean"] <= snapshot["max"]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+    def test_registry_snapshot_is_one_point_in_time_cut(self):
+        # Two counters incremented back-to-back by each worker may never
+        # drift by more than the one in-flight increment in any snapshot:
+        # the registry holds every instrument lock while reading.
+        registry = MetricsRegistry()
+        first = registry.counter("test.pair.a")
+        second = registry.counter("test.pair.b")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                first.inc()
+                second.inc()
+
+        worker = threading.Thread(target=hammer)
+        worker.start()
+        try:
+            for __ in range(500):
+                counters = registry.snapshot()["counters"]
+                a, b = counters["test.pair.a"], counters["test.pair.b"]
+                assert b <= a <= b + 1, f"torn snapshot: a={a} b={b}"
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_concurrent_registry_snapshots_do_not_deadlock(self):
+        registry = MetricsRegistry()
+        for index in range(20):
+            registry.counter(f"test.many.{index}").inc()
+        done = []
+
+        def snap():
+            for __ in range(100):
+                registry.snapshot()
+            done.append(True)
+
+        threads = [threading.Thread(target=snap) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(done) == 4
+
     def test_counter_rejects_negative(self):
         with pytest.raises(ValueError):
             MetricsRegistry().counter("c").inc(-1)
@@ -256,3 +332,53 @@ class TestInstrumentation:
         assert (
             registry.counter("translation.algorithm3.states").value > before
         )
+
+
+class TestExport:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.cache.hits").inc(3)
+        registry.gauge("engine.cache.size").set(2)
+        histogram = registry.histogram("engine.stream.doc_ns")
+        histogram.observe(5)
+        histogram.observe(900)
+        return registry
+
+    def test_prometheus_text_shape(self):
+        from repro.observability import to_prometheus
+
+        text = to_prometheus(self._registry())
+        assert "# TYPE engine_cache_hits counter" in text
+        assert "engine_cache_hits 3" in text
+        assert "# TYPE engine_cache_size gauge" in text
+        assert "engine_cache_size 2" in text
+        assert "# TYPE engine_stream_doc_ns histogram" in text
+        assert 'engine_stream_doc_ns_bucket{le="+Inf"} 2' in text
+        assert "engine_stream_doc_ns_sum 905" in text
+        assert "engine_stream_doc_ns_count 2" in text
+
+    def test_prometheus_buckets_are_cumulative(self):
+        from repro.observability import to_prometheus
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (1, 2, 3, 1000):
+            histogram.observe(value)
+        lines = [
+            line
+            for line in to_prometheus(registry).splitlines()
+            if line.startswith('h_bucket{')
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4  # +Inf sees everything
+
+    def test_render_metrics_json_matches_snapshot(self):
+        from repro.observability import render_metrics
+
+        registry = self._registry()
+        assert json.loads(render_metrics(registry, "json")) == (
+            json.loads(registry.to_json())
+        )
+        with pytest.raises(ValueError):
+            render_metrics(registry, "xml")
