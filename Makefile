@@ -1,15 +1,17 @@
 # Developer entry points.  `make check` is the gate: tier-1 tests, the
 # engine differential/property suites at the thorough hypothesis profile
 # (500+ generated differential cases), the CLI observability smoke, the
-# fault-injection chaos smoke, and the tracing smoke; stays well under
+# fault-injection chaos smoke, the tracing smoke, and the conformance
+# smoke (oracle fire drill + regression-corpus replay); stays well under
 # two minutes.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: check test differential bench bench-engine metrics-smoke \
-	chaos-smoke trace-smoke
+	chaos-smoke trace-smoke conformance-smoke conformance
 
-check: test differential metrics-smoke chaos-smoke trace-smoke
+check: test differential metrics-smoke chaos-smoke trace-smoke \
+	conformance-smoke
 
 test:
 	$(PYTEST) -x -q
@@ -25,6 +27,13 @@ chaos-smoke:
 
 trace-smoke:
 	PYTHONPATH=src python scripts/trace_smoke.py
+
+conformance-smoke:
+	PYTHONPATH=src python scripts/conformance_smoke.py
+
+# The full acceptance sweep (the smoke runs a miniature of it).
+conformance:
+	PYTHONPATH=src python -m repro.cli conformance --seed 0 --cases 500
 
 bench:
 	$(PYTEST) -q benchmarks/ -s

@@ -1,0 +1,94 @@
+"""E14: conformance-harness throughput and shrink latency.
+
+Measures the harness itself (the meta-tooling must stay cheap enough to
+run in `make check` and as a pre-merge sweep):
+
+* **sweep throughput** — cases/second and documents/second for a
+  500-case seeded sweep with the full oracle (every validator corner,
+  every round-trip, mutants included);
+* **shrink latency** — percentiles (p50/p90/p99) of delta-debugging a
+  crash failure down to a minimal repro, measured over injected-fault
+  failures across many seeds (each shrink run pays repeated full-oracle
+  evaluations, so this bounds the worst-case triage cost per finding);
+* **oracle overhead split** — per-phase span totals ride along in the
+  JSON via the ambient bench tracer.
+
+There is no paper analogue (the paper proves Lemmas 4-7 on paper); the
+bar is operational: the 500-case sweep must sustain >= 10 cases/s and
+report zero disagreements.
+"""
+
+import time
+
+from repro.conformance import SweepConfig, run_sweep
+from repro.resilience.faults import FaultInjector, installed_injector
+
+from benchmarks.conftest import report
+
+CASES = 500
+RATE_FLOOR = 10.0
+"""Required sweep throughput (cases/second) for the 500-case sweep."""
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def bench_conformance(benchmark):
+    # -- sweep throughput --------------------------------------------------
+    result = run_sweep(SweepConfig(seed=0, cases=CASES))
+    assert result.clean, [f.describe() for f in result.failures]
+    case_rate = result.cases_run / result.elapsed_seconds
+    doc_rate = result.documents / result.elapsed_seconds
+
+    # -- shrink latency over injected-fault failures -----------------------
+    shrink_seconds = []
+    seed = 0
+    while len(shrink_seconds) < 12 and seed < 40:
+        injector = FaultInjector(seed=seed, rates={"validate": 1.0})
+        with installed_injector(injector):
+            started = time.perf_counter()
+            drill = run_sweep(SweepConfig(seed=seed, cases=3, max_failures=2))
+            elapsed = time.perf_counter() - started
+        shrunk = [f for f in drill.failures if f.shrink_steps > 0]
+        if shrunk:
+            shrink_seconds.append(elapsed / len(shrunk))
+        seed += 1
+    assert shrink_seconds, "no injected failure was ever shrunk"
+
+    p50 = _percentile(shrink_seconds, 0.50)
+    p90 = _percentile(shrink_seconds, 0.90)
+    p99 = _percentile(shrink_seconds, 0.99)
+
+    lines = [
+        f"sweep: {result.cases_run} cases, {result.documents} documents, "
+        f"{result.checks} checks, {len(result.failures)} disagreements",
+        f"throughput: {case_rate:.1f} cases/s, {doc_rate:.1f} documents/s "
+        f"(floor {RATE_FLOOR:.0f} cases/s)",
+        f"shrink time per failure: p50 {p50 * 1000:.0f} ms, "
+        f"p90 {p90 * 1000:.0f} ms, p99 {p99 * 1000:.0f} ms "
+        f"({len(shrink_seconds)} samples)",
+    ]
+    report(
+        "E14",
+        "conformance sweep throughput and shrink latency",
+        lines,
+        data={
+            "cases": result.cases_run,
+            "documents": result.documents,
+            "checks": result.checks,
+            "disagreements": len(result.failures),
+            "cases_per_second": case_rate,
+            "documents_per_second": doc_rate,
+            "shrink_seconds_p50": p50,
+            "shrink_seconds_p90": p90,
+            "shrink_seconds_p99": p99,
+            "shrink_samples": len(shrink_seconds),
+        },
+    )
+    assert case_rate >= RATE_FLOOR, (
+        f"sweep throughput {case_rate:.1f} cases/s below the "
+        f"{RATE_FLOOR:.0f} cases/s floor"
+    )

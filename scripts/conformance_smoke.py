@@ -1,0 +1,142 @@
+"""Conformance smoke for the cross-formalism harness (``make conformance-smoke``).
+
+Exercises the whole harness end to end and asserts its three serving
+claims, so a broken oracle/shrinker/corpus cannot hide behind a green
+"0 disagreements":
+
+* **clean baseline** — a seeded mini-sweep over every generator family
+  (random, DTD-like, context-aware) reports zero disagreements, and the
+  ``conformance.cases`` / ``conformance.documents`` counters advance by
+  exactly the sweep's own tallies;
+* **fire drill** — with a :class:`~repro.resilience.FaultInjector`
+  forcing every validator call to fault, the sweep catches the faults
+  as ``crash`` disagreements, delta-debugs each repro to at most 5
+  schema rules and 10 document nodes, and pins it into a temporary
+  corpus; replaying the pinned case *with* the injector reproduces
+  (open-case contract), replaying *without* it reports "appears fixed"
+  (the corpus nags until the file is flipped to ``fixed``);
+* **regression corpus** — every case under ``tests/conformance_corpus/``
+  replays clean, so the pinned PR2–PR4 bugs provably stay fixed.
+
+Exits nonzero with a diagnostic on any failure, so it gates ``make check``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+from repro.conformance import (
+    SweepConfig,
+    load_corpus,
+    replay_case,
+    run_sweep,
+)
+from repro.observability import default_registry
+from repro.resilience.faults import FaultInjector, installed_injector
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parents[1] / (
+    "tests/conformance_corpus"
+)
+
+MAX_SHRUNK_RULES = 5
+MAX_SHRUNK_NODES = 10
+
+
+def check(condition, message):
+    if not condition:
+        print(f"conformance-smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main():
+    registry = default_registry()
+    before_cases = registry.counter("conformance.cases").value
+    before_docs = registry.counter("conformance.documents").value
+
+    # 1. Clean baseline sweep.
+    result = run_sweep(SweepConfig(seed=0, cases=40))
+    check(result.cases_run == 40, f"ran {result.cases_run}/40 cases")
+    check(result.clean, "baseline sweep disagreed:\n" + "\n".join(
+        failure.describe() for failure in result.failures
+    ))
+    check(result.documents > 0, "baseline sweep validated no documents")
+    check(
+        registry.counter("conformance.cases").value - before_cases == 40,
+        "conformance.cases counter did not advance by the sweep size",
+    )
+    check(
+        registry.counter("conformance.documents").value - before_docs
+        == result.documents,
+        "conformance.documents counter disagrees with the sweep tally",
+    )
+    print(f"baseline: {result.summary()}")
+
+    # 2. Fire drill: injected faults must be caught, shrunk, and pinned.
+    with tempfile.TemporaryDirectory() as tmp:
+        injector = FaultInjector(seed=7, rates={"validate": 1.0})
+        with installed_injector(injector):
+            drill = run_sweep(SweepConfig(
+                seed=0, cases=10, max_failures=5,
+                save_failures=True, corpus_dir=tmp,
+            ))
+        check(drill.failures, "fire drill: injected faults went unnoticed")
+        for failure in drill.failures:
+            check(
+                failure.kind == "crash",
+                f"fire drill: expected crash, got {failure.kind}",
+            )
+            check(
+                failure.schema_rules <= MAX_SHRUNK_RULES,
+                f"fire drill: shrunk schema still has "
+                f"{failure.schema_rules} rules",
+            )
+            check(
+                failure.document_nodes <= MAX_SHRUNK_NODES,
+                f"fire drill: shrunk document still has "
+                f"{failure.document_nodes} nodes",
+            )
+            check(
+                failure.corpus_path is not None,
+                "fire drill: failure was not pinned to the corpus",
+            )
+        pinned = load_corpus(tmp)
+        check(pinned, "fire drill: corpus directory is empty")
+        with installed_injector(
+            FaultInjector(seed=7, rates={"validate": 1.0})
+        ):
+            for case in pinned:
+                problems = replay_case(case)
+                check(
+                    not problems,
+                    f"fire drill: open case {case.case_id} did not "
+                    f"reproduce under the injector: {problems}",
+                )
+        for case in pinned:
+            problems = replay_case(case)
+            check(
+                problems and "appears fixed" in problems[0],
+                f"fire drill: open case {case.case_id} should report "
+                f"'appears fixed' without the injector: {problems}",
+            )
+        print(
+            f"fire drill: {len(drill.failures)} injected fault(s) caught, "
+            f"shrunk, pinned, and replayed"
+        )
+
+    # 3. The committed regression corpus must replay clean.
+    committed = load_corpus(CORPUS_DIR)
+    check(committed, f"no corpus cases found under {CORPUS_DIR}")
+    for case in committed:
+        problems = replay_case(case)
+        check(
+            not problems,
+            f"corpus case {case.case_id} regressed: {problems}",
+        )
+    print(f"corpus: {len(committed)} pinned case(s) replay clean")
+    print("conformance-smoke OK")
+
+
+if __name__ == "__main__":
+    main()

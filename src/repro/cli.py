@@ -21,6 +21,14 @@ Subcommands::
                                             (--coverage DOC... adds
                                             dynamically-dead-rule checks)
     bonxai study     [--size N] [--seed S]  run the synthetic corpus study
+    bonxai conformance [--seed S --cases N] cross-formalism conformance
+                                            sweep: differential validator
+                                            checks + translation round-trips
+                                            on seeded cases, delta-debugged
+                                            repros, optional corpus pinning
+                                            (--save-failures); --inject
+                                            SITE=RATE runs the fault-
+                                            injection fire drill
 
 Every subcommand also accepts the observability flags::
 
@@ -272,6 +280,70 @@ def _build_parser():
     study.add_argument("--size", type=int, default=225)
     study.add_argument("--seed", type=int, default=2015)
     study.set_defaults(handler=_cmd_study)
+
+    conformance = subparsers.add_parser(
+        "conformance",
+        help="run the cross-formalism conformance sweep",
+        parents=[common],
+        description="Differential + metamorphic conformance sweep: every "
+        "validator corner and translation round-trip is checked on seeded "
+        "random cases; disagreements are delta-debugged to minimal repros. "
+        "Exit 0 when clean, 1 on disagreements, 2 when a resource budget "
+        "stopped the sweep early.",
+    )
+    conformance.add_argument("--seed", type=int, default=0)
+    conformance.add_argument(
+        "--cases", type=_positive(int), default=500,
+        help="number of generated cases to sweep (default: 500)",
+    )
+    conformance.add_argument(
+        "--docs-per-case", type=_positive(int), default=2, metavar="N",
+        help="valid documents sampled per case (default: 2)",
+    )
+    conformance.add_argument(
+        "--mutants", type=int, default=2, metavar="N",
+        help="mutant documents derived per valid document (default: 2)",
+    )
+    conformance.add_argument(
+        "--max-states", type=_positive(int), default=4, metavar="N",
+        help="state bound for randomly generated schemas (default: 4)",
+    )
+    conformance.add_argument(
+        "--no-shrink", dest="shrink", action="store_false",
+        help="report failures without delta-debugging them first",
+    )
+    conformance.add_argument(
+        "--no-roundtrips", dest="roundtrips", action="store_false",
+        help="skip the metamorphic translation round-trip oracles",
+    )
+    conformance.add_argument(
+        "--save-failures", action="store_true",
+        help="pin each shrunk failure into the regression corpus",
+    )
+    conformance.add_argument(
+        "--corpus-dir", default="tests/conformance_corpus", metavar="DIR",
+        help="regression corpus directory (default: tests/conformance_corpus)",
+    )
+    conformance.add_argument(
+        "--max-failures", type=_positive(int), default=25, metavar="N",
+        help="stop the sweep after N distinct failures (default: 25)",
+    )
+    conformance.add_argument(
+        "--progress-every", type=int, default=0, metavar="N",
+        help="print a progress line every N cases (default: off)",
+    )
+    conformance.add_argument(
+        "--inject", action="append", default=[], metavar="SITE=RATE",
+        help="fire drill: install a fault injector at SITE (parse/compile/"
+        "validate/source) with probability RATE; repeatable",
+    )
+    conformance.add_argument(
+        "--inject-seed", type=int, default=0, metavar="S",
+        help="seed for the --inject fault injector (default: 0)",
+    )
+    conformance.set_defaults(
+        handler=_cmd_conformance, shrink=True, roundtrips=True
+    )
 
     return parser
 
@@ -550,6 +622,53 @@ def _cmd_analyze(args):
         if any(d.level == "error" for d in diagnostics):
             exit_code = 1
     return exit_code
+
+
+def _cmd_conformance(args):
+    """The conformance sweep (exit 0 clean / 1 disagreed / 2 budget)."""
+    import contextlib as _contextlib
+
+    from repro.conformance import SweepConfig, run_sweep
+
+    config = SweepConfig(
+        seed=args.seed,
+        cases=args.cases,
+        docs_per_case=args.docs_per_case,
+        mutants_per_doc=args.mutants,
+        max_states=args.max_states,
+        roundtrips=args.roundtrips,
+        shrink=args.shrink,
+        save_failures=args.save_failures,
+        corpus_dir=args.corpus_dir,
+        progress_every=args.progress_every,
+        max_failures=args.max_failures,
+    )
+    with _contextlib.ExitStack() as stack:
+        if args.inject:
+            from repro.resilience.faults import (
+                FaultInjector,
+                installed_injector,
+            )
+
+            rates = {}
+            for spec in args.inject:
+                site, __, rate = spec.partition("=")
+                rates[site] = float(rate) if rate else 1.0
+            stack.enter_context(
+                installed_injector(
+                    FaultInjector(seed=args.inject_seed, rates=rates)
+                )
+            )
+        result = run_sweep(config, progress=print)
+
+    print(result.summary())
+    for failure in result.failures:
+        print(failure.describe())
+    if result.failures:
+        return 1
+    if result.stopped_early:
+        return 2
+    return 0
 
 
 def _cmd_study(args):

@@ -1,0 +1,339 @@
+"""Differential and metamorphic oracles over the translation square.
+
+The paper's equivalence theorems (Lemmas 4–7: Algorithms 1–4 preserve
+the tree language) are enforced here as executable oracles on concrete
+``(schema, document)`` pairs:
+
+* **Differential**: the reference tree validator
+  (:func:`~repro.xsd.validator.validate_xsd`), the compiled streaming
+  engine on *both* event sources (the document's own event replay and
+  the serialized text through ``iter_events``), the DFA-based validator
+  (Definition 3), and the BonXai validator (the BXSD produced by
+  Algorithm 2) must all agree on the verdict; tree and streaming must
+  additionally agree on the violation *multiset* and the typing.
+* **Metamorphic round-trips**: pushing the schema around the square —
+  DFA→BXSD→DFA (Algorithms 2+3), DFA→XSD→DFA (Algorithms 4+1), the
+  hybrid Algorithm 2, and (when the schema is k-suffix) the
+  Theorem-12/13 constructions — must land on a language-equivalent
+  schema, decided by
+  :func:`~repro.xsd.equivalence.dfa_xsd_counterexample_pair`.  On
+  failure the oracle emits a *concrete counterexample document*
+  accepted by exactly one side, found by sampling each side's language.
+
+Every validator/translation invocation is guarded: an exception is a
+``crash`` disagreement (this is how :class:`~repro.resilience.faults.
+FaultInjector` faults are caught), never an escaped traceback — except
+:class:`~repro.errors.BudgetExceeded`, which must bubble so a sweep
+under ``--budget-seconds`` stops instead of mislabeling the stop as a
+bug.
+
+The translation arrows are injectable (``arrows=`` override) so tests
+can plant a deliberately wrong translation and watch the oracle catch
+it — the harness's own fire drill.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import BudgetExceeded, ReproError
+from repro.translation import (
+    bxsd_to_dfa_based,
+    detect_k_suffix,
+    dfa_based_to_bxsd,
+    dfa_based_to_xsd,
+    hybrid_dfa_based_to_bxsd,
+    ksuffix_bxsd_to_dfa_based,
+    ksuffix_dfa_based_to_bxsd,
+    xsd_to_dfa_based,
+)
+from repro.xmlmodel.writer import write_document
+from repro.xsd.equivalence import dfa_xsd_counterexample_pair
+from repro.xsd.generator import DocumentGenerator
+from repro.xsd.validator import validate_xsd
+
+KINDS = ("crash", "verdict", "violations", "typing", "roundtrip")
+
+ROUND_TRIPS = ("bxsd", "xsd", "hybrid", "ksuffix")
+
+
+class Disagreement:
+    """One oracle failure.
+
+    Attributes:
+        kind: one of :data:`KINDS`.
+        check: which comparison failed (e.g. ``streaming_text``,
+            ``roundtrip.bxsd``, ``prepare.bonxai``).
+        detail: human-readable explanation.
+        counterexample: XML text of a concrete disagreeing document,
+            when one exists (differential checks always have one;
+            round-trip checks attach a sampled witness when found).
+    """
+
+    __slots__ = ("kind", "check", "detail", "counterexample")
+
+    def __init__(self, kind, check, detail, counterexample=None):
+        self.kind = kind
+        self.check = check
+        self.detail = detail
+        self.counterexample = counterexample
+
+    def __repr__(self):
+        return f"Disagreement({self.kind}/{self.check}: {self.detail})"
+
+
+class PreparedCase:
+    """Per-schema artifacts shared by every document check of one case."""
+
+    __slots__ = ("dfa", "xsd", "compiled", "bxsd", "failures")
+
+    def __init__(self, dfa, xsd=None, compiled=None, bxsd=None,
+                 failures=()):
+        self.dfa = dfa
+        self.xsd = xsd
+        self.compiled = compiled
+        self.bxsd = bxsd
+        self.failures = list(failures)
+
+
+def default_arrows():
+    """The real translation arrows (tests may override any of them)."""
+    return {
+        "dfa_to_xsd": dfa_based_to_xsd,
+        "xsd_to_dfa": xsd_to_dfa_based,
+        "dfa_to_bxsd": dfa_based_to_bxsd,
+        "bxsd_to_dfa": bxsd_to_dfa_based,
+        "hybrid": hybrid_dfa_based_to_bxsd,
+        "ksuffix_to_bxsd": ksuffix_dfa_based_to_bxsd,
+        "ksuffix_to_dfa": ksuffix_bxsd_to_dfa_based,
+    }
+
+
+class DifferentialOracle:
+    """Runs every validator and round-trip over one case.
+
+    Args:
+        roundtrips: run the metamorphic schema round-trips.
+        max_k: largest ``k`` probed by the k-suffix detector.
+        witness_tries: documents sampled per side when hunting a
+            concrete round-trip counterexample.
+        arrows: optional override dict for the translation arrows
+            (see :func:`default_arrows`).
+    """
+
+    def __init__(self, roundtrips=True, max_k=3, witness_tries=20,
+                 arrows=None):
+        self.roundtrips = roundtrips
+        self.max_k = max_k
+        self.witness_tries = witness_tries
+        self.arrows = dict(default_arrows())
+        if arrows:
+            self.arrows.update(arrows)
+
+    # -- preparation -------------------------------------------------------
+    def prepare(self, dfa):
+        """Translate one schema to every validating corner.
+
+        A corner whose translation crashes is recorded as a ``crash``
+        disagreement in ``prepared.failures`` and skipped by the
+        document checks; the others still run.
+        """
+        from repro.engine import compile_xsd
+
+        prepared = PreparedCase(dfa)
+        xsd, error = _attempt(lambda: self.arrows["dfa_to_xsd"](dfa))
+        if error is not None:
+            prepared.failures.append(
+                Disagreement("crash", "prepare.xsd", error)
+            )
+            return prepared
+        prepared.xsd = xsd
+        compiled, error = _attempt(lambda: compile_xsd(xsd))
+        if error is not None:
+            prepared.failures.append(
+                Disagreement("crash", "prepare.compiled", error)
+            )
+        else:
+            prepared.compiled = compiled
+        bxsd, error = _attempt(lambda: self.arrows["dfa_to_bxsd"](dfa))
+        if error is not None:
+            prepared.failures.append(
+                Disagreement("crash", "prepare.bonxai", error)
+            )
+        else:
+            prepared.bxsd = bxsd
+        return prepared
+
+    # -- differential ------------------------------------------------------
+    def check_document(self, prepared, document):
+        """All validators on one document; returns disagreements."""
+        from repro.engine import StreamingValidator
+
+        text = write_document(document)
+        reports = {}
+        crashes = {}
+
+        def run(name, thunk):
+            value, error = _attempt(thunk)
+            if error is not None:
+                crashes[name] = error
+            else:
+                reports[name] = value
+
+        if prepared.xsd is not None:
+            run("tree", lambda: validate_xsd(prepared.xsd, document))
+        if prepared.compiled is not None:
+            validator = StreamingValidator(prepared.compiled)
+            run("streaming_tree",
+                lambda: validator.validate_events(document.events()))
+            run("streaming_text", lambda: validator.validate(text))
+        run("dfa", lambda: prepared.dfa.validate(document))
+        if prepared.bxsd is not None:
+            run("bonxai", lambda: prepared.bxsd.validate(document))
+
+        if crashes:
+            detail = "; ".join(
+                f"{name}: {error}" for name, error in sorted(crashes.items())
+            )
+            return [Disagreement(
+                "crash", ",".join(sorted(crashes)), detail, text
+            )]
+
+        out = []
+        verdicts = {
+            name: _verdict(report) for name, report in reports.items()
+        }
+        if len(set(verdicts.values())) > 1:
+            out.append(Disagreement(
+                "verdict", "documents",
+                "validators disagree: " + ", ".join(
+                    f"{name}={'valid' if ok else 'invalid'}"
+                    for name, ok in sorted(verdicts.items())
+                ),
+                text,
+            ))
+        tree = reports.get("tree")
+        if tree is not None:
+            for name in ("streaming_tree", "streaming_text"):
+                report = reports.get(name)
+                if report is None:
+                    continue
+                if sorted(report.violations) != sorted(tree.violations):
+                    out.append(Disagreement(
+                        "violations", name,
+                        f"violation multisets differ: tree="
+                        f"{sorted(tree.violations)} vs {name}="
+                        f"{sorted(report.violations)}",
+                        text,
+                    ))
+                elif (report.typing != tree.typing
+                        or list(report.typing) != list(tree.typing)):
+                    out.append(Disagreement(
+                        "typing", name,
+                        f"typings differ: tree={tree.typing} vs "
+                        f"{name}={report.typing}",
+                        text,
+                    ))
+        return out
+
+    # -- metamorphic -------------------------------------------------------
+    def check_roundtrips(self, dfa):
+        """Push the schema around the square; returns disagreements."""
+        out = []
+        for name in ROUND_TRIPS:
+            back, error = _attempt(lambda: self._roundtrip(name, dfa))
+            if error is not None:
+                out.append(Disagreement(
+                    "crash", f"roundtrip.{name}", error
+                ))
+                continue
+            if back is None:  # trip not applicable (not k-suffix)
+                continue
+            pair, error = _attempt(
+                lambda: dfa_xsd_counterexample_pair(dfa, back)
+            )
+            if error is not None:
+                out.append(Disagreement(
+                    "crash", f"roundtrip.{name}.equivalence", error
+                ))
+                continue
+            if pair is not None:
+                path, detail = pair
+                out.append(Disagreement(
+                    "roundtrip", f"roundtrip.{name}",
+                    f"languages differ at /{'/'.join(path)}: {detail}",
+                    self._witness(dfa, back),
+                ))
+        return out
+
+    def _roundtrip(self, name, dfa):
+        arrows = self.arrows
+        if name == "bxsd":
+            return arrows["bxsd_to_dfa"](arrows["dfa_to_bxsd"](dfa))
+        if name == "xsd":
+            return arrows["xsd_to_dfa"](arrows["dfa_to_xsd"](dfa))
+        if name == "hybrid":
+            return arrows["bxsd_to_dfa"](arrows["hybrid"](dfa))
+        k = detect_k_suffix(dfa, max_k=self.max_k)
+        if k is None:
+            return None
+        return arrows["ksuffix_to_dfa"](
+            arrows["ksuffix_to_bxsd"](dfa, k)
+        )
+
+    def _witness(self, left, right):
+        """XML text of a document in exactly one language, or ``None``.
+
+        The abstract counterexample path from the equivalence check
+        names *where* the languages differ; for a repro humans (and the
+        corpus) can replay, sample documents from each side and keep
+        the first the other side rejects.
+        """
+        rng = random.Random(0xC0FFEE)
+        for source, judge in ((left, right), (right, left)):
+            try:
+                generator = DocumentGenerator(source)
+            except ReproError:
+                continue
+            for __ in range(self.witness_tries):
+                document = generator.generate(rng, max_depth=4)
+                verdict, error = _attempt(
+                    lambda: not judge.validate(document)
+                )
+                if error is None and not verdict:
+                    return write_document(document)
+        return None
+
+    # -- whole cases -------------------------------------------------------
+    def check_case(self, case):
+        """Round-trips plus every document of one generated case."""
+        prepared = self.prepare(case.dfa)
+        out = list(prepared.failures)
+        if self.roundtrips:
+            out.extend(self.check_roundtrips(case.dfa))
+        for __, document in case.documents:
+            out.extend(self.check_document(prepared, document))
+        return out
+
+
+def _verdict(report):
+    """Coerce any validator's report shape to a boolean verdict."""
+    if isinstance(report, list):
+        return not report
+    return report.valid
+
+
+def _attempt(thunk):
+    """Run ``thunk``; returns ``(value, None)`` or ``(None, error str)``.
+
+    ``BudgetExceeded`` is deliberately re-raised: running out of the
+    sweep's resource budget is a stop condition, not a disagreement.
+    """
+    try:
+        return thunk(), None
+    except BudgetExceeded:
+        raise
+    except ReproError as error:
+        return None, f"{type(error).__name__}: {error}"
+    except Exception as error:  # noqa: BLE001 — crashes are findings here
+        return None, f"{type(error).__name__}: {error}"

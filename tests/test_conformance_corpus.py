@@ -1,0 +1,215 @@
+"""The regression corpus: stable serialization, honest replay.
+
+The corpus format must round-trip schemas structurally (including the
+tuple-state DFAs the k-suffix constructions produce), saving must never
+clobber history, and replay must enforce both directions of the status
+contract: ``fixed`` cases fail the suite when the bug comes back,
+``open`` cases nag when the bug quietly disappears.  The parametrized
+``test_committed_corpus_replays_clean`` is the snapshot suite — every
+file under ``tests/conformance_corpus/`` is replayed on every run.
+"""
+
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.conformance import (
+    CorpusCase,
+    dfa_to_json,
+    load_corpus,
+    random_dfa_based,
+    replay_case,
+    save_case,
+    schema_from_json,
+    xsd_to_json,
+)
+from repro.conformance.corpus import (
+    model_from_json,
+    model_to_json,
+    regex_from_json,
+    regex_to_json,
+)
+from repro.regex.ast import UNBOUNDED, concat, counter, optional, star, sym, union
+from repro.translation import ksuffix_bxsd_to_dfa_based
+from repro.xsd.content import AttributeUse, ContentModel
+from repro.xsd.equivalence import dfa_xsd_counterexample_pair
+from repro.xsd.model import XSD
+from repro.xsd.typednames import TypedName
+
+pytestmark = pytest.mark.conformance
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "conformance_corpus"
+
+
+class TestSerialization:
+    def test_regex_roundtrip(self):
+        regex = concat(
+            sym("a"),
+            union(star(sym("b")), optional(sym("c"))),
+            counter(sym("d"), 2, UNBOUNDED),
+        )
+        assert regex_from_json(regex_to_json(regex)) == regex
+
+    def test_regex_roundtrip_is_json_stable(self):
+        regex = counter(union(sym("a"), sym("b")), 1, 3)
+        blob = json.dumps(regex_to_json(regex), sort_keys=True)
+        assert json.dumps(
+            regex_to_json(regex_from_json(json.loads(blob))),
+            sort_keys=True,
+        ) == blob
+
+    def test_model_roundtrip_keeps_attributes_and_mixed(self):
+        model = ContentModel(
+            star(sym("a")),
+            mixed=True,
+            attributes=(
+                AttributeUse("id", required=True),
+                AttributeUse("lang", required=False, type_name="token"),
+            ),
+        )
+        back = model_from_json(model_to_json(model))
+        assert back.mixed
+        assert [(u.name, u.required, u.type_name) for u in back.attributes] \
+            == [(u.name, u.required, u.type_name) for u in model.attributes]
+
+    def test_dfa_roundtrip_preserves_language(self):
+        dfa = random_dfa_based(random.Random(42), max_states=4)
+        back = schema_from_json(dfa_to_json(dfa))
+        assert dfa_xsd_counterexample_pair(dfa, back) is None
+
+    def test_dfa_with_tuple_states_serializes(self):
+        from repro.corpus.generator import make_dtd_like
+
+        dfa = ksuffix_bxsd_to_dfa_based(
+            make_dtd_like(random.Random(5), width=4)
+        )
+        data = dfa_to_json(dfa)
+        assert all(isinstance(state, str) for state in data["states"])
+        back = schema_from_json(data)
+        assert dfa_xsd_counterexample_pair(dfa, back) is None
+
+    def test_xsd_roundtrip(self):
+        xsd = XSD(
+            ename={"r"},
+            types={"T"},
+            rho={"T": ContentModel(star(sym(TypedName("r", "T"))))},
+            start={TypedName("r", "T")},
+        )
+        back = schema_from_json(xsd_to_json(xsd))
+        assert back.ename == xsd.ename
+        assert back.types == xsd.types
+        assert back.start == xsd.start
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            schema_from_json({"format": "relaxng"})
+
+
+class TestSaveLoad:
+    def test_save_and_load(self, tmp_path):
+        case = CorpusCase(
+            case_id="demo", case_type="regex", pattern="a*",
+            expected={"accepts": ["", "aa"]},
+        )
+        path = save_case(case, tmp_path)
+        assert path.name == "demo.json"
+        loaded = load_corpus(tmp_path)
+        assert len(loaded) == 1
+        assert loaded[0].case_id == "demo"
+        assert loaded[0].expected == {"accepts": ["", "aa"]}
+
+    def test_identical_resave_is_noop(self, tmp_path):
+        case = CorpusCase(case_id="demo", case_type="regex", pattern="a")
+        first = save_case(case, tmp_path)
+        second = save_case(case, tmp_path)
+        assert first == second
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_conflicting_save_never_clobbers(self, tmp_path):
+        save_case(CorpusCase(case_id="demo", case_type="regex",
+                             pattern="a"), tmp_path)
+        other = save_case(CorpusCase(case_id="demo", case_type="regex",
+                                     pattern="b"), tmp_path)
+        assert other.name == "demo-2.json"
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_version_gate(self):
+        with pytest.raises(ValueError):
+            CorpusCase.from_json({"version": 99, "id": "x",
+                                  "case_type": "regex"})
+
+    def test_unknown_case_type_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusCase(case_id="x", case_type="quantum")
+
+    def test_missing_directory_is_empty_corpus(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+
+class TestReplaySemantics:
+    def test_open_case_nags_when_fixed(self):
+        dfa = random_dfa_based(random.Random(0), max_states=2)
+        case = CorpusCase(
+            case_id="ghost", case_type="differential", status="open",
+            kind="crash", check="prepare.xsd",
+            schema=dfa_to_json(dfa),
+        )
+        problems = replay_case(case)
+        assert problems and "appears fixed" in problems[0]
+
+    def test_fixed_case_fails_on_regression(self):
+        from repro.conformance import DifferentialOracle
+
+        dfa = random_dfa_based(random.Random(0), max_states=2)
+        case = CorpusCase(
+            case_id="alarm", case_type="differential", status="fixed",
+            schema=dfa_to_json(dfa),
+        )
+
+        def explode(schema):
+            raise RuntimeError("planted regression")
+
+        oracle = DifferentialOracle(arrows={"dfa_to_xsd": explode})
+        problems = replay_case(case, oracle=oracle)
+        assert problems and "regressed" in problems[0]
+
+    def test_fingerprint_expectation_is_checked(self):
+        case = CorpusCase(
+            case_id="same", case_type="fingerprint",
+            schema=xsd_to_json(XSD(ename={"a"}, types=set(), rho={},
+                                   start=set())),
+            schema_b=xsd_to_json(XSD(ename={"a"}, types=set(), rho={},
+                                     start=set())),
+            expected={"equal": True},
+        )
+        assert replay_case(case) == []
+        case.expected["equal"] = False
+        assert replay_case(case)
+
+    def test_regex_expectations_are_checked(self):
+        case = CorpusCase(
+            case_id="re", case_type="regex", pattern="a?",
+            expected={"accepts": ["", "a"], "rejects": ["aa"]},
+        )
+        assert replay_case(case) == []
+        case.expected["rejects"] = ["a"]
+        assert replay_case(case)
+
+
+COMMITTED = sorted(CORPUS_DIR.glob("*.json"))
+
+
+@pytest.mark.parametrize(
+    "path", COMMITTED, ids=[path.stem for path in COMMITTED]
+)
+def test_committed_corpus_replays_clean(path):
+    """The snapshot suite: every pinned regression must stay fixed."""
+    case = CorpusCase.from_json(json.loads(path.read_text(encoding="utf-8")))
+    problems = replay_case(case)
+    assert not problems, f"{case.case_id}: {problems}"
+
+
+def test_corpus_is_nonempty():
+    assert COMMITTED, "tests/conformance_corpus/ lost its pinned cases"

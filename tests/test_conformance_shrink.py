@@ -1,0 +1,207 @@
+"""The delta-debugging shrinker: sound, minimal, idempotent.
+
+Soundness: the shrunk case still satisfies the predicate (a shrinker
+that "fixes" the bug while minimizing produces useless repros).
+Minimality: greedy first-success-restart reaches a local minimum —
+re-shrinking a shrunk case performs zero further steps (fixpoint).
+Legality: every schema the predicate ever sees, and the final one, is a
+well-formed deterministic Definition-3 schema.  And the acceptance
+bound: an injected validator fault shrinks to at most 5 schema rules
+and 10 document nodes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conformance import (
+    CaseGenerator,
+    DifferentialOracle,
+    SweepConfig,
+    make_predicate,
+    random_dfa_based,
+    run_sweep,
+    schema_measure,
+    schema_rules,
+    shrink_case,
+)
+from repro.conformance.shrink import (
+    document_measure,
+    document_nodes,
+    document_reductions,
+    regex_reductions,
+    schema_reductions,
+    without_symbol,
+)
+from repro.regex.ast import EPSILON, concat, optional, plus, star, sym, union
+from repro.regex.derivatives import DerivativeMatcher
+from repro.resilience.faults import FaultInjector, installed_injector
+from repro.xmlmodel import parse_document
+
+pytestmark = pytest.mark.conformance
+
+
+def sample_case(seed=11):
+    """A deterministic generated case with at least one document."""
+    generator = CaseGenerator(seed=seed)
+    for index in range(200):
+        case = generator.case(index)
+        if case.documents and schema_rules(case.dfa) >= 2:
+            return case
+    raise AssertionError("no suitable case found")
+
+
+class TestShrinkCase:
+    def test_initial_must_fail(self):
+        case = sample_case()
+        with pytest.raises(ValueError):
+            shrink_case(case.dfa, None, lambda dfa, doc: False)
+
+    def test_soundness_and_fixpoint_structural_predicate(self):
+        case = sample_case()
+        name = sorted(case.dfa.start)[0]
+
+        def keeps_root(dfa, document):
+            return name in dfa.start
+
+        result = shrink_case(case.dfa, None, keeps_root)
+        assert keeps_root(result.dfa, None)
+        assert schema_measure(result.dfa) <= schema_measure(case.dfa)
+        again = shrink_case(result.dfa, None, keeps_root)
+        assert again.steps == 0  # idempotent: already a fixpoint
+
+    def test_document_shrinks_to_single_node(self):
+        case = sample_case()
+        __, document = case.documents[0]
+        root_name = document.root.name
+
+        def root_survives(dfa, doc):
+            return doc is not None and doc.root.name == root_name
+
+        result = shrink_case(case.dfa, document, root_survives)
+        assert document_nodes(result.document) == 1
+        assert not result.document.root.attributes
+
+    def test_predicate_exceptions_count_as_false(self):
+        case = sample_case()
+
+        def touchy(dfa, document):
+            if schema_rules(dfa) < schema_rules(case.dfa):
+                raise RuntimeError("boom")
+            return True
+
+        result = shrink_case(case.dfa, None, touchy)
+        # No state drop survived the exception, but regex/attribute
+        # reductions that keep the rule count may still have applied.
+        assert schema_rules(result.dfa) == schema_rules(case.dfa)
+
+    def test_evaluation_budget_caps_work(self):
+        case = sample_case()
+        result = shrink_case(
+            case.dfa, None, lambda dfa, doc: True, max_evaluations=3
+        )
+        assert result.evaluations <= 3
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_shrunk_schema_stays_deterministic(self, seed):
+        dfa = random_dfa_based(random.Random(seed), max_states=4)
+
+        def nonempty(candidate, document):
+            return len(candidate.start) >= 1
+
+        result = shrink_case(dfa, None, nonempty)
+        result.dfa.check_well_formed()
+        assert nonempty(result.dfa, None)
+        assert shrink_case(result.dfa, None, nonempty).steps == 0
+
+
+class TestReductionGenerators:
+    def test_schema_reductions_strictly_decrease(self):
+        dfa = sample_case().dfa
+        base = schema_measure(dfa)
+        candidates = list(schema_reductions(dfa))
+        assert candidates
+        assert all(schema_measure(c) < base for c in candidates)
+
+    def test_document_reductions_strictly_decrease(self):
+        document = parse_document(
+            '<doc a="1"><item>text<note/></item><photo/></doc>'
+        )
+        base = document_measure(document)
+        candidates = list(document_reductions(document))
+        assert candidates
+        assert all(document_measure(c) < base for c in candidates)
+
+    def test_document_reductions_do_not_mutate_input(self):
+        document = parse_document("<doc><item><note/></item></doc>")
+        before = document_measure(document)
+        list(document_reductions(document))
+        assert document_measure(document) == before
+
+    def test_regex_reductions_cover_operators(self):
+        from repro.conformance.shrink import regex_weight
+
+        regex = concat(sym("a"), union(sym("b"), plus(sym("c"))))
+        reduced = list(regex_reductions(regex))
+        assert EPSILON in reduced
+        assert sym("a") in reduced
+        # Operator unwrapping (c+ -> c) counts as progress too.
+        assert all(regex_weight(r) < regex_weight(regex) for r in reduced)
+
+    def test_without_symbol_preserves_remaining_language(self):
+        regex = concat(star(sym("a")), optional(sym("b")))
+        stripped = without_symbol(regex, "b")
+        matcher = DerivativeMatcher(stripped)
+        assert matcher.matches(["a", "a"])
+        assert not matcher.matches(["a", "b"])
+
+    def test_without_symbol_collapses_required_factor(self):
+        regex = concat(sym("a"), sym("b"))
+        stripped = without_symbol(regex, "b")
+        matcher = DerivativeMatcher(stripped)
+        assert not matcher.matches(["a"])
+        assert not matcher.matches(["a", "b"])
+
+
+class TestAcceptanceBounds:
+    def test_injected_fault_shrinks_within_bounds(self):
+        injector = FaultInjector(seed=7, rates={"validate": 1.0})
+        with installed_injector(injector):
+            result = run_sweep(SweepConfig(seed=0, cases=10, max_failures=4))
+        assert result.failures
+        for failure in result.failures:
+            assert failure.kind == "crash"
+            assert failure.schema_rules <= 5, failure.describe()
+            assert failure.document_nodes <= 10, failure.describe()
+
+    def test_oracle_predicate_shrink_is_sound(self):
+        from repro.bonxai.bxsd import BXSD
+        from repro.translation import dfa_based_to_bxsd
+
+        def drop_last_rule(dfa):
+            bxsd = dfa_based_to_bxsd(dfa)
+            if len(bxsd.rules) > 1:
+                return BXSD(
+                    bxsd.ename, bxsd.start, bxsd.rules[:-1], check=False
+                )
+            return bxsd
+
+        oracle = DifferentialOracle(arrows={"dfa_to_bxsd": drop_last_rule})
+        generator = CaseGenerator(seed=0)
+        for index in range(60):
+            case = generator.case(index)
+            found = oracle.check_roundtrips(case.dfa)
+            trips = [d for d in found if d.kind == "roundtrip"]
+            if not trips:
+                continue
+            target = trips[0]
+            predicate = make_predicate(oracle, target.kind, target.check)
+            result = shrink_case(case.dfa, None, predicate)
+            assert predicate(result.dfa, None)  # soundness
+            assert schema_rules(result.dfa) <= schema_rules(case.dfa)
+            again = shrink_case(result.dfa, None, predicate)
+            assert again.steps == 0  # fixpoint
+            return
+        raise AssertionError("corrupted arrow never produced a failure")
