@@ -1,17 +1,17 @@
 # Developer entry points.  `make check` is the gate: tier-1 tests, the
 # engine differential/property suites at the thorough hypothesis profile
 # (500+ generated differential cases), the CLI observability smoke, the
-# fault-injection chaos smoke, the tracing smoke, and the conformance
-# smoke (oracle fire drill + regression-corpus replay); stays well under
-# two minutes.
+# fault-injection chaos smoke, the tracing smoke, the conformance smoke
+# (oracle fire drill + regression-corpus replay), and the perfguard
+# hot-path floor replay; stays well under two minutes.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: check test differential bench bench-engine metrics-smoke \
-	chaos-smoke trace-smoke conformance-smoke conformance
+	chaos-smoke trace-smoke conformance-smoke conformance perfguard
 
 check: test differential metrics-smoke chaos-smoke trace-smoke \
-	conformance-smoke
+	conformance-smoke perfguard
 
 test:
 	$(PYTEST) -x -q
@@ -30,6 +30,11 @@ trace-smoke:
 
 conformance-smoke:
 	PYTHONPATH=src python scripts/conformance_smoke.py
+
+# Engine hot-path regression guard: replays the E13 small tier against
+# the committed floors in benchmarks/results/perfguard_floor.json.
+perfguard:
+	PYTHONPATH=src:. python scripts/perfguard.py
 
 # The full acceptance sweep (the smoke runs a miniature of it).
 conformance:

@@ -1,0 +1,132 @@
+"""Performance regression guard for the engine hot path (``make perfguard``).
+
+Replays the small tier of experiment E13 — the ~280-element running-
+example document — and compares what it measures against the committed
+floors in ``benchmarks/results/perfguard_floor.json``.  A change that
+silently knocks the dense fast path off (a fallback on the benchmark
+corpus, a lost memo, an accidental object-per-event regression) fails
+``make check`` here instead of surfacing as a mystery in the next full
+bench run.
+
+All throughput floors are *in-run ratios* (dense vs tree, stream vs
+tree), not absolute rates: absolute element/second numbers swing with
+machine load, but the ratio between two pipelines measured back-to-back
+in one process is stable.  The only absolute floor is the identity
+cache hit, whose ceiling is the ISSUE's 10 microsecond budget.
+
+Exits nonzero with a diagnostic on any floor violation.  To re-baseline
+after an intentional change, edit the JSON floor file alongside the
+change that justifies it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+FLOOR_FILE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks" / "results" / "perfguard_floor.json"
+)
+
+
+def _rate(function, size, repeats=5):
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return size / best
+
+
+def measure():
+    from repro.engine import SchemaCache, StreamingValidator, compile_xsd
+    from repro.observability import installed_tracer
+    from repro.paperdata import figure3_xsd
+    from repro.xmlmodel import parse_document, write_document
+    from repro.xmlmodel.parser import iter_events
+    from repro.xsd.validator import validate_xsd
+
+    from benchmarks.bench_e11_validation import build_corpus
+
+    with installed_tracer(None):
+        doc = build_corpus(sizes=(200,))[200]
+        size = doc.size()
+        text = write_document(doc)
+        xsd = figure3_xsd()
+        compiled = compile_xsd(xsd)
+        if not compiled.dense:
+            print("perfguard FAILED: figure-3 schema no longer compiles "
+                  "dense tables", file=sys.stderr)
+            sys.exit(1)
+        validator = StreamingValidator(compiled)
+
+        report = validator.validate(text)
+        if not report.valid:
+            print("perfguard FAILED: benchmark document no longer "
+                  f"validates: {report.violations[:3]}", file=sys.stderr)
+            sys.exit(1)
+
+        e2e_tree = _rate(lambda: validate_xsd(xsd, parse_document(text)),
+                         size)
+        e2e_dict = _rate(
+            lambda: validator.validate_events(iter_events(text)), size
+        )
+        e2e_dense = _rate(lambda: validator.validate(text), size)
+
+        cache = SchemaCache(maxsize=4)
+        cache.get(xsd)
+        repeats = 2000
+        started = time.perf_counter()
+        for __ in range(repeats):
+            cache.get(xsd)
+        cache_hit_us = (time.perf_counter() - started) / repeats * 1e6
+
+    return {
+        "elements": size,
+        "e2e_tree_rate": e2e_tree,
+        "e2e_dict_rate": e2e_dict,
+        "e2e_dense_rate": e2e_dense,
+        "dense_vs_tree": e2e_dense / e2e_tree,
+        "dict_vs_tree": e2e_dict / e2e_tree,
+        "cache_hit_us": cache_hit_us,
+    }
+
+
+def main():
+    floors = json.loads(FLOOR_FILE.read_text(encoding="utf-8"))
+    measured = measure()
+    problems = []
+    for key in ("dense_vs_tree", "dict_vs_tree"):
+        if measured[key] < floors[key]:
+            problems.append(
+                f"{key}: measured {measured[key]:.2f}x is below the "
+                f"committed floor {floors[key]:.2f}x"
+            )
+    if measured["cache_hit_us"] > floors["cache_hit_us_ceiling"]:
+        problems.append(
+            f"cache_hit_us: measured {measured['cache_hit_us']:.2f} us "
+            f"exceeds the committed ceiling "
+            f"{floors['cache_hit_us_ceiling']:.2f} us"
+        )
+
+    print(
+        f"perfguard (E13 small tier, {measured['elements']} elements): "
+        f"dense {measured['dense_vs_tree']:.1f}x tree "
+        f"(floor {floors['dense_vs_tree']:.1f}x), "
+        f"dict {measured['dict_vs_tree']:.1f}x tree "
+        f"(floor {floors['dict_vs_tree']:.1f}x), "
+        f"identity cache hit {measured['cache_hit_us']:.2f} us "
+        f"(ceiling {floors['cache_hit_us_ceiling']:.1f} us)"
+    )
+    if problems:
+        for problem in problems:
+            print(f"perfguard FAILED: {problem}", file=sys.stderr)
+        sys.exit(1)
+    print("perfguard OK")
+
+
+if __name__ == "__main__":
+    main()

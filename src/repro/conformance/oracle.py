@@ -6,11 +6,13 @@ the tree language) are enforced here as executable oracles on concrete
 
 * **Differential**: the reference tree validator
   (:func:`~repro.xsd.validator.validate_xsd`), the compiled streaming
-  engine on *both* event sources (the document's own event replay and
-  the serialized text through ``iter_events``), the DFA-based validator
-  (Definition 3), and the BonXai validator (the BXSD produced by
-  Algorithm 2) must all agree on the verdict; tree and streaming must
-  additionally agree on the violation *multiset* and the typing.
+  engine on *three* input paths (the document's own event replay, the
+  serialized text through ``iter_events``, and the serialized bytes
+  through the dense fast path / ``validate_bytes``), the DFA-based
+  validator (Definition 3), and the BonXai validator (the BXSD produced
+  by Algorithm 2) must all agree on the verdict; tree and every
+  streaming path must additionally agree on the violation *multiset*
+  and the typing.
 * **Metamorphic round-trips**: pushing the schema around the square —
   DFA→BXSD→DFA (Algorithms 2+3), DFA→XSD→DFA (Algorithms 4+1), the
   hybrid Algorithm 2, and (when the schema is k-suffix) the
@@ -47,6 +49,7 @@ from repro.translation import (
     ksuffix_dfa_based_to_bxsd,
     xsd_to_dfa_based,
 )
+from repro.xmlmodel.parser import iter_events
 from repro.xmlmodel.writer import write_document
 from repro.xsd.equivalence import dfa_xsd_counterexample_pair
 from repro.xsd.generator import DocumentGenerator
@@ -186,7 +189,10 @@ class DifferentialOracle:
             validator = StreamingValidator(prepared.compiled)
             run("streaming_tree",
                 lambda: validator.validate_events(document.events()))
-            run("streaming_text", lambda: validator.validate(text))
+            run("streaming_text",
+                lambda: validator.validate_events(iter_events(text)))
+            run("streaming_dense",
+                lambda: validator.validate_bytes(text.encode("utf-8")))
         run("dfa", lambda: prepared.dfa.validate(document))
         if prepared.bxsd is not None:
             run("bonxai", lambda: prepared.bxsd.validate(document))
@@ -214,7 +220,8 @@ class DifferentialOracle:
             ))
         tree = reports.get("tree")
         if tree is not None:
-            for name in ("streaming_tree", "streaming_text"):
+            for name in ("streaming_tree", "streaming_text",
+                         "streaming_dense"):
                 report = reports.get(name)
                 if report is None:
                     continue

@@ -205,7 +205,7 @@ def _run_case(config, oracle, generator, index, registry, result):
         disagreements = _check_case_deduplicated(oracle, case)
         result.cases_run += 1
         result.documents += len(case.documents)
-        result.checks += len(case.documents) * 5 + 4
+        result.checks += len(case.documents) * 6 + 4
         registry.counter("conformance.cases").inc()
         registry.counter("conformance.documents").inc(len(case.documents))
         if disagreements:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+import weakref
 from collections import OrderedDict
 
 from repro.engine.compiler import compile_xsd
@@ -77,7 +78,7 @@ class SchemaCache:
     """
 
     __slots__ = ("maxsize", "_hits", "_misses", "_evictions", "_compile_ns",
-                 "_registry", "_entries", "_lock")
+                 "_registry", "_entries", "_lock", "_identity")
 
     def __init__(self, maxsize=64, registry=None):
         if maxsize < 1:
@@ -90,6 +91,11 @@ class SchemaCache:
         self._registry = resolve_registry(registry)
         self._entries = OrderedDict()
         self._lock = threading.Lock()
+        # Identity fast path: id(xsd) -> (weakref, compiled).  The weak
+        # reference guards against id() reuse after the original object
+        # dies (its kill callback also purges the entry, so the map only
+        # holds live schemas and cannot grow without bound).
+        self._identity = {}
 
     @property
     def hits(self):
@@ -112,8 +118,29 @@ class SchemaCache:
         return len(self._entries)
 
     def get(self, xsd):
-        """The :class:`CompiledSchema` for ``xsd``, compiling on miss."""
+        """The :class:`CompiledSchema` for ``xsd``, compiling on miss.
+
+        Two-level lookup: re-presenting the *same schema object* hits an
+        identity map (a dict probe and a weakref check — no fingerprint,
+        microseconds) before the structural path hashes the schema.
+        Both levels count as hits; the identity level also refreshes the
+        entry's LRU position so identity traffic cannot get a hot
+        schema's structural entry evicted.
+        """
         registry = self._registry
+        entry = self._identity.get(id(xsd))
+        if entry is not None and entry[0]() is xsd:
+            compiled = entry[1]
+            self._hits.inc()
+            registry.counter("engine.cache.hits").inc()
+            with span("engine.cache.get") as trace:
+                trace.set_attribute("outcome", "identity-hit")
+            fingerprint = compiled.fingerprint
+            if fingerprint is not None:
+                with self._lock:
+                    if fingerprint in self._entries:
+                        self._entries.move_to_end(fingerprint)
+            return compiled
         with span("engine.cache.get") as trace:
             fingerprint = schema_fingerprint(xsd)
             trace.set_attribute("fingerprint", fingerprint[:12])
@@ -124,6 +151,7 @@ class SchemaCache:
                     self._hits.inc()
                     registry.counter("engine.cache.hits").inc()
                     trace.set_attribute("outcome", "hit")
+                    self._remember(xsd, compiled)
                     return compiled
                 self._misses.inc()
                 registry.counter("engine.cache.misses").inc()
@@ -148,12 +176,32 @@ class SchemaCache:
             if evicted:
                 self._evictions.inc(evicted)
                 registry.counter("engine.cache.evictions").inc(evicted)
+            self._remember(xsd, compiled)
             return compiled
+
+    def _remember(self, xsd, compiled):
+        """Register ``xsd`` in the identity map (best effort).
+
+        The weakref's kill callback purges the entry when the schema
+        object dies, so a recycled ``id()`` can never alias a dead
+        schema to the wrong compiled form.  Schemas that don't support
+        weak references are simply not identity-cached.
+        """
+        key = id(xsd)
+        identity = self._identity
+        try:
+            ref = weakref.ref(
+                xsd, lambda _ref, _key=key: identity.pop(_key, None)
+            )
+        except TypeError:
+            return
+        identity[key] = (ref, compiled)
 
     def clear(self):
         """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._identity.clear()
 
 
 _default_cache = SchemaCache(maxsize=64)

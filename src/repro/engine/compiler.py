@@ -23,12 +23,22 @@ threads; :mod:`repro.engine.cache` memoizes it per schema fingerprint and
 from __future__ import annotations
 
 import time
+from array import array
 
 from repro.automata.minimize import minimize
 from repro.observability import default_registry
 from repro.observability.tracing import span
 from repro.regex.derivatives import to_dfa
 from repro.xsd.typednames import split_typed_name
+
+DENSE_STATE_LIMIT = 256
+"""Largest per-type DFA (in states) that still gets dense rows.
+
+Dense tables cost ``states x alphabet`` integers per type.  Content
+models are tiny in practice, but interleave (``&``) of n distinct
+symbols needs 2^n states, so a single pathological type could eat the
+whole budget; such types (and therefore their schema) simply keep the
+dict-driven path, which is O(1) per state in memory."""
 
 
 class ContentDFA:
@@ -144,20 +154,64 @@ class CompiledType:
             order (diagnostic order matches the tree validator).
         declared_mask: bitmask over the schema-wide attribute interning of
             the attributes declared on this type.
+        dense: whether this type carries dense tables (small DFAs only;
+            see :data:`DENSE_STATE_LIMIT`).
+        dense_rows: tuple of ``array('i')`` rows, one per DFA state,
+            indexed by *schema-wide* element-name id; ``-1`` marks a name
+            that is not in this type's alphabet.  ``None`` when not dense.
+        child_types: ``array('i')`` mapping schema-wide name id to the
+            child's type id (EDC: a function of the name), ``-1`` when the
+            name is not a child of this type.  ``None`` when not dense.
+        acc_bits: accepting-states bitset — ``acc_bits >> state & 1``.
+        required_set: frozenset of the required attribute names.
+        declared_attrs: frozenset of every declared attribute name.
     """
 
     __slots__ = (
-        "name", "dfa", "children", "mixed", "required_attrs", "declared_mask"
+        "name", "dfa", "children", "mixed", "required_attrs",
+        "declared_mask", "dense", "dense_rows", "child_types", "acc_bits",
+        "required_set", "declared_attrs",
     )
 
     def __init__(self, name, dfa, children, mixed, required_attrs,
-                 declared_mask):
+                 declared_mask, declared_attrs=frozenset()):
         self.name = name
         self.dfa = dfa
         self.children = children
         self.mixed = mixed
         self.required_attrs = required_attrs
         self.declared_mask = declared_mask
+        self.dense = False
+        self.dense_rows = None
+        self.child_types = None
+        self.acc_bits = 0
+        for state, accepting in enumerate(dfa.accepting):
+            if accepting:
+                self.acc_bits |= 1 << state
+        self.required_set = frozenset(required_attrs)
+        self.declared_attrs = declared_attrs
+
+    def build_dense(self, name_ids):
+        """Fill the dense tables against a schema-wide name interning."""
+        if len(self.dfa.table) > DENSE_STATE_LIMIT:
+            return False
+        width = len(name_ids)
+        child_types = array("i", [-1]) * width
+        columns = []  # (schema-wide id, per-type symbol id)
+        for element_name, (symbol, child_type) in self.children.items():
+            interned = name_ids[element_name]
+            child_types[interned] = child_type
+            columns.append((interned, symbol))
+        rows = []
+        for row in self.dfa.table:
+            dense_row = array("i", [-1]) * width
+            for interned, symbol in columns:
+                dense_row[interned] = row[symbol]
+            rows.append(dense_row)
+        self.dense_rows = tuple(rows)
+        self.child_types = child_types
+        self.dense = True
+        return True
 
 
 class CompiledSchema:
@@ -172,11 +226,25 @@ class CompiledSchema:
         start_names: sorted tuple of allowed root names (diagnostics).
         attr_ids: dict attribute name -> bit position, shared by every
             type's ``declared_mask``.
+        names: sorted tuple interning the schema-wide element alphabet
+            (every child name of every type, plus the root names).
+        name_ids: dict name -> interned id (str keys).
+        byte_ids: the same interning with UTF-8 byte-string keys — the
+            byte tokenizer looks names up without decoding.
+        start_types: ``array('i')`` over the interning: root type id per
+            name, ``-1`` for names that cannot be roots.
+        dense: True iff *every* type is dense, i.e. the whole schema can
+            be validated on the dense fast path.
+        dense_types: tuple, indexed by type id, of
+            ``(dense_rows, child_types, acc_bits, mixed, declared_attrs,
+            required_set)`` — the hot loop unpacks one tuple per start
+            tag instead of touching attributes.  ``None`` when not dense.
     """
 
     __slots__ = (
         "fingerprint", "types", "type_ids", "start", "start_names",
-        "attr_ids",
+        "attr_ids", "names", "name_ids", "byte_ids", "start_types",
+        "dense", "dense_types",
     )
 
     def __init__(self, fingerprint, types, type_ids, start, start_names,
@@ -187,6 +255,25 @@ class CompiledSchema:
         self.start = start
         self.start_names = start_names
         self.attr_ids = attr_ids
+        alphabet = set(start)
+        for compiled in types:
+            alphabet.update(compiled.children)
+        self.names = tuple(sorted(alphabet))
+        self.name_ids = {name: i for i, name in enumerate(self.names)}
+        self.byte_ids = {
+            name.encode("utf-8"): i for i, name in enumerate(self.names)
+        }
+        self.start_types = array("i", [-1]) * len(self.names)
+        for name, type_id in start.items():
+            self.start_types[self.name_ids[name]] = type_id
+        self.dense = all(
+            [compiled.build_dense(self.name_ids) for compiled in types]
+        )
+        self.dense_types = tuple(
+            (compiled.dense_rows, compiled.child_types, compiled.acc_bits,
+             compiled.mixed, compiled.declared_attrs, compiled.required_set)
+            for compiled in types
+        ) if self.dense else None
 
     def type_named(self, name):
         """The :class:`CompiledType` for a source type name."""
@@ -247,6 +334,9 @@ def compile_xsd(xsd, fingerprint=None):
                     mixed=model.mixed,
                     required_attrs=required,
                     declared_mask=declared_mask,
+                    declared_attrs=frozenset(
+                        use.name for use in model.attributes
+                    ),
                 )
             )
         registry.counter("engine.compile.schemas").inc()

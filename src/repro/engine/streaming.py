@@ -25,12 +25,111 @@ O(document).
 from __future__ import annotations
 
 import time
+from itertools import islice
 
 from repro.engine.compiler import CompiledSchema
 from repro.observability import default_registry
 from repro.observability.provenance import first_divergence
 from repro.observability.tracing import span
+from repro.resilience.limits import ParserLimits, resolve_limits
+from repro.xmlmodel.tokenizer import (
+    END,
+    START,
+    FallbackRequired,
+    body_start,
+    parse_chunk,
+    split_body,
+)
 from repro.xsd.validator import XSDValidationReport
+
+_FALLBACK = FallbackRequired()
+
+# The parent class's slot descriptor for ``typing``: _DenseReport shadows
+# the attribute with a lazy property, so reads/writes of the underlying
+# storage must go through the descriptor explicitly.
+_TYPING_SLOT = XSDValidationReport.typing
+
+_UNLIMITED = ParserLimits.unlimited()
+
+
+class _DenseReport(XSDValidationReport):
+    """A clean report from the dense fast path, with *lazy* typing.
+
+    The fast path only ever commits valid documents (anything else falls
+    back to the compatibility path for full diagnostics), so violations
+    are always empty.  The typing map — per-element indexed paths, a
+    dict and two f-strings per element — costs more to build than the
+    validation itself, and throughput-oriented callers never read it;
+    it is materialized on first access by re-walking the already-
+    validated document bytes (the chunk memo makes the re-walk cheap).
+    """
+
+    __slots__ = ("_schema", "_data", "_offset")
+
+    def __init__(self, schema, data, offset):
+        self.violations = []
+        _TYPING_SLOT.__set__(self, None)
+        self._schema = schema
+        self._data = data
+        self._offset = offset
+
+    @property
+    def typing(self):
+        value = _TYPING_SLOT.__get__(self, XSDValidationReport)
+        if value is None:
+            chunks = self._data[self._offset:].split(b"<")
+            value = _materialize_typing(self._schema, chunks)
+            _TYPING_SLOT.__set__(self, value)
+            self._data = None
+        return value
+
+
+def _materialize_typing(schema, chunks):
+    """Rebuild the typing map the compat path would have produced.
+
+    Walks the body chunks again (names only, no validation — the
+    document is already known valid) building the same indexed paths in
+    the same document order as ``_run``.  Runs with unlimited parser
+    caps: the document passed the call-time limits when it was
+    validated, and materialization must not depend on whatever limits
+    are ambient later.
+    """
+    names = schema.names
+    types = schema.types
+    start_types = schema.start_types
+    dense_types = schema.dense_types
+    byte_ids = schema.byte_ids
+
+    def name_id_of(name_bytes):
+        return byte_ids[name_bytes]
+
+    typing = {}
+    stack = []  # (typed_path, ordinals, parent child_types)
+    memo = {}
+    memo_get = memo.get
+    for chunk in islice(chunks, 1, None):
+        action = memo_get(chunk)
+        if action is None:
+            action = parse_chunk(chunk, _UNLIMITED, name_id_of)
+            memo[chunk] = action
+        kind = action[0]
+        if kind == END:
+            stack.pop()
+            continue
+        interned = action[1]
+        name = names[interned]
+        if stack:
+            typed_path, ordinals, child_types = stack[-1]
+            type_id = child_types[interned]
+            ordinal = ordinals[name] = ordinals.get(name, 0) + 1
+            typed_path = f"{typed_path}/{name}[{ordinal}]"
+        else:
+            type_id = start_types[interned]
+            typed_path = f"/{name}[1]"
+        typing[typed_path] = types[type_id].name
+        if kind == START:
+            stack.append((typed_path, {}, dense_types[type_id][1]))
+    return typing
 
 
 class StreamingValidator:
@@ -66,6 +165,10 @@ class StreamingValidator:
         from repro.resilience.faults import probe
 
         probe("validate")
+        return self._observed_run(events, provenance)
+
+    def _observed_run(self, events, provenance=None):
+        """The compat loop with its spans/metrics (probe already fired)."""
         registry = default_registry()
         started = time.perf_counter_ns()
         with span("engine.validate") as trace:
@@ -231,8 +334,217 @@ class StreamingValidator:
                     )
 
     def validate(self, source, provenance=None):
-        """Validate ``source``: XML text, a document/element, or events."""
+        """Validate ``source``: XML text/bytes, a document/element, or events.
+
+        Text and UTF-8 bytes take the dense fast path when the schema is
+        dense and no provenance recorder is attached (provenance needs
+        the per-element bookkeeping only the compat loop carries); all
+        other inputs — and every fast-path fallback — run the
+        event-driven compat loop, so the report is identical either way.
+        """
+        if isinstance(source, str):
+            if provenance is None and self.schema.dense:
+                return self._validate_dense(source.encode("utf-8"), source)
+            return self.validate_events(as_events(source), provenance)
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            return self.validate_bytes(source, provenance)
         return self.validate_events(as_events(source), provenance)
+
+    def validate_bytes(self, data, provenance=None):
+        """Validate UTF-8 document bytes without materializing a str.
+
+        The dense fast path works on the bytes directly; only a fallback
+        (or a non-dense schema, or provenance recording) decodes them
+        for the char-based parser.
+
+        Raises:
+            ParseError: on malformed documents (including bytes that are
+                not valid UTF-8) and over-limit ones, exactly as
+                ``validate(text)`` would.
+        """
+        data = bytes(data)
+        if provenance is None and self.schema.dense:
+            return self._validate_dense(data, None)
+        return self.validate_events(
+            as_events(_decode_utf8(data)), provenance
+        )
+
+    def _validate_dense(self, data, text):
+        """Dense attempt with compat fallback; mirrors the compat path's
+        eager input-size check and ``parse``/``validate`` probe order."""
+        from repro.resilience.faults import probe
+        from repro.xmlmodel.parser import _iter_events
+
+        limits = resolve_limits(None)
+        limit = limits.max_input_bytes
+        registry = default_registry()
+        started = time.perf_counter_ns()
+        if limit is not None and len(data) > limit:
+            # Identical error to the char parser's eager size check.
+            limits.check_input_size(
+                text if text is not None else _decode_utf8(data)
+            )
+        probe("parse")
+        probe("validate")
+        try:
+            with span("engine.validate") as trace:
+                trace.set_attribute("path", "dense")
+                report, consumed = self._scan_dense(data, limits)
+                trace.set_attribute("events", consumed)
+                trace.set_attribute("violations", 0)
+            registry.counter("engine.dense.docs").inc()
+            registry.counter("engine.stream.events").inc(consumed)
+            registry.counter("engine.stream.docs").inc()
+            registry.histogram("engine.stream.doc_ns").observe(
+                time.perf_counter_ns() - started
+            )
+            return report
+        except FallbackRequired:
+            registry.counter("engine.dense.fallbacks").inc()
+            if text is None:
+                text = _decode_utf8(data)
+            # The probes already fired once for this document; rerun the
+            # compat loop without re-probing (fault injection must see
+            # one document, not two).
+            return self._observed_run(_iter_events(text, limits))
+
+    def _scan_dense(self, data, limits):
+        """The fused tokenizer+validator loop.
+
+        One chunk-memo lookup per tag; integer table steps; *no* object
+        events.  Commits only documents that are well formed, within
+        limits, and valid — any violation, anomaly, or uncertainty
+        raises :class:`FallbackRequired` and the compat path produces
+        the canonical report/error.
+        """
+        schema = self.schema
+        offset = body_start(data)
+        chunks = split_body(data, offset)
+        dense_types = schema.dense_types
+        start_types = schema.start_types
+        byte_ids = schema.byte_ids
+        max_depth = limits.max_depth
+
+        def name_id_of(name_bytes):
+            interned = byte_ids.get(name_bytes)
+            if interned is None:  # outside the schema alphabet
+                raise _FALLBACK
+            return interned
+
+        memo = {}
+        memo_get = memo.get
+        stack = []
+        push = stack.append
+        pop = stack.pop
+        depth = 0
+        root_done = False
+        # Exact compat-event accounting (start/end tags plus non-empty
+        # text runs), so ``engine.stream.events`` agrees between paths.
+        consumed = 0
+        # Registers of the innermost open element.
+        state = 0
+        rows = None
+        child_types = None
+        acc_bits = 0
+        mixed = True
+        has_text = False
+        open_id = -1
+        for chunk in islice(chunks, 1, None):
+            action = memo_get(chunk)
+            if action is None:
+                action = parse_chunk(chunk, limits, name_id_of)
+                memo[chunk] = action
+            kind = action[0]
+            if kind == START:
+                interned = action[1]
+                if depth:
+                    type_id = child_types[interned]
+                    if type_id < 0:  # not allowed under this type
+                        raise _FALLBACK
+                    state = rows[state][interned]
+                else:
+                    if root_done:
+                        raise _FALLBACK
+                    type_id = start_types[interned]
+                    if type_id < 0:  # undeclared root
+                        raise _FALLBACK
+                if max_depth is not None and depth >= max_depth:
+                    raise _FALLBACK
+                push((state, rows, child_types, acc_bits, mixed,
+                      has_text, open_id))
+                depth += 1
+                (rows, child_types, acc_bits, mixed, declared,
+                 required) = dense_types[type_id]
+                state = 0
+                open_id = interned
+                has_text = action[3]
+                consumed += 2 if action[5] else 1
+                attrs = action[2]
+                if attrs or required:
+                    if not (required <= attrs and attrs <= declared):
+                        raise _FALLBACK
+            elif kind == END:
+                if action[1] != open_id:  # mismatched end tag (or depth 0)
+                    raise _FALLBACK
+                if not acc_bits >> state & 1:  # content-model violation
+                    raise _FALLBACK
+                if has_text and not mixed:
+                    raise _FALLBACK
+                depth -= 1
+                (state, rows, child_types, acc_bits, mixed, has_text,
+                 open_id) = pop()
+                if depth:
+                    consumed += 2 if action[5] else 1
+                    if action[3]:
+                        has_text = True
+                else:
+                    consumed += 1
+                    root_done = True
+                    if action[3]:  # text after the root element
+                        raise _FALLBACK
+            else:  # SELFCLOSE
+                interned = action[1]
+                if depth:
+                    type_id = child_types[interned]
+                    if type_id < 0:
+                        raise _FALLBACK
+                    state = rows[state][interned]
+                    if max_depth is not None and depth >= max_depth:
+                        raise _FALLBACK
+                else:
+                    if root_done:
+                        raise _FALLBACK
+                    type_id = start_types[interned]
+                    if type_id < 0:
+                        raise _FALLBACK
+                    root_done = True
+                entry = dense_types[type_id]
+                if not entry[2] & 1:  # empty content word not accepted
+                    raise _FALLBACK
+                attrs = action[2]
+                required = entry[5]
+                if attrs or required:
+                    if not (required <= attrs and attrs <= entry[4]):
+                        raise _FALLBACK
+                consumed += 3 if depth and action[5] else 2
+                if action[3]:
+                    if depth:
+                        has_text = True
+                    else:
+                        raise _FALLBACK
+        if depth or not root_done:  # unterminated element / no root
+            raise _FALLBACK
+        return _DenseReport(schema, data, offset), consumed
+
+
+def _decode_utf8(data):
+    """Decode document bytes, mapping undecodable input to ParseError."""
+    from repro.errors import ParseError
+
+    try:
+        return bytes(data).decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ParseError(f"input is not valid UTF-8: {error}")
 
 
 def as_events(source):
@@ -241,6 +553,8 @@ def as_events(source):
 
     if isinstance(source, str):
         return iter_events(source)
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return iter_events(_decode_utf8(source))
     events = getattr(source, "events", None)
     if events is not None:
         return events()
@@ -267,4 +581,4 @@ def validate_streaming(schema, source, cache=None):
         from repro.engine.cache import compile_cached
 
         schema = compile_cached(schema, cache)
-    return StreamingValidator(schema).validate_events(as_events(source))
+    return StreamingValidator(schema).validate(source)

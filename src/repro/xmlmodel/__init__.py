@@ -8,10 +8,12 @@ from repro.xmlmodel.parser import (
     parse_document,
     parse_fragment,
 )
+from repro.xmlmodel.tokenizer import ByteTokenizer, iter_byte_events
 from repro.xmlmodel.tree import XMLDocument, XMLElement, element
 from repro.xmlmodel.writer import write_document, write_element
 
 __all__ = [
+    "ByteTokenizer",
     "DTD",
     "DTDAttribute",
     "DTDElement",
@@ -19,6 +21,7 @@ __all__ = [
     "XMLElement",
     "element",
     "from_etree",
+    "iter_byte_events",
     "iter_events",
     "mutate_tree",
     "parse_document",

@@ -29,7 +29,9 @@ class XSD:
         start: frozenset of :class:`TypedName` start elements (``T0``).
     """
 
-    __slots__ = ("ename", "types", "rho", "start")
+    # "__weakref__" lets the schema cache's identity fast path hold a
+    # weak reference (repro.engine.cache.SchemaCache._remember).
+    __slots__ = ("ename", "types", "rho", "start", "__weakref__")
 
     def __init__(self, ename, types, rho, start, check=True):
         self.ename = frozenset(ename)

@@ -56,6 +56,73 @@ class TestSchemaCache:
                    start=xsd.start, check=False)
         assert schema_fingerprint(xsd) == schema_fingerprint(copy)
 
+    def test_identity_hit_skips_fingerprint(self, xsd):
+        # Regression: re-presenting the *same* schema object used to
+        # recompute the SHA-256 fingerprint on every hit.  The tracing
+        # ring proves the identity path: its engine.cache.get span
+        # carries outcome="identity-hit" and — crucially — no
+        # "fingerprint" attribute, which only the structural path sets.
+        from repro.observability.tracing import Tracer
+
+        cache = SchemaCache(maxsize=4)
+        cache.get(xsd)  # miss: compiles and registers the identity
+        with Tracer() as tracer:
+            for __ in range(3):
+                assert cache.get(xsd) is not None
+        spans = [s for s in tracer.finished_spans()
+                 if s.name == "engine.cache.get"]
+        assert len(spans) == 3
+        for span in spans:
+            assert span.attributes["outcome"] == "identity-hit"
+            assert "fingerprint" not in span.attributes
+        assert cache.hits == 3 and cache.misses == 1
+
+    def test_identity_hits_count_and_refresh_lru(self, xsd):
+        cache = SchemaCache(maxsize=4)
+        compiled = cache.get(xsd)
+        assert cache.get(xsd) is compiled
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_structural_hit_promotes_to_identity(self, xsd):
+        # A second parsed copy hits structurally once, then its own
+        # subsequent lookups take the identity path.
+        from repro.observability.tracing import Tracer
+
+        cache = SchemaCache(maxsize=4)
+        cache.get(xsd)
+        copy = figure3_xsd()
+        with Tracer() as tracer:
+            cache.get(copy)   # structural hit (fingerprint computed)
+            cache.get(copy)   # identity hit
+        outcomes = [s.attributes["outcome"]
+                    for s in tracer.finished_spans()
+                    if s.name == "engine.cache.get"]
+        assert outcomes == ["hit", "identity-hit"]
+
+    def test_dead_schema_identity_entry_is_purged(self):
+        import gc
+
+        cache = SchemaCache(maxsize=4)
+        xsd = figure3_xsd()
+        cache.get(xsd)
+        assert len(cache._identity) == 1
+        del xsd
+        gc.collect()
+        assert len(cache._identity) == 0
+
+    def test_clear_drops_identity_entries(self, xsd):
+        from repro.observability.tracing import Tracer
+
+        cache = SchemaCache(maxsize=4)
+        cache.get(xsd)
+        cache.clear()
+        with Tracer() as tracer:
+            cache.get(xsd)  # must recompile, not identity-hit
+        outcomes = [s.attributes["outcome"]
+                    for s in tracer.finished_spans()
+                    if s.name == "engine.cache.get"]
+        assert outcomes == ["miss"]
+
     def test_maxsize_validation(self):
         with pytest.raises(ValueError):
             SchemaCache(maxsize=0)

@@ -166,6 +166,12 @@ def _assert_agreement(xsd, compiled, document):
     assert from_text.valid == expected.valid
     assert sorted(from_text.violations) == sorted(expected.violations)
     assert from_text.typing == expected.typing
+
+    from_bytes = validator.validate_bytes(text.encode("utf-8"))
+    assert from_bytes.valid == expected.valid
+    assert sorted(from_bytes.violations) == sorted(expected.violations)
+    assert from_bytes.typing == expected.typing
+    assert list(from_bytes.typing) == list(expected.typing)
     return expected
 
 
@@ -197,6 +203,187 @@ class TestDifferential:
                 for __ in range(3):
                     mutant = _mutate(document, rng, names, attr_names)
                     _assert_agreement(xsd, compiled, mutant)
+
+
+def _outcome(thunk):
+    """Normalize a validation attempt for dense-vs-dict comparison.
+
+    Reports compare on (verdict, violation multiset, typing map + order);
+    errors compare on the full diagnostic surface: type, message, line,
+    column, and — for limits — which limit tripped with what value.
+    """
+    from repro.errors import ParseError
+
+    try:
+        report = thunk()
+    except ParseError as error:
+        return ("error", type(error).__name__, str(error), error.line,
+                error.column, getattr(error, "limit", None),
+                getattr(error, "value", None))
+    return ("report", report.valid, sorted(report.violations),
+            dict(report.typing), list(report.typing))
+
+
+class TestDenseVsDict:
+    """The dense fast path is observationally identical to the dict path.
+
+    ``validate(text)`` / ``validate_bytes`` route through the dense
+    tables; ``validate_events(iter_events(text))`` is the dict-lookup
+    compat loop.  Everything observable — verdicts, violation multisets,
+    typing, parse/limit errors, provenance, metrics counters — must
+    agree.
+    """
+
+    def test_schemas_compile_dense(self):
+        for key in sorted(SCHEMAS):
+            __, compiled, *___ = _setup(key)
+            assert compiled.dense, f"{key} should take the dense path"
+
+    def test_dense_commits_valid_documents_without_fallback(self):
+        from repro.observability import default_registry
+        from repro.xmlmodel.parser import iter_events
+
+        registry = default_registry()
+        xsd, compiled, generator, *__ = _setup("figure3")
+        document = generator.generate(
+            random.Random(7), max_depth=4, max_children=5
+        )
+        text = write_document(document)
+        validator = StreamingValidator(compiled)
+
+        docs = registry.counter("engine.dense.docs")
+        falls = registry.counter("engine.dense.fallbacks")
+        docs_before, falls_before = docs.value, falls.value
+        report = validator.validate(text)
+        assert report.valid
+        assert docs.value == docs_before + 1
+        assert falls.value == falls_before
+
+    def test_dense_falls_back_on_invalid_with_identical_diagnostics(self):
+        from repro.observability import default_registry
+
+        registry = default_registry()
+        xsd, compiled, *__ = _setup("sections")
+        text = (  # undeclared child + missing required attribute
+            "<doc><template/><content><section/>"
+            "<bogus/></content></doc>"
+        )
+        falls = registry.counter("engine.dense.fallbacks")
+        before = falls.value
+        report = StreamingValidator(compiled).validate(text)
+        expected = validate_xsd(xsd, parse_document(text))
+        assert falls.value == before + 1
+        assert not report.valid
+        assert sorted(report.violations) == sorted(expected.violations)
+        assert report.typing == expected.typing
+
+    def test_dense_metrics_agree_with_compat(self):
+        # Both paths account the same docs/events into the registry.
+        from repro.observability import default_registry
+        from repro.xmlmodel.parser import iter_events
+
+        registry = default_registry()
+        __, compiled, generator, *___ = _setup("inventory")
+        document = generator.generate(
+            random.Random(11), max_depth=4, max_children=6
+        )
+        text = write_document(document)
+        validator = StreamingValidator(compiled)
+        events_counter = registry.counter("engine.stream.events")
+        docs_counter = registry.counter("engine.stream.docs")
+
+        before = events_counter.value, docs_counter.value
+        validator.validate(text)  # dense
+        dense_delta = (events_counter.value - before[0],
+                       docs_counter.value - before[1])
+
+        before = events_counter.value, docs_counter.value
+        validator.validate_events(iter_events(text))  # dict/compat
+        compat_delta = (events_counter.value - before[0],
+                        docs_counter.value - before[1])
+
+        assert dense_delta == compat_delta
+        assert dense_delta[1] == 1
+
+    def test_provenance_requests_take_the_compat_path(self):
+        # A provenance recorder needs per-element state paths only the
+        # dict loop tracks; validate(text, provenance=...) must delegate
+        # and produce records identical to the explicit compat call.
+        from repro.observability import default_registry
+        from repro.observability.provenance import ProvenanceRecorder
+        from repro.xmlmodel.parser import iter_events
+
+        registry = default_registry()
+        __, compiled, generator, *___ = _setup("sections")
+        document = generator.generate(
+            random.Random(3), max_depth=4, max_children=4
+        )
+        text = write_document(document)
+        validator = StreamingValidator(compiled)
+
+        dense_docs = registry.counter("engine.dense.docs")
+        before = dense_docs.value
+        via_validate = ProvenanceRecorder()
+        validator.validate(text, provenance=via_validate)
+        assert dense_docs.value == before  # dense path not taken
+
+        via_events = ProvenanceRecorder()
+        validator.validate_events(iter_events(text), via_events)
+        got = [
+            (e.path, e.typed_path, e.name, e.type_name, e.dfa_states)
+            for e in via_validate.elements
+        ]
+        want = [
+            (e.path, e.typed_path, e.name, e.type_name, e.dfa_states)
+            for e in via_events.elements
+        ]
+        assert got == want and got
+
+    def test_seeded_10k_dense_vs_dict_sweep(self):
+        # The bulk lockdown: ~10k serialized documents (valid bases plus
+        # byte-level mutants exercising the fallback machinery) through
+        # both paths, asserting identical reports *or* identical errors.
+        # DENSE_SWEEP_CASES overrides the size (for quick local runs).
+        import os
+
+        from repro.observability import default_registry
+        from repro.xmlmodel.parser import iter_events
+        from tests.test_fuzz_parser import LIMITS, mutate
+
+        total = int(os.environ.get("DENSE_SWEEP_CASES", "10000"))
+        registry = default_registry()
+        dense_docs = registry.counter("engine.dense.docs")
+        dense_before = dense_docs.value
+        rng = random.Random(0xD15EA5E)
+        keys = sorted(SCHEMAS)
+        bases = {}
+        validators = {}
+        for key in keys:
+            __, compiled, generator, *___ = _setup(key)
+            validators[key] = StreamingValidator(compiled)
+            bases[key] = [
+                write_document(generator.generate(
+                    rng, max_depth=4, max_children=5
+                ))
+                for __ in range(12)
+            ]
+        for index in range(total):
+            key = keys[index % len(keys)]
+            base = bases[key][index % len(bases[key])]
+            text = base if index % 4 == 0 else mutate(base, rng)
+            validator = validators[key]
+            with LIMITS:
+                dense = _outcome(lambda: validator.validate(text))
+                compat = _outcome(lambda: validator.validate_events(
+                    iter_events(text, limits=LIMITS)
+                ))
+            assert dense == compat, (
+                f"case {index} ({key}): dense={dense} compat={compat} "
+                f"on {text!r}"
+            )
+        # The sweep must actually exercise the fast path, not fall back
+        # its way to vacuous agreement.
+        assert dense_docs.value - dense_before >= total // 8
 
 
 class TestStreamingInputs:

@@ -1,0 +1,161 @@
+"""Hardening suite: the byte tokenizer is a drop-in for ``iter_events``.
+
+:func:`repro.xmlmodel.tokenizer.iter_byte_events` promises that for
+*every* input it either produces the exact event stream the char-based
+parser would, or raises the exact error the char-based parser would —
+type, message, line, and column (plus ``limit``/``value`` for
+:class:`~repro.errors.LimitExceeded`).  The fast tier earns its speed by
+falling back whenever it cannot certify an input, so the dangerous
+surface is the set of inputs it *does* certify; this suite sweeps that
+surface with the same 600-mutant seeded corpus the parser fuzz suite
+uses, plus targeted probes of the limits plumbing and the fallback
+boundary.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import LimitExceeded, ParseError
+from repro.resilience import ParserLimits
+from repro.xmlmodel.parser import iter_events
+from repro.xmlmodel.tokenizer import ByteTokenizer, iter_byte_events
+from tests.test_fuzz_parser import BASE_DOCUMENTS, LIMITS, MUTATIONS, mutate
+
+pytestmark = pytest.mark.differential
+
+
+def _drain(factory):
+    """Run one tokenizer to completion; normalize events or the error."""
+    try:
+        return ("events", list(factory()))
+    except ParseError as error:
+        return ("error", type(error).__name__, str(error), error.line,
+                error.column, getattr(error, "limit", None),
+                getattr(error, "value", None))
+
+
+def assert_tokenizer_agreement(text, limits=None):
+    reference = _drain(lambda: iter_events(text, limits=limits))
+    fast = _drain(lambda: iter_byte_events(text, limits=limits))
+    assert fast == reference, (
+        f"byte tokenizer diverges on {text!r}:\n"
+        f"  reference={reference}\n  fast={fast}"
+    )
+    as_bytes = _drain(
+        lambda: iter_byte_events(text.encode("utf-8"), limits=limits)
+    )
+    assert as_bytes == reference, (
+        f"byte tokenizer (bytes input) diverges on {text!r}:\n"
+        f"  reference={reference}\n  fast={as_bytes}"
+    )
+
+
+class TestSeededCorpus:
+    """The parser fuzz corpus, replayed against the byte tokenizer."""
+
+    def test_base_documents_agree(self):
+        for text in BASE_DOCUMENTS:
+            assert_tokenizer_agreement(text, limits=LIMITS)
+
+    def test_600_mutants_agree(self):
+        # Same seed and mutation schedule as the parser fuzz sweep, so
+        # the two suites certify the same inputs.
+        rng = random.Random(0x20150806)
+        for round_number in range(600):
+            base = BASE_DOCUMENTS[round_number % len(BASE_DOCUMENTS)]
+            assert_tokenizer_agreement(mutate(base, rng), limits=LIMITS)
+
+    def test_every_mutation_operator_alone(self):
+        rng = random.Random(0xFACADE)
+        for mutation in MUTATIONS:
+            for base in BASE_DOCUMENTS:
+                for __ in range(5):
+                    assert_tokenizer_agreement(
+                        mutation(base, rng), limits=LIMITS
+                    )
+
+
+class TestLimitsPlumbing:
+    """Ambient and explicit ParserLimits reach the fast tier intact."""
+
+    def test_ambient_limits_are_honored(self):
+        deep = "<a>" * 10 + "x" + "</a>" * 10
+        with ParserLimits(max_depth=4):
+            assert_tokenizer_agreement(deep)
+        with ParserLimits(max_depth=4):
+            with pytest.raises(LimitExceeded) as caught:
+                list(iter_byte_events(deep))
+        assert caught.value.limit == "max_depth"
+
+    def test_explicit_limits_override_ambient(self):
+        text = "<a><b/><b/><b/></a>"
+        with ParserLimits(max_depth=1):
+            events = list(iter_byte_events(
+                text, limits=ParserLimits(max_depth=8)
+            ))
+        assert events == list(iter_events(text))
+
+    def test_input_size_cap_is_eager_and_identical(self):
+        text = "<a>" + "x" * 64 + "</a>"
+        limits = ParserLimits(max_input_bytes=32)
+        with pytest.raises(LimitExceeded) as fast:
+            iter_byte_events(text, limits=limits)
+        with pytest.raises(LimitExceeded) as reference:
+            iter_events(text, limits=limits)
+        assert str(fast.value) == str(reference.value)
+        assert fast.value.limit == reference.value.limit
+        assert fast.value.value == reference.value.value
+
+    def test_per_chunk_caps_match_reference_errors(self):
+        cases = [
+            ("<" + "n" * 20 + "/>", ParserLimits(max_name_length=8)),
+            ("<a>" + "y" * 40 + "</a>", ParserLimits(max_text_length=16)),
+            ("<a " + " ".join(f'k{i}="v"' for i in range(6)) + "/>",
+             ParserLimits(max_attributes=3)),
+        ]
+        for text, limits in cases:
+            assert_tokenizer_agreement(text, limits=limits)
+
+
+class TestFallbackBoundary:
+    """The fast tier runs when it can and delegates when it must."""
+
+    def test_clean_document_takes_the_fast_tier(self):
+        tokenizer = ByteTokenizer(
+            "<doc a='1'><item>text</item><item/></doc>"
+        )
+        events = list(tokenizer.events())
+        assert tokenizer.delegated is False
+        assert events[0] == ("start", "doc", {"a": "1"})
+        assert len(tokenizer.names) == 2  # doc, item interned once each
+
+    @pytest.mark.parametrize("text", [
+        "<!DOCTYPE d><d/>",                      # prolog DOCTYPE
+        "<a><!-- c --></a>",                     # comment in the body
+        "<a><![CDATA[x]]></a>",                  # CDATA in the body
+        "<a>&amp;</a>",                          # entity reference
+        "<a b='&lt;'/>",                         # entity in attribute
+        "<élément/>",                  # non-ASCII name
+        "<a b = '1'c='2'/>",                     # no space after quote
+    ])
+    def test_uncertifiable_inputs_delegate(self, text):
+        tokenizer = ByteTokenizer(text)
+        list(tokenizer.events())
+        assert tokenizer.delegated is True
+        assert_tokenizer_agreement(text)
+
+    @pytest.mark.parametrize("text", [
+        "<?>",                      # '?>' overlapping the opening '<?'
+        "<a/>\n",                   # trailing misc after the root
+        "<a> </a>",                 # whitespace-only text event
+        "<a b=''/>",                # empty attribute value
+        "<a><a></a></a>",           # same name, nested
+    ])
+    def test_tricky_certified_shapes_agree(self, text):
+        assert_tokenizer_agreement(text)
+
+    def test_malformed_shapes_produce_reference_errors(self):
+        for text in ["<a b/>", "</a>", "<a></b>", "<a", "<>", "<a//>",
+                     "<a>text", "x<a/>", "<a/><b/>", "<a 1='x'/>"]:
+            assert_tokenizer_agreement(text)
