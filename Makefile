@@ -2,16 +2,18 @@
 # engine differential/property suites at the thorough hypothesis profile
 # (500+ generated differential cases), the CLI observability smoke, the
 # fault-injection chaos smoke, the tracing smoke, the conformance smoke
-# (oracle fire drill + regression-corpus replay), and the perfguard
+# (oracle fire drill + regression-corpus replay), the patch smoke
+# (incremental-vs-full agreement on an edit storm), and the perfguard
 # hot-path floor replay; stays well under two minutes.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: check test differential bench bench-engine metrics-smoke \
-	chaos-smoke trace-smoke conformance-smoke conformance perfguard
+	chaos-smoke trace-smoke conformance-smoke patch-smoke conformance \
+	perfguard
 
 check: test differential metrics-smoke chaos-smoke trace-smoke \
-	conformance-smoke perfguard
+	conformance-smoke patch-smoke perfguard
 
 test:
 	$(PYTEST) -x -q
@@ -30,6 +32,11 @@ trace-smoke:
 
 conformance-smoke:
 	PYTHONPATH=src python scripts/conformance_smoke.py
+
+# Patch/incremental surface: CLI mode agreement, a random edit storm
+# against the tree validator, and the patch serialization round trip.
+patch-smoke:
+	PYTHONPATH=src python scripts/patch_smoke.py
 
 # Engine hot-path regression guard: replays the E13 small tier against
 # the committed floors in benchmarks/results/perfguard_floor.json.

@@ -1,0 +1,134 @@
+"""E15: incremental revalidation under an edit storm.
+
+The single-type restriction (EDC, Definition 4) makes an element's type
+a function of its parent's type and its label alone, so an edit's
+validation footprint is the touched parent's content word plus the newly
+inserted subtree — independent of document size.  This experiment
+measures that claim operationally: a :class:`ValidatedDocument` over a
+~100k-element running-example document absorbs thousands of random
+RFC-5261-style patch operations, and each edit's cost is compared
+against what a from-scratch revalidation of the whole tree would pay.
+
+There is no direct paper analogue (the paper proves the typing
+discipline; it does not benchmark editors), but the bar follows from the
+theory: per-edit incremental cost must be **at least 10x** cheaper than
+one full revalidation on this corpus, and in practice the gap is several
+orders of magnitude because the footprint is O(siblings), not O(n).
+``make perfguard`` replays a miniature of this run against the committed
+``incremental_vs_full`` floor.
+"""
+
+import random
+import time
+
+from repro.engine import ValidatedDocument, compile_xsd
+from repro.errors import SchemaError
+from repro.paperdata import figure3_xsd
+from repro.xmlmodel.patch import random_op, snapshot_paths
+from repro.xsd.validator import validate_xsd
+
+from benchmarks.conftest import report
+
+from benchmarks.bench_e11_validation import build_corpus
+
+TARGET_ELEMENTS = 100_000
+EDITS = 2_000
+SNAPSHOT_EVERY = 250
+FULL_SAMPLES = 5
+RATIO_FLOOR = 10.0
+"""Required in-run speedup of a per-edit revalidation over a full one."""
+
+
+def bench_incremental_edit_storm(benchmark):
+    xsd = figure3_xsd()
+    compiled = compile_xsd(xsd)
+    document = build_corpus(sizes=(TARGET_ELEMENTS,))[TARGET_ELEMENTS]
+    size = document.size()
+
+    # -- build: one full walk, the entry price of the handle --------------
+    started = time.perf_counter()
+    handle = ValidatedDocument(document, compiled)
+    build_seconds = time.perf_counter() - started
+
+    # -- the storm: thousands of random ops through the edit API ----------
+    # Op *generation* walks the tree (O(n)); amortize it with a node
+    # snapshot refreshed every few hundred edits so the timed loop
+    # measures application, not sampling.  A path gone stale between
+    # refreshes fails resolution (PatchError) and is not counted.
+    rng = random.Random("e15-edit-storm")
+    labels = list(compiled.names) + ["zz-stranger"]
+    edit_seconds = 0.0
+    applied = 0
+    stale = 0
+    verdict_flips = 0
+    last_valid = handle.valid
+    nodes = None
+    since_snapshot = SNAPSHOT_EVERY
+    while applied < EDITS:
+        if since_snapshot >= SNAPSHOT_EVERY:
+            nodes = snapshot_paths(document.root)
+            since_snapshot = 0
+        since_snapshot += 1
+        op = random_op(document.root, rng, labels, nodes=nodes)
+        started = time.perf_counter()
+        try:
+            op.apply_incremental(handle)
+        except (SchemaError, IndexError, ValueError):
+            stale += 1
+            continue
+        finally:
+            edit_seconds += time.perf_counter() - started
+        applied += 1
+        if handle.valid != last_valid:
+            verdict_flips += 1
+            last_valid = handle.valid
+    per_edit = edit_seconds / applied
+
+    # -- the baseline: what a from-scratch revalidation costs -------------
+    # After any single edit, a non-incremental pipeline re-runs the tree
+    # validator over the whole (post-storm, same-size) document; the op
+    # application itself is noise against that.
+    full_seconds = min(
+        _timed(lambda: validate_xsd(xsd, handle.document))
+        for __ in range(FULL_SAMPLES)
+    )
+    ratio = full_seconds / per_edit
+
+    lines = [
+        f"document: {size} elements; build (one full walk): "
+        f"{build_seconds * 1000:.1f} ms",
+        f"storm: {applied} edits in {edit_seconds:.3f} s "
+        f"({applied / edit_seconds:.0f} edits/s, "
+        f"{per_edit * 1e6:.1f} us/edit, {verdict_flips} verdict flips, "
+        f"{stale} stale path(s) skipped)",
+        f"full revalidation: {full_seconds * 1000:.1f} ms/edit "
+        f"(tree validator, best of {FULL_SAMPLES})",
+        f"incremental vs full: {ratio:.0f}x (floor {RATIO_FLOOR:.0f}x)",
+        "expected shape: per-edit cost independent of document size "
+        "(footprint = touched content word + inserted subtree)",
+    ]
+    report(
+        "E15",
+        "incremental revalidation under an edit storm",
+        lines,
+        data={
+            "elements": size,
+            "edits": applied,
+            "build_seconds": build_seconds,
+            "edit_seconds_mean": per_edit,
+            "edits_per_second": applied / edit_seconds,
+            "full_revalidate_seconds": full_seconds,
+            "incremental_vs_full": ratio,
+            "verdict_flips": verdict_flips,
+        },
+    )
+    assert ratio >= RATIO_FLOOR, (
+        f"incremental speedup {ratio:.1f}x below the "
+        f"{RATIO_FLOOR:.0f}x floor"
+    )
+
+
+def _timed(function):
+    started = time.perf_counter()
+    function()
+    return time.perf_counter() - started

@@ -89,6 +89,28 @@ def main():
     print(f"XML Schema evolution cost: "
           f"{section_types_after - section_types_before} extra section "
           f"types (plus rewiring), exactly as Section 3.2 predicts.")
+    print()
+
+    print("== in-place evolution and the schema cache ==")
+    # A serving stack memoizes compilation in a SchemaCache whose fast
+    # path is keyed by object identity.  Evolving the *same* XSD object
+    # in place (as a long-lived server would) leaves that fast path
+    # serving the pre-evolution compiled form — invalidate() drops the
+    # stale entry so the next lookup re-fingerprints and recompiles.
+    from repro.engine import SchemaCache, StreamingValidator
+
+    cache = SchemaCache()
+    live = dfa_based_to_xsd(bxsd_to_dfa_based(original.bxsd))
+    doc4 = document_with_depth(4)
+    verdict = StreamingValidator(cache.get(live)).validate(doc4)
+    print("depth-4 before evolution:",
+          "valid" if verdict.valid else "INVALID")
+    live.ename, live.types = xsd_after.ename, xsd_after.types
+    live.rho, live.start = xsd_after.rho, xsd_after.start
+    cache.invalidate(live)  # without this, the stale tables survive
+    verdict = StreamingValidator(cache.get(live)).validate(doc4)
+    print("depth-4 after in-place evolution + invalidate():",
+          "valid" if verdict.valid else "INVALID")
 
 
 def _section_types(xsd):

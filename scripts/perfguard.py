@@ -84,6 +84,10 @@ def measure():
             cache.get(xsd)
         cache_hit_us = (time.perf_counter() - started) / repeats * 1e6
 
+        incremental_vs_full = _measure_incremental(
+            text, xsd, compiled, full_seconds=size / e2e_tree
+        )
+
     return {
         "elements": size,
         "e2e_tree_rate": e2e_tree,
@@ -92,14 +96,51 @@ def measure():
         "dense_vs_tree": e2e_dense / e2e_tree,
         "dict_vs_tree": e2e_dict / e2e_tree,
         "cache_hit_us": cache_hit_us,
+        "incremental_vs_full": incremental_vs_full,
     }
+
+
+def _measure_incremental(text, xsd, compiled, full_seconds):
+    """The E15 miniature: per-edit incremental cost vs a full revalidate.
+
+    Replays a short random edit storm through a
+    :class:`~repro.engine.incremental.ValidatedDocument` and compares
+    the mean per-edit cost against the in-run tree-validator rate (what
+    a non-incremental pipeline pays after every edit).  The committed
+    ``incremental_vs_full`` floor catches a change that silently turns
+    an edit's footprint back into a whole-tree walk.
+    """
+    import random
+
+    from repro.engine import ValidatedDocument
+    from repro.errors import SchemaError
+    from repro.xmlmodel import parse_document
+    from repro.xmlmodel.patch import random_op
+
+    handle = ValidatedDocument(parse_document(text), compiled)
+    rng = random.Random("perfguard-e15")
+    labels = list(compiled.names) + ["zz-stranger"]
+    edits = 200
+    applied = 0
+    edit_seconds = 0.0
+    while applied < edits:
+        op = random_op(handle.document.root, rng, labels)
+        started = time.perf_counter()
+        try:
+            op.apply_incremental(handle)
+        except (SchemaError, IndexError, ValueError):
+            continue
+        finally:
+            edit_seconds += time.perf_counter() - started
+        applied += 1
+    return full_seconds / (edit_seconds / applied)
 
 
 def main():
     floors = json.loads(FLOOR_FILE.read_text(encoding="utf-8"))
     measured = measure()
     problems = []
-    for key in ("dense_vs_tree", "dict_vs_tree"):
+    for key in ("dense_vs_tree", "dict_vs_tree", "incremental_vs_full"):
         if measured[key] < floors[key]:
             problems.append(
                 f"{key}: measured {measured[key]:.2f}x is below the "
@@ -119,7 +160,9 @@ def main():
         f"dict {measured['dict_vs_tree']:.1f}x tree "
         f"(floor {floors['dict_vs_tree']:.1f}x), "
         f"identity cache hit {measured['cache_hit_us']:.2f} us "
-        f"(ceiling {floors['cache_hit_us_ceiling']:.1f} us)"
+        f"(ceiling {floors['cache_hit_us_ceiling']:.1f} us), "
+        f"incremental edit {measured['incremental_vs_full']:.0f}x full "
+        f"(floor {floors['incremental_vs_full']:.0f}x)"
     )
     if problems:
         for problem in problems:

@@ -11,7 +11,8 @@ Case anatomy (``version`` 1)::
     {
       "version": 1,
       "id": "second-root-drain",
-      "case_type": "differential" | "pinned" | "fingerprint" | "regex",
+      "case_type": "differential" | "pinned" | "fingerprint"
+                 | "regex" | "incremental",
       "status": "fixed" | "open",
       "kind": "...",            # oracle disagreement kind (when known)
       "check": "...",           # which comparison failed
@@ -22,6 +23,7 @@ Case anatomy (``version`` 1)::
       "document": "<doc/>",     # XML text (differential cases)
       "events": [...],          # raw event list (pinned stream cases)
       "pattern": "a{2,}",       # regex cases
+      "patch": "<patch>...",    # patch text (incremental cases)
       "expected": {...}         # what replay asserts, per case_type
     }
 
@@ -72,7 +74,9 @@ from repro.xsd.typednames import TypedName, split_typed_name
 
 CORPUS_VERSION = 1
 
-CASE_TYPES = ("differential", "pinned", "fingerprint", "regex")
+CASE_TYPES = (
+    "differential", "pinned", "fingerprint", "regex", "incremental",
+)
 
 STATUSES = ("fixed", "open")
 
@@ -249,13 +253,13 @@ class CorpusCase:
     __slots__ = (
         "case_id", "case_type", "status", "kind", "check", "description",
         "seed", "formalism", "schema", "schema_b", "document", "events",
-        "pattern", "expected",
+        "pattern", "patch", "expected",
     )
 
     def __init__(self, case_id, case_type, status="fixed", kind=None,
                  check=None, description="", seed=None, formalism=None,
                  schema=None, schema_b=None, document=None, events=None,
-                 pattern=None, expected=None):
+                 pattern=None, patch=None, expected=None):
         if case_type not in CASE_TYPES:
             raise ValueError(f"unknown case_type {case_type!r}")
         if status not in STATUSES:
@@ -273,6 +277,7 @@ class CorpusCase:
         self.document = document
         self.events = events
         self.pattern = pattern
+        self.patch = patch
         self.expected = dict(expected or {})
 
     def to_json(self):
@@ -280,7 +285,7 @@ class CorpusCase:
                 "case_type": self.case_type, "status": self.status,
                 "description": self.description}
         for key in ("kind", "check", "seed", "formalism", "schema",
-                    "schema_b", "document", "events", "pattern"):
+                    "schema_b", "document", "events", "pattern", "patch"):
             value = getattr(self, key)
             if value is not None:
                 data[key] = value
@@ -308,6 +313,7 @@ class CorpusCase:
             document=data.get("document"),
             events=data.get("events"),
             pattern=data.get("pattern"),
+            patch=data.get("patch"),
             expected=data.get("expected"),
         )
 
@@ -354,6 +360,8 @@ def replay_case(case, oracle=None):
         return _replay_pinned(case)
     if case.case_type == "fingerprint":
         return _replay_fingerprint(case)
+    if case.case_type == "incremental":
+        return _replay_incremental(case)
     return _replay_regex(case)
 
 
@@ -445,6 +453,58 @@ def _check_report(expected, report, problems):
                 f"no violation mentions {needle!r}: {report.violations}"
             )
     return problems
+
+
+def _replay_incremental(case):
+    """Incremental-vs-full agreement on a pinned (schema, doc, patch).
+
+    The patch is applied two ways — to a raw tree revalidated from
+    scratch, and through a :class:`ValidatedDocument` — and the two
+    reports must agree on verdict, violation multiset, and typing;
+    ``expected`` is then checked against the (shared) final report.
+    """
+    from repro.engine import ValidatedDocument, compile_xsd
+    from repro.translation import dfa_based_to_xsd
+    from repro.xmlmodel import parse_document, parse_patch
+    from repro.xmlmodel.patch import clone_element
+    from repro.xmlmodel.tree import XMLDocument
+    from repro.xsd.validator import validate_xsd
+
+    schema = schema_from_json(case.schema)
+    xsd = (dfa_based_to_xsd(schema)
+           if isinstance(schema, DFABasedXSD) else schema)
+    try:
+        document = parse_document(case.document)
+        patch = parse_patch(case.patch)
+    except ReproError as error:
+        return [f"case failed to load: {error}"]
+
+    full_doc = XMLDocument(clone_element(document.root))
+    patch.apply_full(full_doc)
+    full = validate_xsd(xsd, full_doc)
+    handle = ValidatedDocument(document, compile_xsd(xsd))
+    patch.apply_incremental(handle)
+    inc = handle.report()
+
+    problems = []
+    if handle.valid != (not full.violations):
+        problems.append(
+            f"verdicts diverge: full="
+            f"{'valid' if not full.violations else 'invalid'}, "
+            f"incremental={'valid' if handle.valid else 'invalid'}"
+        )
+    if sorted(inc.violations) != sorted(full.violations):
+        problems.append(
+            f"violation multisets diverge: full="
+            f"{sorted(full.violations)} vs incremental="
+            f"{sorted(inc.violations)}"
+        )
+    if inc.typing != full.typing or list(inc.typing) != list(full.typing):
+        problems.append(
+            f"typings diverge: full={full.typing} vs "
+            f"incremental={inc.typing}"
+        )
+    return _check_report(case.expected, inc, problems)
 
 
 def _replay_fingerprint(case):

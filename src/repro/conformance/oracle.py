@@ -13,6 +13,13 @@ the tree language) are enforced here as executable oracles on concrete
   by Algorithm 2) must all agree on the verdict; tree and every
   streaming path must additionally agree on the violation *multiset*
   and the typing.
+* **Incremental edit storms**: a seeded stream of random patch
+  operations (:func:`~repro.xmlmodel.patch.random_op`) is applied in
+  lockstep to a raw copy (revalidated from scratch by the tree
+  validator after every edit) and to a
+  :class:`~repro.engine.incremental.ValidatedDocument` (which
+  revalidates only each edit's footprint); verdict, violation
+  multiset, and typing must agree after *every* edit.
 * **Metamorphic round-trips**: pushing the schema around the square —
   DFA→BXSD→DFA (Algorithms 2+3), DFA→XSD→DFA (Algorithms 4+1), the
   hybrid Algorithm 2, and (when the schema is k-suffix) the
@@ -122,13 +129,18 @@ class DifferentialOracle:
             concrete round-trip counterexample.
         arrows: optional override dict for the translation arrows
             (see :func:`default_arrows`).
+        incremental: run the incremental-revalidation edit-storm leg
+            (see :meth:`check_incremental`).
+        incremental_edits: random edits applied per document by that leg.
     """
 
     def __init__(self, roundtrips=True, max_k=3, witness_tries=20,
-                 arrows=None):
+                 arrows=None, incremental=True, incremental_edits=8):
         self.roundtrips = roundtrips
         self.max_k = max_k
         self.witness_tries = witness_tries
+        self.incremental = incremental
+        self.incremental_edits = incremental_edits
         self.arrows = dict(default_arrows())
         if arrows:
             self.arrows.update(arrows)
@@ -243,6 +255,83 @@ class DifferentialOracle:
                     ))
         return out
 
+    # -- incremental revalidation ------------------------------------------
+    def check_incremental(self, prepared, document, rng, edits=None):
+        """Edit-storm cross-check of incremental vs full revalidation.
+
+        A seeded stream of structurally-applicable random patch ops is
+        applied in lockstep to a raw copy of ``document`` (revalidated
+        from scratch after every edit) and to a
+        :class:`~repro.engine.incremental.ValidatedDocument`.  Verdict,
+        violation multiset, and typing (content and order) must agree
+        after every single edit; the first mismatch is returned with
+        the post-edit document as the counterexample.
+        """
+        from repro.engine import ValidatedDocument
+        from repro.xmlmodel.patch import clone_element, random_op
+        from repro.xmlmodel.tree import XMLDocument
+
+        if prepared.xsd is None or prepared.compiled is None:
+            return []
+        edits = self.incremental_edits if edits is None else edits
+        full_doc = XMLDocument(clone_element(document.root))
+        handle, error = _attempt(lambda: ValidatedDocument(
+            XMLDocument(clone_element(document.root)), prepared.compiled
+        ))
+        if error is not None:
+            return [Disagreement(
+                "crash", "incremental", error, write_document(document)
+            )]
+        # Known labels plus one stranger, so storms also exercise the
+        # unrecognized-child (skipped subtree) path.
+        labels = list(prepared.compiled.names) or [document.root.name]
+        labels.append("zz-stranger")
+        for __ in range(edits):
+            op = random_op(full_doc.root, rng, labels)
+            __, full_error = _attempt(lambda: op.apply_full(full_doc))
+            __, inc_error = _attempt(lambda: op.apply_incremental(handle))
+            if full_error is not None or inc_error is not None:
+                return [Disagreement(
+                    "crash", "incremental",
+                    f"{op!r}: full={full_error}, incremental={inc_error}",
+                    write_document(full_doc),
+                )]
+            full, error = _attempt(
+                lambda: validate_xsd(prepared.xsd, full_doc)
+            )
+            if error is not None:
+                return [Disagreement(
+                    "crash", "incremental", f"after {op!r}: {error}",
+                    write_document(full_doc),
+                )]
+            inc = handle.report()
+            text = write_document(full_doc)
+            if handle.valid != (not full.violations):
+                return [Disagreement(
+                    "verdict", "incremental",
+                    f"after {op!r}: full="
+                    f"{'valid' if not full.violations else 'invalid'}, "
+                    f"incremental="
+                    f"{'valid' if handle.valid else 'invalid'}",
+                    text,
+                )]
+            if sorted(inc.violations) != sorted(full.violations):
+                return [Disagreement(
+                    "violations", "incremental",
+                    f"after {op!r}: full={sorted(full.violations)} vs "
+                    f"incremental={sorted(inc.violations)}",
+                    text,
+                )]
+            if (inc.typing != full.typing
+                    or list(inc.typing) != list(full.typing)):
+                return [Disagreement(
+                    "typing", "incremental",
+                    f"after {op!r}: full={full.typing} vs "
+                    f"incremental={inc.typing}",
+                    text,
+                )]
+        return []
+
     # -- metamorphic -------------------------------------------------------
     def check_roundtrips(self, dfa):
         """Push the schema around the square; returns disagreements."""
@@ -318,9 +407,21 @@ class DifferentialOracle:
         out = list(prepared.failures)
         if self.roundtrips:
             out.extend(self.check_roundtrips(case.dfa))
-        for __, document in case.documents:
+        for doc_index, (__, document) in enumerate(case.documents):
             out.extend(self.check_document(prepared, document))
+            if self.incremental:
+                out.extend(self.check_incremental(
+                    prepared, document,
+                    incremental_rng(case.seed, case.index, doc_index),
+                ))
         return out
+
+
+def incremental_rng(sweep_seed, case_index, doc_index):
+    """The deterministic RNG for one document's incremental edit storm."""
+    return random.Random(
+        f"incremental-{sweep_seed}-{case_index}-{doc_index}"
+    )
 
 
 def _verdict(report):

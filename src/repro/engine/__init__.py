@@ -20,6 +20,7 @@ from repro.engine.cache import (
     default_cache,
     schema_fingerprint,
 )
+from repro.engine.incremental import ValidatedDocument
 from repro.engine.compiler import (
     CompiledSchema,
     CompiledType,
@@ -40,6 +41,7 @@ __all__ = [
     "ContentDFA",
     "SchemaCache",
     "StreamingValidator",
+    "ValidatedDocument",
     "as_events",
     "compile_bonxai",
     "compile_cached",

@@ -84,7 +84,9 @@ def validate_many(schema, sources, engine="streaming", workers=None,
             ``skipped``; forces serial execution).
         deadline: per-document wall-clock allowance in seconds; a
             document exceeding it fails with
-            :class:`~repro.errors.DeadlineExceeded`.
+            :class:`~repro.errors.DeadlineExceeded`.  The clock starts
+            *before* the source is fetched, so fetch latency — retries
+            and backoff sleeps included — counts against the allowance.
         retry: a :class:`~repro.resilience.RetryPolicy` for callable
             sources (default: no retry).
         limits: :class:`~repro.resilience.ParserLimits` for parsing
@@ -140,25 +142,37 @@ def _run_batch(schema, sources, engine, workers, cache, policy, deadline,
             return contextlib.nullcontext()
         return installed_tracer(tracer, batch_span)
 
-    def fetch(source):
-        """Resolve a callable source with retry; returns (doc, attempts)."""
+    def fetch(source, deadline_at=None):
+        """Resolve a callable source with retry; returns (doc, attempts).
+
+        The per-document deadline covers fetching too: the caller
+        starts the clock *before* the first attempt, every backoff
+        checks it (so retries stop the moment the allowance is spent,
+        instead of sleeping through it), and an exhausted source whose
+        retries outlived the deadline reports ``DeadlineExceeded``
+        rather than the final transient error.
+        """
         if not callable(source):
             return source, 1
 
         def on_retry(attempt, exc):
             registry.counter("engine.batch.retries").inc()
+            _check_deadline(deadline_at, deadline)
 
         try:
             return retry.call(source, on_retry=on_retry)
         except retry.retry_on:
             registry.counter("engine.batch.retry_exhausted").inc()
+            _check_deadline(deadline_at, deadline)
             raise
 
     if policy == FailurePolicy.RAISE:
         def run(source):
             with trace_context(), span("engine.batch.doc"):
-                document, __ = fetch(source)
-                return validate(document, _deadline_at(deadline))
+                deadline_at = _deadline_at(deadline)
+                document, __ = fetch(source, deadline_at)
+                _check_deadline(deadline_at, deadline)
+                return validate(document, deadline_at)
 
         if workers is None or workers <= 1 or len(sources) <= 1:
             return [run(source) for source in sources]
@@ -172,8 +186,10 @@ def _run_batch(schema, sources, engine, workers, cache, policy, deadline,
             doc_span.set_attribute("index", index)
             try:
                 with installed_injector(injector):
-                    document, attempts = fetch(source)
-                    report = validate(document, _deadline_at(deadline))
+                    deadline_at = _deadline_at(deadline)
+                    document, attempts = fetch(source, deadline_at)
+                    _check_deadline(deadline_at, deadline)
+                    report = validate(document, deadline_at)
                 return DocumentOutcome(
                     index, report=report,
                     elapsed_seconds=time.monotonic() - started,

@@ -90,11 +90,17 @@ class SchemaCache:
         self._compile_ns = Histogram("compile_ns")
         self._registry = resolve_registry(registry)
         self._entries = OrderedDict()
-        self._lock = threading.Lock()
+        # Re-entrant: weakref kill callbacks fire at arbitrary points
+        # (any allocation can trigger GC), including while the *same*
+        # thread already holds the lock inside get()/_remember() — a
+        # plain Lock would self-deadlock there.
+        self._lock = threading.RLock()
         # Identity fast path: id(xsd) -> (weakref, compiled).  The weak
         # reference guards against id() reuse after the original object
         # dies (its kill callback also purges the entry, so the map only
-        # holds live schemas and cannot grow without bound).
+        # holds live schemas and cannot grow without bound).  All access
+        # — probe, insert, purge — happens under self._lock so the
+        # cache stays safe on free-threaded builds.
         self._identity = {}
 
     @property
@@ -126,10 +132,27 @@ class SchemaCache:
         Both levels count as hits; the identity level also refreshes the
         entry's LRU position so identity traffic cannot get a hot
         schema's structural entry evicted.
+
+        .. warning:: **Mutation hazard.**  Both tiers key on the schema
+           as *presented*: the identity tier by ``id(xsd)``, the
+           structural tier by a fingerprint computed at insertion.
+           Mutating an ``XSD`` in place after it has been compiled
+           (e.g. appending a rule to ``rho`` during schema evolution)
+           leaves the identity tier serving the *pre-mutation* compiled
+           form forever.  Call :meth:`invalidate` around the mutation;
+           the next ``get`` then re-fingerprints and recompiles.
         """
         registry = self._registry
-        entry = self._identity.get(id(xsd))
-        if entry is not None and entry[0]() is xsd:
+        key = id(xsd)
+        with self._lock:
+            entry = self._identity.get(key)
+            if entry is not None and entry[0]() is not xsd:
+                # A dead reference under a recycled id(): the kill
+                # callback hasn't run yet, so purge the entry here
+                # (under the lock) rather than alias a dead schema.
+                del self._identity[key]
+                entry = None
+        if entry is not None:
             compiled = entry[1]
             self._hits.inc()
             registry.counter("engine.cache.hits").inc()
@@ -185,17 +208,39 @@ class SchemaCache:
         The weakref's kill callback purges the entry when the schema
         object dies, so a recycled ``id()`` can never alias a dead
         schema to the wrong compiled form.  Schemas that don't support
-        weak references are simply not identity-cached.
+        weak references are simply not identity-cached.  Both the
+        insert and the callback's purge take ``self._lock`` (re-entrant
+        — the callback may fire on this very thread mid-``get``).
         """
         key = id(xsd)
+        lock = self._lock
         identity = self._identity
+
+        def _kill(_ref, _key=key):
+            with lock:
+                identity.pop(_key, None)
+
         try:
-            ref = weakref.ref(
-                xsd, lambda _ref, _key=key: identity.pop(_key, None)
-            )
+            ref = weakref.ref(xsd, _kill)
         except TypeError:
             return
-        identity[key] = (ref, compiled)
+        with lock:
+            identity[key] = (ref, compiled)
+
+    def invalidate(self, xsd):
+        """Drop the identity-tier entry for this exact schema object.
+
+        Call this around an in-place mutation of a compiled schema
+        (see the hazard note on :meth:`get`): the next ``get`` falls
+        through to the structural tier, re-fingerprints the mutated
+        schema, and recompiles.  The structural tier is left alone —
+        the old fingerprint still correctly describes the pre-mutation
+        language, which other (unmutated) copies may share.
+
+        Returns True when an entry was actually dropped.
+        """
+        with self._lock:
+            return self._identity.pop(id(xsd), None) is not None
 
     def clear(self):
         """Drop every entry (counters are kept)."""

@@ -115,6 +115,10 @@ class EDCViolation(SchemaError):
     """
 
 
+class PatchError(SchemaError):
+    """An XML patch document is malformed or addresses a missing node."""
+
+
 class ValidationError(ReproError):
     """An XML document does not conform to a schema.
 

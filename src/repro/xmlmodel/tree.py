@@ -58,6 +58,45 @@ class XMLElement:
         """Append character data at the current end of the content."""
         self.texts[-1] += text
 
+    def insert(self, index, child, text_after=""):
+        """Insert a child element at ``index`` (and text following it).
+
+        ``index`` may be ``len(self.children)`` (append).  The ``texts``
+        invariant (``len(texts) == len(children) + 1``) is maintained:
+        the text run that used to follow position ``index`` now follows
+        the inserted child.
+        """
+        if child.parent is not None:
+            raise SchemaError(
+                f"element <{child.name}> already has a parent "
+                f"<{child.parent.name}>"
+            )
+        if not 0 <= index <= len(self.children):
+            raise IndexError(
+                f"insert index {index} out of range for "
+                f"{len(self.children)} children"
+            )
+        child.parent = self
+        self.children.insert(index, child)
+        self.texts.insert(index + 1, text_after)
+
+    def remove_child(self, index):
+        """Detach and return the child at ``index``.
+
+        The text run that followed the removed child is merged into the
+        run that preceded it, so no character data is lost and the
+        ``texts`` invariant holds.
+        """
+        if not 0 <= index < len(self.children):
+            raise IndexError(
+                f"remove index {index} out of range for "
+                f"{len(self.children)} children"
+            )
+        child = self.children.pop(index)
+        child.parent = None
+        self.texts[index] += self.texts.pop(index + 1)
+        return child
+
     # -- the paper's string notions --------------------------------------
     def anc_str(self):
         """The ancestor-string of this node (labels from the root to here)."""

@@ -187,6 +187,59 @@ class TestDeadline:
         with pytest.raises(ValueError):
             validate_many(xsd, [FIGURE1_XML], deadline=0)
 
+    def test_slow_fetch_counts_against_deadline(self, xsd):
+        # Regression: the clock used to start *after* fetch(), so a
+        # hung source could stall a worker forever with a deadline set.
+        import time
+
+        def slow_source():
+            time.sleep(0.08)
+            return FIGURE1_XML
+
+        outcomes = validate_many(xsd, [slow_source, FIGURE1_XML],
+                                 policy="isolate", deadline=0.02)
+        assert outcomes[0].error.kind == "deadline"
+        assert outcomes[1].valid
+
+    def test_retry_backoff_stops_at_the_deadline(self, xsd):
+        # A flaky source whose retry budget far outlives the deadline:
+        # the backoff checks must cut the attempt loop short.
+        attempts = []
+
+        def flaky_source():
+            attempts.append(1)
+            raise OSError("transient")
+
+        retry = RetryPolicy(max_attempts=50, backoff=0.02, multiplier=1.0)
+        outcomes = validate_many(xsd, [flaky_source], policy="isolate",
+                                 deadline=0.05, retry=retry)
+        assert outcomes[0].error.kind == "deadline"
+        assert len(attempts) < 50
+
+    def test_exhausted_fetch_past_deadline_reports_deadline(self, xsd):
+        # Retries exhausted *and* the deadline blown: the deadline is
+        # the root cause the caller can act on, not the last IO error.
+        import time
+
+        def failing_source():
+            time.sleep(0.03)
+            raise OSError("still down")
+
+        retry = RetryPolicy(max_attempts=2, backoff=0.001)
+        outcomes = validate_many(xsd, [failing_source], policy="isolate",
+                                 deadline=0.04, retry=retry)
+        assert outcomes[0].error.kind == "deadline"
+
+    def test_slow_fetch_raises_deadline_under_raise_policy(self, xsd):
+        import time
+
+        def slow_source():
+            time.sleep(0.08)
+            return FIGURE1_XML
+
+        with pytest.raises(DeadlineExceeded):
+            validate_many(xsd, [slow_source], deadline=0.02)
+
 
 class TestFaultInjection:
     def test_injected_faults_are_contained_per_document(self, xsd):

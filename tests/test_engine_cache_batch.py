@@ -123,6 +123,96 @@ class TestSchemaCache:
                     if s.name == "engine.cache.get"]
         assert outcomes == ["miss"]
 
+    def test_invalidate_drops_stale_identity_entry(self):
+        # Regression: mutating an XSD in place left the identity tier
+        # serving the pre-mutation compiled form forever (the hazard is
+        # documented on get()); invalidate() is the escape hatch.
+        from repro.engine import StreamingValidator
+        from repro.regex.ast import star, sym
+        from repro.xsd.content import ContentModel
+        from repro.xsd.model import XSD
+        from repro.xsd.typednames import TypedName
+
+        xsd = XSD(
+            ename={"a"},
+            types={"T"},
+            rho={"T": ContentModel(star(sym(TypedName("a", "T"))))},
+            start={TypedName("a", "T")},
+        )
+        cache = SchemaCache(maxsize=4)
+        doc = parse_document("<a><a/></a>")
+        assert StreamingValidator(cache.get(xsd)).validate(doc).valid
+
+        # In-place evolution: now exactly one <a> child is required.
+        xsd.rho = {"T": ContentModel(sym(TypedName("a", "T")))}
+        # The hazard itself: the identity tier still serves the stale
+        # star-form tables...
+        assert StreamingValidator(cache.get(xsd)).validate(doc).valid
+        # ...until the entry is invalidated.
+        assert cache.invalidate(xsd) is True
+        report = StreamingValidator(cache.get(xsd)).validate(doc)
+        assert not report.valid  # the leaf <a/> now lacks its child
+        assert cache.invalidate(figure3_xsd()) is False  # never cached
+
+    def test_identity_tier_survives_concurrent_churn(self, xsd):
+        # Regression: _identity was probed, written, and purged without
+        # the lock; hammer it from several threads while schema objects
+        # die (kill callbacks) and invalidations race the probes.
+        import threading
+
+        from repro.regex.ast import star, sym
+        from repro.xsd.content import ContentModel
+        from repro.xsd.model import XSD
+        from repro.xsd.typednames import TypedName
+
+        def tiny(root):
+            return XSD(
+                ename={root},
+                types={"T"},
+                rho={"T": ContentModel(star(sym(TypedName(root, "T"))))},
+                start={TypedName(root, "T")},
+            )
+
+        cache = SchemaCache(maxsize=4)
+        fingerprint = schema_fingerprint(xsd)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            try:
+                barrier.wait()
+                for __ in range(400):
+                    # Eviction by the churn threads may force a
+                    # recompile, but every answer must be *a* compiled
+                    # form of this schema — never a dead entry, never a
+                    # KeyError from a racing kill callback.
+                    compiled = cache.get(xsd)
+                    assert compiled.fingerprint == fingerprint
+                    cache.invalidate(xsd)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        def churn(prefix):
+            try:
+                barrier.wait()
+                for step in range(400):
+                    # Fresh short-lived schemas: eviction + weakref
+                    # death exercise the kill callback concurrently.
+                    cache.get(tiny(f"{prefix}{step % 6}"))
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer),
+                   threading.Thread(target=hammer),
+                   threading.Thread(target=churn, args=("p",)),
+                   threading.Thread(target=churn, args=("q",))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.get(xsd).fingerprint == fingerprint
+
     def test_maxsize_validation(self):
         with pytest.raises(ValueError):
             SchemaCache(maxsize=0)

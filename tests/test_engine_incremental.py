@@ -1,0 +1,325 @@
+"""Unit tests for incremental revalidation and the XML patch layer.
+
+The contract under test: a :class:`ValidatedDocument` driven through any
+edit sequence reports *exactly* what a from-scratch run of the tree
+validator reports on the resulting tree — verdict, violation multiset
+and order, and typing — while revalidating only each edit's footprint.
+The patch layer's two application modes (``apply_full`` on a raw tree,
+``apply_incremental`` on a handle) must be indistinguishable.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import ValidatedDocument, compile_xsd
+from repro.errors import PatchError, SchemaError
+from repro.observability import default_registry
+from repro.paperdata import FIGURE1_XML, figure3_xsd
+from repro.xmlmodel import (
+    AddChild,
+    Patch,
+    RemoveChild,
+    ReplaceChild,
+    SetAttribute,
+    SetText,
+    clone_element,
+    element,
+    parse_document,
+    parse_patch,
+    random_op,
+    snapshot_paths,
+    write_document,
+    write_patch,
+)
+from repro.xsd.validator import validate_xsd
+
+
+@pytest.fixture
+def xsd():
+    return figure3_xsd()
+
+
+@pytest.fixture
+def compiled(xsd):
+    return compile_xsd(xsd)
+
+
+def counter(name):
+    return default_registry().counter(name).value
+
+
+def assert_agrees(handle, xsd):
+    """The handle's report must match a from-scratch tree validation."""
+    reference = validate_xsd(xsd, handle.document)
+    report = handle.report()
+    assert handle.valid == reference.valid
+    assert [str(v) for v in report.violations] == [
+        str(v) for v in reference.violations
+    ]
+    assert report.typing == reference.typing
+
+
+class TestBuild:
+    def test_initial_walk_matches_tree_validator(self, xsd, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        assert handle.valid
+        assert len(handle) == sum(1 for __ in handle.document.root.iter())
+        assert_agrees(handle, xsd)
+
+    def test_accepts_formal_xsd_and_bare_element(self, xsd):
+        handle = ValidatedDocument(element("document"), xsd)
+        assert not handle.valid  # document needs its three children
+        assert_agrees(handle, xsd)
+
+    def test_undeclared_root(self, xsd, compiled):
+        handle = ValidatedDocument(parse_document("<stranger/>"), compiled)
+        assert not handle.valid
+        assert len(handle) == 0
+        report = handle.report()
+        assert "not declared" in report.violations[0]
+        assert_agrees(handle, xsd)
+
+    def test_provenance_records_type_and_state_path(self, xsd, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        root = handle.document.root
+        type_name, states = handle.provenance_of(root)
+        assert type_name == "T_document"
+        assert len(states) == len(root.children) + 1
+        assert handle.provenance_of(element("loose")) is None
+
+
+class TestEditOps:
+    def test_insert_valid_child(self, xsd, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        content = handle.node_at((2,))
+        section = element("section", attributes={"title": "New"})
+        handle.insert_child(content, len(content.children), section)
+        assert handle.valid
+        assert handle.provenance_of(section)[0] == "Tsection"
+        assert_agrees(handle, xsd)
+
+    def test_insert_stranger_then_delete_recovers(self, xsd, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        content = handle.node_at((2,))
+        handle.insert_child(content, 0, element("stranger"))
+        assert not handle.valid
+        assert_agrees(handle, xsd)
+        handle.delete_child(content, 0)
+        assert handle.valid
+        assert_agrees(handle, xsd)
+
+    def test_delete_returns_detached_subtree(self, xsd, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        content = handle.node_at((2,))
+        removed = handle.delete_child(content, 0)
+        assert removed.name == "section"
+        assert handle.provenance_of(removed) is None  # provenance dropped
+        assert handle.valid
+        assert_agrees(handle, xsd)
+
+    def test_replace_root_rebuilds(self, xsd, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        old = handle.replace_subtree(
+            handle.document.root,
+            element("document", element("template"),
+                    element("userstyles"), element("content")),
+        )
+        assert old.name == "document" and old.children
+        assert handle.valid
+        assert_agrees(handle, xsd)
+
+    def test_replace_picks_the_identical_sibling(self, xsd, compiled):
+        # Regression: list.index uses XMLElement *value* equality, so
+        # with equal-valued siblings the wrong subtree was detached and
+        # the replacement's provenance went missing.
+        content = element(
+            "content",
+            element("section", attributes={"title": "twin"}),
+            element("section", attributes={"title": "twin"}),
+        )
+        doc = element("document", element("template"),
+                      element("userstyles"), content)
+        handle = ValidatedDocument(doc, compiled)
+        second = content.children[1]
+        replacement = element("section", attributes={"title": "unique"})
+        handle.replace_subtree(second, replacement)
+        assert [c.attributes["title"] for c in content.children] == [
+            "twin", "unique"
+        ]
+        assert handle.provenance_of(replacement) is not None
+        assert_agrees(handle, xsd)
+
+    def test_set_attribute_add_and_remove(self, xsd, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        section = handle.node_at((2, 0))
+        handle.set_attribute(section, "title", None)  # drop required attr
+        assert not handle.valid
+        assert_agrees(handle, xsd)
+        handle.set_attribute(section, "title", "Restored")
+        assert handle.valid
+        assert_agrees(handle, xsd)
+
+    def test_set_text_in_non_mixed_element(self, xsd, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        template = handle.node_at((0,))
+        handle.set_text(template, "stray prose")
+        assert not handle.valid  # T_template is not mixed
+        assert_agrees(handle, xsd)
+        handle.set_text(template, "")
+        assert handle.valid
+        assert_agrees(handle, xsd)
+
+    def test_set_text_index_out_of_range(self, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        with pytest.raises(SchemaError):
+            handle.set_text(handle.node_at((0,)), "x", index=99)
+
+    def test_node_at_raises_patch_error(self, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        with pytest.raises(PatchError, match="does not exist"):
+            handle.node_at((0, 0, 7))
+
+    def test_edit_in_skipped_subtree_is_structural_only(self, xsd,
+                                                        compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        content = handle.node_at((2,))
+        stranger = element("stranger")
+        handle.insert_child(content, 0, stranger)
+        # Below an unrecognized element nothing is typed; edits there
+        # still apply structurally and the verdicts keep agreeing.
+        handle.insert_child(stranger, 0, element("bold"))
+        assert handle.provenance_of(stranger.children[0]) is None
+        assert_agrees(handle, xsd)
+
+
+class TestFootprint:
+    def test_memo_replay_on_tail_edit(self, compiled):
+        # Editing at the end of a long content word must replay the
+        # memoized DFA prefix instead of re-running it.
+        content = element("content")
+        for index in range(50):
+            content.append(
+                element("section", attributes={"title": f"s{index}"})
+            )
+        doc = element("document", element("template"),
+                      element("userstyles"), content)
+        handle = ValidatedDocument(doc, compiled)
+        before = counter("engine.incremental.memo_hits")
+        handle.insert_child(
+            content, 50, element("section", attributes={"title": "tail"})
+        )
+        assert counter("engine.incremental.memo_hits") == before + 1
+
+    def test_edit_elsewhere_keeps_sibling_provenance(self, compiled):
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        untouched = handle.node_at((0,))  # <template>
+        before = handle.provenance_of(untouched)
+        handle.insert_child(
+            handle.node_at((2,)), 0,
+            element("section", attributes={"title": "New"}),
+        )
+        assert handle.provenance_of(untouched) == before
+
+
+class TestPatchLayer:
+    PINNED = """\
+<patch>
+  <add sel="2"><section title="Appendix"/></add>
+  <replace sel="2/0/0"><bold>bolder</bold></replace>
+  <replace sel="2/1" type="@title">Summary</replace>
+  <remove sel="0/0/1"/>
+  <replace sel="1/0" type="text()">illegal text</replace>
+</patch>
+"""
+
+    def test_modes_agree_on_pinned_patch(self, xsd, compiled):
+        patch = parse_patch(self.PINNED)
+        full_doc = parse_document(FIGURE1_XML)
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        patch.apply_full(full_doc)
+        patch.apply_incremental(handle)
+        reference = validate_xsd(xsd, full_doc)
+        report = handle.report()
+        assert write_document(handle.document) == write_document(full_doc)
+        assert report.valid == reference.valid is False
+        assert [str(v) for v in report.violations] == [
+            str(v) for v in reference.violations
+        ]
+        assert report.typing == reference.typing
+
+    def test_roundtrip_is_a_fixed_point(self):
+        patch = parse_patch(self.PINNED)
+        assert len(patch) == 5
+        assert write_patch(parse_patch(write_patch(patch))) == write_patch(
+            patch
+        )
+
+    def test_ops_serialize_by_type(self):
+        ops = [
+            AddChild((2,), element("section"), index=0),
+            RemoveChild((0, 1)),
+            ReplaceChild((1,), element("userstyles")),
+            SetAttribute((2, 0), "title", "New"),
+            SetAttribute((2, 0), "title", None),
+            SetText((0,), "words", index=0),
+        ]
+        reparsed = parse_patch(write_patch(Patch(ops)))
+        assert [type(op) for op in reparsed] == [type(op) for op in ops]
+
+    def test_bad_patches_raise_patch_error(self):
+        for text in (
+            "<notapatch/>",
+            "<patch><frobnicate sel='0'/></patch>",
+            "<patch><add sel='x/y'><a/></add></patch>",
+            "<patch><add sel='0'/></patch>",  # payload missing
+            "<patch><remove sel=''/></patch>",  # root removal forbidden
+        ):
+            with pytest.raises(PatchError):
+                patch = parse_patch(text)
+                patch.apply_full(parse_document(FIGURE1_XML))
+
+    def test_missing_target_raises_patch_error(self, compiled):
+        patch = parse_patch(
+            "<patch><remove sel='0/9'/></patch>"
+        )
+        with pytest.raises(PatchError, match="does not exist"):
+            patch.apply_full(parse_document(FIGURE1_XML))
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        with pytest.raises(PatchError, match="does not exist"):
+            patch.apply_incremental(handle)
+
+    def test_clone_element_is_deep_and_parentless(self):
+        original = parse_document(FIGURE1_XML).root
+        copy = clone_element(original)
+        assert copy is not original and copy == original
+        assert copy.parent is None
+        copy.children[0].attributes["tampered"] = "yes"
+        assert "tampered" not in original.children[0].attributes
+
+
+class TestRandomStormAgreement:
+    def test_seeded_storm_agrees_after_every_op(self, xsd, compiled):
+        rng = random.Random("unit-storm")
+        labels = list(compiled.names) + ["zz-stranger"]
+        full_doc = parse_document(FIGURE1_XML)
+        handle = ValidatedDocument(parse_document(FIGURE1_XML), compiled)
+        for __ in range(60):
+            op = random_op(full_doc.root, rng, labels)
+            op.apply_full(full_doc)
+            op.apply_incremental(handle)
+            reference = validate_xsd(xsd, full_doc)
+            report = handle.report()
+            assert report.valid == reference.valid
+            assert sorted(str(v) for v in report.violations) == sorted(
+                str(v) for v in reference.violations
+            )
+            assert report.typing == reference.typing
+
+    def test_snapshot_sampling_matches_fresh_walks(self):
+        doc = parse_document(FIGURE1_XML)
+        nodes = snapshot_paths(doc.root)
+        assert len(nodes) == sum(1 for __ in doc.root.iter())
+        rng = random.Random("snapshot")
+        op = random_op(doc.root, rng, ["section"], nodes=nodes)
+        op.apply_full(doc)  # structurally applicable by construction
