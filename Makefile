@@ -3,17 +3,19 @@
 # (500+ generated differential cases), the CLI observability smoke, the
 # fault-injection chaos smoke, the tracing smoke, the conformance smoke
 # (oracle fire drill + regression-corpus replay), the patch smoke
-# (incremental-vs-full agreement on an edit storm), and the perfguard
-# hot-path floor replay; stays well under two minutes.
+# (incremental-vs-full agreement on an edit storm), the serve smoke
+# (a live `repro serve` subprocess: status mapping, breaker quarantine,
+# SIGTERM drain), and the perfguard hot-path floor replay; stays well
+# under two minutes.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: check test differential bench bench-engine metrics-smoke \
-	chaos-smoke trace-smoke conformance-smoke patch-smoke conformance \
-	perfguard
+	chaos-smoke trace-smoke conformance-smoke patch-smoke serve-smoke \
+	conformance perfguard
 
 check: test differential metrics-smoke chaos-smoke trace-smoke \
-	conformance-smoke patch-smoke perfguard
+	conformance-smoke patch-smoke serve-smoke perfguard
 
 test:
 	$(PYTEST) -x -q
@@ -37,6 +39,12 @@ conformance-smoke:
 # against the tree validator, and the patch serialization round trip.
 patch-smoke:
 	PYTHONPATH=src python scripts/patch_smoke.py
+
+# Serving surface: a real `repro serve` subprocess driven over sockets —
+# 200/422/503 status mapping, breaker quarantine fail-fast, metrics
+# scrape, SIGTERM graceful drain.
+serve-smoke:
+	PYTHONPATH=src python scripts/serve_smoke.py
 
 # Engine hot-path regression guard: replays the E13 small tier against
 # the committed floors in benchmarks/results/perfguard_floor.json.

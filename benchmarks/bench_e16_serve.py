@@ -1,0 +1,224 @@
+"""E16: validation-as-a-service under concurrent load (new workload).
+
+Drives an in-process ``repro serve`` daemon (real sockets, real worker
+pool) with a closed-loop client fleet and measures the serving claims:
+
+* **latency under load** — p50/p99 per offered-concurrency step, for a
+  mix of valid and invalid documents (both are ordinary 200 answers);
+* **load shedding** — at 2x overload (client fleet twice the admission
+  capacity) the excess is refused *immediately* with 429 + Retry-After
+  while admitted requests keep their latency; the saturation curve
+  (offered concurrency vs goodput vs shed rate) makes the knee visible;
+* **adversarial isolation** — with 10% of requests presenting a
+  Theorem 9 budget-blowup schema, the breaker quarantines the schema
+  after its threshold is hit and the poisoned traffic fails fast with
+  cached stats; the p99 of the *healthy* traffic stays bounded by the
+  request deadline throughout.
+
+Writes ``benchmarks/results/E16.txt`` / ``E16.json``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+from repro.bonxai import bxsd_to_schema, print_schema
+from repro.families import theorem9_bxsd
+from repro.observability import MetricsRegistry
+from repro.paperdata import FIGURE1_XML, FIGURE3_XSD
+from repro.serve import ServeConfig, start_in_thread
+
+from benchmarks.conftest import report
+
+WORKERS = 2
+QUEUE_DEPTH = 2
+DEADLINE = 5.0
+REQUESTS_PER_CLIENT = 12
+ADVERSARIAL_SHARE = 10  # every 10th request presents the blowup schema
+
+INVALID_XML = "<document><content/></document>"
+
+
+def _post(port, body, timeout=10.0):
+    """One POST /validate; returns ``(status, elapsed_seconds)``."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        started = time.perf_counter()
+        conn.request("POST", "/validate", body=json.dumps(body))
+        response = conn.getresponse()
+        response.read()
+        return response.status, time.perf_counter() - started
+    finally:
+        conn.close()
+
+
+def _percentile(values, fraction):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _run_step(port, clients, adversarial=False):
+    """A closed-loop fleet of ``clients`` threads; returns the tallies."""
+    blowup = print_schema(bxsd_to_schema(theorem9_bxsd(6)))
+    lock = threading.Lock()
+    tallies = {
+        "ok": 0, "shed": 0, "unavailable": 0, "other": 0,
+        "latencies": [], "healthy_latencies": [], "fastfail_latencies": [],
+    }
+    barrier = threading.Barrier(clients)
+
+    def client(seed):
+        barrier.wait()
+        for step in range(REQUESTS_PER_CLIENT):
+            sequence = seed * REQUESTS_PER_CLIENT + step
+            poisoned = adversarial and sequence % ADVERSARIAL_SHARE == 0
+            if poisoned:
+                body = {"schema": blowup, "schema_kind": "bonxai",
+                        "document": FIGURE1_XML, "deadline": DEADLINE}
+            else:
+                body = {
+                    "schema": FIGURE3_XSD, "schema_kind": "xsd",
+                    "document": (FIGURE1_XML if sequence % 2
+                                 else INVALID_XML),
+                    "deadline": DEADLINE,
+                }
+            status, elapsed = _post(port, body)
+            with lock:
+                tallies["latencies"].append(elapsed)
+                if status == 200:
+                    tallies["ok"] += 1
+                    tallies["healthy_latencies"].append(elapsed)
+                elif status == 429:
+                    tallies["shed"] += 1
+                elif status == 503:
+                    tallies["unavailable"] += 1
+                    if poisoned:
+                        tallies["fastfail_latencies"].append(elapsed)
+                else:
+                    tallies["other"] += 1
+
+    threads = [threading.Thread(target=client, args=(seed,))
+               for seed in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    tallies["elapsed"] = time.perf_counter() - started
+    return tallies
+
+
+def test_e16_serve_under_load():
+    registry = MetricsRegistry()
+    config = ServeConfig(
+        port=0, workers=WORKERS, queue_depth=QUEUE_DEPTH,
+        tenant_inflight=None, deadline=DEADLINE, budget_states=200,
+        breaker_threshold=2, breaker_cooldown=120.0,
+    )
+    capacity = WORKERS + QUEUE_DEPTH
+    lines = []
+    rows = []
+    with start_in_thread(config, registry=registry) as handle:
+        # Warm the schema memo so the curve measures serving, not the
+        # one-off figure-3 compile.
+        _post(handle.port, {"schema": FIGURE3_XSD, "schema_kind": "xsd",
+                            "document": FIGURE1_XML})
+
+        lines.append(
+            f"capacity {capacity} admitted (workers={WORKERS} + "
+            f"queue_depth={QUEUE_DEPTH}), deadline {DEADLINE:.0f}s, "
+            f"{REQUESTS_PER_CLIENT} requests per client"
+        )
+        lines.append(
+            f"{'clients':>8} {'ok':>6} {'shed':>6} {'503':>6} "
+            f"{'p50 ms':>9} {'p99 ms':>9} {'shed %':>7}"
+        )
+        for clients in (1, capacity, 2 * capacity, 4 * capacity):
+            tallies = _run_step(handle.port, clients)
+            total = clients * REQUESTS_PER_CLIENT
+            shed_rate = tallies["shed"] / total
+            p50 = _percentile(tallies["latencies"], 0.50)
+            p99 = _percentile(tallies["latencies"], 0.99)
+            lines.append(
+                f"{clients:>8} {tallies['ok']:>6} {tallies['shed']:>6} "
+                f"{tallies['unavailable']:>6} {p50 * 1000:>9.2f} "
+                f"{p99 * 1000:>9.2f} {shed_rate:>6.1%}"
+            )
+            rows.append({
+                "clients": clients, "requests": total,
+                "ok": tallies["ok"], "shed": tallies["shed"],
+                "unavailable": tallies["unavailable"],
+                "other": tallies["other"],
+                "p50_ms": p50 * 1000, "p99_ms": p99 * 1000,
+                "shed_rate": shed_rate,
+            })
+            assert tallies["other"] == 0
+            # Bounded latency: nothing waits past the request deadline.
+            assert p99 <= DEADLINE
+            if clients <= capacity:
+                assert tallies["shed"] == 0
+
+        # The knee: past saturation the excess is shed, not queued.
+        overload = rows[-1]
+        assert overload["shed"] > 0
+        assert overload["ok"] > 0
+
+        # -- adversarial mix ------------------------------------------
+        adversarial = _run_step(handle.port, 2 * capacity,
+                                adversarial=True)
+        total = 2 * capacity * REQUESTS_PER_CLIENT
+        poisoned = len([s for s in range(total)
+                        if s % ADVERSARIAL_SHARE == 0])
+        healthy_p99 = _percentile(adversarial["healthy_latencies"], 0.99)
+        fastfail_p99 = _percentile(adversarial["fastfail_latencies"], 0.99)
+        lines.append(
+            f"adversarial mix ({poisoned}/{total} blowup requests): "
+            f"{adversarial['ok']} ok, {adversarial['unavailable']} "
+            f"refused 503, {adversarial['shed']} shed; healthy p99 "
+            f"{healthy_p99 * 1000:.2f} ms, quarantine fail-fast p99 "
+            f"{fastfail_p99 * 1000:.2f} ms"
+        )
+        assert adversarial["other"] == 0
+        # Poisoned requests never succeed and never hang.
+        assert adversarial["unavailable"] >= 1
+        assert healthy_p99 <= DEADLINE
+        # Healthy traffic keeps flowing around the quarantined schema.
+        assert adversarial["ok"] > 0
+
+        counters = registry.snapshot()["counters"]
+        breaker_trips = counters.get("serve.breaker.trips", 0)
+        fastfails = counters.get("serve.breaker.fastfail", 0)
+        assert breaker_trips >= 1
+        lines.append(
+            f"breaker: {breaker_trips} trip(s), {fastfails} fast-fail "
+            f"refusal(s) served from cached stats"
+        )
+
+    report(
+        "E16",
+        "serve daemon under concurrent load (saturation + adversarial "
+        "mix)",
+        lines,
+        data={
+            "capacity": capacity,
+            "deadline_seconds": DEADLINE,
+            "saturation": rows,
+            "adversarial": {
+                "requests": total,
+                "poisoned": poisoned,
+                "ok": adversarial["ok"],
+                "refused_503": adversarial["unavailable"],
+                "shed": adversarial["shed"],
+                "healthy_p99_ms": healthy_p99 * 1000,
+                "fastfail_p99_ms": fastfail_p99 * 1000,
+                "breaker_trips": breaker_trips,
+                "breaker_fastfails": fastfails,
+            },
+        },
+    )

@@ -88,6 +88,8 @@ def measure():
             text, xsd, compiled, full_seconds=size / e2e_tree
         )
 
+        serve = _measure_serve()
+
     return {
         "elements": size,
         "e2e_tree_rate": e2e_tree,
@@ -97,6 +99,7 @@ def measure():
         "dict_vs_tree": e2e_dict / e2e_tree,
         "cache_hit_us": cache_hit_us,
         "incremental_vs_full": incremental_vs_full,
+        **serve,
     }
 
 
@@ -136,6 +139,90 @@ def _measure_incremental(text, xsd, compiled, full_seconds):
     return full_seconds / (edit_seconds / applied)
 
 
+def _measure_serve():
+    """The E16 miniature: an overload burst against an in-thread daemon.
+
+    Runs a client fleet at twice the admission capacity against a
+    two-worker server and checks the serving posture: the excess is shed
+    immediately with 429 (the ``serve_shed_rate`` floor catches an
+    admission layer that silently starts queuing without bound) and the
+    *admitted* requests' p99 stays inside the request deadline (the
+    ``serve_p99_vs_deadline_ceiling`` catches a hot path that lets
+    latency grow past the end-to-end promise under load).
+    """
+    import http.client
+    import threading
+
+    from repro.observability import MetricsRegistry
+    from repro.paperdata import FIGURE1_XML, FIGURE3_XSD
+    from repro.serve import ServeConfig, start_in_thread
+
+    deadline = 5.0
+    config = ServeConfig(port=0, workers=2, queue_depth=2,
+                         tenant_inflight=None, deadline=deadline)
+    capacity = config.workers + config.queue_depth
+    clients = 2 * capacity
+    requests_per_client = 10
+    body = json.dumps({"schema": FIGURE3_XSD, "schema_kind": "xsd",
+                       "document": FIGURE1_XML, "deadline": deadline})
+    lock = threading.Lock()
+    admitted = []
+    tallies = {"shed": 0, "other": 0}
+    barrier = threading.Barrier(clients)
+
+    def client():
+        barrier.wait()
+        for __ in range(requests_per_client):
+            conn = http.client.HTTPConnection("127.0.0.1", port,
+                                              timeout=10.0)
+            try:
+                started = time.perf_counter()
+                conn.request("POST", "/validate", body=body)
+                response = conn.getresponse()
+                response.read()
+                elapsed = time.perf_counter() - started
+            finally:
+                conn.close()
+            with lock:
+                if response.status == 200:
+                    admitted.append(elapsed)
+                elif response.status == 429:
+                    tallies["shed"] += 1
+                else:
+                    tallies["other"] += 1
+
+    with start_in_thread(config, registry=MetricsRegistry()) as handle:
+        port = handle.port
+        # Warm the schema memo: measure serving, not the one-off compile.
+        client_threads = [threading.Thread(target=client)
+                          for __ in range(clients)]
+        warm = http.client.HTTPConnection("127.0.0.1", port, timeout=10.0)
+        try:
+            warm.request("POST", "/validate", body=body)
+            warm.getresponse().read()
+        finally:
+            warm.close()
+        for thread in client_threads:
+            thread.start()
+        for thread in client_threads:
+            thread.join()
+
+    total = clients * requests_per_client
+    ordered = sorted(admitted)
+    p99 = ordered[int(0.99 * (len(ordered) - 1))] if ordered else 0.0
+    if tallies["other"]:
+        print("perfguard FAILED: serve burst saw "
+              f"{tallies['other']} unexpected non-200/429 answers",
+              file=sys.stderr)
+        sys.exit(1)
+    return {
+        "serve_requests": total,
+        "serve_admitted": len(admitted),
+        "serve_shed_rate": tallies["shed"] / total,
+        "serve_p99_vs_deadline": p99 / deadline,
+    }
+
+
 def main():
     floors = json.loads(FLOOR_FILE.read_text(encoding="utf-8"))
     measured = measure()
@@ -152,6 +239,21 @@ def main():
             f"exceeds the committed ceiling "
             f"{floors['cache_hit_us_ceiling']:.2f} us"
         )
+    if measured["serve_shed_rate"] < floors["serve_shed_rate_floor"]:
+        problems.append(
+            f"serve_shed_rate: measured {measured['serve_shed_rate']:.1%} "
+            f"at 2x overload is below the committed floor "
+            f"{floors['serve_shed_rate_floor']:.1%} (admission is "
+            "queuing instead of shedding)"
+        )
+    if measured["serve_p99_vs_deadline"] > (
+            floors["serve_p99_vs_deadline_ceiling"]):
+        problems.append(
+            f"serve_p99_vs_deadline: admitted p99 is "
+            f"{measured['serve_p99_vs_deadline']:.2f}x the request "
+            f"deadline, above the committed ceiling "
+            f"{floors['serve_p99_vs_deadline_ceiling']:.2f}x"
+        )
 
     print(
         f"perfguard (E13 small tier, {measured['elements']} elements): "
@@ -162,7 +264,13 @@ def main():
         f"identity cache hit {measured['cache_hit_us']:.2f} us "
         f"(ceiling {floors['cache_hit_us_ceiling']:.1f} us), "
         f"incremental edit {measured['incremental_vs_full']:.0f}x full "
-        f"(floor {floors['incremental_vs_full']:.0f}x)"
+        f"(floor {floors['incremental_vs_full']:.0f}x); "
+        f"serve burst {measured['serve_admitted']}/"
+        f"{measured['serve_requests']} admitted, "
+        f"shed {measured['serve_shed_rate']:.0%} "
+        f"(floor {floors['serve_shed_rate_floor']:.0%}), "
+        f"admitted p99 {measured['serve_p99_vs_deadline']:.2f}x deadline "
+        f"(ceiling {floors['serve_p99_vs_deadline_ceiling']:.2f}x)"
     )
     if problems:
         for problem in problems:

@@ -9,7 +9,16 @@ Subcommands::
                                             (--keep-going default,
                                             --fail-fast to stop at the
                                             first errored document) and
-                                            prints a summary line
+                                            prints a summary line;
+                                            --deadline/--retries/--limits-*
+                                            thread per-document resilience
+                                            knobs into the batch machinery
+    bonxai serve     [--host H --port P]    long-running validation service:
+                                            HTTP POST /validate|/explain|
+                                            /patch with admission control,
+                                            per-schema circuit breaker,
+                                            and SIGTERM graceful drain
+                                            (GET /healthz /readyz /metrics)
     bonxai highlight <schema> <document>    per-node matched rules
     bonxai explain   <document> --schema S  per-element provenance: winning
                                             rule index, assigned type, and
@@ -93,9 +102,12 @@ def main(argv=None):
         parser.print_help()
         return 2
     budget = None
-    if getattr(args, "budget_states", None) is not None or getattr(
-        args, "budget_seconds", None
-    ) is not None:
+    # serve interprets --budget-states/--budget-seconds as the *per-
+    # request* compile allowance, not an ambient whole-command budget.
+    if args.command != "serve" and (
+        getattr(args, "budget_states", None) is not None
+        or getattr(args, "budget_seconds", None) is not None
+    ):
         from repro.observability import ResourceBudget
 
         budget = ResourceBudget(
@@ -197,13 +209,48 @@ def _build_parser():
         help="wall-clock deadline for the command's constructions",
     )
 
+    # Parser-limit overrides shared by validate and serve: each maps to
+    # the matching ParserLimits field; absent flags keep the defaults.
+    limits_flags = argparse.ArgumentParser(add_help=False)
+    limits_flags.add_argument(
+        "--limits-input-bytes", type=_positive(int), default=None,
+        metavar="N", help="largest accepted document, in UTF-8 bytes",
+    )
+    limits_flags.add_argument(
+        "--limits-depth", type=_positive(int), default=None,
+        metavar="N", help="deepest accepted element nesting",
+    )
+    limits_flags.add_argument(
+        "--limits-attributes", type=_positive(int), default=None,
+        metavar="N", help="most attributes accepted on one start tag",
+    )
+    limits_flags.add_argument(
+        "--limits-name-length", type=_positive(int), default=None,
+        metavar="N", help="longest accepted element/attribute name",
+    )
+    limits_flags.add_argument(
+        "--limits-text-length", type=_positive(int), default=None,
+        metavar="N", help="longest accepted text/CDATA/attribute run",
+    )
+
     validate = subparsers.add_parser(
         "validate",
         help="validate an XML document against a schema",
-        parents=[common],
+        parents=[common, limits_flags],
     )
     validate.add_argument("schema")
     validate.add_argument("documents", nargs="+", metavar="document")
+    validate.add_argument(
+        "--deadline", type=_positive(float), default=None, metavar="S",
+        help="per-document wall-clock allowance in seconds (covers fetch "
+        "+ parse + validate; an over-deadline document errors instead of "
+        "holding the batch)",
+    )
+    validate.add_argument(
+        "--retries", type=_positive(int), default=None, metavar="N",
+        help="retry transient document-read failures up to N times with "
+        "full-jitter backoff (default: no retry)",
+    )
     validate.add_argument(
         "--engine",
         choices=("tree", "streaming"),
@@ -375,6 +422,77 @@ def _build_parser():
         handler=_cmd_conformance, shrink=True, roundtrips=True
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived validation service (HTTP/1.1)",
+        parents=[common, limits_flags],
+        description="Validation-as-a-service: POST /validate, /explain, "
+        "and /patch take JSON bodies ({schema, schema_kind, document, "
+        "tenant?, deadline?, patches?}); GET /healthz, /readyz, and "
+        "/metrics expose liveness, readiness (503 while draining or "
+        "globally tripped), and the Prometheus snapshot.  Overload is "
+        "shed with 429 + Retry-After; schemas that repeatedly exhaust "
+        "the compile budget are quarantined by a per-schema circuit "
+        "breaker; SIGTERM drains gracefully.  --budget-states / "
+        "--budget-seconds set the per-request compile allowance.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 picks a free one; announced on stdout)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive(int), default=4,
+        help="worker threads executing requests (default: 4)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="admitted requests allowed to wait for a worker; beyond "
+        "workers + N the service sheds with 429 (default: 16)",
+    )
+    serve.add_argument(
+        "--tenant-inflight", type=_positive(int), default=8, metavar="N",
+        help="most admitted requests one tenant may hold (default: 8)",
+    )
+    serve.add_argument(
+        "--deadline", type=_positive(float), default=5.0, metavar="S",
+        help="default end-to-end seconds per request (default: 5)",
+    )
+    serve.add_argument(
+        "--max-deadline", type=_positive(float), default=30.0, metavar="S",
+        help="ceiling on a client-requested deadline (default: 30)",
+    )
+    serve.add_argument(
+        "--drain-deadline", type=_positive(float), default=5.0, metavar="S",
+        help="seconds SIGTERM waits for inflight requests (default: 5)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=_positive(int), default=3, metavar="N",
+        help="consecutive budget exhaustions that quarantine a schema "
+        "(default: 3)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=_positive(float), default=30.0,
+        metavar="S",
+        help="seconds a quarantined schema blocks before one probe "
+        "recompile is allowed (default: 30)",
+    )
+    serve.add_argument(
+        "--breaker-global-limit", type=_positive(int), default=8,
+        metavar="N",
+        help="simultaneously open circuits that flip /readyz to 503 "
+        "(default: 8)",
+    )
+    serve.add_argument(
+        "--retry-after", type=_positive(float), default=1.0, metavar="S",
+        help="Retry-After hint on shed responses (default: 1)",
+    )
+    serve.add_argument(
+        "--metrics-file", default=None, metavar="FILE",
+        help="write a final Prometheus metrics snapshot here on drain",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     return parser
 
 
@@ -408,11 +526,53 @@ def _error_line(path, error):
     return f"{path}: ERROR [{error.kind}] {error.message}"
 
 
+def _limits_from(args):
+    """A :class:`ParserLimits` from the ``--limits-*`` flags, or ``None``.
+
+    Absent flags keep the :data:`~repro.resilience.DEFAULT_LIMITS`
+    value for that dimension (overrides compose with the defaults, not
+    with unlimited).
+    """
+    overrides = {
+        "max_input_bytes": args.limits_input_bytes,
+        "max_depth": args.limits_depth,
+        "max_attributes": args.limits_attributes,
+        "max_name_length": args.limits_name_length,
+        "max_text_length": args.limits_text_length,
+    }
+    if all(value is None for value in overrides.values()):
+        return None
+    from repro.resilience import ParserLimits
+
+    return ParserLimits(
+        **{name: value for name, value in overrides.items()
+           if value is not None}
+    )
+
+
+def _resilience_from(args):
+    """The ``validate_many`` keyword overrides the new flags map onto."""
+    options = {}
+    limits = _limits_from(args)
+    if limits is not None:
+        options["limits"] = limits
+    if args.deadline is not None:
+        options["deadline"] = args.deadline
+    if args.retries is not None:
+        from repro.resilience import RetryPolicy
+
+        options["retry"] = RetryPolicy(
+            max_attempts=args.retries + 1, jitter=True
+        )
+    return options
+
+
 def _cmd_validate(args):
     kind, schema = _load_schema(args.schema)
-    if len(args.documents) == 1:
+    resilience = _resilience_from(args)
+    if len(args.documents) == 1 and not resilience:
         return _validate_single(args, kind, schema, args.documents[0])
-    return _validate_batch(args, kind, schema)
+    return _validate_batch(args, kind, schema, resilience)
 
 
 def _validate_single(args, kind, schema, path):
@@ -446,14 +606,18 @@ def _validate_single(args, kind, schema, path):
     return 0
 
 
-def _validate_batch(args, kind, schema):
+def _validate_batch(args, kind, schema, resilience=None):
     """Fault-isolated multi-document validation with a summary line.
 
     Every schema kind rides the translation square to one formal XSD
     (structural validation for BonXai/DTD), so the whole batch shares a
     single compiled schema.  Documents are fetched lazily as source
     callables; a file that fails to read is an isolated ``io`` error,
-    not a batch abort.
+    not a batch abort.  ``resilience`` carries the ``--deadline`` /
+    ``--retries`` / ``--limits-*`` overrides straight into
+    :func:`validate_many` (a single document given any of those flags
+    comes through here too, so the knobs always ride the isolation
+    machinery).
     """
     from repro.engine import compile_cached, validate_many
     from repro.resilience import FailurePolicy
@@ -465,7 +629,9 @@ def _validate_batch(args, kind, schema):
         FailurePolicy.FAIL_FAST if args.fail_fast else FailurePolicy.ISOLATE
     )
     sources = [lambda path=path: _load_text(path) for path in args.documents]
-    outcomes = validate_many(target, sources, engine=engine, policy=policy)
+    outcomes = validate_many(
+        target, sources, engine=engine, policy=policy, **(resilience or {})
+    )
 
     ok = invalid = errored = skipped = 0
     for path, outcome in zip(args.documents, outcomes):
@@ -743,6 +909,33 @@ def _cmd_conformance(args):
     if result.stopped_early:
         return 2
     return 0
+
+
+def _cmd_serve(args):
+    """Run the validation service until SIGTERM/SIGINT drains it."""
+    from repro.serve import ServeConfig, run_server
+
+    if args.queue_depth < 0:
+        print("error: --queue-depth must be >= 0", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        tenant_inflight=args.tenant_inflight,
+        deadline=args.deadline,
+        max_deadline=args.max_deadline,
+        drain_deadline=args.drain_deadline,
+        budget_states=args.budget_states or 20_000,
+        budget_seconds=args.budget_seconds or 2.0,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        breaker_global_limit=args.breaker_global_limit,
+        retry_after=args.retry_after,
+        limits=_limits_from(args),
+    )
+    return run_server(config, metrics_path=args.metrics_file)
 
 
 def _cmd_study(args):

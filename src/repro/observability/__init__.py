@@ -28,7 +28,12 @@ from repro.observability.budget import (
     current_budget,
     resolve_budget,
 )
-from repro.observability.export import render_metrics, to_prometheus
+from repro.observability.export import (
+    escape_label_value,
+    labeled,
+    render_metrics,
+    to_prometheus,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -74,9 +79,11 @@ __all__ = [
     "current_span",
     "current_tracer",
     "default_registry",
+    "escape_label_value",
     "explain_document",
     "first_divergence",
     "installed_tracer",
+    "labeled",
     "render_metrics",
     "resolve_budget",
     "resolve_registry",

@@ -10,10 +10,26 @@ The Prometheus rendering follows the text exposition format:
 
 * dotted instrument names map to legal metric names (``engine.cache.hits``
   becomes ``engine_cache_hits``);
-* counters and gauges emit one ``# TYPE`` line and one sample;
+* counters and gauges emit one ``# TYPE`` line per metric family and one
+  sample per series;
 * histograms emit cumulative ``_bucket{le="..."}`` samples derived from
   the power-of-two buckets (the upper bound of ``<=2^k`` is ``2**k``),
   plus the mandatory ``+Inf`` bucket, ``_sum``, and ``_count``.
+
+**Labels.**  The registry itself is label-unaware (instruments are keyed
+by one flat name); labelled series are encoded *into* the name by
+:func:`labeled`::
+
+    registry.counter(labeled("serve.requests", tenant=tenant, code=200))
+
+``labeled`` escapes the label *values* per the exposition format at
+construction time (backslash ``\\``, double quote ``\"``, newline
+``\\n`` — tenant ids and schema fingerprints are attacker-influenced
+strings in serve mode, and an unescaped newline would let one tenant
+forge arbitrary scrape lines), sanitizes the label *names*, and sorts
+them, so two call sites labelling in different orders share one series.
+The exporter groups all series of a family under a single ``# TYPE``
+line, as the format requires.
 """
 
 from __future__ import annotations
@@ -21,6 +37,7 @@ from __future__ import annotations
 import re
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
 
 
 def _metric_name(name):
@@ -31,35 +48,99 @@ def _metric_name(name):
     return sanitized
 
 
-def _histogram_lines(metric, summary):
-    lines = [f"# TYPE {metric} histogram"]
+def escape_label_value(value):
+    """Escape a label value per the Prometheus text exposition format.
+
+    Order matters: backslashes first, or the escapes themselves would be
+    re-escaped.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def labeled(name, **labels):
+    """Encode a labelled series into one flat instrument name.
+
+    The result is ``name{key="value",...}`` with keys sanitized and
+    sorted and values already exposition-escaped, so the exporter can
+    pass the label block through verbatim.  With no labels the name is
+    returned unchanged.
+    """
+    if not labels:
+        return name
+    pairs = ",".join(
+        f'{_LABEL_NAME_OK.sub("_", key)}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{pairs}}}"
+
+
+def _split_labels(name):
+    """Split an instrument name into (metric family, label block).
+
+    The label block — everything from the first ``{`` — was escaped by
+    :func:`labeled` at construction and passes through verbatim; only
+    the family name is sanitized.
+    """
+    base, brace, rest = name.partition("{")
+    return _metric_name(base), (brace + rest if brace else "")
+
+
+def _histogram_lines(metric, labels, summary):
+    lines = []
+    # Merge ``le`` into an existing label block: {a="b"} -> {a="b",le=...}
+    if labels:
+        le_prefix = labels[:-1] + ","
+    else:
+        le_prefix = "{"
     cumulative = 0
     for label, hits in summary["buckets"].items():
         exponent = int(label.split("^", 1)[1])
         cumulative += hits
         lines.append(
-            f'{metric}_bucket{{le="{float(2 ** exponent)}"}} {cumulative}'
+            f'{metric}_bucket{le_prefix}le="{float(2 ** exponent)}"}} '
+            f"{cumulative}"
         )
-    lines.append(f'{metric}_bucket{{le="+Inf"}} {summary["count"]}')
-    lines.append(f"{metric}_sum {summary['total']}")
-    lines.append(f"{metric}_count {summary['count']}")
+    lines.append(f'{metric}_bucket{le_prefix}le="+Inf"}} {summary["count"]}')
+    lines.append(f"{metric}_sum{labels} {summary['total']}")
+    lines.append(f"{metric}_count{labels} {summary['count']}")
     return lines
+
+
+def _families(samples):
+    """Group ``{instrument-name: value}`` into families, order-preserving.
+
+    Returns ``[(family, [(label-block, value), ...]), ...]`` — all
+    series of one family render adjacently under a single ``# TYPE``
+    line, as the exposition format requires.
+    """
+    grouped = {}
+    for name, value in samples.items():
+        metric, labels = _split_labels(name)
+        grouped.setdefault(metric, []).append((labels, value))
+    return grouped.items()
 
 
 def to_prometheus(registry):
     """Render the registry snapshot in Prometheus text format."""
     snapshot = registry.snapshot()
     lines = []
-    for name, value in snapshot["counters"].items():
-        metric = _metric_name(name)
+    for metric, series in _families(snapshot["counters"]):
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {value}")
-    for name, value in snapshot["gauges"].items():
-        metric = _metric_name(name)
+        for labels, value in series:
+            lines.append(f"{metric}{labels} {value}")
+    for metric, series in _families(snapshot["gauges"]):
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {value}")
-    for name, summary in snapshot["histograms"].items():
-        lines.extend(_histogram_lines(_metric_name(name), summary))
+        for labels, value in series:
+            lines.append(f"{metric}{labels} {value}")
+    for metric, series in _families(snapshot["histograms"]):
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, summary in series:
+            lines.extend(_histogram_lines(metric, labels, summary))
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -22,6 +22,7 @@ assert the exact backoff schedule without waiting.
 
 from __future__ import annotations
 
+import random
 import time
 
 from repro.errors import (
@@ -189,13 +190,23 @@ class RetryPolicy:
             propagates immediately.
         sleep: the sleeper (injectable for tests; defaults to
             :func:`time.sleep`).
+        jitter: when True, apply *full jitter*: each delay is drawn
+            uniformly from ``[0, min(backoff * multiplier^k,
+            max_backoff)]``.  Deterministic multiplicative backoff
+            synchronizes retry storms under a service — every client
+            that failed together retries together, forever; full jitter
+            decorrelates them while keeping the same backoff envelope.
+        rng: the random source for jitter (anything with ``uniform``;
+            injectable so tests can assert the exact schedule).
+            Defaults to the module-level :mod:`random` generator.
     """
 
     __slots__ = ("max_attempts", "backoff", "multiplier", "max_backoff",
-                 "retry_on", "sleep")
+                 "retry_on", "sleep", "jitter", "rng")
 
     def __init__(self, max_attempts=3, backoff=0.05, multiplier=2.0,
-                 max_backoff=1.0, retry_on=(OSError,), sleep=time.sleep):
+                 max_backoff=1.0, retry_on=(OSError,), sleep=time.sleep,
+                 jitter=False, rng=None):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         if backoff < 0 or max_backoff < 0:
@@ -208,12 +219,21 @@ class RetryPolicy:
         self.max_backoff = max_backoff
         self.retry_on = tuple(retry_on)
         self.sleep = sleep
+        self.jitter = jitter
+        self.rng = rng if rng is not None else random
 
     def delays(self):
-        """The backoff schedule: one delay per retry (attempts - 1)."""
+        """The backoff schedule: one delay per retry (attempts - 1).
+
+        Without jitter the schedule is deterministic (the envelope
+        itself); with jitter each element is a fresh uniform draw below
+        the envelope, so two calls yield different schedules unless the
+        injected ``rng`` is seeded identically.
+        """
         delay = self.backoff
         for __ in range(self.max_attempts - 1):
-            yield min(delay, self.max_backoff)
+            ceiling = min(delay, self.max_backoff)
+            yield self.rng.uniform(0.0, ceiling) if self.jitter else ceiling
             delay *= self.multiplier
 
     def call(self, fn, on_retry=None):

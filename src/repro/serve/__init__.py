@@ -1,0 +1,46 @@
+"""Validation-as-a-service: the ``repro serve`` daemon.
+
+An asyncio HTTP/1.1 front-end (no dependencies beyond the standard
+library) that puts the engine's serving substrate — the two-tier
+:class:`~repro.engine.cache.SchemaCache`, per-request
+:class:`~repro.resilience.ParserLimits` and deadlines,
+:class:`~repro.observability.ResourceBudget` compile allowances, the
+metrics registry and tracing spans — in front of real concurrent
+traffic, with the robustness layer a service needs on top:
+
+* :mod:`repro.serve.admission` — bounded occupancy with immediate load
+  shedding (429 + ``Retry-After``) and a per-schema circuit breaker
+  that quarantines budget-exhausting (Theorem 8/9) schemas;
+* :mod:`repro.serve.service` — worker-side request processing reusing
+  :func:`~repro.engine.validate_many`'s fault isolation per document;
+* :mod:`repro.serve.daemon` — the event loop, ``/healthz`` /
+  ``/readyz`` / ``/metrics`` endpoints, and SIGTERM graceful drain;
+* :mod:`repro.serve.http` — a minimal hardened HTTP/1.1 reader/writer.
+"""
+
+from repro.serve.admission import AdmissionController, CircuitBreaker
+from repro.serve.daemon import (
+    ServeDaemon,
+    ServerHandle,
+    run_server,
+    start_in_thread,
+)
+from repro.serve.service import (
+    QuarantinedSchema,
+    ServeConfig,
+    ValidationService,
+    schema_key,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "QuarantinedSchema",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServerHandle",
+    "ValidationService",
+    "run_server",
+    "schema_key",
+    "start_in_thread",
+]

@@ -1,0 +1,273 @@
+"""Admission control for the serve daemon: load shedding and quarantine.
+
+Two independent gates stand between a request and a worker thread:
+
+* :class:`AdmissionController` — bounded occupancy accounting.  The
+  service may hold at most ``workers + queue_depth`` admitted requests
+  (executing + waiting for a thread), and at most ``tenant_inflight`` of
+  them per tenant, so one tenant flooding the queue cannot starve the
+  rest.  An over-capacity request is refused *immediately* with a shed
+  reason (the daemon turns it into ``429 Retry-After``) — a saturated
+  service answers fast instead of letting latency grow without bound.
+
+* :class:`CircuitBreaker` — per-schema quarantine.  Theorem 8/9 schemas
+  make compilation exhaust any :class:`~repro.observability.
+  ResourceBudget`; recompiling such a schema on every request would let
+  a single tenant burn a worker for the full budget allowance each time.
+  After ``threshold`` consecutive budget exhaustions a schema's circuit
+  opens: requests fail fast with the *cached* ``BudgetExceeded`` stats,
+  no recompile.  After ``cooldown`` seconds the circuit goes half-open
+  and admits exactly one probe; success closes it, another exhaustion
+  re-opens it for a fresh cooldown.  When ``global_limit`` circuits are
+  simultaneously open the breaker reports a global trip and the daemon
+  flips ``/readyz`` to not-ready, telling the load balancer to back off.
+
+Both classes are thread-safe (checked on the event loop, recorded from
+worker threads) and feed the shared metrics registry:
+``serve.inflight`` / ``serve.queue.depth`` gauges, ``serve.shed``
+counters (per reason and tenant), and ``serve.breaker.*``
+trip/fast-fail counters with per-schema labels.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.observability import labeled, resolve_registry
+
+
+class AdmissionController:
+    """Bounded occupancy: total and per-tenant inflight caps.
+
+    Args:
+        workers: worker-thread count (executing slots).
+        queue_depth: additional admitted-but-waiting slots.
+        tenant_inflight: per-tenant admitted cap (``None`` = no
+            per-tenant cap, only the global bound applies).
+        registry: metrics registry override (tests).
+    """
+
+    __slots__ = ("workers", "queue_depth", "tenant_inflight",
+                 "_inflight", "_tenants", "_lock", "_registry")
+
+    def __init__(self, workers, queue_depth, tenant_inflight=None,
+                 registry=None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {queue_depth}"
+            )
+        if tenant_inflight is not None and tenant_inflight < 1:
+            raise ValueError(
+                f"tenant_inflight must be >= 1, got {tenant_inflight}"
+            )
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.tenant_inflight = tenant_inflight
+        self._inflight = 0
+        self._tenants = {}
+        self._lock = threading.Lock()
+        self._registry = resolve_registry(registry)
+
+    @property
+    def capacity(self):
+        """Most requests admitted at once (executing + queued)."""
+        return self.workers + self.queue_depth
+
+    @property
+    def inflight(self):
+        with self._lock:
+            return self._inflight
+
+    def try_admit(self, tenant):
+        """Admit one request for ``tenant``; the shed reason, or ``None``.
+
+        ``None`` means admitted — the caller *must* pair it with
+        :meth:`release`.  Otherwise the string names the gate that
+        refused (``"queue_full"`` / ``"tenant_budget"``) and nothing was
+        accounted.
+        """
+        registry = self._registry
+        with self._lock:
+            if self._inflight >= self.capacity:
+                reason = "queue_full"
+            elif (self.tenant_inflight is not None
+                    and self._tenants.get(tenant, 0) >= self.tenant_inflight):
+                reason = "tenant_budget"
+            else:
+                self._inflight += 1
+                self._tenants[tenant] = self._tenants.get(tenant, 0) + 1
+                inflight = self._inflight
+                registry.gauge("serve.inflight").set(inflight)
+                registry.gauge("serve.queue.depth").set(
+                    max(0, inflight - self.workers)
+                )
+                return None
+        registry.counter("serve.shed").inc()
+        registry.counter(
+            labeled("serve.shed.by", reason=reason, tenant=tenant)
+        ).inc()
+        return reason
+
+    def release(self, tenant):
+        """Return one admitted slot (request finished, any outcome)."""
+        with self._lock:
+            self._inflight -= 1
+            remaining = self._tenants.get(tenant, 0) - 1
+            if remaining <= 0:
+                self._tenants.pop(tenant, None)
+            else:
+                self._tenants[tenant] = remaining
+            inflight = self._inflight
+        self._registry.gauge("serve.inflight").set(inflight)
+        self._registry.gauge("serve.queue.depth").set(
+            max(0, inflight - self.workers)
+        )
+
+    def __repr__(self):
+        return (
+            f"AdmissionController(workers={self.workers}, "
+            f"queue_depth={self.queue_depth}, "
+            f"tenant_inflight={self.tenant_inflight}, "
+            f"inflight={self.inflight})"
+        )
+
+
+class _Circuit:
+    """Per-key breaker state (guarded by the breaker's lock)."""
+
+    __slots__ = ("failures", "opened_at", "probing", "stats")
+
+    def __init__(self):
+        self.failures = 0
+        self.opened_at = None
+        self.probing = False
+        self.stats = None
+
+
+class CircuitBreaker:
+    """Per-schema quarantine with half-open probes and a global trip.
+
+    Args:
+        threshold: consecutive budget exhaustions that open a circuit.
+        cooldown: seconds an open circuit blocks before half-opening.
+        global_limit: simultaneously open circuits that constitute a
+            global trip (``None`` disables the global signal).
+        clock: monotonic-seconds source (injectable for tests).
+        maxsize: most circuits tracked; least-recently-touched entries
+            are dropped beyond it (schema churn cannot grow the map
+            without bound — a dropped open circuit simply starts over).
+        registry: metrics registry override (tests).
+    """
+
+    __slots__ = ("threshold", "cooldown", "global_limit", "maxsize",
+                 "_clock", "_circuits", "_open", "_lock", "_registry")
+
+    def __init__(self, threshold=3, cooldown=30.0, global_limit=None,
+                 clock=time.monotonic, maxsize=1024, registry=None):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if global_limit is not None and global_limit < 1:
+            raise ValueError(
+                f"global_limit must be >= 1, got {global_limit}"
+            )
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.global_limit = global_limit
+        self.maxsize = maxsize
+        self._clock = clock
+        self._circuits = OrderedDict()
+        self._open = 0
+        self._lock = threading.Lock()
+        self._registry = resolve_registry(registry)
+
+    @property
+    def open_count(self):
+        """Circuits currently open (half-open probes still count)."""
+        with self._lock:
+            return self._open
+
+    def tripped_globally(self):
+        """True when open circuits have reached ``global_limit``."""
+        if self.global_limit is None:
+            return False
+        return self.open_count >= self.global_limit
+
+    def check(self, key):
+        """May a request for ``key`` proceed?
+
+        Returns ``None`` to proceed, or ``(retry_after, stats)`` when
+        the circuit is open — ``stats`` being the cached partial-progress
+        figures from the exhaustion that opened it, so the refusal can
+        explain itself without recompiling anything.
+
+        An open circuit past its cooldown admits exactly one half-open
+        probe (the first caller to ask); concurrent requests for the
+        same key stay blocked until the probe reports back.
+        """
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None or circuit.opened_at is None:
+                return None
+            self._circuits.move_to_end(key)
+            elapsed = self._clock() - circuit.opened_at
+            if elapsed >= self.cooldown and not circuit.probing:
+                circuit.probing = True
+                return None
+            retry_after = max(self.cooldown - elapsed, 0.0)
+            stats = dict(circuit.stats or {})
+        self._registry.counter("serve.breaker.fastfail").inc()
+        return retry_after, stats
+
+    def record_failure(self, key, stats=None):
+        """One budget exhaustion for ``key``; returns True if now open."""
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None:
+                circuit = _Circuit()
+                self._circuits[key] = circuit
+                while len(self._circuits) > self.maxsize:
+                    __, dropped = self._circuits.popitem(last=False)
+                    if dropped.opened_at is not None:
+                        self._open -= 1
+            self._circuits.move_to_end(key)
+            circuit.failures += 1
+            circuit.stats = dict(stats or {})
+            was_open = circuit.opened_at is not None
+            opens = circuit.probing or (
+                not was_open and circuit.failures >= self.threshold
+            )
+            if opens:
+                circuit.opened_at = self._clock()
+                circuit.probing = False
+                if not was_open:
+                    self._open += 1
+            now_open = circuit.opened_at is not None
+            open_count = self._open
+        if opens:
+            self._registry.counter("serve.breaker.trips").inc()
+            self._registry.counter(
+                labeled("serve.breaker.trips.by", schema=key[:12])
+            ).inc()
+        self._registry.gauge("serve.breaker.open").set(open_count)
+        return now_open
+
+    def record_success(self, key):
+        """A compile for ``key`` succeeded: close and forget the circuit."""
+        with self._lock:
+            circuit = self._circuits.pop(key, None)
+            if circuit is not None and circuit.opened_at is not None:
+                self._open -= 1
+            open_count = self._open
+        self._registry.gauge("serve.breaker.open").set(open_count)
+
+    def __repr__(self):
+        return (
+            f"CircuitBreaker(threshold={self.threshold}, "
+            f"cooldown={self.cooldown}, open={self.open_count})"
+        )

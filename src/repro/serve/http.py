@@ -1,0 +1,162 @@
+"""Minimal HTTP/1.1 on asyncio streams — no dependencies, no framework.
+
+The serve daemon speaks just enough HTTP for validation traffic: request
+line + headers + ``Content-Length`` body in, status line + headers +
+body out, with keep-alive.  Chunked transfer encoding, trailers, and
+multipart are deliberately out of scope — a validation request is one
+JSON document, and a client that needs streaming should send documents
+as separate requests.
+
+Hardening mirrors the parser-side posture (:mod:`repro.resilience`):
+the header block is bounded by the stream reader's buffer limit
+(oversized headers are refused with 431, not buffered), the body is
+bounded by an explicit byte cap (413), and a malformed request yields a
+structured :class:`HttpError` that the connection loop turns into a
+4xx response instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+# How much slack the stream-reader limit leaves above the header block
+# itself (request line + headers must fit in one reader buffer).
+MAX_HEADER_BYTES = 32 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request the server refuses at the protocol layer.
+
+    Attributes:
+        status: the HTTP status code to answer with.
+    """
+
+    def __init__(self, status, message):
+        self.status = status
+        super().__init__(message)
+
+
+class HttpRequest:
+    """One parsed request: method, path, lowercased headers, raw body."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method, path, headers, body):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self):
+        """HTTP/1.1 default: persistent unless ``Connection: close``."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """The body decoded as a JSON object (:class:`HttpError` 400)."""
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+    def __repr__(self):
+        return f"HttpRequest({self.method} {self.path}, {len(self.body)}B)"
+
+
+async def read_request(reader, max_body_bytes):
+    """Read one request from ``reader``; ``None`` on clean end-of-stream.
+
+    Raises :class:`HttpError` on a malformed request line, an oversized
+    header block (431), or a body larger than ``max_body_bytes`` (413).
+    A connection that closes mid-request (rather than between requests)
+    is treated as a clean close too — the client gave up; there is
+    nobody left to answer.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        return None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request header block too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    path = target.split("?", 1)[0]
+
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length > max_body_bytes:
+        raise HttpError(
+            413,
+            f"request body too large ({length} bytes > {max_body_bytes})",
+        )
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None
+    return HttpRequest(method, path, headers, body)
+
+
+def render_response(status, body, content_type="application/json",
+                    keep_alive=True, extra_headers=()):
+    """Serialize one response to bytes (body may be ``str`` or ``bytes``)."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def json_response(status, payload, keep_alive=True, extra_headers=()):
+    """A JSON-encoded :func:`render_response`."""
+    return render_response(
+        status,
+        json.dumps(payload, sort_keys=True) + "\n",
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
+    )

@@ -212,3 +212,52 @@ class TestObservabilityFlags:
 class TestUsage:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
+
+
+class TestValidateResilienceFlags:
+    def test_flags_route_through_the_isolation_machinery(self, files,
+                                                         capsys):
+        assert main(["validate", files["fig3.xsd"], files["fig1.xml"],
+                     "--deadline", "5", "--retries", "2",
+                     "--limits-depth", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "VALID" in out
+        assert "1 ok / 0 invalid / 0 errored" in out
+
+    def test_tight_limits_error_the_document_not_the_run(self, files,
+                                                         capsys):
+        assert main(["validate", files["fig3.xsd"], files["fig1.xml"],
+                     "--limits-input-bytes", "16"]) == 1
+        out = capsys.readouterr().out
+        assert "limit" in out
+        assert "0 ok / 0 invalid / 1 errored" in out
+
+    def test_tiny_deadline_errors_the_document(self, files, capsys):
+        assert main(["validate", files["fig3.xsd"], files["fig1.xml"],
+                     "--deadline", "1e-9"]) == 1
+        assert "deadline" in capsys.readouterr().out
+
+    def test_limits_compose_with_batch_mode(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<document><content/></document>")
+        assert main(["validate", files["fig3.xsd"], files["fig1.xml"],
+                     str(bad), "--limits-depth", "50"]) == 1
+        out = capsys.readouterr().out
+        assert "1 ok / 1 invalid / 0 errored" in out
+
+    def test_nonpositive_flag_values_are_rejected(self, files):
+        for flags in (["--limits-depth", "0"], ["--deadline", "0"],
+                      ["--retries", "0"]):
+            with pytest.raises(SystemExit):
+                main(["validate", files["fig3.xsd"], files["fig1.xml"]]
+                     + flags)
+
+
+class TestServeCommand:
+    def test_negative_queue_depth_is_a_usage_error(self, capsys):
+        assert main(["serve", "--queue-depth", "-1"]) == 2
+        assert "--queue-depth" in capsys.readouterr().err
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--workers", "0"])

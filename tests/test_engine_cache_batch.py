@@ -303,3 +303,80 @@ class TestValidateMany:
     def test_unknown_engine(self, xsd):
         with pytest.raises(ValueError):
             validate_many(xsd, [], engine="warp")
+
+
+class TestSharedCacheChurn:
+    """The serve-daemon usage pattern: one cache, many threads, schema
+    churn past ``maxsize``, invalidations racing the probes."""
+
+    def _distinct_schemas(self, count):
+        from repro.regex.ast import star, sym
+        from repro.xsd.content import ContentModel
+        from repro.xsd.model import XSD
+        from repro.xsd.typednames import TypedName
+
+        schemas = []
+        for index in range(count):
+            root = f"root{index}"
+            schemas.append(XSD(
+                ename={root},
+                types={"T"},
+                rho={"T": ContentModel(star(sym(TypedName(root, "T"))))},
+                start={TypedName(root, "T")},
+            ))
+        return schemas
+
+    def test_many_schemas_shared_under_churn_and_invalidation(self):
+        import threading
+
+        maxsize = 4
+        schemas = self._distinct_schemas(12)  # M > maxsize forces churn
+        expected = [schema_fingerprint(s) for s in schemas]
+        cache = SchemaCache(maxsize=maxsize)
+        rounds = 60
+        thread_count = 6
+        errors = []
+        barrier = threading.Barrier(thread_count)
+
+        def worker(seed):
+            try:
+                barrier.wait()
+                for step in range(rounds):
+                    index = (seed * 7 + step) % len(schemas)
+                    compiled = cache.get(schemas[index])
+                    # Never a stale identity hit: the answer always
+                    # matches the schema that was asked for.
+                    assert compiled.fingerprint == expected[index]
+                    if step % 5 == seed % 5:
+                        cache.invalidate(schemas[index])
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(thread_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Accounting stays consistent under the race: every get was
+        # exactly one hit or one miss, and eviction kept its bound.
+        gets = rounds * thread_count
+        assert cache.hits + cache.misses == gets
+        assert cache.misses >= len(schemas)  # first sight of each schema
+        assert len(cache) <= maxsize
+        # Entries leave by eviction or invalidation; with 12 schemas
+        # cycling through 4 slots the evictor must have fired.
+        assert cache.evictions > 0
+
+    def test_post_churn_cache_still_serves_identity_hits(self):
+        schemas = self._distinct_schemas(8)
+        cache = SchemaCache(maxsize=2)
+        for schema in schemas:
+            cache.get(schema)
+        survivor = schemas[-1]
+        hits_before = cache.hits
+        assert cache.get(survivor).fingerprint == (
+            schema_fingerprint(survivor)
+        )
+        assert cache.hits == hits_before + 1

@@ -382,3 +382,70 @@ class TestExport:
         )
         with pytest.raises(ValueError):
             render_metrics(registry, "xml")
+
+
+class TestLabeledSeries:
+    def test_escape_label_value_order_and_coverage(self):
+        from repro.observability import escape_label_value
+
+        assert escape_label_value('plain') == 'plain'
+        # Backslash first, or the other escapes would be re-escaped.
+        assert escape_label_value('a\\b') == 'a\\\\b'
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value('two\nlines') == 'two\\nlines'
+        assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+
+    def test_labeled_sorts_keys_and_sanitizes_names(self):
+        from repro.observability import labeled
+
+        assert labeled("serve.requests") == "serve.requests"
+        assert labeled("serve.requests.by", tenant="t", code=200) == (
+            'serve.requests.by{code="200",tenant="t"}'
+        )
+        # Two call sites labelling in different orders share one series.
+        assert labeled("m", a="1", b="2") == labeled("m", b="2", a="1")
+        assert labeled("m", **{"bad-name!": "v"}) == 'm{bad_name_="v"}'
+
+    def test_prometheus_renders_labeled_series_under_one_type_line(self):
+        from repro.observability import labeled, to_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter(labeled("serve.requests.by", tenant="a",
+                                 code="200")).inc(3)
+        registry.counter(labeled("serve.requests.by", tenant="b",
+                                 code="429")).inc()
+        text = to_prometheus(registry)
+        assert text.count("# TYPE serve_requests_by counter") == 1
+        assert 'serve_requests_by{code="200",tenant="a"} 3' in text
+        assert 'serve_requests_by{code="429",tenant="b"} 1' in text
+
+    def test_hostile_label_values_cannot_forge_scrape_lines(self):
+        from repro.observability import labeled, to_prometheus
+
+        # A tenant id trying to smuggle a fake sample past the scraper.
+        hostile = 'x"} 999\nforged_metric{t="y'
+        registry = MetricsRegistry()
+        registry.counter(labeled("serve.shed.by", tenant=hostile)).inc()
+        text = to_prometheus(registry)
+        # The newline is escaped, so no scrape line begins with the
+        # forged metric name.
+        assert not any(line.startswith("forged_metric")
+                       for line in text.splitlines())
+        line = next(l for l in text.splitlines()
+                    if l.startswith("serve_shed_by"))
+        assert line == (
+            'serve_shed_by{tenant="x\\"} 999\\nforged_metric{t=\\"y"} 1'
+        )
+
+    def test_labeled_histogram_merges_le_into_the_label_block(self):
+        from repro.observability import labeled, to_prometheus
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram(labeled("rq_ns", tenant="a"))
+        histogram.observe(3)
+        histogram.observe(700)
+        text = to_prometheus(registry)
+        assert text.count("# TYPE rq_ns histogram") == 1
+        assert 'rq_ns_bucket{tenant="a",le="+Inf"} 2' in text
+        assert 'rq_ns_sum{tenant="a"} 703' in text
+        assert 'rq_ns_count{tenant="a"} 2' in text

@@ -213,3 +213,61 @@ class TestRetryPolicy:
             RetryPolicy(multiplier=0.5)
         with pytest.raises(ValueError):
             RetryPolicy(backoff=-1)
+
+
+class TestRetryJitter:
+    class HalfRng:
+        """A fake rng recording the envelopes it was asked to draw from."""
+
+        def __init__(self):
+            self.envelopes = []
+
+        def uniform(self, low, high):
+            assert low == 0.0
+            self.envelopes.append(high)
+            return high / 2
+
+    def test_full_jitter_draws_uniform_below_the_envelope(self):
+        rng = self.HalfRng()
+        policy = RetryPolicy(max_attempts=5, backoff=0.1, multiplier=3.0,
+                             max_backoff=0.5, jitter=True, rng=rng)
+        delays = list(policy.delays())
+        # The rng saw exactly the deterministic envelope...
+        assert rng.envelopes == pytest.approx([0.1, 0.3, 0.5, 0.5])
+        # ...and each delay is whatever it drew below it.
+        assert delays == pytest.approx([0.05, 0.15, 0.25, 0.25])
+
+    def test_default_schedule_stays_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.1, multiplier=2.0)
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_seeded_rng_reproduces_the_schedule(self):
+        import random
+
+        first = list(RetryPolicy(max_attempts=6, jitter=True,
+                                 rng=random.Random(42)).delays())
+        second = list(RetryPolicy(max_attempts=6, jitter=True,
+                                  rng=random.Random(42)).delays())
+        assert first == second
+
+    def test_jittered_delays_stay_within_the_envelope(self):
+        import random
+
+        policy = RetryPolicy(max_attempts=8, backoff=0.1, multiplier=2.0,
+                             max_backoff=1.0, jitter=True,
+                             rng=random.Random(7))
+        envelope = list(RetryPolicy(max_attempts=8, backoff=0.1,
+                                    multiplier=2.0,
+                                    max_backoff=1.0).delays())
+        for __ in range(20):
+            for delay, ceiling in zip(policy.delays(), envelope):
+                assert 0.0 <= delay <= ceiling
+
+    def test_call_sleeps_the_jittered_delays(self):
+        sleeps = []
+        rng = self.HalfRng()
+        policy = RetryPolicy(max_attempts=3, backoff=0.1, multiplier=2.0,
+                             jitter=True, rng=rng, sleep=sleeps.append)
+        with pytest.raises(OSError):
+            policy.call(lambda: (_ for _ in ()).throw(OSError("x")))
+        assert sleeps == pytest.approx([0.05, 0.1])

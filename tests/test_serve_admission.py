@@ -1,0 +1,295 @@
+"""Unit tests for the serve daemon's admission layer and HTTP reader."""
+
+import asyncio
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.serve import AdmissionController, CircuitBreaker
+from repro.serve.http import (
+    MAX_HEADER_BYTES,
+    HttpError,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestAdmissionController:
+    def test_admits_to_capacity_then_sheds(self):
+        admission = AdmissionController(
+            workers=2, queue_depth=1, registry=MetricsRegistry()
+        )
+        assert admission.capacity == 3
+        for __ in range(3):
+            assert admission.try_admit("t") is None
+        assert admission.try_admit("t") == "queue_full"
+        assert admission.inflight == 3
+
+    def test_release_frees_a_slot(self):
+        admission = AdmissionController(
+            workers=1, queue_depth=0, registry=MetricsRegistry()
+        )
+        assert admission.try_admit("a") is None
+        assert admission.try_admit("b") == "queue_full"
+        admission.release("a")
+        assert admission.inflight == 0
+        assert admission.try_admit("b") is None
+
+    def test_tenant_cap_does_not_starve_other_tenants(self):
+        admission = AdmissionController(
+            workers=4, queue_depth=4, tenant_inflight=2,
+            registry=MetricsRegistry(),
+        )
+        assert admission.try_admit("greedy") is None
+        assert admission.try_admit("greedy") is None
+        assert admission.try_admit("greedy") == "tenant_budget"
+        # Global capacity (8) is far from exhausted — others still fit.
+        assert admission.try_admit("polite") is None
+
+    def test_tenant_accounting_survives_release(self):
+        admission = AdmissionController(
+            workers=4, queue_depth=0, tenant_inflight=1,
+            registry=MetricsRegistry(),
+        )
+        assert admission.try_admit("t") is None
+        assert admission.try_admit("t") == "tenant_budget"
+        admission.release("t")
+        assert admission.try_admit("t") is None
+
+    def test_shed_metrics_are_labeled_by_reason_and_tenant(self):
+        registry = MetricsRegistry()
+        admission = AdmissionController(
+            workers=1, queue_depth=0, registry=registry
+        )
+        admission.try_admit("a")
+        admission.try_admit("b")
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.shed"] == 1
+        assert counters['serve.shed.by{reason="queue_full",tenant="b"}'] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(workers=0, queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(workers=1, queue_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(workers=1, queue_depth=0, tenant_inflight=0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = FakeClock()
+        kwargs.setdefault("threshold", 3)
+        kwargs.setdefault("cooldown", 30.0)
+        kwargs.setdefault("registry", MetricsRegistry())
+        return CircuitBreaker(clock=clock, **kwargs), clock
+
+    def test_stays_closed_below_threshold(self):
+        breaker, __ = self._breaker()
+        assert breaker.record_failure("k", {"states": 201}) is False
+        assert breaker.record_failure("k", {"states": 201}) is False
+        assert breaker.check("k") is None
+        assert breaker.open_count == 0
+
+    def test_opens_at_threshold_with_cached_stats(self):
+        breaker, __ = self._breaker()
+        for __ in range(2):
+            breaker.record_failure("k", {"states": 201})
+        assert breaker.record_failure("k", {"states": 201}) is True
+        blocked = breaker.check("k")
+        assert blocked is not None
+        retry_after, stats = blocked
+        assert retry_after == pytest.approx(30.0)
+        assert stats == {"states": 201}
+
+    def test_retry_after_counts_down_with_the_clock(self):
+        breaker, clock = self._breaker(threshold=1)
+        breaker.record_failure("k")
+        clock.advance(12.0)
+        retry_after, __ = breaker.check("k")
+        assert retry_after == pytest.approx(18.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self._breaker(threshold=1)
+        breaker.record_failure("k")
+        clock.advance(30.0)
+        assert breaker.check("k") is None  # the probe
+        assert breaker.check("k") is not None  # everyone else waits
+
+    def test_probe_success_closes_the_circuit(self):
+        breaker, clock = self._breaker(threshold=1)
+        breaker.record_failure("k")
+        clock.advance(30.0)
+        assert breaker.check("k") is None
+        breaker.record_success("k")
+        assert breaker.open_count == 0
+        assert breaker.check("k") is None
+        # The slate is clean: failures count from zero again.
+        assert breaker.record_failure("k") is True  # threshold=1
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self):
+        breaker, clock = self._breaker(threshold=2)
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        clock.advance(30.0)
+        assert breaker.check("k") is None
+        assert breaker.record_failure("k") is True  # one strike re-opens
+        retry_after, __ = breaker.check("k")
+        assert retry_after == pytest.approx(30.0)
+
+    def test_success_on_unknown_key_is_harmless(self):
+        breaker, __ = self._breaker()
+        breaker.record_success("never-seen")
+        assert breaker.open_count == 0
+
+    def test_global_trip(self):
+        breaker, __ = self._breaker(threshold=1, global_limit=2)
+        breaker.record_failure("a")
+        assert not breaker.tripped_globally()
+        breaker.record_failure("b")
+        assert breaker.tripped_globally()
+        breaker.record_success("a")
+        assert not breaker.tripped_globally()
+
+    def test_no_global_limit_never_trips(self):
+        breaker, __ = self._breaker(threshold=1, global_limit=None)
+        breaker.record_failure("a")
+        assert not breaker.tripped_globally()
+
+    def test_maxsize_drops_least_recently_touched_circuit(self):
+        breaker, __ = self._breaker(threshold=1, maxsize=2)
+        breaker.record_failure("a")
+        breaker.record_failure("b")
+        breaker.record_failure("c")  # evicts "a"
+        assert breaker.open_count == 2
+        assert breaker.check("a") is None  # dropped circuit starts over
+        assert breaker.check("b") is not None
+        assert breaker.check("c") is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(global_limit=0)
+
+
+def parse_request(raw, max_body_bytes=1024, limit=MAX_HEADER_BYTES):
+    async def go():
+        reader = asyncio.StreamReader(limit=limit)
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body_bytes)
+
+    return asyncio.run(go())
+
+
+class TestHttpReader:
+    def test_parses_request_line_headers_and_body(self):
+        request = parse_request(
+            b"POST /validate HTTP/1.1\r\n"
+            b"Content-Length: 4\r\n"
+            b"X-Tenant: acme\r\n"
+            b"\r\n"
+            b"{{}}"
+        )
+        assert request.method == "POST"
+        assert request.path == "/validate"
+        assert request.headers["x-tenant"] == "acme"
+        assert request.body == b"{{}}"
+        assert request.keep_alive
+
+    def test_query_string_is_stripped_from_the_path(self):
+        request = parse_request(b"GET /metrics?name=x HTTP/1.1\r\n\r\n")
+        assert request.path == "/metrics"
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse_request(
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse_request(b"") is None
+
+    def test_mid_request_disconnect_returns_none(self):
+        # Headers promise a body that never arrives: the client left.
+        assert parse_request(
+            b"POST /validate HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        ) is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse_request(b"NONSENSE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        for value in (b"banana", b"-5"):
+            with pytest.raises(HttpError) as exc:
+                parse_request(
+                    b"POST / HTTP/1.1\r\nContent-Length: " + value
+                    + b"\r\n\r\n"
+                )
+            assert exc.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpError) as exc:
+            parse_request(
+                b"POST / HTTP/1.1\r\nContent-Length: 2048\r\n\r\n",
+                max_body_bytes=1024,
+            )
+        assert exc.value.status == 413
+
+    def test_oversized_header_block_is_431(self):
+        raw = b"GET / HTTP/1.1\r\nX-Big: " + b"a" * 4096 + b"\r\n\r\n"
+        with pytest.raises(HttpError) as exc:
+            parse_request(raw, limit=256)
+        assert exc.value.status == 431
+
+    def test_json_body_round_trip_and_bad_json_is_400(self):
+        request = parse_request(
+            b"POST / HTTP/1.1\r\nContent-Length: 13\r\n\r\n"
+            + b'{"valid": true}'[:13]
+        )
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.status == 400
+        good = parse_request(
+            b"POST / HTTP/1.1\r\nContent-Length: 15\r\n\r\n"
+            b'{"valid": true}'
+        )
+        assert good.json() == {"valid": True}
+        array = parse_request(
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]"
+        )
+        with pytest.raises(HttpError) as exc:
+            array.json()
+        assert exc.value.status == 400
+
+    def test_render_response_shape(self):
+        raw = render_response(429, b"busy", keep_alive=False,
+                              extra_headers=(("Retry-After", "1"),))
+        head, __, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Content-Length: 4" in head
+        assert b"Connection: close" in head
+        assert b"Retry-After: 1" in head
+        assert body == b"busy"
+
+    def test_json_response_is_sorted_and_newline_terminated(self):
+        raw = json_response(200, {"b": 1, "a": 2})
+        body = raw.partition(b"\r\n\r\n")[2]
+        assert body == b'{"a": 2, "b": 1}\n'
