@@ -5,17 +5,19 @@
 # (oracle fire drill + regression-corpus replay), the patch smoke
 # (incremental-vs-full agreement on an edit storm), the serve smoke
 # (a live `repro serve` subprocess: status mapping, breaker quarantine,
-# SIGTERM drain), and the perfguard hot-path floor replay; stays well
+# SIGTERM drain), the obs smoke (request correlation end to end: one
+# trace id across response header, access log, retained trace, and
+# exemplar), and the perfguard hot-path floor replay; stays well
 # under two minutes.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: check test differential bench bench-engine metrics-smoke \
 	chaos-smoke trace-smoke conformance-smoke patch-smoke serve-smoke \
-	conformance perfguard
+	obs-smoke conformance perfguard
 
 check: test differential metrics-smoke chaos-smoke trace-smoke \
-	conformance-smoke patch-smoke serve-smoke perfguard
+	conformance-smoke patch-smoke serve-smoke obs-smoke perfguard
 
 test:
 	$(PYTEST) -x -q
@@ -45,6 +47,12 @@ patch-smoke:
 # scrape, SIGTERM graceful drain.
 serve-smoke:
 	PYTHONPATH=src python scripts/serve_smoke.py
+
+# Request-observability surface: traceparent propagation, tail-sampled
+# trace retention, exemplars, access log, and the repro top/traces
+# viewers against a live daemon.
+obs-smoke:
+	PYTHONPATH=src python scripts/obs_smoke.py
 
 # Engine hot-path regression guard: replays the E13 small tier against
 # the committed floors in benchmarks/results/perfguard_floor.json.

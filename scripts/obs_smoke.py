@@ -1,0 +1,212 @@
+"""End-to-end smoke for the request-observability layer (``make obs-smoke``).
+
+Starts ``repro serve`` as a real subprocess with the full correlation
+stack on — ``--access-log``, ``--trace-log``, tail sampling tuned so
+only errored and slow requests are retained — and demonstrates the
+debugging story the observability layer exists for:
+
+* a request carrying a W3C ``traceparent`` gets that **same trace id**
+  back in the ``X-Trace-Id`` response header, in its JSONL access-log
+  line, in the retained trace served by ``GET /debug/traces`` (and the
+  on-disk trace ring), and as the exemplar on the
+  ``serve_request_latency`` histogram — one id joins all four signals;
+* the response ``traceparent`` names the server's root span inside the
+  client's trace, so the client can stitch the hop into its own trace;
+* the tail sampler keeps the errored request and drops the fast clean
+  one (reservoir 0), and the kept trace carries the worker-side engine
+  spans with the request's ``tenant`` — baggage survived the pool hop;
+* every request produced an access-log line (clean ones too), with
+  ``queue_wait_ms``/``worker_ms`` split out;
+* ``/metrics`` carries ``# HELP`` text for the serve instruments;
+* ``repro traces`` (against the live daemon *and* the ring file left
+  after SIGTERM drain) and ``repro top --once`` both render.
+
+Exits nonzero with a diagnostic on any failure, so it gates
+``make check``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+
+TIMEOUT = 30.0
+
+TRACE_ID = "4bf92f3577b34da6a3ce929d0e0e4736"   # the W3C spec's example
+PARENT_ID = "00f067aa0ba902b7"
+
+
+def check(condition, message):
+    if not condition:
+        print(f"obs-smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def request(port, method, path, body=None, headers=None, timeout=10.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        conn.request(method, path, body=payload, headers=headers or {})
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        decoded = (
+            json.loads(raw) if content_type.startswith("application/json")
+            else raw.decode("utf-8")
+        )
+        return response.status, decoded, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def run_cli(env, *argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env, timeout=TIMEOUT,
+    )
+
+
+def main():
+    from repro.paperdata import FIGURE1_XML, FIGURE3_XSD
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="obs_smoke_"))
+    access_path = workdir / "access.jsonl"
+    trace_path = workdir / "traces.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", "0", "--workers", "2", "--queue-depth", "4",
+         "--access-log", str(access_path),
+         "--trace-log", str(trace_path),
+         "--tail-latency-ms", "30000", "--tail-reservoir", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    try:
+        announce = process.stdout.readline().strip()
+        check(announce.startswith("serving on http://"),
+              f"unexpected announce line {announce!r}")
+        port = int(announce.rsplit(":", 1)[1])
+        valid_body = {"schema": FIGURE3_XSD, "schema_kind": "xsd",
+                      "document": FIGURE1_XML, "tenant": "acme"}
+
+        # -- one traced request, one erroring request ------------------
+        traceparent = f"00-{TRACE_ID}-{PARENT_ID}-01"
+        status, __, headers = request(
+            port, "POST", "/validate", valid_body,
+            {"traceparent": traceparent},
+        )
+        check(status == 200, f"valid document answered {status}")
+        check(headers.get("X-Trace-Id") == TRACE_ID,
+              f"X-Trace-Id {headers.get('X-Trace-Id')!r} is not the "
+              "client's trace id")
+        request_id = headers.get("X-Request-Id")
+        check(bool(request_id), "no X-Request-Id on a traced request")
+        echoed = headers.get("traceparent", "")
+        check(echoed.startswith(f"00-{TRACE_ID}-")
+              and not echoed.startswith(f"00-{TRACE_ID}-{PARENT_ID}"),
+              f"response traceparent {echoed!r} does not name a server "
+              "span inside the client's trace")
+
+        error_body = dict(valid_body, schema="<broken", tenant="oops")
+        status, __, error_headers = request(
+            port, "POST", "/validate", error_body
+        )
+        check(status == 422, f"broken schema answered {status}")
+        error_trace = error_headers.get("X-Trace-Id")
+        check(bool(error_trace), "no X-Trace-Id on the erroring request")
+
+        # -- tail sampling: error kept, fast clean request dropped -----
+        status, payload, __ = request(port, "GET", "/debug/traces")
+        check(status == 200 and payload["enabled"],
+              "debug/traces is not enabled")
+        kept_ids = {t["trace_id"] for t in payload["traces"]}
+        check(error_trace in kept_ids,
+              "the errored trace was not retained")
+        check(TRACE_ID not in kept_ids,
+              "a fast clean trace survived a reservoir of 0")
+        (kept,) = [t for t in payload["traces"]
+                   if t["trace_id"] == error_trace]
+        check(kept["reason"] == "error",
+              f"kept for {kept['reason']!r}, expected 'error'")
+        span_names = {s["name"] for s in kept["spans"]}
+        check("serve.request" in span_names,
+              f"retained trace lacks the root span: {span_names}")
+        worker_side = [s for s in kept["spans"]
+                       if s["name"] != "serve.request"]
+        check(worker_side, "retained trace lacks worker-side spans")
+        check(all(s["attributes"].get("tenant") == "oops"
+                  for s in worker_side),
+              "baggage (tenant) did not survive the pool hop")
+
+        # -- access log: every request one line, ids join --------------
+        process_lines = []
+        for line in access_path.read_text(encoding="utf-8").splitlines():
+            process_lines.append(json.loads(line))
+        by_trace = {line.get("trace_id"): line for line in process_lines}
+        check(TRACE_ID in by_trace, "traced request has no access line")
+        line = by_trace[TRACE_ID]
+        check(line.get("request_id") == request_id,
+              "access line request_id does not match the response header")
+        check(line.get("tenant") == "acme" and line.get("status") == 200,
+              f"unexpected access line {line}")
+        check(line.get("queue_wait_ms") is not None
+              and line.get("worker_ms") is not None,
+              "access line lacks the queue/worker timing split")
+        check(by_trace.get(error_trace, {}).get("status") == 422,
+              "erroring request's access line is missing or wrong")
+
+        # -- metrics: exemplars + HELP ---------------------------------
+        status, text, __ = request(port, "GET", "/metrics")
+        check(status == 200, "metrics scrape failed")
+        check("# HELP serve_request_latency " in text,
+              "serve_request_latency lacks HELP text")
+        exemplar_lines = [
+            l for l in text.splitlines()
+            if "serve_request_latency_bucket" in l and "# {" in l
+        ]
+        check(exemplar_lines, "no exemplars on serve_request_latency")
+        exemplar_ids = {TRACE_ID, error_trace}
+        check(any(f'trace_id="{t}"' in l
+                  for l in exemplar_lines for t in exemplar_ids),
+              "exemplars do not reference the requests' trace ids")
+
+        # -- the CLI viewers against the live daemon -------------------
+        top = run_cli(env, "top", f"127.0.0.1:{port}", "--once")
+        check(top.returncode == 0, f"repro top failed: {top.stderr}")
+        check("requests" in top.stdout and "latency" in top.stdout,
+              f"repro top frame looks wrong: {top.stdout!r}")
+        traces = run_cli(env, "traces", f"http://127.0.0.1:{port}",
+                         "--verbose")
+        check(traces.returncode == 0,
+              f"repro traces failed: {traces.stderr}")
+        check(error_trace in traces.stdout,
+              "repro traces does not show the retained trace")
+
+        # -- drain, then read the rings post-mortem --------------------
+        process.send_signal(signal.SIGTERM)
+        exit_code = process.wait(timeout=TIMEOUT)
+        check(exit_code == 0, f"SIGTERM drain exited {exit_code}")
+        ring = run_cli(env, "traces", str(trace_path))
+        check(ring.returncode == 0,
+              f"repro traces on the ring failed: {ring.stderr}")
+        check(error_trace in ring.stdout,
+              "the trace ring on disk lost the retained trace")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+    print("obs-smoke OK: one trace id across header/access-log/debug-"
+          "traces/exemplar, error kept + fast dropped, baggage crossed "
+          "the pool, repro top + traces rendered, ring survived drain")
+
+
+if __name__ == "__main__":
+    main()

@@ -153,7 +153,7 @@ def _measure_serve():
     import http.client
     import threading
 
-    from repro.observability import MetricsRegistry
+    from repro.observability import Histogram, MetricsRegistry
     from repro.paperdata import FIGURE1_XML, FIGURE3_XSD
     from repro.serve import ServeConfig, start_in_thread
 
@@ -208,8 +208,12 @@ def _measure_serve():
             thread.join()
 
     total = clients * requests_per_client
-    ordered = sorted(admitted)
-    p99 = ordered[int(0.99 * (len(ordered) - 1))] if ordered else 0.0
+    # Observe in nanoseconds: the power-of-two buckets resolve ns
+    # latencies, while sub-second floats would all share bucket 0.
+    latency = Histogram("perfguard.serve.latency")
+    for elapsed in admitted:
+        latency.observe(elapsed * 1e9)
+    p99 = latency.percentile(0.99) / 1e9
     if tallies["other"]:
         print("perfguard FAILED: serve burst saw "
               f"{tallies['other']} unexpected non-200/429 answers",

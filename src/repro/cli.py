@@ -18,7 +18,20 @@ Subcommands::
                                             /patch with admission control,
                                             per-schema circuit breaker,
                                             and SIGTERM graceful drain
-                                            (GET /healthz /readyz /metrics)
+                                            (GET /healthz /readyz /metrics
+                                            /debug/traces); --access-log /
+                                            --trace-log / --trace-requests
+                                            turn on request correlation
+                                            (traceparent propagation,
+                                            JSONL access logs, tail-
+                                            sampled traces, exemplars)
+    bonxai traces    <url-or-file>          pretty-print tail-sampled
+                                            request traces from a running
+                                            daemon or a --trace-log ring
+    bonxai top       <url> [--once]         live text dashboard over a
+                                            daemon's /metrics (rps, shed
+                                            rate, p50/p95/p99, breaker
+                                            state, top tenants)
     bonxai highlight <schema> <document>    per-node matched rules
     bonxai explain   <document> --schema S  per-element provenance: winning
                                             rule index, assigned type, and
@@ -51,7 +64,8 @@ Every subcommand also accepts the observability flags::
     --metrics                dump a metrics snapshot to stderr on exit
     --metrics-format FMT     snapshot format: json (default) or prometheus
     --trace FILE             stream a JSONL span trace of the whole command
-                             to FILE (one span object per line)
+                             to FILE (one span object per line; the file is
+                             a size-capped ring, rotating to FILE.1)
     --budget-states N        cap automaton states created by translations
     --budget-seconds S       wall-clock deadline for the command's
                              constructions
@@ -139,18 +153,24 @@ def main(argv=None):
 
 
 @contextlib.contextmanager
-def _traced(path):
+def _traced(path, max_bytes=None):
     """Install an ambient tracer streaming JSONL spans to ``path``.
 
     The sink writes each span as it finishes, so the file is complete
     even when the command records more spans than the tracer's ring
-    buffer retains.
+    buffer retains.  The file is a size-capped ring
+    (:class:`~repro.observability.ringfile.RingFileWriter`): a long
+    conformance sweep rotates ``path`` → ``path.1`` instead of growing
+    without bound.
     """
-    from repro.observability import Tracer
+    from repro.observability import RingFileWriter, Tracer
+    from repro.observability.ringfile import DEFAULT_MAX_BYTES
 
-    with open(path, "w", encoding="utf-8") as handle:
+    with RingFileWriter(
+        path, max_bytes=max_bytes or DEFAULT_MAX_BYTES
+    ) as ring:
         def sink(span):
-            handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+            ring.write(json.dumps(span.to_dict(), sort_keys=True))
 
         with Tracer(sink=sink):
             yield
@@ -491,7 +511,104 @@ def _build_parser():
         "--metrics-file", default=None, metavar="FILE",
         help="write a final Prometheus metrics snapshot here on drain",
     )
+    serve.add_argument(
+        "--access-log", default=None, metavar="FILE",
+        help="write one JSONL access-log line per request to FILE "
+        "(a size-capped ring; implies request tracing)",
+    )
+    serve.add_argument(
+        "--trace-log", default=None, metavar="FILE",
+        help="write tail-sampled request traces to FILE as JSONL "
+        "(a size-capped ring; implies request tracing)",
+    )
+    serve.add_argument(
+        "--log-max-bytes", type=_positive(int), default=None, metavar="N",
+        help="rotation cap for --access-log / --trace-log files "
+        "(default: 16 MiB per generation)",
+    )
+    serve.add_argument(
+        "--trace-requests", action="store_true",
+        help="trace requests even with no log file (retained traces "
+        "served by GET /debug/traces)",
+    )
+    serve.add_argument(
+        "--tail-latency-ms", type=_positive(float), default=500.0,
+        metavar="MS",
+        help="requests slower than MS are always retained by the tail "
+        "sampler (default: 500)",
+    )
+    serve.add_argument(
+        "--tail-reservoir", type=int, default=4, metavar="N",
+        help="reservoir slots for fast traces (0 retains only errored/"
+        "slow traces; default: 4)",
+    )
+    serve.add_argument(
+        "--tail-retain", type=_positive(int), default=256, metavar="N",
+        help="retained traces kept in memory for GET /debug/traces "
+        "(default: 256)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    traces = subparsers.add_parser(
+        "traces",
+        help="pretty-print tail-sampled request traces",
+        description="Read retained traces from a running daemon "
+        "(http://host:port) or a --trace-log JSONL ring file and print "
+        "one line per trace, newest first (--verbose adds the span "
+        "tree).",
+    )
+    traces.add_argument(
+        "target",
+        help="daemon base URL (http://host:port) or trace-log file path",
+    )
+    traces.add_argument(
+        "--limit", type=_positive(int), default=20, metavar="N",
+        help="most traces shown (default: 20)",
+    )
+    traces.add_argument(
+        "--reason", choices=("error", "slow", "reservoir"), default=None,
+        help="only traces retained for this reason",
+    )
+    traces.add_argument(
+        "--tenant", default=None,
+        help="only traces whose root span carries this tenant",
+    )
+    traces.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print each trace's span tree, not just the summary line",
+    )
+    traces.add_argument(
+        "--json", action="store_true",
+        help="emit the raw trace records as JSONL instead of text",
+    )
+    traces.set_defaults(handler=_cmd_traces)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live text dashboard over a daemon's /metrics",
+        description="Poll GET /metrics and render request rate, shed "
+        "rate, latency percentiles, breaker state, tail-sampler "
+        "counts, and top tenants.  Plain text with ANSI redraws — no "
+        "curses; --once prints a single frame and exits (pipelines, "
+        "smoke tests).",
+    )
+    top.add_argument(
+        "url",
+        help="daemon base URL or /metrics URL (http://host:port)",
+    )
+    top.add_argument(
+        "--interval", type=_positive(float), default=2.0, metavar="S",
+        help="seconds between scrapes (default: 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit",
+    )
+    top.add_argument(
+        "--frames", type=_positive(int), default=None, metavar="N",
+        help="exit after N frames (default: run until interrupted)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     return parser
 
@@ -918,6 +1035,9 @@ def _cmd_serve(args):
     if args.queue_depth < 0:
         print("error: --queue-depth must be >= 0", file=sys.stderr)
         return 2
+    if args.tail_reservoir < 0:
+        print("error: --tail-reservoir must be >= 0", file=sys.stderr)
+        return 2
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -934,8 +1054,54 @@ def _cmd_serve(args):
         breaker_global_limit=args.breaker_global_limit,
         retry_after=args.retry_after,
         limits=_limits_from(args),
+        access_log=args.access_log,
+        trace_log=args.trace_log,
+        log_max_bytes=args.log_max_bytes,
+        trace_requests=args.trace_requests,
+        tail_latency=args.tail_latency_ms / 1000.0,
+        tail_reservoir=args.tail_reservoir,
+        tail_retain=args.tail_retain,
     )
     return run_server(config, metrics_path=args.metrics_file)
+
+
+def _cmd_traces(args):
+    """Pretty-print tail-sampled traces from a daemon or a ring file."""
+    from repro.serve.top import fetch_traces, format_trace
+
+    try:
+        records = fetch_traces(
+            args.target, limit=args.limit, reason=args.reason
+        )
+    except OSError as exc:
+        print(f"error: cannot read traces from {args.target}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.tenant is not None:
+        records = [
+            record for record in records
+            if record.get("root", {}).get("attributes", {}).get("tenant")
+            == args.tenant
+        ]
+    if args.json:
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    if not records:
+        print("no retained traces")
+        return 0
+    for record in records:
+        for line in format_trace(record, verbose=args.verbose):
+            print(line)
+    return 0
+
+
+def _cmd_top(args):
+    """Live dashboard over ``GET /metrics`` (``--once``: one frame)."""
+    from repro.serve.top import run_top
+
+    iterations = 1 if args.once else args.frames
+    return run_top(args.url, interval=args.interval, iterations=iterations)
 
 
 def _cmd_study(args):

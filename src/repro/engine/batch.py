@@ -45,7 +45,12 @@ from repro.engine.compiler import CompiledSchema
 from repro.engine.streaming import StreamingValidator
 from repro.errors import DeadlineExceeded
 from repro.observability import default_registry
-from repro.observability.tracing import current_tracer, installed_tracer, span
+from repro.observability.tracing import (
+    current_baggage,
+    current_tracer,
+    installed_tracer,
+    span,
+)
 from repro.resilience import (
     DocumentError,
     DocumentOutcome,
@@ -131,16 +136,19 @@ def _run_batch(schema, sources, engine, workers, cache, policy, deadline,
                retry, limits, injector, registry, tracer, batch_span):
     validate = _make_validator(schema, engine, cache, limits, deadline)
 
+    baggage = current_baggage() if tracer is not None else None
+
     def trace_context():
         """Re-install the caller's tracer + batch span (pool workers).
 
         Contextvars do not cross pool threads; token-based re-install
         inside each unit of work makes worker spans children of the
-        batch span.  With no tracer this is a shared no-op context.
+        batch span, carrying the caller's baggage (tenant / request id)
+        too.  With no tracer this is a shared no-op context.
         """
         if tracer is None:
             return contextlib.nullcontext()
-        return installed_tracer(tracer, batch_span)
+        return installed_tracer(tracer, batch_span, baggage=baggage)
 
     def fetch(source, deadline_at=None):
         """Resolve a callable source with retry; returns (doc, attempts).

@@ -158,6 +158,8 @@ class SchemaCache:
             registry.counter("engine.cache.hits").inc()
             with span("engine.cache.get") as trace:
                 trace.set_attribute("outcome", "identity-hit")
+                if compiled.fingerprint is not None:
+                    trace.set_attribute("schema", compiled.fingerprint[:12])
             fingerprint = compiled.fingerprint
             if fingerprint is not None:
                 with self._lock:
@@ -167,6 +169,7 @@ class SchemaCache:
         with span("engine.cache.get") as trace:
             fingerprint = schema_fingerprint(xsd)
             trace.set_attribute("fingerprint", fingerprint[:12])
+            trace.set_attribute("schema", fingerprint[:12])
             with self._lock:
                 compiled = self._entries.get(fingerprint)
                 if compiled is not None:

@@ -302,6 +302,8 @@ def compile_xsd(xsd, fingerprint=None):
     registry = default_registry()
     dfa_sizes = registry.histogram("engine.compile.dfa_states")
     with span("engine.compile") as trace:
+        if fingerprint is not None:
+            trace.set_attribute("schema", fingerprint[:12])
         type_names = tuple(sorted(xsd.types))
         type_ids = {name: i for i, name in enumerate(type_names)}
         attr_ids = {}

@@ -172,6 +172,9 @@ class StreamingValidator:
         registry = default_registry()
         started = time.perf_counter_ns()
         with span("engine.validate") as trace:
+            fingerprint = self.schema.fingerprint
+            if fingerprint is not None:
+                trace.set_attribute("schema", fingerprint[:12])
             report, consumed = self._run(events, provenance)
             trace.set_attribute("events", consumed)
             trace.set_attribute("violations", len(report.violations))
@@ -389,6 +392,9 @@ class StreamingValidator:
         try:
             with span("engine.validate") as trace:
                 trace.set_attribute("path", "dense")
+                fingerprint = self.schema.fingerprint
+                if fingerprint is not None:
+                    trace.set_attribute("schema", fingerprint[:12])
                 report, consumed = self._scan_dense(data, limits)
                 trace.set_attribute("events", consumed)
                 trace.set_attribute("violations", 0)

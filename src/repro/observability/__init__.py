@@ -50,15 +50,26 @@ from repro.observability.provenance import (
     explain_document,
     first_divergence,
 )
+from repro.observability.ringfile import (
+    RingFileWriter,
+    read_ring,
+)
 from repro.observability.tracing import (
     NULL_SPAN,
     Span,
+    TailSampler,
     Tracer,
+    current_baggage,
     current_span,
     current_tracer,
+    format_traceparent,
     installed_tracer,
+    new_trace_id,
+    parse_traceparent,
     resolve_tracer,
+    set_baggage,
     span,
+    trace_id_hex,
 )
 
 __all__ = [
@@ -72,9 +83,12 @@ __all__ = [
     "NULL_SPAN",
     "ProvenanceRecorder",
     "ResourceBudget",
+    "RingFileWriter",
     "RuleCoverage",
     "Span",
+    "TailSampler",
     "Tracer",
+    "current_baggage",
     "current_budget",
     "current_span",
     "current_tracer",
@@ -82,12 +96,18 @@ __all__ = [
     "escape_label_value",
     "explain_document",
     "first_divergence",
+    "format_traceparent",
     "installed_tracer",
     "labeled",
+    "new_trace_id",
+    "parse_traceparent",
+    "read_ring",
     "render_metrics",
     "resolve_budget",
     "resolve_registry",
     "resolve_tracer",
+    "set_baggage",
     "span",
     "to_prometheus",
+    "trace_id_hex",
 ]

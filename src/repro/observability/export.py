@@ -90,6 +90,23 @@ def _split_labels(name):
     return _metric_name(base), (brace + rest if brace else "")
 
 
+def _exemplar_suffix(exemplar):
+    """The OpenMetrics exemplar clause for one bucket sample.
+
+    Rendered as `` # {label="value",...} value timestamp`` appended to
+    the ``_bucket`` line, per the OpenMetrics exposition format; label
+    values (trace ids are the common case) are exposition-escaped.
+    """
+    pairs = ",".join(
+        f'{_LABEL_NAME_OK.sub("_", key)}="{escape_label_value(value)}"'
+        for key, value in sorted(exemplar.get("labels", {}).items())
+    )
+    suffix = f" # {{{pairs}}} {exemplar['value']}"
+    if exemplar.get("ts") is not None:
+        suffix += f" {exemplar['ts']}"
+    return suffix
+
+
 def _histogram_lines(metric, labels, summary):
     lines = []
     # Merge ``le`` into an existing label block: {a="b"} -> {a="b",le=...}
@@ -97,14 +114,19 @@ def _histogram_lines(metric, labels, summary):
         le_prefix = labels[:-1] + ","
     else:
         le_prefix = "{"
+    exemplars = summary.get("exemplars", {})
     cumulative = 0
     for label, hits in summary["buckets"].items():
         exponent = int(label.split("^", 1)[1])
         cumulative += hits
-        lines.append(
+        line = (
             f'{metric}_bucket{le_prefix}le="{float(2 ** exponent)}"}} '
             f"{cumulative}"
         )
+        exemplar = exemplars.get(label)
+        if exemplar is not None:
+            line += _exemplar_suffix(exemplar)
+        lines.append(line)
     lines.append(f'{metric}_bucket{le_prefix}le="+Inf"}} {summary["count"]}')
     lines.append(f"{metric}_sum{labels} {summary['total']}")
     lines.append(f"{metric}_count{labels} {summary['count']}")
@@ -125,20 +147,41 @@ def _families(samples):
     return grouped.items()
 
 
+def _escape_help(text):
+    """Escape a ``# HELP`` string per the exposition format."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def to_prometheus(registry):
-    """Render the registry snapshot in Prometheus text format."""
+    """Render the registry snapshot in Prometheus text format.
+
+    Families registered with a ``help=`` string get a ``# HELP`` line
+    ahead of their ``# TYPE`` line; histogram buckets carrying exemplars
+    render them in OpenMetrics exemplar syntax.
+    """
     snapshot = registry.snapshot()
+    helps = {
+        _metric_name(family): text
+        for family, text in getattr(registry, "help_texts", dict)().items()
+    }
     lines = []
+
+    def open_family(metric, kind):
+        help_text = helps.get(metric)
+        if help_text is not None:
+            lines.append(f"# HELP {metric} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {metric} {kind}")
+
     for metric, series in _families(snapshot["counters"]):
-        lines.append(f"# TYPE {metric} counter")
+        open_family(metric, "counter")
         for labels, value in series:
             lines.append(f"{metric}{labels} {value}")
     for metric, series in _families(snapshot["gauges"]):
-        lines.append(f"# TYPE {metric} gauge")
+        open_family(metric, "gauge")
         for labels, value in series:
             lines.append(f"{metric}{labels} {value}")
     for metric, series in _families(snapshot["histograms"]):
-        lines.append(f"# TYPE {metric} histogram")
+        open_family(metric, "histogram")
         for labels, summary in series:
             lines.extend(_histogram_lines(metric, labels, summary))
     return "\n".join(lines) + "\n" if lines else ""

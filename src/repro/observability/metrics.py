@@ -33,10 +33,11 @@ import time
 class Counter:
     """A monotonically increasing counter."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "help", "_value", "_lock")
 
-    def __init__(self, name=""):
+    def __init__(self, name="", help=None):
         self.name = name
+        self.help = help
         self._value = 0
         self._lock = threading.Lock()
 
@@ -65,10 +66,11 @@ class Counter:
 class Gauge:
     """A value that can go up and down (pool sizes, cache occupancy)."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "help", "_value", "_lock")
 
-    def __init__(self, name=""):
+    def __init__(self, name="", help=None):
         self.name = name
+        self.help = help
         self._value = 0
         self._lock = threading.Lock()
 
@@ -102,22 +104,31 @@ class Histogram:
     Buckets are powers of two over the observed value (dense enough for
     both DFA state counts and nanosecond latencies without configuration);
     ``snapshot`` reports them as ``{"<=2^k": count}`` plus the scalar
-    summary, from which mean and rough percentiles can be derived.
+    summary and interpolated p50/p95/p99 estimates — ask
+    :meth:`percentile` for any other quantile.
+
+    An observation may carry an **exemplar**: a small label dict (in
+    practice ``{"trace_id": ...}``) tying the bucket the value landed in
+    to one concrete event.  The latest exemplar per bucket is retained
+    and rendered in OpenMetrics exemplar syntax by the Prometheus
+    exporter, so a latency bucket links straight to a retained trace.
     """
 
-    __slots__ = ("name", "_count", "_total", "_min", "_max", "_buckets",
-                 "_lock")
+    __slots__ = ("name", "help", "_count", "_total", "_min", "_max",
+                 "_buckets", "_exemplars", "_lock")
 
-    def __init__(self, name=""):
+    def __init__(self, name="", help=None):
         self.name = name
+        self.help = help
         self._count = 0
         self._total = 0
         self._min = None
         self._max = None
         self._buckets = {}
+        self._exemplars = {}
         self._lock = threading.Lock()
 
-    def observe(self, value):
+    def observe(self, value, exemplar=None):
         bucket = max(0, (int(value) - 1).bit_length()) if value > 0 else 0
         with self._lock:
             self._count += 1
@@ -127,6 +138,46 @@ class Histogram:
             if self._max is None or value > self._max:
                 self._max = value
             self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+            if exemplar:
+                self._exemplars[bucket] = {
+                    "labels": dict(exemplar),
+                    "value": value,
+                    "ts": time.time(),
+                }
+
+    def percentile(self, q):
+        """An interpolated estimate of the ``q``-quantile (``0 <= q <= 1``).
+
+        The estimate walks the cumulative power-of-two buckets to the one
+        holding the target rank and interpolates linearly inside it
+        (clamped to the observed min/max), so it is never below the true
+        quantile's bucket lower bound nor above its upper bound.  Callers
+        that used to "derive rough percentiles" from the snapshot by hand
+        (benchmarks, perfguard) should use this instead.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError(f"q must be in [0, 1], got {q!r}")
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q):
+        if not self._count:
+            return 0.0
+        target = q * self._count
+        cumulative = 0
+        for exponent, hits in sorted(self._buckets.items()):
+            previous = cumulative
+            cumulative += hits
+            if cumulative >= target:
+                low = 0 if exponent == 0 else 2 ** (exponent - 1)
+                high = 2 ** exponent
+                low = max(low, self._min)
+                high = min(high, self._max)
+                if high <= low:
+                    return float(low)
+                fraction = (max(target, previous) - previous) / hits
+                return float(low + fraction * (high - low))
+        return float(self._max)
 
     def time(self):
         """Context manager observing the elapsed wall time in nanoseconds."""
@@ -156,17 +207,26 @@ class Histogram:
     def _read_locked(self):
         """The snapshot summary; the caller must hold ``self._lock``."""
         mean = self._total / self._count if self._count else 0
-        return {
+        summary = {
             "count": self._count,
             "total": self._total,
             "min": self._min,
             "max": self._max,
             "mean": mean,
+            "p50": self._percentile_locked(0.50),
+            "p95": self._percentile_locked(0.95),
+            "p99": self._percentile_locked(0.99),
             "buckets": {
                 f"<=2^{exponent}": hits
                 for exponent, hits in sorted(self._buckets.items())
             },
         }
+        if self._exemplars:
+            summary["exemplars"] = {
+                f"<=2^{exponent}": dict(exemplar)
+                for exponent, exemplar in sorted(self._exemplars.items())
+            }
+        return summary
 
     def __repr__(self):
         return f"Histogram({self.name}, n={self.count})"
@@ -196,37 +256,53 @@ class MetricsRegistry:
     ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
     call with a name creates the instrument, later calls return it.  A
     name may only ever denote one instrument kind.
+
+    A registration may carry a ``help=`` string — one line describing the
+    *family* (labelled series registered through
+    :func:`~repro.observability.export.labeled` share it, keyed by the
+    name before the label block).  The Prometheus exporter renders it as
+    the family's ``# HELP`` line; the first non-``None`` help for a
+    family wins, so hot paths can keep calling without the string.
     """
 
     def __init__(self):
         self._instruments = {}
+        self._help = {}
         self._lock = threading.Lock()
 
-    def _get(self, name, factory):
+    def _get(self, name, factory, help=None):
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
-                instrument = factory(name)
+                instrument = factory(name, help=help)
                 self._instruments[name] = instrument
             elif not isinstance(instrument, factory):
                 raise TypeError(
                     f"metric {name!r} is a {type(instrument).__name__}, "
                     f"not a {factory.__name__}"
                 )
+            if help is not None:
+                family = name.partition("{")[0]
+                self._help.setdefault(family, help)
             return instrument
 
-    def counter(self, name):
-        return self._get(name, Counter)
+    def counter(self, name, help=None):
+        return self._get(name, Counter, help=help)
 
-    def gauge(self, name):
-        return self._get(name, Gauge)
+    def gauge(self, name, help=None):
+        return self._get(name, Gauge, help=help)
 
-    def histogram(self, name):
-        return self._get(name, Histogram)
+    def histogram(self, name, help=None):
+        return self._get(name, Histogram, help=help)
 
     def timer(self, name):
         """Alias: a context manager timing into histogram ``name``."""
         return self.histogram(name).time()
+
+    def help_texts(self):
+        """``{family dotted name: help}`` for every family that has one."""
+        with self._lock:
+            return dict(self._help)
 
     def snapshot(self):
         """A plain-dict view: {kind: {name: value-or-summary}}.
@@ -261,6 +337,7 @@ class MetricsRegistry:
         keep counting but are no longer reported)."""
         with self._lock:
             self._instruments.clear()
+            self._help.clear()
 
     def __len__(self):
         with self._lock:

@@ -1,0 +1,157 @@
+"""A size-capped, rotating JSONL line writer (the on-disk "ring").
+
+Long-running processes stream observability records — spans, retained
+traces, access-log lines — to disk, and an unbounded append-only file is
+an operational hazard: a conformance sweep with ``--trace FILE`` or a
+serve daemon under sustained traffic would eventually fill the volume.
+:class:`RingFileWriter` bounds the damage the way log rotation does:
+lines append to ``path`` until it would exceed ``max_bytes``, then the
+file rotates (``path`` → ``path.1`` → ``path.2`` …, oldest deleted) and
+writing continues in a fresh ``path``.  Total disk use is therefore at
+most ``max_bytes * (backups + 1)`` plus one line of slack.
+
+Design points:
+
+* **Line-atomic.**  One :meth:`write` call is one line; rotation happens
+  *between* lines, never inside one, so every generation of the ring is
+  independently parseable JSONL.
+* **Thread-safe.**  One lock around size accounting + write; callers on
+  worker threads (trace sinks fire from whatever thread ends the span)
+  need no coordination.
+* **Tail-able.**  The handle is opened line-buffered, so ``tail -f``
+  and the smoke tests observe lines as they are written.
+* **Crash-tolerant.**  Opening an existing ``path`` appends and resumes
+  the size accounting from the file's current length.
+
+:func:`read_ring` is the matching reader: it yields the parsed records
+of every surviving generation, oldest first, skipping torn/corrupt
+lines instead of failing — the ring is a diagnostic artifact, and a
+half-written final line must not make the whole history unreadable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+#: Default per-generation cap — generous for diagnostics, small enough
+#: that a forgotten daemon cannot fill a volume (total = cap * 2).
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+
+class RingFileWriter:
+    """Append JSON records (or pre-encoded lines) with bounded disk use.
+
+    Args:
+        path: the current-generation file; rotations live alongside it
+            as ``path.1`` … ``path.<backups>``.
+        max_bytes: size that triggers rotation (a single line larger
+            than the cap is still written whole — line atomicity wins).
+        backups: rotated generations kept (``0`` truncates in place).
+    """
+
+    def __init__(self, path, max_bytes=DEFAULT_MAX_BYTES, backups=1):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if backups < 0:
+            raise ValueError(f"backups must be >= 0, got {backups}")
+        self.path = os.fspath(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8", buffering=1)
+        self._size = self._handle.tell()
+        self.rotations = 0
+
+    def write(self, record):
+        """Append one record as a JSONL line (rotating first if needed).
+
+        ``record`` may be any JSON-serializable object, or a ready
+        ``str`` line (trailing newline optional).
+        """
+        if isinstance(record, str):
+            line = record if record.endswith("\n") else record + "\n"
+        else:
+            line = json.dumps(record, sort_keys=True) + "\n"
+        encoded = len(line.encode("utf-8"))
+        with self._lock:
+            if self._size and self._size + encoded > self.max_bytes:
+                self._rotate_locked()
+            self._handle.write(line)
+            self._size += encoded
+
+    def _rotate_locked(self):
+        self._handle.close()
+        if self.backups == 0:
+            self._handle = open(
+                self.path, "w", encoding="utf-8", buffering=1
+            )
+        else:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.backups - 1, 0, -1):
+                source = f"{self.path}.{index}"
+                if os.path.exists(source):
+                    os.replace(source, f"{self.path}.{index + 1}")
+            os.replace(self.path, f"{self.path}.1")
+            self._handle = open(
+                self.path, "w", encoding="utf-8", buffering=1
+            )
+        self._size = 0
+        self.rotations += 1
+
+    def flush(self):
+        with self._lock:
+            self._handle.flush()
+
+    def close(self):
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"RingFileWriter({self.path!r}, max_bytes={self.max_bytes}, "
+            f"backups={self.backups}, rotations={self.rotations})"
+        )
+
+
+def ring_paths(path):
+    """Every surviving generation of a ring, oldest first."""
+    path = os.fspath(path)
+    generations = []
+    index = 1
+    while os.path.exists(f"{path}.{index}"):
+        generations.append(f"{path}.{index}")
+        index += 1
+    ordered = list(reversed(generations))
+    if os.path.exists(path):
+        ordered.append(path)
+    return ordered
+
+
+def read_ring(path):
+    """Yield the parsed JSON records of a ring, oldest line first.
+
+    Unparseable lines (a torn final line after a crash, a truncated
+    rotation) are skipped, not raised.
+    """
+    for generation in ring_paths(path):
+        with open(generation, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    continue

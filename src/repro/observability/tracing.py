@@ -27,6 +27,27 @@ one span per document / per translation stage, not per node.
 the batch span as the parent) inside each worker via
 :func:`installed_tracer` — the same re-install trick the resilience layer
 uses for limits and injectors.
+
+**Request correlation.**  A serving process correlates every span with
+the request that caused it:
+
+* Root spans may carry an externally assigned trace id — the serve
+  daemon honors an incoming W3C ``traceparent`` header
+  (:func:`parse_traceparent`) and otherwise mints a fresh 128-bit id
+  (:func:`new_trace_id`), so one trace id names the request across the
+  client, the access log, the retained trace, and the metric exemplar.
+* :func:`set_baggage` installs ambient key/value annotations
+  (``tenant``, ``schema_hash``, ``request_id``) that every span opened
+  in the dynamic extent absorbs into its attributes — including spans
+  opened on the far side of a thread-pool hop, because
+  :func:`installed_tracer` re-installs the caller's baggage alongside
+  the tracer.
+* :class:`TailSampler` is a tracer sink that implements tail-based
+  retention: it buffers each trace's spans until the root finishes,
+  then keeps the whole trace only if it errored, exceeded a latency
+  threshold, or won a reservoir slot — the heavy-tailed outliers the
+  Theorem 8/9 complexity results predict are exactly the traces worth
+  keeping, and uniform head-sampling would lose them.
 """
 
 from __future__ import annotations
@@ -34,12 +55,15 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import json
+import os
+import random
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 
 _ambient_tracer = contextvars.ContextVar("repro_tracer", default=None)
 _current_span = contextvars.ContextVar("repro_current_span", default=None)
+_ambient_baggage = contextvars.ContextVar("repro_baggage", default=None)
 
 
 class Span:
@@ -198,15 +222,28 @@ class Tracer:
         self._token = None
 
     # -- span creation ----------------------------------------------------
-    def span(self, name, **attributes):
-        """Open a child span of the current ambient span."""
+    def span(self, name, trace_id=None, **attributes):
+        """Open a child span of the current ambient span.
+
+        ``trace_id`` assigns an externally chosen trace id to a *root*
+        span (the serve daemon passes the W3C ``traceparent`` id here);
+        with a parent ambient, the parent's trace id always wins.  Any
+        ambient :func:`set_baggage` annotations are merged into the
+        span's attributes (explicit attributes win on collision).
+        """
         parent = _current_span.get()
+        baggage = _ambient_baggage.get()
+        if baggage:
+            merged = dict(baggage)
+            merged.update(attributes)
+            attributes = merged
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
             self._started += 1
         if parent is None:
-            trace_id, parent_id = span_id, None
+            parent_id = None
+            trace_id = span_id if trace_id is None else trace_id
         else:
             trace_id, parent_id = parent.trace_id, parent.span_id
         return Span(self, name, span_id, trace_id, parent_id, attributes)
@@ -314,7 +351,7 @@ def span(name, **attributes):
 
 
 @contextlib.contextmanager
-def installed_tracer(tracer, parent=None):
+def installed_tracer(tracer, parent=None, baggage=None):
     """Install ``tracer`` (and ``parent`` as the current span) ambiently.
 
     Token-based, so concurrent use from pool worker threads is safe —
@@ -322,11 +359,241 @@ def installed_tracer(tracer, parent=None):
     carry the caller's tracer and the batch span across the pool boundary
     (entering the :class:`Tracer` instance itself would clobber the reset
     token under concurrency, exactly like the fault injector).
+
+    ``baggage`` re-installs the caller's ambient annotations on the far
+    side of the hop (pass :func:`current_baggage` captured before the
+    pool submit), so worker-side spans keep their ``tenant`` /
+    ``schema_hash`` / ``request_id`` attributes.
     """
     tracer_token = _ambient_tracer.set(tracer)
     span_token = _current_span.set(parent)
+    baggage_token = (
+        _ambient_baggage.set(dict(baggage)) if baggage else None
+    )
     try:
         yield tracer
     finally:
+        if baggage_token is not None:
+            _ambient_baggage.reset(baggage_token)
         _current_span.reset(span_token)
         _ambient_tracer.reset(tracer_token)
+
+
+# -- baggage ---------------------------------------------------------------
+
+def current_baggage():
+    """The ambient baggage dict, or ``None`` (never mutate the result)."""
+    return _ambient_baggage.get()
+
+
+@contextlib.contextmanager
+def set_baggage(**items):
+    """Install key/value annotations every span in the extent absorbs.
+
+    Baggage layers: entering with new keys merges over the enclosing
+    baggage for the dynamic extent, and the previous baggage is restored
+    on exit (token-based, thread- and task-safe).  ``None`` values are
+    dropped, so call sites can pass optional fields unconditionally.
+    """
+    merged = dict(_ambient_baggage.get() or ())
+    merged.update(
+        (key, value) for key, value in items.items() if value is not None
+    )
+    token = _ambient_baggage.set(merged)
+    try:
+        yield merged
+    finally:
+        _ambient_baggage.reset(token)
+
+
+# -- W3C trace context -----------------------------------------------------
+
+def new_trace_id():
+    """A fresh random 128-bit trace id as 32 lowercase hex digits."""
+    return os.urandom(16).hex()
+
+
+def span_id_hex(span_id):
+    """A span id (tracer-local int or hex string) as 16 hex digits."""
+    if isinstance(span_id, str):
+        return span_id[-16:].rjust(16, "0")
+    return format(span_id & ((1 << 64) - 1), "016x")
+
+
+def trace_id_hex(trace_id):
+    """A trace id (hex string or legacy root-span int) as 32 hex digits."""
+    if isinstance(trace_id, str):
+        return trace_id[-32:].rjust(32, "0")
+    return format(trace_id & ((1 << 128) - 1), "032x")
+
+
+def parse_traceparent(header):
+    """Parse a W3C ``traceparent`` header.
+
+    Returns ``(trace_id, parent_span_id)`` as lowercase hex strings, or
+    ``None`` when the header is absent or malformed (per the spec, a
+    broken header is ignored and a fresh trace started, never an error).
+    """
+    if not isinstance(header, str):
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, parent_id = parts[0], parts[1], parts[2]
+    if len(version) != 2 or version == "ff":
+        return None
+    if len(trace_id) != 32 or len(parent_id) != 16:
+        return None
+    try:
+        int(version, 16)
+        int(trace_id, 16)
+        int(parent_id, 16)
+        int(parts[3], 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return trace_id, parent_id
+
+
+def format_traceparent(trace_id, span_id, sampled=True):
+    """Render a W3C ``traceparent`` header value for an outgoing hop."""
+    flags = "01" if sampled else "00"
+    return f"00-{trace_id_hex(trace_id)}-{span_id_hex(span_id)}-{flags}"
+
+
+# -- tail-based sampling ---------------------------------------------------
+
+class TailSampler:
+    """A tracer sink retaining whole traces by their *outcome*.
+
+    Spans buffer per trace id until the trace's root span finishes; the
+    finished trace is then kept when any of these hold, checked in
+    order (the recorded ``reason`` is the first that fired):
+
+    * ``error`` — the root's status is ``error``, or its ``status``
+      attribute is an HTTP code >= 400;
+    * ``slow`` — the root's duration reached ``latency_threshold``
+      (seconds; ``None`` disables);
+    * ``reservoir`` — the trace won a slot in an Algorithm-R style
+      reservoir of ``reservoir`` fast traces (each of the *n* fast
+      traces seen so far is kept with probability ``reservoir / n``),
+      so a baseline of ordinary requests survives for comparison
+      without uniform sampling drowning the outliers.
+
+    Kept traces land in a bounded in-memory deque (``retain`` newest,
+    served by ``GET /debug/traces``) and, when a ``ring`` is given
+    (:class:`~repro.observability.ringfile.RingFileWriter` or any
+    object with a ``write(record)`` method), as one JSONL record each.
+    Dropped traces release their spans immediately.  Pending (un-ended)
+    traces are bounded by ``max_pending`` — beyond it the oldest pending
+    trace is discarded, so leaked spans cannot grow the buffer without
+    bound.
+
+    Thread-safe: spans finish on whatever thread ends them.
+    """
+
+    def __init__(self, latency_threshold=None, reservoir=4, retain=256,
+                 ring=None, max_pending=512, max_spans_per_trace=512,
+                 registry=None, rng=None):
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        if reservoir < 0:
+            raise ValueError(f"reservoir must be >= 0, got {reservoir}")
+        self.latency_threshold_ns = (
+            None if latency_threshold is None
+            else int(latency_threshold * 1e9)
+        )
+        self.reservoir = reservoir
+        self.ring = ring
+        self.max_pending = max_pending
+        self.max_spans_per_trace = max_spans_per_trace
+        self._rng = rng if rng is not None else random.Random()
+        self._pending = OrderedDict()
+        self._retained = deque(maxlen=retain)
+        self._fast_seen = 0
+        self._lock = threading.Lock()
+        from repro.observability.metrics import resolve_registry
+
+        registry = resolve_registry(registry)
+        self._kept = registry.counter(
+            "trace.tail.kept",
+            help="finished traces retained by the tail sampler",
+        )
+        self._dropped = registry.counter(
+            "trace.tail.dropped",
+            help="finished traces discarded by the tail sampler",
+        )
+        self._kept_by = {
+            reason: registry.counter(f"trace.tail.kept.{reason}")
+            for reason in ("error", "slow", "reservoir")
+        }
+
+    # -- the sink protocol ------------------------------------------------
+    def __call__(self, span):
+        """Receive one finished span (the :class:`Tracer` sink hook)."""
+        record = span.to_dict()
+        trace_id = record["trace_id"]
+        is_root = record["parent_id"] is None
+        with self._lock:
+            spans = self._pending.setdefault(trace_id, [])
+            if len(spans) < self.max_spans_per_trace:
+                spans.append(record)
+            if not is_root:
+                while len(self._pending) > self.max_pending:
+                    self._pending.popitem(last=False)
+                return
+            spans = self._pending.pop(trace_id)
+            keep_reason = self._decision_locked(record)
+            if keep_reason is None:
+                self._dropped.inc()
+                return
+            kept = {
+                "ts": time.time(),
+                "trace_id": trace_id_hex(trace_id),
+                "reason": keep_reason,
+                "duration_ms": (record["duration_ns"] or 0) / 1e6,
+                "root": record,
+                "spans": spans,
+            }
+            self._retained.append(kept)
+        self._kept.inc()
+        counter = self._kept_by.get(keep_reason)
+        if counter is not None:
+            counter.inc()
+        ring = self.ring
+        if ring is not None:
+            ring.write(kept)
+
+    def _decision_locked(self, root):
+        status = root["attributes"].get("status")
+        if root["status"] == "error" or (
+            isinstance(status, int) and status >= 400
+        ):
+            return "error"
+        duration = root["duration_ns"] or 0
+        threshold = self.latency_threshold_ns
+        if threshold is not None and duration >= threshold:
+            return "slow"
+        if self.reservoir:
+            self._fast_seen += 1
+            if self._rng.randrange(self._fast_seen) < self.reservoir:
+                return "reservoir"
+        return None
+
+    # -- inspection -------------------------------------------------------
+    def retained(self, limit=None):
+        """Retained trace records, newest first (``limit`` caps them)."""
+        with self._lock:
+            records = list(self._retained)
+        records.reverse()
+        if limit is not None:
+            records = records[:max(0, limit)]
+        return records
+
+    def __repr__(self):
+        with self._lock:
+            return (
+                f"<TailSampler retained={len(self._retained)} "
+                f"pending={len(self._pending)}>"
+            )

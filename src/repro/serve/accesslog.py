@@ -1,0 +1,72 @@
+"""Structured JSONL access logs for the serve daemon.
+
+One request, one line — a flat JSON object the whole toolchain can
+consume (``jq``, the smoke tests, a log shipper).  The fields mirror
+the request-correlation layer, so a line joins against the retained
+trace (``trace_id``), the metric exemplar (same id), and the client's
+own logs (``request_id`` echoes the ``X-Request-Id`` response header):
+
+``ts``
+    Unix epoch seconds at the moment the response bytes were written.
+``request_id`` / ``trace_id``
+    The correlation ids (``trace_id`` absent when tracing is off and
+    the client sent no ``traceparent``).
+``tenant`` / ``route`` / ``schema_hash``
+    Who, what, and against which schema (``schema_hash`` is the
+    12-hex-digit prefix of the breaker key; absent on GET routes).
+``status`` / ``reason``
+    The HTTP status and, for refused requests, the gate that refused
+    (``queue_full`` / ``tenant_budget`` / ``draining`` /
+    ``quarantined``).
+``queue_wait_ms`` / ``worker_ms``
+    Time spent waiting for a worker thread and executing on it (absent
+    for requests refused before admission).
+``bytes_in`` / ``bytes_out``
+    Request body and rendered response sizes.
+
+The file is a size-capped ring (:class:`~repro.observability.ringfile.
+RingFileWriter`), so a busy daemon cannot fill the volume; ``None``
+fields are dropped from each record rather than serialized as null.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.observability.ringfile import (
+    DEFAULT_MAX_BYTES,
+    RingFileWriter,
+    read_ring,
+)
+
+
+class AccessLog:
+    """A JSONL access log over a rotating ring file (thread-safe)."""
+
+    def __init__(self, path, max_bytes=DEFAULT_MAX_BYTES, backups=1):
+        self._ring = RingFileWriter(
+            path, max_bytes=max_bytes, backups=backups
+        )
+        self.path = self._ring.path
+
+    def log(self, record):
+        """Write one access record (``None`` values dropped, ts stamped)."""
+        line = {
+            key: value for key, value in record.items() if value is not None
+        }
+        line.setdefault("ts", time.time())
+        self._ring.write(line)
+
+    def flush(self):
+        self._ring.flush()
+
+    def close(self):
+        self._ring.close()
+
+    def __repr__(self):
+        return f"AccessLog({self.path!r})"
+
+
+def read_access_log(path):
+    """Yield the parsed records of an access-log ring, oldest first."""
+    return read_ring(path)

@@ -101,14 +101,21 @@ class AdmissionController:
                 self._inflight += 1
                 self._tenants[tenant] = self._tenants.get(tenant, 0) + 1
                 inflight = self._inflight
-                registry.gauge("serve.inflight").set(inflight)
-                registry.gauge("serve.queue.depth").set(
-                    max(0, inflight - self.workers)
-                )
+                registry.gauge(
+                    "serve.inflight",
+                    help="admitted requests (executing + queued)",
+                ).set(inflight)
+                registry.gauge(
+                    "serve.queue.depth",
+                    help="admitted requests waiting for a worker thread",
+                ).set(max(0, inflight - self.workers))
                 return None
-        registry.counter("serve.shed").inc()
         registry.counter(
-            labeled("serve.shed.by", reason=reason, tenant=tenant)
+            "serve.shed", help="requests refused by admission control"
+        ).inc()
+        registry.counter(
+            labeled("serve.shed.by", reason=reason, tenant=tenant),
+            help="requests refused by admission control, by gate and tenant",
         ).inc()
         return reason
 
@@ -221,7 +228,11 @@ class CircuitBreaker:
                 return None
             retry_after = max(self.cooldown - elapsed, 0.0)
             stats = dict(circuit.stats or {})
-        self._registry.counter("serve.breaker.fastfail").inc()
+        self._registry.counter(
+            "serve.breaker.fastfail",
+            help="requests answered from a quarantined schema's "
+                 "cached stats",
+        ).inc()
         return retry_after, stats
 
     def record_failure(self, key, stats=None):
@@ -250,11 +261,17 @@ class CircuitBreaker:
             now_open = circuit.opened_at is not None
             open_count = self._open
         if opens:
-            self._registry.counter("serve.breaker.trips").inc()
             self._registry.counter(
-                labeled("serve.breaker.trips.by", schema=key[:12])
+                "serve.breaker.trips",
+                help="circuit-breaker opens (schema quarantined)",
             ).inc()
-        self._registry.gauge("serve.breaker.open").set(open_count)
+            self._registry.counter(
+                labeled("serve.breaker.trips.by", schema=key[:12]),
+                help="circuit-breaker opens by schema fingerprint",
+            ).inc()
+        self._registry.gauge(
+            "serve.breaker.open", help="schema circuits currently open"
+        ).set(open_count)
         return now_open
 
     def record_success(self, key):

@@ -27,24 +27,51 @@ are dropped unless the deadline forces it (counted in
 ``serve.drain.aborted``).  Metrics can be written to a file on exit for
 post-mortem scraping.
 
+**Request correlation.**  When observability is enabled
+(``--access-log`` / ``--trace-log`` / ``--trace-requests``) every
+request gets a process-unique request id and a 128-bit trace id — the
+client's own if it sent a W3C ``traceparent`` header, a fresh one
+otherwise.  Both come back as response headers (``X-Request-Id``,
+``X-Trace-Id``, plus a ``traceparent`` naming the server's root span),
+appear on the JSONL access-log line, ride the tracer baggage into every
+compile/cache/validate span (across the worker-pool hop), land as the
+``{trace_id}`` exemplar on the ``serve.request.latency`` histogram, and
+key the tail sampler's retained traces served by ``GET /debug/traces``.
+With observability off none of this machinery is constructed and the
+request path costs what it did before.
+
 Endpoints: ``POST /validate`` | ``/explain`` | ``/patch`` (JSON bodies:
 ``schema``, ``schema_kind``, ``document``, optional ``tenant``,
 ``deadline``, ``patches``), ``GET /healthz`` (process liveness),
 ``GET /readyz`` (503 while draining or when the breaker is globally
-tripped), ``GET /metrics`` (Prometheus text).
+tripped), ``GET /metrics`` (Prometheus text), ``GET /debug/traces``
+(tail-sampled traces, ``?limit=N&reason=error|slow|reservoir``).
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
+import os
 import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.observability import labeled, render_metrics, resolve_registry
-from repro.observability.tracing import current_tracer, installed_tracer, span
+from repro.observability.ringfile import DEFAULT_MAX_BYTES, RingFileWriter
+from repro.observability.tracing import (
+    TailSampler,
+    Tracer,
+    current_tracer,
+    format_traceparent,
+    installed_tracer,
+    new_trace_id,
+    parse_traceparent,
+    span,
+)
+from repro.serve.accesslog import AccessLog
 from repro.serve.admission import AdmissionController
 from repro.serve.http import (
     MAX_HEADER_BYTES,
@@ -85,6 +112,34 @@ class ServeDaemon:
         self.host = config.host
         self.port = config.port
         self.metrics_path = None
+        # Request-correlation plumbing: constructed only when the config
+        # asks for it, so the default daemon pays nothing per request.
+        self._request_seq = itertools.count(1)
+        self._request_prefix = os.urandom(3).hex()
+        self.tail_sampler = None
+        self.tracer = None
+        self.access_log = None
+        if config.observability_enabled:
+            log_max = config.log_max_bytes or DEFAULT_MAX_BYTES
+            ring = None
+            if config.trace_log:
+                ring = RingFileWriter(config.trace_log, max_bytes=log_max)
+            self.tail_sampler = TailSampler(
+                latency_threshold=config.tail_latency,
+                reservoir=config.tail_reservoir,
+                retain=config.tail_retain,
+                ring=ring,
+                registry=registry,
+            )
+            self.tracer = Tracer(sink=self.tail_sampler)
+            if config.access_log:
+                self.access_log = AccessLog(
+                    config.access_log, max_bytes=log_max
+                )
+
+    def _next_request_id(self):
+        """A process-unique request id (boot nonce + sequence)."""
+        return f"{self._request_prefix}-{next(self._request_seq):06d}"
 
     # -- lifecycle --------------------------------------------------------
     async def start(self):
@@ -137,8 +192,15 @@ class ServeDaemon:
         self._closed.set()
 
     def _flush_sinks(self):
-        """Write the final metrics snapshot (trace sinks stream as they
-        go; the registry is the only sink with state left to flush)."""
+        """Write the final metrics snapshot and close the log rings
+        (trace/access sinks stream as they go; closing just releases
+        their handles after the last line)."""
+        if self.access_log is not None:
+            with contextlib.suppress(OSError):
+                self.access_log.close()
+        if self.tail_sampler is not None and self.tail_sampler.ring:
+            with contextlib.suppress(OSError):
+                self.tail_sampler.ring.close()
         if self.metrics_path is None:
             return
         with contextlib.suppress(OSError):
@@ -170,19 +232,28 @@ class ServeDaemon:
                     break
                 keep_alive = request.keep_alive and not self._draining
                 self._active += 1
+                access = {}
                 try:
-                    result = await self._dispatch(request)
+                    result = await self._dispatch(request, access)
                     keep_alive = keep_alive and not self._draining
                     if isinstance(result, bytes):
                         # /metrics: pre-rendered exposition text.
-                        writer.write(result)
+                        raw = result
+                        access.setdefault("status", 200)
                     else:
                         status, body, headers = result
-                        writer.write(json_response(
+                        access.setdefault("status", status)
+                        raw = json_response(
                             status, body, keep_alive=keep_alive,
                             extra_headers=headers,
-                        ))
+                        )
+                    writer.write(raw)
                     await writer.drain()
+                    if self.access_log is not None:
+                        access["bytes_in"] = len(request.body)
+                        access["bytes_out"] = len(raw)
+                        access.setdefault("route", request.path)
+                        self.access_log.log(access)
                 finally:
                     self._active -= 1
                 if not keep_alive:
@@ -194,8 +265,13 @@ class ServeDaemon:
             with contextlib.suppress(Exception):
                 writer.close()
 
-    async def _dispatch(self, request):
-        """Route one request; returns ``(status, payload, headers)``."""
+    async def _dispatch(self, request, access):
+        """Route one request; returns ``(status, payload, headers)``.
+
+        ``access`` is this request's access-log record in the making —
+        handlers fill in correlation fields as they learn them; the
+        connection loop stamps byte counts and writes the line.
+        """
         method, path = request.method, request.path
         if method == "GET":
             if path == "/healthz":
@@ -211,6 +287,8 @@ class ServeDaemon:
             if path == "/metrics":
                 # Not JSON: hand back pre-rendered exposition text.
                 return self._metrics_response(request)
+            if path == "/debug/traces":
+                return self._traces_response(request)
             if path in _POST_ROUTES:
                 return 405, {
                     "error": "method_not_allowed", "message": method,
@@ -221,7 +299,7 @@ class ServeDaemon:
             return 404, {"error": "not_found", "message": path}, ()
         if method != "POST":
             return 405, {"error": "method_not_allowed", "message": method}, ()
-        return await self._handle_post(route, request)
+        return await self._handle_post(route, request, access)
 
     def _metrics_response(self, request):
         text = render_metrics(self._registry, "prometheus")
@@ -232,69 +310,137 @@ class ServeDaemon:
         )
         return raw
 
-    async def _handle_post(self, route, request):
+    def _traces_response(self, request):
+        """``GET /debug/traces`` — the tail sampler's retained traces."""
+        sampler = self.tail_sampler
+        if sampler is None:
+            return 200, {"enabled": False, "traces": []}, ()
+        params = request.query_params()
+        try:
+            limit = max(1, int(params.get("limit", 32)))
+        except ValueError:
+            limit = 32
+        reason = params.get("reason") or None
+        traces = sampler.retained()
+        if reason is not None:
+            traces = [t for t in traces if t.get("reason") == reason]
+        return 200, {"enabled": True, "traces": traces[:limit]}, ()
+
+    async def _handle_post(self, route, request, access):
         config = self.config
         registry = self._registry
         try:
             params = request.json()
         except HttpError as exc:
+            access["status"] = exc.status
             return exc.status, {"error": "http", "message": str(exc)}, ()
         tenant = request.headers.get("x-tenant") or params.get("tenant")
         if not isinstance(tenant, str) or not tenant:
             tenant = "anonymous"
 
+        # Correlation ids: honor an incoming W3C traceparent; mint a
+        # fresh trace id only when tracing is on (so the disabled path
+        # does no random I/O).  The ids come back as response headers on
+        # every outcome, shed or served.
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        incoming = parse_traceparent(request.headers.get("traceparent"))
+        if incoming is not None:
+            trace_id = incoming[0]
+        elif tracer is not None:
+            trace_id = new_trace_id()
+        else:
+            trace_id = None
+        request_id = self._next_request_id() if tracer is not None else None
+        corr = []
+        if request_id is not None:
+            corr.append(("X-Request-Id", request_id))
+        if trace_id is not None:
+            corr.append(("X-Trace-Id", trace_id))
+        corr = tuple(corr)
+        access.update(
+            request_id=request_id, trace_id=trace_id, tenant=tenant,
+            route=route,
+        )
+
         retry_header = ("Retry-After", _retry_text(config.retry_after))
         if self._draining:
             registry.counter("serve.rejected.draining").inc()
-            return 503, {"error": "draining"}, (retry_header,)
+            access.update(status=503, reason="draining")
+            return 503, {"error": "draining"}, (retry_header,) + corr
 
         # Quarantine check before admission: an open circuit answers
         # from cached stats without consuming a queue slot or worker.
         kind = params.get("schema_kind", "xsd")
         text = params.get("schema")
         key = schema_key(kind, text) if isinstance(text, str) else None
+        schema_hash = key[:12] if key is not None else None
+        access["schema_hash"] = schema_hash
         if key is not None:
             blocked = self.service.quarantined(key)
             if blocked is not None:
                 retry_after, stats = blocked
+                access.update(status=503, reason="quarantined")
                 return 503, {
                     "error": "quarantined",
                     "message": "schema quarantined after repeated "
                                "budget exhaustion",
                     "retry_after": retry_after,
                     "stats": stats,
-                }, (("Retry-After", _retry_text(retry_after)),)
+                }, (("Retry-After", _retry_text(retry_after)),) + corr
 
         reason = self.admission.try_admit(tenant)
         if reason is not None:
+            access.update(status=429, reason=reason)
             return 429, {
                 "error": reason,
                 "retry_after": config.retry_after,
-            }, (retry_header,)
+            }, (retry_header,) + corr
 
         deadline = config.clamp_deadline(params.get("deadline"))
         deadline_at = time.monotonic() + deadline
         started = time.perf_counter_ns()
         loop = asyncio.get_running_loop()
-        tracer = current_tracer()
         status = 500
+        timing = {}
+        baggage = None
+        if tracer is not None:
+            baggage = {"tenant": tenant}
+            if request_id is not None:
+                baggage["request_id"] = request_id
+            if schema_hash is not None:
+                baggage["schema_hash"] = schema_hash
         try:
-            with span("serve.request") as trace:
+            if tracer is not None:
+                trace = tracer.span("serve.request", trace_id=trace_id,
+                                    **baggage)
+            else:
+                trace = span("serve.request")
+            with trace:
                 trace.set_attribute("route", route)
-                trace.set_attribute("tenant", tenant)
                 parent = trace if tracer is not None else None
+                if tracer is not None and trace_id is not None:
+                    corr += ((
+                        "traceparent",
+                        format_traceparent(trace_id, trace.span_id),
+                    ),)
 
                 def work():
                     # Contextvars do not cross pool threads: re-install
-                    # the caller's tracer so worker spans join the tree.
-                    if tracer is None:
-                        return self.service.process(
-                            route, params, tenant, deadline_at
-                        )
-                    with installed_tracer(tracer, parent):
-                        return self.service.process(
-                            route, params, tenant, deadline_at
-                        )
+                    # the caller's tracer (and baggage) so worker spans
+                    # join the tree carrying the correlation fields.
+                    timing["worker_start"] = time.perf_counter_ns()
+                    try:
+                        if tracer is None:
+                            return self.service.process(
+                                route, params, tenant, deadline_at
+                            )
+                        with installed_tracer(tracer, parent,
+                                              baggage=baggage):
+                            return self.service.process(
+                                route, params, tenant, deadline_at
+                            )
+                    finally:
+                        timing["worker_end"] = time.perf_counter_ns()
 
                 status, payload = await loop.run_in_executor(
                     self._pool, work
@@ -311,12 +457,34 @@ class ServeDaemon:
         finally:
             self.admission.release(tenant)
             elapsed = time.perf_counter_ns() - started
-            registry.histogram("serve.request_ns").observe(elapsed)
-            registry.counter("serve.requests").inc()
+            exemplar = {"trace_id": trace_id} if trace_id else None
+            registry.histogram(
+                "serve.request.latency",
+                help="end-to-end request wall time, admission to "
+                     "response, nanoseconds",
+            ).observe(elapsed, exemplar=exemplar)
+            registry.counter(
+                "serve.requests", help="requests admitted to a worker"
+            ).inc()
             registry.counter(
                 labeled("serve.requests.by", tenant=tenant,
-                        code=str(status))
+                        code=str(status)),
+                help="requests admitted to a worker, by tenant and "
+                     "status code",
             ).inc()
+            access["status"] = status
+            worker_start = timing.get("worker_start")
+            if worker_start is not None:
+                queue_wait = worker_start - started
+                worker_ns = timing.get("worker_end", worker_start)
+                worker_ns -= worker_start
+                registry.histogram(
+                    "serve.queue.wait_ns",
+                    help="admitted-to-executing wait for a worker "
+                         "thread, nanoseconds",
+                ).observe(queue_wait)
+                access["queue_wait_ms"] = round(queue_wait / 1e6, 3)
+                access["worker_ms"] = round(worker_ns / 1e6, 3)
         headers = ()
         if status in (429, 503):
             headers = ((
@@ -324,7 +492,7 @@ class ServeDaemon:
                 _retry_text(payload.get("retry_after",
                                         config.retry_after)),
             ),)
-        return status, payload, headers
+        return status, payload, headers + corr
 
 
 def _retry_text(seconds):

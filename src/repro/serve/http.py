@@ -52,13 +52,14 @@ class HttpError(Exception):
 
 
 class HttpRequest:
-    """One parsed request: method, path, lowercased headers, raw body."""
+    """One parsed request: method, path, query, lowercased headers, body."""
 
-    __slots__ = ("method", "path", "headers", "body")
+    __slots__ = ("method", "path", "query", "headers", "body")
 
-    def __init__(self, method, path, headers, body):
+    def __init__(self, method, path, headers, body, query=""):
         self.method = method
         self.path = path
+        self.query = query
         self.headers = headers
         self.body = body
 
@@ -66,6 +67,17 @@ class HttpRequest:
     def keep_alive(self):
         """HTTP/1.1 default: persistent unless ``Connection: close``."""
         return self.headers.get("connection", "").lower() != "close"
+
+    def query_params(self):
+        """The query string as a flat dict (last value wins, no decoding
+        beyond ``+``/percent-free keys — debug endpoints only)."""
+        params = {}
+        if self.query:
+            for pair in self.query.split("&"):
+                key, __, value = pair.partition("=")
+                if key:
+                    params[key] = value
+        return params
 
     def json(self):
         """The body decoded as a JSON object (:class:`HttpError` 400)."""
@@ -102,7 +114,7 @@ async def read_request(reader, max_body_bytes):
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise HttpError(400, f"malformed request line: {lines[0]!r}")
     method, target, _version = parts
-    path = target.split("?", 1)[0]
+    path, __, query = target.partition("?")
 
     headers = {}
     for line in lines[1:]:
@@ -131,7 +143,7 @@ async def read_request(reader, max_body_bytes):
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError:
             return None
-    return HttpRequest(method, path, headers, body)
+    return HttpRequest(method, path, headers, body, query=query)
 
 
 def render_response(status, body, content_type="application/json",

@@ -102,6 +102,23 @@ class ServeConfig:
         limits: :class:`ParserLimits` applied to request documents.
         max_body_bytes: largest accepted HTTP body.
         schema_memo_size: schemas kept in the text-level parse memo.
+        access_log: path for one-line JSONL access logs (``None``
+            disables; enabling also turns request tracing on so every
+            line carries a trace id).
+        trace_log: path for the tail sampler's retained-trace JSONL
+            ring (``None`` keeps retained traces in memory only).
+        log_max_bytes: rotation cap for both log rings, bytes.
+        trace_requests: trace requests even with no log file configured
+            (retained traces then live in memory, served by
+            ``GET /debug/traces``).
+        tail_latency: seconds past which a request trace counts as
+            *slow* and is always retained (``None`` disables the
+            latency criterion).
+        tail_reservoir: reservoir slots for fast traces (``0`` retains
+            only errored/slow traces — what the smoke test uses to make
+            retention deterministic).
+        tail_retain: retained traces kept in memory for
+            ``GET /debug/traces``.
     """
 
     __slots__ = (
@@ -109,7 +126,8 @@ class ServeConfig:
         "deadline", "max_deadline", "drain_deadline", "budget_states",
         "budget_seconds", "breaker_threshold", "breaker_cooldown",
         "breaker_global_limit", "retry_after", "limits", "max_body_bytes",
-        "schema_memo_size",
+        "schema_memo_size", "access_log", "trace_log", "log_max_bytes",
+        "trace_requests", "tail_latency", "tail_reservoir", "tail_retain",
     )
 
     def __init__(self, host="127.0.0.1", port=8080, workers=4,
@@ -118,7 +136,10 @@ class ServeConfig:
                  budget_states=20_000, budget_seconds=2.0,
                  breaker_threshold=3, breaker_cooldown=30.0,
                  breaker_global_limit=8, retry_after=1.0, limits=None,
-                 max_body_bytes=8 * 1024 * 1024, schema_memo_size=128):
+                 max_body_bytes=8 * 1024 * 1024, schema_memo_size=128,
+                 access_log=None, trace_log=None, log_max_bytes=None,
+                 trace_requests=False, tail_latency=0.5, tail_reservoir=4,
+                 tail_retain=256):
         for name, value in (("workers", workers), ("deadline", deadline),
                             ("max_deadline", max_deadline),
                             ("drain_deadline", drain_deadline),
@@ -129,6 +150,20 @@ class ServeConfig:
                 raise ValueError(f"{name} must be positive, got {value!r}")
         if queue_depth < 0:
             raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        if log_max_bytes is not None and log_max_bytes <= 0:
+            raise ValueError(
+                f"log_max_bytes must be positive, got {log_max_bytes!r}"
+            )
+        if tail_latency is not None and tail_latency <= 0:
+            raise ValueError(
+                f"tail_latency must be positive, got {tail_latency!r}"
+            )
+        if tail_reservoir < 0:
+            raise ValueError(
+                f"tail_reservoir must be >= 0, got {tail_reservoir}"
+            )
+        if tail_retain < 1:
+            raise ValueError(f"tail_retain must be >= 1, got {tail_retain}")
         self.host = host
         self.port = port
         self.workers = workers
@@ -146,6 +181,20 @@ class ServeConfig:
         self.limits = limits if limits is not None else ParserLimits()
         self.max_body_bytes = max_body_bytes
         self.schema_memo_size = schema_memo_size
+        self.access_log = access_log
+        self.trace_log = trace_log
+        self.log_max_bytes = log_max_bytes
+        self.trace_requests = trace_requests
+        self.tail_latency = tail_latency
+        self.tail_reservoir = tail_reservoir
+        self.tail_retain = tail_retain
+
+    @property
+    def observability_enabled(self):
+        """True when request tracing / access logging should be built."""
+        return bool(
+            self.access_log or self.trace_log or self.trace_requests
+        )
 
     def clamp_deadline(self, requested):
         """The effective deadline for a client-requested allowance."""

@@ -1,0 +1,332 @@
+"""``repro top`` — a live text dashboard over the daemon's ``/metrics``.
+
+No curses, no dependencies: the dashboard polls the Prometheus text
+endpoint, diffs consecutive scrapes, and redraws a handful of lines
+with ANSI escapes (``--once`` prints a single frame with no escapes, so
+tests and pipelines can consume it).  Everything shown is derived from
+the exposition text itself — the parser here is the minimal subset the
+daemon's own exporter emits (``name{labels} value`` samples; exemplar
+clauses after ``#`` are ignored) — so ``repro top`` works against any
+scrape of this service, live or from a ``--metrics-file`` snapshot.
+
+Derived figures per refresh window:
+
+* request rate and shed rate (deltas of ``serve_requests`` /
+  ``serve_shed`` over the window);
+* p50/p95/p99 request latency from the ``serve_request_latency``
+  bucket deltas (interpolated inside the winning power-of-two bucket —
+  the same estimator as :meth:`~repro.observability.metrics.Histogram.
+  percentile`, applied to the window);
+* breaker and queue state from the gauges;
+* top tenants by windowed request share (``serve_requests_by``);
+* tail-sampler keep/drop counts when tracing is on.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+import urllib.request
+
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)"
+)
+_LABEL = re.compile(r'([a-zA-Z0-9_]+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text):
+    """Parse exposition text into ``{(name, labels-tuple): float}``.
+
+    ``labels-tuple`` is a sorted tuple of ``(key, value)`` pairs; comment
+    lines and exemplar clauses are ignored; unparseable sample values
+    (``NaN`` stays, anything else odd is skipped) never raise.
+    """
+    samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        name, label_block, value_text = match.groups()
+        labels = ()
+        if label_block:
+            labels = tuple(sorted(
+                (key, value.replace('\\"', '"').replace("\\\\", "\\")
+                           .replace("\\n", "\n"))
+                for key, value in _LABEL.findall(label_block)
+            ))
+        try:
+            value = float(value_text)
+        except ValueError:
+            continue
+        samples[(name, labels)] = value
+    return samples
+
+
+def scrape(url, timeout=5.0):
+    """Fetch and parse one ``/metrics`` scrape."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        text = response.read().decode("utf-8", "replace")
+    return parse_prometheus_text(text)
+
+
+def _value(samples, name, default=0.0):
+    return samples.get((name, ()), default)
+
+
+def _series(samples, name):
+    """All ``(labels-dict, value)`` samples of one family."""
+    found = []
+    for (sample_name, labels), value in samples.items():
+        if sample_name == name:
+            found.append((dict(labels), value))
+    return found
+
+
+def _bucket_bounds(samples, name):
+    """Sorted ``[(upper-bound, cumulative-count), ...]`` for a histogram."""
+    bounds = []
+    for labels, value in _series(samples, name + "_bucket"):
+        le = labels.get("le")
+        if le is None:
+            continue
+        bound = float("inf") if le == "+Inf" else float(le)
+        bounds.append((bound, value))
+    bounds.sort(key=lambda pair: pair[0])
+    return bounds
+
+
+def histogram_quantile(deltas, q):
+    """Interpolated ``q``-quantile over windowed bucket deltas.
+
+    ``deltas`` is ``[(upper-bound, count-in-window), ...]`` sorted by
+    bound; returns 0.0 for an empty window.  Mirrors
+    :meth:`~repro.observability.metrics.Histogram.percentile` — walk to
+    the bucket holding the target rank, interpolate linearly inside it.
+    """
+    total = sum(count for __, count in deltas)
+    if total <= 0:
+        return 0.0
+    target = q * total
+    cumulative = 0.0
+    low = 0.0
+    for bound, count in deltas:
+        previous = cumulative
+        cumulative += count
+        if cumulative >= target and count > 0:
+            if bound == float("inf"):
+                return low
+            fraction = (max(target, previous) - previous) / count
+            return low + fraction * (bound - low)
+        if bound != float("inf"):
+            low = bound
+    return low
+
+
+def _window_buckets(current, previous, name):
+    """Per-bucket deltas between two scrapes (falls back to totals)."""
+    now = _bucket_bounds(current, name)
+    if previous is None:
+        return now
+    before = dict(_bucket_bounds(previous, name))
+    return [
+        (bound, max(0.0, count - before.get(bound, 0.0)))
+        for bound, count in now
+    ]
+
+
+def _delta(current, previous, name):
+    value = _value(current, name)
+    if previous is None:
+        return value
+    return max(0.0, value - _value(previous, name))
+
+
+def _tenant_shares(current, previous):
+    """Windowed per-tenant request counts from ``serve_requests_by``."""
+    def totals(samples):
+        counts = {}
+        if samples is None:
+            return counts
+        for labels, value in _series(samples, "serve_requests_by"):
+            tenant = labels.get("tenant", "?")
+            counts[tenant] = counts.get(tenant, 0.0) + value
+        return counts
+
+    now, before = totals(current), totals(previous)
+    window = {
+        tenant: max(0.0, count - before.get(tenant, 0.0))
+        for tenant, count in now.items()
+    }
+    return {t: c for t, c in window.items() if c > 0} or now
+
+
+def _ms(nanoseconds):
+    return nanoseconds / 1e6
+
+
+def render_frame(current, previous, elapsed, url):
+    """Render one dashboard frame as a list of text lines."""
+    requests = _delta(current, previous, "serve_requests")
+    shed = _delta(current, previous, "serve_shed")
+    offered = requests + shed
+    rps = requests / elapsed if elapsed > 0 else 0.0
+    shed_rate = (shed / offered * 100.0) if offered else 0.0
+    buckets = _window_buckets(current, previous, "serve_request_latency")
+    p50 = _ms(histogram_quantile(buckets, 0.50))
+    p95 = _ms(histogram_quantile(buckets, 0.95))
+    p99 = _ms(histogram_quantile(buckets, 0.99))
+    inflight = int(_value(current, "serve_inflight"))
+    queued = int(_value(current, "serve_queue_depth"))
+    breaker_open = int(_value(current, "serve_breaker_open"))
+    trips = int(_value(current, "serve_breaker_trips"))
+    draining = _value(current, "serve_draining")
+
+    lines = [
+        f"repro top — {url} — window {elapsed:.1f}s"
+        + ("  [DRAINING]" if draining else ""),
+        f"requests  {rps:8.1f} rps   shed {shed_rate:5.1f}%   "
+        f"inflight {inflight} (queued {queued})",
+        f"latency   p50 {p50:8.2f} ms   p95 {p95:8.2f} ms   "
+        f"p99 {p99:8.2f} ms   (n={int(sum(c for _, c in buckets))})",
+        f"breaker   open {breaker_open}   trips {trips}",
+    ]
+
+    kept = _value(current, "trace_tail_kept")
+    dropped = _value(current, "trace_tail_dropped")
+    if kept or dropped:
+        by = {
+            reason: int(_value(current, f"trace_tail_kept_{reason}"))
+            for reason in ("error", "slow", "reservoir")
+        }
+        detail = ", ".join(
+            f"{reason} {count}" for reason, count in by.items() if count
+        )
+        lines.append(
+            f"traces    kept {int(kept)}"
+            + (f" ({detail})" if detail else "")
+            + f"   dropped {int(dropped)}"
+        )
+
+    shares = _tenant_shares(current, previous)
+    if shares:
+        total = sum(shares.values()) or 1.0
+        top = sorted(shares.items(), key=lambda kv: -kv[1])[:5]
+        lines.append("tenants   " + "   ".join(
+            f"{tenant} {count / total * 100.0:.0f}%"
+            for tenant, count in top
+        ))
+    return lines
+
+
+def run_top(url, interval=2.0, iterations=None, out=None):
+    """Poll ``url`` and redraw the dashboard until interrupted.
+
+    ``iterations`` bounds the number of frames (``--once`` passes 1 and
+    suppresses the ANSI clear); returns the process exit code.
+    """
+    import sys
+
+    out = out if out is not None else sys.stdout
+    if not url.startswith(("http://", "https://")):
+        url = "http://" + url
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    previous = None
+    previous_at = None
+    frame = 0
+    try:
+        while True:
+            try:
+                current = scrape(url)
+            except OSError as exc:
+                print(f"error: cannot scrape {url}: {exc}",
+                      file=sys.stderr)
+                return 2
+            now = time.monotonic()
+            elapsed = (now - previous_at) if previous_at is not None else (
+                interval
+            )
+            lines = render_frame(current, previous, elapsed, url)
+            if iterations != 1 and frame > 0:
+                out.write("\x1b[H\x1b[2J")  # home + clear
+            out.write("\n".join(lines) + "\n")
+            out.flush()
+            previous, previous_at = current, now
+            frame += 1
+            if iterations is not None and frame >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def fetch_traces(target, limit=None, reason=None):
+    """Load retained traces from a daemon URL or a trace-ring file.
+
+    ``target`` starting with ``http`` hits ``GET /debug/traces``;
+    anything else is read as a retained-trace JSONL ring
+    (:func:`~repro.observability.ringfile.read_ring`).  Newest first.
+    """
+    import json
+
+    if target.startswith(("http://", "https://")):
+        url = target.rstrip("/")
+        if not url.endswith("/debug/traces"):
+            url += "/debug/traces"
+        query = []
+        if limit is not None:
+            query.append(f"limit={int(limit)}")
+        if reason is not None:
+            query.append(f"reason={reason}")
+        if query:
+            url += "?" + "&".join(query)
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        return payload.get("traces", [])
+    from repro.observability.ringfile import read_ring
+
+    records = [
+        record for record in read_ring(target)
+        if isinstance(record, dict) and "trace_id" in record
+    ]
+    records.reverse()
+    if reason is not None:
+        records = [r for r in records if r.get("reason") == reason]
+    if limit is not None:
+        records = records[:max(0, int(limit))]
+    return records
+
+
+def format_trace(record, verbose=False):
+    """Pretty-print one retained trace record as text lines."""
+    root = record.get("root", {})
+    attributes = root.get("attributes", {})
+    line = (
+        f"{record.get('trace_id', '?')}  {record.get('reason', '?'):9s}"
+        f"  {record.get('duration_ms', 0.0):9.2f} ms"
+        f"  status={attributes.get('status', '?')}"
+        f"  route={attributes.get('route', '?')}"
+        f"  tenant={attributes.get('tenant', '?')}"
+    )
+    schema_hash = attributes.get("schema_hash")
+    if schema_hash:
+        line += f"  schema={schema_hash}"
+    lines = [line]
+    if verbose:
+        spans = sorted(
+            record.get("spans", []),
+            key=lambda s: s.get("start_ns", 0),
+        )
+        for entry in spans:
+            duration = entry.get("duration_ns") or 0
+            indent = "    " if entry.get("parent_id") is not None else "  "
+            status = entry.get("status", "ok")
+            flag = "" if status == "ok" else f"  [{status}]"
+            lines.append(
+                f"{indent}{entry.get('name', '?'):28s}"
+                f" {duration / 1e6:9.3f} ms{flag}"
+            )
+    return lines
