@@ -7,17 +7,19 @@
 # (a live `repro serve` subprocess: status mapping, breaker quarantine,
 # SIGTERM drain), the obs smoke (request correlation end to end: one
 # trace id across response header, access log, retained trace, and
-# exemplar), and the perfguard hot-path floor replay; stays well
-# under two minutes.
+# exemplar), the diff smoke (repro diff exit codes 0/1/2, separator
+# certificate wording, witness-document cross-validation), and the
+# perfguard hot-path floor replay; stays well under two minutes.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: check test differential bench bench-engine metrics-smoke \
 	chaos-smoke trace-smoke conformance-smoke patch-smoke serve-smoke \
-	obs-smoke conformance perfguard
+	obs-smoke diff-smoke conformance perfguard
 
 check: test differential metrics-smoke chaos-smoke trace-smoke \
-	conformance-smoke patch-smoke serve-smoke obs-smoke perfguard
+	conformance-smoke patch-smoke serve-smoke obs-smoke diff-smoke \
+	perfguard
 
 test:
 	$(PYTEST) -x -q
@@ -53,6 +55,13 @@ serve-smoke:
 # viewers against a live daemon.
 obs-smoke:
 	PYTHONPATH=src python scripts/obs_smoke.py
+
+# Schema-diff surface: repro diff on real schema files — cross-formalism
+# equivalence (exit 0), a separator certificate with a machine-verified
+# witness document (exit 1), error/budget handling (exit 2), and the
+# JSON shape.
+diff-smoke:
+	PYTHONPATH=src python scripts/diff_smoke.py
 
 # Engine hot-path regression guard: replays the E13 small tier against
 # the committed floors in benchmarks/results/perfguard_floor.json.

@@ -111,6 +111,28 @@ def main():
     verdict = StreamingValidator(cache.get(live)).validate(doc4)
     print("depth-4 after in-place evolution + invalidate():",
           "valid" if verdict.valid else "INVALID")
+    print()
+
+    print("== what exactly changed? (repro diff) ==")
+    # The diff wing (DESIGN §5j) certifies the evolution per element
+    # type: which ancestor path diverges, and a separator — here a
+    # k=1 subsequence pattern — proving the difference, plus a witness
+    # document valid against exactly one side.  The CLI equivalent is
+    #   repro diff figure5.bonxai evolved.bonxai   (exit 1 = differ)
+    from repro.diff import schema_diff
+
+    diff = schema_diff(
+        bxsd_to_dfa_based(original.bxsd),
+        bxsd_to_dfa_based(evolved.bxsd),
+    )
+    print("equivalent:", diff.equivalent)
+    for certificate in diff.certificates:
+        print(" ", certificate.summary())
+        witness = certificate.directions[0].witness_document
+        accepted = "original" if certificate.directions[0].side == "left" \
+            else "evolved"
+        print(f"  witness document accepted by the {accepted} schema only "
+              f"({len(witness.splitlines())} lines)")
 
 
 def _section_types(xsd):

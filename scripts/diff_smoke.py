@@ -1,0 +1,157 @@
+"""Smoke test for the schema-diff surface (``make diff-smoke``).
+
+Drives ``repro diff`` end to end on real schema files so ``make check``
+catches a broken diff path cheaply:
+
+* **exit 0** — Figure-5 BonXai vs Figure-3 XSD (the paper proves them
+  language-equal): cross-formalism equivalence through the translation
+  square;
+* **exit 1 + certificate** — Figure-5 vs the schema-evolution
+  depth-limited variant: the output must carry the separator one-liner,
+  the divergence path, and a witness document that parses and is valid
+  against exactly the original schema;
+* **exit 2** — a missing file and an unparsable schema both error
+  cleanly;
+* **--json** — machine output parses, agrees with the text verdict,
+  and pins the certificate's kind/atom;
+* **budget** — a tiny ``--budget-states`` allowance exits 2, not a
+  hang.
+
+Exits nonzero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import tempfile
+
+from repro.cli import main
+from repro.paperdata import FIGURE3_XSD, FIGURE5_BONXAI
+
+def evolved_bonxai():
+    """Figure 5 with a depth-limit rule added (as schema_evolution.py).
+
+    The rule must come after ``content//section`` — BonXai gives later
+    rules precedence — so it is spliced in front of the attribute-group
+    rule, exactly like the example script.
+    """
+    anchor = "  (@name|@color|@title) = { type xs:string }"
+    if anchor not in FIGURE5_BONXAI:
+        raise AssertionError("Figure-5 text changed; update diff_smoke")
+    return FIGURE5_BONXAI.replace(
+        anchor,
+        "  content/section/section/section = "
+        "mixed { attribute title, group markup }\n" + anchor,
+    )
+
+
+def run(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(argv)
+    return code, out.getvalue()
+
+
+def check(condition, message):
+    if not condition:
+        print(f"diff-smoke: FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main_smoke():
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        fig5 = root / "fig5.bonxai"
+        fig3 = root / "fig3.xsd"
+        evolved = root / "evolved.bonxai"
+        broken = root / "broken.xsd"
+        fig5.write_text(FIGURE5_BONXAI)
+        fig3.write_text(FIGURE3_XSD)
+        evolved.write_text(evolved_bonxai())
+        broken.write_text("<this is not a schema")
+
+        # Equivalent pair, cross-formalism: exit 0.
+        code, text = run(["diff", str(fig5), str(fig3)])
+        check(code == 0, f"fig5 vs fig3 exited {code}, expected 0")
+        check("equivalent" in text, f"no equivalence line in {text!r}")
+
+        # Differing pair: exit 1 with a full certificate.
+        code, text = run(["diff", str(fig5), str(evolved)])
+        check(code == 1, f"fig5 vs evolved exited {code}, expected 1")
+        check(
+            "left allows 'section'; right never does" in text,
+            f"separator one-liner missing from:\n{text}",
+        )
+        check(
+            "/document/content/section/section/section" in text,
+            f"divergence path missing from:\n{text}",
+        )
+        check("witness document" in text, f"no witness in:\n{text}")
+
+        # The witness document must be real: parse it back out and
+        # validate it against both sides.
+        from repro.bonxai import compile_schema, parse_bonxai
+        from repro.translation import bxsd_to_dfa_based
+        from repro.xmlmodel import parse_document
+
+        witness_lines = []
+        collecting = False
+        for line in text.splitlines():
+            if "witness document" in line:
+                collecting = True
+                continue
+            if collecting:
+                if line.startswith("      "):
+                    witness_lines.append(line[6:])
+                else:
+                    break
+        check(witness_lines, "could not extract the witness document")
+        document = parse_document("\n".join(witness_lines))
+        original = bxsd_to_dfa_based(
+            compile_schema(parse_bonxai(FIGURE5_BONXAI)).bxsd
+        )
+        limited = bxsd_to_dfa_based(
+            compile_schema(parse_bonxai(evolved_bonxai())).bxsd
+        )
+        check(original.is_valid(document), "witness invalid on the left")
+        check(not limited.is_valid(document), "witness valid on the right")
+
+        # JSON output: parses, and pins the certificate shape.
+        code, text = run(["diff", str(fig5), str(evolved), "--json"])
+        check(code == 1, f"--json exited {code}, expected 1")
+        data = json.loads(text)
+        check(data["equivalent"] is False, "json verdict drifted")
+        direction = data["certificates"][0]["directions"][0]
+        check(
+            direction["separator"] == {
+                "kind": "subsequence", "k": 1, "atom": ["section"],
+            },
+            f"certificate drifted: {direction['separator']}",
+        )
+        check(
+            "witness_document" in direction,
+            "json output lost the witness document",
+        )
+
+        # Errors: missing file and unparsable schema both exit 2.
+        code, __ = run(["diff", str(fig5), str(root / "missing.xsd")])
+        check(code == 2, f"missing file exited {code}, expected 2")
+        code, __ = run(["diff", str(fig5), str(broken)])
+        check(code == 2, f"broken schema exited {code}, expected 2")
+
+        # Budget: a tiny state allowance is an orderly exit 2.
+        code, __ = run([
+            "diff", str(fig5), str(evolved), "--budget-states", "1",
+        ])
+        check(code == 2, f"budget blowup exited {code}, expected 2")
+
+    print("diff-smoke: OK (exit codes 0/1/2, certificate, witness, json)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_smoke())

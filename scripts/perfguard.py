@@ -88,6 +88,8 @@ def measure():
             text, xsd, compiled, full_seconds=size / e2e_tree
         )
 
+        diff_vs_tree = _measure_diff(full_seconds=size / e2e_tree)
+
         serve = _measure_serve()
 
     return {
@@ -99,6 +101,7 @@ def measure():
         "dict_vs_tree": e2e_dict / e2e_tree,
         "cache_hit_us": cache_hit_us,
         "incremental_vs_full": incremental_vs_full,
+        "diff_vs_tree": diff_vs_tree,
         **serve,
     }
 
@@ -137,6 +140,46 @@ def _measure_incremental(text, xsd, compiled, full_seconds):
             edit_seconds += time.perf_counter() - started
         applied += 1
     return full_seconds / (edit_seconds / applied)
+
+
+def _measure_diff(full_seconds):
+    """The schema-diff small tier: full certificates on the Figure pair.
+
+    Diffs the paper's Figure-5 schema against the schema-evolution
+    depth-limited variant — divergence walk, separator search, and
+    witness-document construction — and expresses the cost as a
+    multiple of the in-run tree validation pass.  The committed
+    ``diff_vs_tree_ceiling`` catches a separator search that silently
+    goes super-linear on the small tier (e.g. a lost cap sending the
+    spectrum tier exponential).
+    """
+    from repro.bonxai import compile_schema, parse_bonxai
+    from repro.diff import schema_diff
+    from repro.paperdata import FIGURE5_BONXAI
+    from repro.translation import bxsd_to_dfa_based
+
+    anchor = "  (@name|@color|@title) = { type xs:string }"
+    evolved_text = FIGURE5_BONXAI.replace(
+        anchor,
+        "  content/section/section/section = "
+        "mixed { attribute title, group markup }\n" + anchor,
+    )
+    original = bxsd_to_dfa_based(
+        compile_schema(parse_bonxai(FIGURE5_BONXAI)).bxsd
+    )
+    limited = bxsd_to_dfa_based(
+        compile_schema(parse_bonxai(evolved_text)).bxsd
+    )
+    best = float("inf")
+    for __ in range(5):
+        started = time.perf_counter()
+        diff = schema_diff(original, limited)
+        best = min(best, time.perf_counter() - started)
+    if diff.equivalent or not diff.certificates[0].directions:
+        print("perfguard FAILED: the Figure-family diff pair no longer "
+              "produces a certificate", file=sys.stderr)
+        sys.exit(1)
+    return best / full_seconds
 
 
 def _measure_serve():
@@ -237,6 +280,13 @@ def main():
                 f"{key}: measured {measured[key]:.2f}x is below the "
                 f"committed floor {floors[key]:.2f}x"
             )
+    if measured["diff_vs_tree"] > floors["diff_vs_tree_ceiling"]:
+        problems.append(
+            f"diff_vs_tree: the Figure-family schema diff took "
+            f"{measured['diff_vs_tree']:.2f}x the tree validation pass, "
+            f"above the committed ceiling "
+            f"{floors['diff_vs_tree_ceiling']:.2f}x"
+        )
     if measured["cache_hit_us"] > floors["cache_hit_us_ceiling"]:
         problems.append(
             f"cache_hit_us: measured {measured['cache_hit_us']:.2f} us "
@@ -268,7 +318,9 @@ def main():
         f"identity cache hit {measured['cache_hit_us']:.2f} us "
         f"(ceiling {floors['cache_hit_us_ceiling']:.1f} us), "
         f"incremental edit {measured['incremental_vs_full']:.0f}x full "
-        f"(floor {floors['incremental_vs_full']:.0f}x); "
+        f"(floor {floors['incremental_vs_full']:.0f}x), "
+        f"schema diff {measured['diff_vs_tree']:.1f}x tree pass "
+        f"(ceiling {floors['diff_vs_tree_ceiling']:.1f}x); "
         f"serve burst {measured['serve_admitted']}/"
         f"{measured['serve_requests']} admitted, "
         f"shed {measured['serve_shed_rate']:.0%} "

@@ -26,6 +26,8 @@ Package map:
 * :mod:`repro.observability` — metrics registry + resource budgets
 * :mod:`repro.resilience`  — parsing limits, failure policies, fault
   injection (hardening against hostile input)
+* :mod:`repro.diff`        — schema diff: per-element-type difference
+  certificates with k-piecewise-testable separators
 """
 
 from repro.bonxai import (
@@ -81,6 +83,7 @@ from repro.xmlmodel import (
     parse_dtd,
     write_document,
 )
+from repro.diff import SchemaDiff, schema_diff
 from repro.xsd import (
     XSD,
     ContentModel,
@@ -117,6 +120,7 @@ __all__ = [
     "RetryPolicy",
     "ReproError",
     "Rule",
+    "SchemaDiff",
     "SchemaError",
     "TranslationError",
     "TypedName",
@@ -144,6 +148,7 @@ __all__ = [
     "parse_dtd",
     "print_schema",
     "read_xsd",
+    "schema_diff",
     "validate_xsd",
     "write_document",
     "write_xsd",

@@ -12,7 +12,7 @@ Case anatomy (``version`` 1)::
       "version": 1,
       "id": "second-root-drain",
       "case_type": "differential" | "pinned" | "fingerprint"
-                 | "regex" | "incremental",
+                 | "regex" | "incremental" | "diff",
       "status": "fixed" | "open",
       "kind": "...",            # oracle disagreement kind (when known)
       "check": "...",           # which comparison failed
@@ -76,6 +76,7 @@ CORPUS_VERSION = 1
 
 CASE_TYPES = (
     "differential", "pinned", "fingerprint", "regex", "incremental",
+    "diff",
 )
 
 STATUSES = ("fixed", "open")
@@ -362,7 +363,130 @@ def replay_case(case, oracle=None):
         return _replay_fingerprint(case)
     if case.case_type == "incremental":
         return _replay_incremental(case)
+    if case.case_type == "diff":
+        return _replay_diff(case)
     return _replay_regex(case)
+
+
+def _replay_diff(case):
+    """Diff certificate shape + machine verification on a pinned pair.
+
+    ``schema``/``schema_b`` are the left/right DFA-based schemas;
+    ``expected`` supports:
+
+    * ``equivalent`` (bool) — the verdict.
+    * ``certificates`` — a list of per-certificate expectations, matched
+      positionally: ``path`` (list), ``kind``, and per-direction
+      ``side`` / ``separator_kind`` (``None`` = fallback expected) /
+      ``atom`` / ``description_contains``.
+
+    Every emitted separator is re-verified from first principles:
+    the diff direction's language (``mine \\ other``) must be contained
+    in the separator DFA, which must be disjoint from the other side's
+    whole content language — so corpus replay catches both wording and
+    soundness regressions.
+    """
+    from repro.automata.operations import (
+        difference,
+        intersection,
+        is_empty,
+        is_subset,
+    )
+    from repro.diff import schema_diff
+
+    left = schema_from_json(case.schema)
+    right = schema_from_json(case.schema_b)
+    diff = schema_diff(left, right)
+    problems = []
+    expected_equivalent = case.expected.get("equivalent")
+    if expected_equivalent is not None \
+            and diff.equivalent != expected_equivalent:
+        problems.append(
+            f"expected equivalent={expected_equivalent}, "
+            f"got {diff.equivalent}"
+        )
+        return problems
+
+    expectations = case.expected.get("certificates", ())
+    if expectations and len(diff.certificates) < len(expectations):
+        problems.append(
+            f"expected at least {len(expectations)} certificate(s), "
+            f"got {len(diff.certificates)}"
+        )
+        return problems
+    for expected, certificate in zip(expectations, diff.certificates):
+        prefix = f"certificate at {certificate.location}"
+        if "path" in expected \
+                and list(certificate.path) != list(expected["path"]):
+            problems.append(
+                f"{prefix}: expected path {expected['path']}, "
+                f"got {certificate.path}"
+            )
+        if "kind" in expected and certificate.kind != expected["kind"]:
+            problems.append(
+                f"{prefix}: expected kind {expected['kind']!r}, "
+                f"got {certificate.kind!r}"
+            )
+        directions = {d.side: d for d in certificate.directions}
+        for expected_direction in expected.get("directions", ()):
+            side = expected_direction["side"]
+            direction = directions.get(side)
+            if direction is None:
+                problems.append(f"{prefix}: no {side!r} direction")
+                continue
+            separator_kind = (direction.separator.kind
+                              if direction.separator else None)
+            if "separator_kind" in expected_direction \
+                    and separator_kind != \
+                    expected_direction["separator_kind"]:
+                problems.append(
+                    f"{prefix}/{side}: expected separator kind "
+                    f"{expected_direction['separator_kind']!r}, "
+                    f"got {separator_kind!r}"
+                )
+            if "atom" in expected_direction and (
+                    direction.separator is None
+                    or list(direction.separator.atom or ())
+                    != list(expected_direction["atom"])):
+                problems.append(
+                    f"{prefix}/{side}: expected atom "
+                    f"{expected_direction['atom']}, got "
+                    f"{direction.separator and direction.separator.atom}"
+                )
+            for needle in expected_direction.get(
+                    "description_contains", ()):
+                if needle not in direction.describe():
+                    problems.append(
+                        f"{prefix}/{side}: description "
+                        f"{direction.describe()!r} lacks {needle!r}"
+                    )
+
+    # Machine-verify every emitted separator, expected or not.
+    for certificate in diff.certificates:
+        if certificate.kind != "content":
+            continue
+        contents = {"left": certificate.left_content,
+                    "right": certificate.right_content}
+        for direction in certificate.directions:
+            if direction.separator is None:
+                continue
+            mine = contents[direction.side]
+            other = contents[direction.other]
+            only_mine = difference(mine, other)
+            if not is_subset(only_mine, direction.separator.dfa):
+                problems.append(
+                    f"certificate at {certificate.location}/"
+                    f"{direction.side}: separator does not contain the "
+                    "difference language"
+                )
+            if not is_empty(intersection(
+                    direction.separator.dfa, other)):
+                problems.append(
+                    f"certificate at {certificate.location}/"
+                    f"{direction.side}: separator intersects the other "
+                    "side's language"
+                )
+    return problems
 
 
 def _replay_differential(case, oracle):

@@ -78,15 +78,22 @@ class Disagreement:
         counterexample: XML text of a concrete disagreeing document,
             when one exists (differential checks always have one;
             round-trip checks attach a sampled witness when found).
+        certificate: a :class:`~repro.diff.DiffCertificate` for
+            equivalence findings (round-trip disagreements) — the
+            separator-based explanation of *how* the languages differ;
+            ``None`` elsewhere.
     """
 
-    __slots__ = ("kind", "check", "detail", "counterexample")
+    __slots__ = ("kind", "check", "detail", "counterexample",
+                 "certificate")
 
-    def __init__(self, kind, check, detail, counterexample=None):
+    def __init__(self, kind, check, detail, counterexample=None,
+                 certificate=None):
         self.kind = kind
         self.check = check
         self.detail = detail
         self.counterexample = counterexample
+        self.certificate = certificate
 
     def __repr__(self):
         return f"Disagreement({self.kind}/{self.check}: {self.detail})"
@@ -355,12 +362,34 @@ class DifferentialOracle:
                 continue
             if pair is not None:
                 path, detail = pair
+                certificate = self._certificate(dfa, back)
+                summary = f"languages differ at /{'/'.join(path)}: {detail}"
+                if certificate is not None:
+                    summary += f" [{certificate.summary()}]"
                 out.append(Disagreement(
                     "roundtrip", f"roundtrip.{name}",
-                    f"languages differ at /{'/'.join(path)}: {detail}",
+                    summary,
                     self._witness(dfa, back),
+                    certificate=certificate,
                 ))
         return out
+
+    def _certificate(self, left, right):
+        """A separator-based :class:`~repro.diff.DiffCertificate` for one
+        equivalence finding, or ``None`` when the diff layer fails.
+
+        ``BudgetExceeded`` still bubbles (via :func:`_attempt`): the
+        sweep's budget is a stop condition, not something certificate
+        construction may silently absorb.
+        """
+        from repro.diff import schema_diff
+
+        diff, __ = _attempt(lambda: schema_diff(
+            left, right, max_certificates=1, witnesses=False,
+        ))
+        if diff is None or diff.equivalent:
+            return None
+        return diff.certificates[0]
 
     def _roundtrip(self, name, dfa):
         arrows = self.arrows

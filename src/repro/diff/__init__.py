@@ -1,0 +1,35 @@
+"""Schema diff: difference certificates with k-PT separators (DESIGN §5j)."""
+
+from repro.diff.certificates import (
+    MAX_CERTIFICATES,
+    DiffCertificate,
+    DirectionCertificate,
+    SchemaDiff,
+    schema_diff,
+)
+from repro.diff.separators import (
+    Separator,
+    SpectrumCapExceeded,
+    complement_dfa,
+    find_separator,
+    spectra,
+    spectrum_dfa,
+    subsequence_dfa,
+    suffix_dfa,
+)
+
+__all__ = [
+    "MAX_CERTIFICATES",
+    "DiffCertificate",
+    "DirectionCertificate",
+    "SchemaDiff",
+    "schema_diff",
+    "Separator",
+    "SpectrumCapExceeded",
+    "complement_dfa",
+    "find_separator",
+    "spectra",
+    "spectrum_dfa",
+    "subsequence_dfa",
+    "suffix_dfa",
+]

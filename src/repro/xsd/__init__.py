@@ -4,7 +4,9 @@
 from repro.xsd.content import AttributeUse, ContentModel, as_content_model
 from repro.xsd.dfa_based import DFABasedXSD
 from repro.xsd.equivalence import (
+    Divergence,
     dfa_xsd_counterexample_pair,
+    dfa_xsd_divergences,
     dfa_xsd_equivalent,
     productive_roots,
     productive_states,
@@ -22,12 +24,14 @@ __all__ = [
     "AttributeUse",
     "ContentModel",
     "DFABasedXSD",
+    "Divergence",
     "DocumentGenerator",
     "TypedName",
     "XSD",
     "XSDValidationReport",
     "as_content_model",
     "dfa_xsd_counterexample_pair",
+    "dfa_xsd_divergences",
     "dfa_xsd_equivalent",
     "erase_type",
     "generate_document",

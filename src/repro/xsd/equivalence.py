@@ -121,6 +121,45 @@ def productive_roots(schema, ranks=None):
     )
 
 
+class Divergence:
+    """One point where two schemas' document languages come apart.
+
+    Attributes:
+        kind: ``roots`` (allowed root-name sets differ) or ``content``
+            (one synchronized element type's content languages differ).
+        path: element names from the root down to the diverging node
+            (empty for ``roots``).
+        left_state / right_state: the two schemas' states at that node —
+            the *element-type context* of the divergence (``None`` for
+            ``roots``).
+        left_content / right_content: the productive-letter-restricted
+            content DFAs compared there (``None`` for ``roots``) — the
+            diff layer builds separator certificates from these.
+        word: a shortest child-word in exactly one content language
+            (``None`` for ``roots``).
+        detail: human-readable one-liner.
+    """
+
+    __slots__ = ("kind", "path", "left_state", "right_state",
+                 "left_content", "right_content", "word", "detail")
+
+    def __init__(self, kind, path, detail, left_state=None,
+                 right_state=None, left_content=None, right_content=None,
+                 word=None):
+        self.kind = kind
+        self.path = list(path)
+        self.detail = detail
+        self.left_state = left_state
+        self.right_state = right_state
+        self.left_content = left_content
+        self.right_content = right_content
+        self.word = word
+
+    def __repr__(self):
+        at = "/" + "/".join(self.path)
+        return f"<Divergence {self.kind} at {at}: {self.detail}>"
+
+
 def dfa_xsd_equivalent(left, right):
     """Decide document-language equivalence of two DFA-based XSDs."""
     return dfa_xsd_counterexample_pair(left, right) is None
@@ -132,22 +171,49 @@ def dfa_xsd_counterexample_pair(left, right):
     Returns ``(path, detail)`` where ``path`` is the list of element names
     from the root to the disagreeing node and ``detail`` a human-readable
     explanation (either differing root sets or a child-word in exactly one
-    content language).
+    content language).  :func:`dfa_xsd_divergences` returns the same walk's
+    findings with the element-type context attached — use it when the
+    *type* (state pair) in which the languages diverge matters, or when
+    more than the first divergence is wanted.
     """
+    for divergence in dfa_xsd_divergences(left, right, limit=1):
+        return divergence.path, divergence.detail
+    return None
+
+
+def dfa_xsd_divergences(left, right, limit=None):
+    """Every synchronized element type whose content languages differ.
+
+    Walks the two schemas' reachable state pairs exactly like
+    :func:`dfa_xsd_counterexample_pair`, but instead of stopping at the
+    first difference it records a :class:`Divergence` per diverging state
+    pair (each pair reported once, at the first path reaching it) and
+    keeps exploring the *shared* part of the tree — children whose
+    labels occur in valid words on both sides.  Yields lazily, so
+    ``limit=1`` costs the same as the counterexample walk.
+
+    Args:
+        limit: stop after this many divergences (``None`` = all).
+    """
+    count = 0
     left_ranks = productive_states(left)
     right_ranks = productive_states(right)
     left_roots = productive_roots(left, left_ranks)
     right_roots = productive_roots(right, right_ranks)
     if left_roots != right_roots:
-        return [], (
+        yield Divergence(
+            "roots", [],
             f"root names differ: {sorted(left_roots)} vs "
-            f"{sorted(right_roots)}"
+            f"{sorted(right_roots)}",
         )
+        count += 1
+        if limit is not None and count >= limit:
+            return
 
     alphabet = left.alphabet | right.alphabet
     seen = set()
     worklist = []
-    for name in sorted(left_roots):
+    for name in sorted(left_roots & right_roots):
         pair = (
             left.transitions[(left.initial, name)],
             right.transitions[(right.initial, name)],
@@ -166,11 +232,26 @@ def dfa_xsd_counterexample_pair(left, right):
         )
         if not dfa_equivalent(left_content, right_content):
             witness = word_counterexample(left_content, right_content)
-            return path, (
+            yield Divergence(
+                "content", path,
                 f"content languages differ at {'/'.join(path)}; "
-                f"witness child-word: {witness}"
+                f"witness child-word: {witness}",
+                left_state=left_state,
+                right_state=right_state,
+                left_content=left_content,
+                right_content=right_content,
+                word=witness,
             )
-        for name in sorted(_useful_letters(left_content)):
+            count += 1
+            if limit is not None and count >= limit:
+                return
+        # Recurse through the shared tree: labels occurring in valid
+        # words on *both* sides (one-sided labels are already part of
+        # this divergence; their subtrees exist on one side only).
+        shared = _useful_letters(left_content) & _useful_letters(
+            right_content
+        )
+        for name in sorted(shared):
             pair = (
                 left.transitions[(left_state, name)],
                 right.transitions[(right_state, name)],
@@ -178,7 +259,6 @@ def dfa_xsd_counterexample_pair(left, right):
             if pair not in seen:
                 seen.add(pair)
                 worklist.append((pair, path + [name]))
-    return None
 
 
 def xsd_equivalent(left_xsd, right_xsd):

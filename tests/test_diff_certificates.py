@@ -1,0 +1,431 @@
+"""The diff wing: every emitted certificate must be *true*.
+
+Three layers of checking, per the separator contract
+(``inside ⊆ S`` and ``S ∩ outside = ∅``):
+
+* **automata containment** — re-verified from first principles with the
+  operations module on every hypothesis-generated pair;
+* **word sampling** — enumerated words of each side are pushed through
+  the separator DFA (membership must match the side);
+* **document cross-validation** — every witness document must be valid
+  against exactly one schema, checked through *both* validators (the
+  DFA-based tree walker and the formal-XSD validator).
+
+Plus the k-boundary edges (k=1 vs k=2 separable pairs), the
+no-separator fallback (parity languages), and the differential sweep:
+``repro diff``'s verdict must agree with ``xsd_equivalent`` on a
+1000-pair seeded sweep — zero disagreements, enforced here.
+"""
+
+import json
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.operations import (
+    difference,
+    intersection,
+    is_empty,
+    is_subset,
+    some_word,
+)
+from repro.cli import main as cli_main
+from repro.conformance.generate import random_dfa_based
+from repro.diff import (
+    Separator,
+    complement_dfa,
+    find_separator,
+    schema_diff,
+    spectra,
+    subsequence_dfa,
+    suffix_dfa,
+)
+from repro.regex.derivatives import to_dfa
+from repro.translation import dfa_based_to_xsd
+from repro.xmlmodel import parse_document
+from repro.xsd.dfa_based import DFABasedXSD
+from repro.xsd.content import ContentModel
+from repro.xsd.equivalence import dfa_xsd_equivalent
+from repro.xsd.validator import validate_xsd
+from repro.regex.ast import EPSILON, concat, optional, star, sym
+
+from tests.test_regex_properties import regex_strategy, ALPHABET
+
+
+def words_up_to(dfa, max_length=6, cap=200):
+    """Enumerate accepted words by BFS, shortest first (bounded)."""
+    out = []
+    queue = deque([(dfa.initial, [])])
+    while queue and len(out) < cap:
+        state, word = queue.popleft()
+        if state in dfa.accepting:
+            out.append(word)
+        if len(word) >= max_length:
+            continue
+        for name in sorted(dfa.alphabet):
+            target = dfa.transitions.get((state, name))
+            if target is not None:
+                queue.append((target, word + [name]))
+    return out
+
+
+def accepts(dfa, word):
+    state = dfa.initial
+    for name in word:
+        state = dfa.transitions.get((state, name))
+        if state is None:
+            return False
+    return state in dfa.accepting
+
+
+def leaf_schema(content_regex, extra=("a", "b", "c")):
+    """One root element with ``content_regex`` over epsilon leaves."""
+    assign = {"sroot": ContentModel(content_regex)}
+    transitions = {("q0", "root"): "sroot"}
+    for name in extra:
+        assign[f"s{name}"] = ContentModel(EPSILON)
+        transitions[("sroot", name)] = f"s{name}"
+    return DFABasedXSD(
+        states=frozenset(assign) | {"q0"},
+        alphabet=frozenset(extra) | {"root"},
+        transitions=transitions,
+        initial="q0",
+        start=frozenset({"root"}),
+        assign=assign,
+    )
+
+
+def assert_separates(separator, inside, outside):
+    """The full separator contract, by containment and by sampling."""
+    assert is_subset(inside, separator.dfa), (
+        f"{separator!r} does not contain the inside language"
+    )
+    assert is_empty(intersection(separator.dfa, outside)), (
+        f"{separator!r} intersects the outside language"
+    )
+    for word in words_up_to(inside):
+        assert accepts(separator.dfa, word), (
+            f"{separator!r} rejects inside word {word}"
+        )
+    for word in words_up_to(outside):
+        assert not accepts(separator.dfa, word), (
+            f"{separator!r} accepts outside word {word}"
+        )
+
+
+# -- primitives --------------------------------------------------------------
+class TestAtoms:
+    def test_subsequence_dfa(self):
+        dfa = subsequence_dfa(("a", "b"), {"a", "b", "c"})
+        assert accepts(dfa, ["a", "b"])
+        assert accepts(dfa, ["c", "a", "c", "b", "c"])
+        assert not accepts(dfa, ["b", "a"])
+        assert not accepts(dfa, ["a"])
+        assert not accepts(dfa, [])
+
+    def test_suffix_dfa(self):
+        dfa = suffix_dfa(("a", "b"), {"a", "b"})
+        assert accepts(dfa, ["a", "b"])
+        assert accepts(dfa, ["b", "a", "a", "b"])
+        assert not accepts(dfa, ["a", "b", "a"])
+        assert not accepts(dfa, ["b"])
+
+    def test_suffix_dfa_overlapping_atom(self):
+        dfa = suffix_dfa(("a", "a"), {"a", "b"})
+        assert accepts(dfa, ["a", "a"])
+        assert accepts(dfa, ["a", "a", "a"])
+        assert not accepts(dfa, ["a", "b", "a"])
+
+    def test_complement_dfa(self):
+        dfa = subsequence_dfa(("a",), {"a", "b"})
+        flipped = complement_dfa(dfa)
+        for word in ([], ["b"], ["a"], ["b", "a", "b"]):
+            assert accepts(dfa, word) != accepts(flipped, word)
+
+    @given(
+        atom=st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=3),
+        word=st.lists(st.sampled_from(ALPHABET), max_size=8),
+    )
+    def test_subsequence_dfa_matches_definition(self, atom, word):
+        dfa = subsequence_dfa(tuple(atom), set(ALPHABET))
+        it = iter(word)
+        is_subsequence = all(name in it for name in atom)
+        assert accepts(dfa, word) == is_subsequence
+
+    @given(
+        atom=st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=3),
+        word=st.lists(st.sampled_from(ALPHABET), max_size=8),
+    )
+    def test_suffix_dfa_matches_definition(self, atom, word):
+        dfa = suffix_dfa(tuple(atom), set(ALPHABET))
+        assert accepts(dfa, word) == (
+            len(word) >= len(atom) and word[-len(atom):] == atom
+        )
+
+
+class TestSpectra:
+    def test_spectra_of_single_word(self):
+        dfa = to_dfa(concat(sym("a"), sym("b")), alphabet={"a", "b"})
+        assert spectra(dfa, 2) == {
+            frozenset({("a",), ("b",), ("a", "b")})
+        }
+
+    def test_spectra_ignore_order_beyond_k1(self):
+        ab = to_dfa(concat(sym("a"), sym("b")), alphabet={"a", "b"})
+        ba = to_dfa(concat(sym("b"), sym("a")), alphabet={"a", "b"})
+        assert spectra(ab, 1) == spectra(ba, 1)
+        assert spectra(ab, 2) != spectra(ba, 2)
+
+
+# -- the search --------------------------------------------------------------
+class TestFindSeparator:
+    def test_k1_subsequence(self):
+        inside = to_dfa(concat(sym("a"), sym("b")), alphabet={"a", "b"})
+        outside = to_dfa(star(sym("b")), alphabet={"a", "b"})
+        separator = find_separator(inside, outside)
+        assert separator is not None
+        assert separator.k == 1
+        assert_separates(separator, inside, outside)
+
+    def test_k2_needed_for_star_vs_optional(self):
+        star_a = to_dfa(star(sym("a")), alphabet={"a"})
+        opt_a = to_dfa(optional(sym("a")), alphabet={"a"})
+        inside = difference(star_a, opt_a)  # {aa, aaa, ...}
+        assert find_separator(inside, opt_a, max_k=1) is None
+        separator = find_separator(inside, opt_a, max_k=2)
+        assert separator is not None
+        assert separator.k == 2
+        assert separator.kind == "subsequence"
+        assert separator.atom == ("a", "a")
+        assert_separates(separator, inside, opt_a)
+
+    def test_parity_has_no_separator_at_any_small_k(self):
+        even = to_dfa(star(concat(sym("a"), sym("a"))), alphabet={"a"})
+        odd = to_dfa(
+            concat(sym("a"), star(concat(sym("a"), sym("a")))),
+            alphabet={"a"},
+        )
+        assert find_separator(even, odd, max_k=4) is None
+
+    def test_spectrum_tier_kicks_in(self):
+        # L(a+b) vs L(ab + ba + ...): neither single atoms nor suffixes
+        # separate {a, b} from {ab, ba}, but their 1-spectra are
+        # disjoint from no... use length: {a}, {b} vs {ab, ba} — a
+        # suffix/subsequence atom of length 1 matches both sides, yet
+        # the 2-spectra differ (the long words contain 2-subsequences).
+        short = to_dfa(
+            concat(sym("a"), optional(sym("b"))), alphabet={"a", "b"}
+        )
+        # inside: {a, ab}; outside: {ba, bab}
+        outside = to_dfa(
+            concat(sym("b"), sym("a"), optional(sym("b"))),
+            alphabet={"a", "b"},
+        )
+        separator = find_separator(short, outside)
+        assert separator is not None
+        assert_separates(separator, short, outside)
+
+    def test_describe_mentions_the_atom(self):
+        inside = to_dfa(concat(sym("a"), sym("b")), alphabet={"a", "b"})
+        outside = to_dfa(star(sym("b")), alphabet={"a", "b"})
+        separator = find_separator(inside, outside)
+        text = separator.describe(inside="left", outside="right")
+        assert "left" in text and "right" in text
+        assert "'a'" in text or "'b'" in text
+
+    @settings(deadline=None)
+    @given(left=regex_strategy(), right=regex_strategy())
+    def test_any_found_separator_separates(self, left, right):
+        """The core property: emitted separators are never wrong."""
+        alphabet = set(ALPHABET)
+        left_dfa = to_dfa(left, alphabet=alphabet)
+        right_dfa = to_dfa(right, alphabet=alphabet)
+        inside = difference(left_dfa, right_dfa)
+        if is_empty(inside):
+            return
+        separator = find_separator(inside, right_dfa, max_k=3)
+        if separator is None:
+            # The fallback path: a counterexample word must exist.
+            assert some_word(inside) is not None
+            return
+        assert_separates(separator, inside, right_dfa)
+
+
+# -- schema_diff --------------------------------------------------------------
+class TestSchemaDiff:
+    def test_equivalent_pair(self):
+        schema = leaf_schema(star(sym("a")))
+        diff = schema_diff(schema, schema)
+        assert diff.equivalent
+        assert diff.certificates == []
+        assert diff.render() == ["schemas are equivalent"]
+
+    def test_content_certificate_and_witnesses(self):
+        left = leaf_schema(star(sym("a")))
+        right = leaf_schema(optional(sym("a")))
+        diff = schema_diff(left, right)
+        assert not diff.equivalent
+        (certificate,) = diff.certificates
+        assert certificate.kind == "content"
+        assert certificate.path == ["root"]
+        (direction,) = certificate.directions
+        assert direction.side == "left"
+        assert direction.separator.atom == ("a", "a")
+        # The witness document is valid against exactly the left
+        # schema, through both validators.
+        document = parse_document(direction.witness_document)
+        assert left.is_valid(document)
+        assert not right.is_valid(document)
+        assert validate_xsd(dfa_based_to_xsd(left), document).valid
+        assert not validate_xsd(dfa_based_to_xsd(right), document).valid
+
+    def test_fallback_direction_has_witness_word(self):
+        left = leaf_schema(star(concat(sym("a"), sym("a"))))
+        right = leaf_schema(
+            concat(sym("a"), star(concat(sym("a"), sym("a"))))
+        )
+        diff = schema_diff(left, right)
+        assert not diff.equivalent
+        (certificate,) = diff.certificates
+        for direction in certificate.directions:
+            assert direction.separator is None
+            assert "no small separator" in direction.describe()
+            document = parse_document(direction.witness_document)
+            valid_left = left.is_valid(document)
+            valid_right = right.is_valid(document)
+            assert valid_left != valid_right
+            assert (direction.side == "left") == valid_left
+
+    def test_root_divergence(self):
+        left = leaf_schema(star(sym("a")))
+        right = DFABasedXSD(
+            states=left.states,
+            alphabet=left.alphabet | {"other"},
+            transitions={
+                (("q0", "other") if key == ("q0", "root") else key): value
+                for key, value in left.transitions.items()
+            },
+            initial="q0",
+            start=frozenset({"other"}),
+            assign=left.assign,
+        )
+        diff = schema_diff(left, right)
+        assert not diff.equivalent
+        certificate = diff.certificates[0]
+        assert certificate.kind == "roots"
+        sides = {d.side: d for d in certificate.directions}
+        assert "root" in sides["left"].describe()
+        assert "'other'" in sides["right"].describe()
+        for direction in sides.values():
+            document = parse_document(direction.witness_document)
+            valid_left = left.is_valid(document)
+            valid_right = right.is_valid(document)
+            assert valid_left != valid_right
+
+    def test_json_rendering_is_serializable(self):
+        left = leaf_schema(star(sym("a")))
+        right = leaf_schema(optional(sym("a")))
+        data = schema_diff(left, right).to_json()
+        blob = json.dumps(data)
+        assert json.loads(blob) == data
+        direction = data["certificates"][0]["directions"][0]
+        assert direction["separator"]["kind"] == "subsequence"
+        assert "description" in direction
+
+    @settings(deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_verdict_matches_equivalence_and_separators_hold(self, seed):
+        """Random schema pairs: verdict + every separator + witnesses."""
+        rng = random.Random(seed)
+        left = random_dfa_based(rng)
+        right = random_dfa_based(rng)
+        diff = schema_diff(left, right)
+        assert diff.equivalent == dfa_xsd_equivalent(left, right)
+        for certificate in diff.certificates:
+            if certificate.kind != "content":
+                continue
+            contents = {"left": certificate.left_content,
+                        "right": certificate.right_content}
+            for direction in certificate.directions:
+                mine = contents[direction.side]
+                other = contents[direction.other]
+                only_mine = difference(mine, other)
+                # The witness word is in exactly this side's language.
+                assert accepts(mine, direction.witness_word)
+                assert not accepts(other, direction.witness_word)
+                if direction.separator is not None:
+                    assert_separates(
+                        direction.separator, only_mine, other
+                    )
+                if direction.witness_document is not None:
+                    document = parse_document(direction.witness_document)
+                    valid = {
+                        "left": left.is_valid(document),
+                        "right": right.is_valid(document),
+                    }
+                    assert valid[direction.side]
+                    assert not valid[direction.other]
+
+
+# -- the differential sweep ---------------------------------------------------
+class TestDifferentialSweep:
+    SWEEP_SEED = 20150531
+    SWEEP_PAIRS = 1000
+
+    def test_diff_agrees_with_xsd_equivalent_over_1k_pairs(self):
+        """Satellite: zero verdict disagreements over a seeded 1k sweep."""
+        rng = random.Random(self.SWEEP_SEED)
+        disagreements = []
+        for index in range(self.SWEEP_PAIRS):
+            left = random_dfa_based(rng)
+            right = random_dfa_based(rng)
+            diff = schema_diff(left, right, witnesses=False)
+            expected = dfa_xsd_equivalent(left, right)
+            if diff.equivalent != expected:
+                disagreements.append(
+                    f"pair {index}: schema_diff says "
+                    f"{'equivalent' if diff.equivalent else 'differ'}, "
+                    f"xsd_equivalent says "
+                    f"{'equivalent' if expected else 'differ'}"
+                )
+        assert not disagreements, disagreements
+
+    def test_cli_exit_codes_agree_on_sampled_pairs(self, tmp_path):
+        """A slice of the sweep through the real CLI (exit 0 vs 1)."""
+        from repro.bonxai.decompile import bxsd_to_schema
+        from repro.bonxai.printer import print_schema
+        from repro.translation import dfa_based_to_bxsd
+        from repro.xsd import write_xsd
+
+        rng = random.Random(self.SWEEP_SEED)
+        checked = 0
+        index = 0
+        while checked < 8 and index < 200:
+            index += 1
+            left = random_dfa_based(rng)
+            right = random_dfa_based(rng)
+            try:
+                left_text = write_xsd(dfa_based_to_xsd(left))
+                right_text = print_schema(
+                    bxsd_to_schema(dfa_based_to_bxsd(right))
+                )
+            except Exception:
+                continue  # not every random schema survives both arrows
+            left_path = tmp_path / f"left{index}.xsd"
+            right_path = tmp_path / f"right{index}.bonxai"
+            left_path.write_text(left_text)
+            right_path.write_text(right_text)
+            code = cli_main([
+                "diff", str(left_path), str(right_path), "--no-witness",
+            ])
+            if code == 2:
+                continue  # arrow round-trip may legitimately error
+            checked += 1
+            # The writing arrows preserve the document language, so the
+            # CLI's file-level verdict must agree with in-memory
+            # equivalence of the original pair.
+            expected = 0 if dfa_xsd_equivalent(left, right) else 1
+            assert code == expected
+        assert checked >= 4

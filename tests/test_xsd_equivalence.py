@@ -7,6 +7,7 @@ from repro.xsd.content import ContentModel
 from repro.xsd.dfa_based import DFABasedXSD
 from repro.xsd.equivalence import (
     dfa_xsd_counterexample_pair,
+    dfa_xsd_divergences,
     dfa_xsd_equivalent,
     productive_roots,
     productive_states,
@@ -140,6 +141,96 @@ class TestEquivalence:
         })
         right = schema_of({"root": (EPSILON, {})})
         assert not dfa_xsd_equivalent(left, right)
+
+
+class TestDivergences:
+    """The element-type-context API behind ``dfa_xsd_counterexample_pair``.
+
+    The pair function used to return only (path, detail); the
+    divergence walk adds the state pair (the element types) and the
+    restricted content DFAs, and reports *every* diverging type — the
+    previously untested multi-type case.
+    """
+
+    def two_divergence_pair(self):
+        left = schema_of({
+            "root": (concat(sym("a"), sym("b")), {"a": "ta", "b": "tb"}),
+            "ta": (star(sym("c")), {"c": "leaf"}),
+            "tb": (optional(sym("c")), {"c": "leaf"}),
+            "leaf": (EPSILON, {}),
+        })
+        right = schema_of({
+            "root": (concat(sym("a"), sym("b")), {"a": "ua", "b": "ub"}),
+            "ua": (optional(sym("c")), {"c": "leaf"}),
+            "ub": (star(sym("c")), {"c": "leaf"}),
+            "leaf": (EPSILON, {}),
+        })
+        return left, right
+
+    def test_reports_every_diverging_type(self):
+        left, right = self.two_divergence_pair()
+        divergences = list(dfa_xsd_divergences(left, right))
+        assert len(divergences) == 2
+        by_path = {tuple(d.path): d for d in divergences}
+        assert set(by_path) == {("r", "a"), ("r", "b")}
+        # Element-type context: which states diverged on each side.
+        assert by_path[("r", "a")].left_state == "ta"
+        assert by_path[("r", "a")].right_state == "ua"
+        assert by_path[("r", "b")].left_state == "tb"
+        assert by_path[("r", "b")].right_state == "ub"
+
+    def test_divergence_carries_witness_word_and_contents(self):
+        left, right = self.two_divergence_pair()
+        for divergence in dfa_xsd_divergences(left, right):
+            assert divergence.kind == "content"
+            assert divergence.word is not None
+            # The word is in exactly one restricted content language.
+            in_left = divergence.left_content.accepts(divergence.word)
+            in_right = divergence.right_content.accepts(divergence.word)
+            assert in_left != in_right
+
+    def test_limit_stops_early(self):
+        left, right = self.two_divergence_pair()
+        assert len(list(dfa_xsd_divergences(left, right, limit=1))) == 1
+
+    def test_counterexample_pair_is_first_divergence(self):
+        left, right = self.two_divergence_pair()
+        path, detail = dfa_xsd_counterexample_pair(left, right)
+        first = next(iter(dfa_xsd_divergences(left, right, limit=1)))
+        assert path == first.path
+        assert detail == first.detail
+
+    def test_each_state_pair_reported_once(self):
+        # Both 'a' and 'b' lead to the SAME diverging state pair: one
+        # divergence, not two.
+        left = schema_of({
+            "root": (concat(sym("a"), sym("b")), {"a": "t", "b": "t"}),
+            "t": (star(sym("c")), {"c": "leaf"}),
+            "leaf": (EPSILON, {}),
+        })
+        right = schema_of({
+            "root": (concat(sym("a"), sym("b")), {"a": "u", "b": "u"}),
+            "u": (optional(sym("c")), {"c": "leaf"}),
+            "leaf": (EPSILON, {}),
+        })
+        divergences = list(dfa_xsd_divergences(left, right))
+        assert len(divergences) == 1
+        assert divergences[0].left_state == "t"
+        assert divergences[0].right_state == "u"
+
+    def test_roots_divergence_then_shared_content(self):
+        # Root sets differ AND a shared root's content differs: both
+        # findings surface.
+        left = schema_of({
+            "root": (star(sym("a")), {"a": "leaf"}),
+            "leaf": (EPSILON, {}),
+        }, start=("r", "s"))
+        right = schema_of({
+            "root": (optional(sym("a")), {"a": "leaf"}),
+            "leaf": (EPSILON, {}),
+        }, start=("r",))
+        kinds = [d.kind for d in dfa_xsd_divergences(left, right)]
+        assert kinds == ["roots", "content"]
 
 
 def plus_of(name):
